@@ -1,0 +1,41 @@
+//! Criterion bench for E4: March test cost vs memory size and
+//! algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use camsoc_mbist::march::{run_march, MarchAlgorithm};
+use camsoc_mbist::memory::Sram;
+
+fn bench_march_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("march_c_minus");
+    for words in [256usize, 1_024, 4_096] {
+        group.throughput(Throughput::Elements(words as u64 * 10));
+        group.bench_with_input(BenchmarkId::from_parameter(words), &words, |b, &words| {
+            b.iter(|| {
+                let mut mem = Sram::new(words, 16);
+                run_march(&MarchAlgorithm::march_c_minus(), &mut mem)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_march_by_algorithm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("march_algorithms_1k");
+    for alg in MarchAlgorithm::standard_set() {
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name), &alg, |b, alg| {
+            b.iter(|| {
+                let mut mem = Sram::new(1_024, 16);
+                run_march(alg, &mut mem)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_march_by_size, bench_march_by_algorithm
+}
+criterion_main!(benches);

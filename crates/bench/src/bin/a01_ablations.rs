@@ -1,0 +1,144 @@
+//! A1 — ablations over the flow's design choices: the knobs DESIGN.md
+//! calls out, each swept in isolation.
+
+use camsoc_bench::{header, rule};
+use camsoc_core::catalog::dsc_memories;
+use camsoc_dft::atpg::{Atpg, AtpgConfig};
+use camsoc_dft::scan::{insert_scan, ScanConfig};
+use camsoc_dft::vectors::test_time;
+use camsoc_layout::floorplan::Floorplan;
+use camsoc_layout::place::{place, PlacementConfig, PlacementMode};
+use camsoc_layout::route::{route, RouteConfig};
+use camsoc_mbist::arch::{BistArchitecture, BistStyle, MemGeometry};
+use camsoc_mbist::march::{measure_coverage, MarchAlgorithm};
+use camsoc_netlist::generate::{ip_block, IpBlockParams};
+use camsoc_netlist::tech::Technology;
+use camsoc_sta::Constraints;
+
+fn main() {
+    header("A1", "ablations: scan chains, March choice, SA effort, negotiation, BIST sharing");
+    let tech = Technology::default();
+
+    // --- scan chain count vs tester time ---
+    println!();
+    println!("scan chains vs tester time (2k-gate block, same patterns):");
+    println!("{:<8} {:>12} {:>12} {:>12}", "chains", "max length", "patterns", "time (ms)");
+    rule(48);
+    let nl = ip_block(
+        "blk",
+        &IpBlockParams { target_gates: 2_000, seed: 41, ..Default::default() },
+    )
+    .expect("generate");
+    for chains in [1usize, 2, 4, 8] {
+        let (scanned, report) = insert_scan(
+            nl.clone(),
+            &ScanConfig { num_chains: chains, ..ScanConfig::default() },
+        )
+        .expect("scan");
+        let result = Atpg::new(
+            &scanned,
+            AtpgConfig { fault_sample: Some(600), max_random_blocks: 16, ..AtpgConfig::default() },
+        )
+        .expect("atpg")
+        .run();
+        let tt = test_time(&result.patterns, &report, 20.0);
+        println!(
+            "{:<8} {:>12} {:>12} {:>12.3}",
+            chains,
+            report.max_chain_length(),
+            result.patterns.len(),
+            tt.time_ms
+        );
+    }
+
+    // --- March algorithm trade-off ---
+    println!();
+    println!("March algorithm: cost vs aggregate coverage (64x8, 80 trials/class):");
+    println!("{:<10} {:>7} {:>10}", "algorithm", "ops/N", "coverage");
+    rule(30);
+    for alg in MarchAlgorithm::standard_set() {
+        let cov = measure_coverage(&alg, 64, 8, 80, 0xA1);
+        let agg = cov.iter().map(|c| c.coverage()).sum::<f64>() / cov.len() as f64;
+        println!("{:<10} {:>7} {:>9.1}%", alg.name, alg.ops_per_cell(), agg * 100.0);
+    }
+
+    // --- placement effort ---
+    println!();
+    println!("SA placement effort vs wirelength (1k-gate block):");
+    println!("{:<12} {:>12} {:>12}", "iterations", "HPWL (um)", "improvement");
+    rule(38);
+    let nl2 = ip_block(
+        "blk2",
+        &IpBlockParams { target_gates: 1_000, seed: 42, ..Default::default() },
+    )
+    .expect("generate");
+    let fp = Floorplan::generate(&nl2, &tech).expect("floorplan");
+    for iters in [0usize, 2_000, 10_000, 50_000] {
+        let p = place(
+            &nl2,
+            &tech,
+            &fp,
+            &Constraints::single_clock("clk", 7.5),
+            &PlacementConfig {
+                mode: PlacementMode::Wirelength,
+                iterations: iters,
+                ..PlacementConfig::default()
+            },
+        );
+        println!("{:<12} {:>12.0} {:>11.1}%", iters, p.hpwl_um, p.improvement() * 100.0);
+    }
+
+    // --- negotiation rounds ---
+    println!();
+    println!("routing negotiation rounds vs overflow (tight capacity):");
+    println!("{:<8} {:>16} {:>14}", "rounds", "total overflow", "max util");
+    rule(40);
+    let p = place(
+        &nl2,
+        &tech,
+        &fp,
+        &Constraints::single_clock("clk", 7.5),
+        &PlacementConfig {
+            mode: PlacementMode::Wirelength,
+            iterations: 5_000,
+            ..PlacementConfig::default()
+        },
+    );
+    for rounds in [0usize, 1, 3, 6] {
+        let r = route(
+            &nl2,
+            &fp,
+            &p,
+            &RouteConfig { edge_capacity: 6, rounds, ..RouteConfig::default() },
+        );
+        println!("{:<8} {:>16} {:>14.2}", rounds, r.total_overflow, r.max_utilisation);
+    }
+
+    // --- BIST sharing across memory counts ---
+    println!();
+    println!("BIST overhead per memory, shared vs per-memory controller:");
+    println!("{:<10} {:>14} {:>14}", "memories", "shared GE/mem", "per-mem GE/mem");
+    rule(40);
+    let all: Vec<MemGeometry> = dsc_memories()
+        .into_iter()
+        .map(|(name, _, words, bits)| MemGeometry { name, words, bits })
+        .collect();
+    for n in [5usize, 10, 20, 30] {
+        let subset = &all[..n];
+        let shared =
+            BistArchitecture::generate(subset, BistStyle::Shared, MarchAlgorithm::march_c_minus())
+                .expect("shared");
+        let per = BistArchitecture::generate(
+            subset,
+            BistStyle::PerMemory,
+            MarchAlgorithm::march_c_minus(),
+        )
+        .expect("per");
+        println!(
+            "{:<10} {:>14.0} {:>14.0}",
+            n,
+            shared.overhead_ge() / n as f64,
+            per.overhead_ge() / n as f64
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! E1 — JPEG engine throughput: 3 Mpixels must encode in 0.1 s at
+//! 133 MHz; the RISC/DSP software path misses by over an order of
+//! magnitude (the paper's justification for the hardwired codec).
+
+use camsoc_bench::{header, rule};
+use camsoc_jpeg::jfif::{EncodeParams, Sampling};
+use camsoc_jpeg::pipeline::{encode_timed, estimate_synthetic, PipelineConfig};
+use camsoc_jpeg::psnr::test_image;
+use camsoc_jpeg::software::SoftwareCostModel;
+
+fn main() {
+    header("E1", "JPEG hardwired engine vs RISC/DSP software, 3 Mpixel @ 0.1 s");
+    let hw = PipelineConfig::default();
+    let sw = SoftwareCostModel::default();
+
+    println!("{:<14} {:>10} {:>12} {:>12} {:>10} {:>8}", "frame", "pixels", "hw (ms)", "sw (ms)", "speedup", "0.1s?");
+    rule(72);
+    for (w, h) in [(640usize, 480usize), (1280, 960), (1600, 1200), (2048, 1536)] {
+        let pixels = w * h;
+        let hw_est = estimate_synthetic(&hw, w, h, Sampling::S420, 1.5);
+        let sw_est = sw.estimate_synthetic(w, h, 1.5);
+        println!(
+            "{:<14} {:>10} {:>12.2} {:>12.1} {:>9.1}x {:>8}",
+            format!("{w}x{h}"),
+            pixels,
+            hw_est.seconds * 1e3,
+            sw_est.seconds * 1e3,
+            sw_est.seconds / hw_est.seconds,
+            if hw_est.meets_budget(0.1) { "HW yes" } else { "HW NO" },
+        );
+    }
+    rule(72);
+
+    // a real encode on a small frame keeps the models honest
+    let img = test_image(320, 240, 11);
+    let (bytes, est) = encode_timed(
+        &img,
+        &EncodeParams { quality: 85, sampling: Sampling::S420 },
+        &hw,
+    )
+    .expect("encode");
+    println!(
+        "real 320x240 encode: {} bytes, engine model {:.3} ms, {:.1} Mpixel/s",
+        bytes.len(),
+        est.seconds * 1e3,
+        est.mpixels_per_s
+    );
+    let full = estimate_synthetic(&hw, 2048, 1536, Sampling::S420, 1.5);
+    let sw_full = sw.estimate_synthetic(2048, 1536, 1.5);
+    println!();
+    println!(
+        "paper claim: 3 Mpixel in 0.1 s -> hardware {:.1} ms ({}), software {:.2} s ({})",
+        full.seconds * 1e3,
+        if full.meets_budget(0.1) { "MEETS" } else { "misses" },
+        sw_full.seconds,
+        if sw_full.meets_budget(0.1) { "meets" } else { "MISSES" },
+    );
+}

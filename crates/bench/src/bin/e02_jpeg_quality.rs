@@ -1,0 +1,37 @@
+//! E2 — JPEG codec rate/distortion: the quality sweep that qualifies
+//! the codec IP as "industrial strength" (encode/decode round trip,
+//! PSNR and compression ratio vs quality).
+
+use camsoc_bench::{header, rule};
+use camsoc_jpeg::jfif::{decode, encode, EncodeParams, Sampling};
+use camsoc_jpeg::psnr::{compression_ratio, psnr, test_image};
+
+fn main() {
+    header("E2", "JPEG rate/distortion sweep (256x192 synthetic capture)");
+    let img = test_image(256, 192, 5);
+    println!(
+        "{:<8} {:<10} {:>10} {:>10} {:>10} {:>8}",
+        "quality", "sampling", "bytes", "ratio", "psnr dB", "bpp"
+    );
+    rule(62);
+    for sampling in [Sampling::S420, Sampling::S444] {
+        for quality in [10u8, 25, 50, 75, 85, 95] {
+            let bytes = encode(&img, &EncodeParams { quality, sampling }).expect("encode");
+            let back = decode(&bytes).expect("decode");
+            let p = psnr(&img, &back);
+            let bpp = bytes.len() as f64 * 8.0 / (img.pixels() as f64);
+            println!(
+                "{:<8} {:<10} {:>10} {:>9.1}x {:>10.2} {:>8.2}",
+                quality,
+                if sampling == Sampling::S420 { "4:2:0" } else { "4:4:4" },
+                bytes.len(),
+                compression_ratio(&img, bytes.len()),
+                p,
+                bpp
+            );
+        }
+        rule(62);
+    }
+    println!("shape: PSNR and size increase monotonically with quality;");
+    println!("4:2:0 trades ~chroma PSNR for ~30% smaller files (the DSC ship mode).");
+}

@@ -1,0 +1,47 @@
+//! E3 — chip inventory: "240 K gates excluding memory macros", "30
+//! embedded memory macros", TSMC 0.25 µm, TFBGA256.
+
+use camsoc_bench::{header, rule, scale_from_env};
+use camsoc_core::build_dsc;
+use camsoc_netlist::stats::{self, NetlistStats};
+use camsoc_netlist::tech::{Technology, TechnologyNode};
+use camsoc_pinassign::package::Tfbga;
+
+fn main() {
+    let scale = scale_from_env(1.0);
+    header("E3", "DSC controller inventory (paper: 240K gates, 30 memories)");
+    println!("building DSC controller at scale {scale} ...");
+    let design = build_dsc(scale).expect("dsc build");
+    let tech = Technology::node(TechnologyNode::Tsmc250);
+    let s = NetlistStats::of(&design.netlist);
+    let area = stats::area_report(&design.netlist, &tech);
+
+    println!();
+    println!("{}", stats::summary_text(&design.netlist, &tech));
+    rule(50);
+    println!("IP blocks:");
+    for ip in &design.blocks {
+        let count = design.instances_per_block.get(ip.name).copied().unwrap_or(0);
+        println!(
+            "  {:<10} {:<48} {:>8} inst",
+            ip.name, ip.description, count
+        );
+    }
+    rule(50);
+    let package = Tfbga::tfbga256();
+    println!(
+        "package: {} ({} balls, {} signal balls)",
+        package.name,
+        package.total_balls(),
+        package.signal_ball_count()
+    );
+    println!();
+    println!(
+        "paper vs measured: gates 240K vs {:.0} | memories 30 vs {} | flops: {} | spares: {}",
+        s.gate_equivalents,
+        s.macros,
+        s.flops,
+        s.spares
+    );
+    println!("die estimate: {:.2} mm2 in {}", area.die_mm2, tech.node);
+}

@@ -1,0 +1,70 @@
+//! E6 — physical design QoR: "timing-driven placement and routing,
+//! physical synthesis, formal verification and STA QoR check" at
+//! 133 MHz in 0.25 µm. Compares wirelength-driven vs timing-driven
+//! placement and prints the sign-off report.
+
+use camsoc_bench::{header, rule, scale_from_env};
+use camsoc_core::flow::{run_flow, FlowOptions};
+use camsoc_core::build_dsc;
+use camsoc_core::signoff::SignoffReport;
+use camsoc_dft::atpg::AtpgConfig;
+use camsoc_layout::place::{PlacementConfig, PlacementMode};
+use camsoc_layout::ImplementOptions;
+use camsoc_netlist::tech::Technology;
+
+fn main() {
+    let scale = scale_from_env(0.05);
+    header("E6", "physical implementation QoR @ 133 MHz, 0.25 um");
+    println!("building DSC at scale {scale} ...");
+
+    println!();
+    println!(
+        "{:<18} {:>12} {:>12} {:>10} {:>10} {:>9}",
+        "placement", "HPWL (um)", "wire (um)", "WNS (ns)", "fmax MHz", "ECOs"
+    );
+    rule(76);
+    let mut last_result = None;
+    for mode in [PlacementMode::Wirelength, PlacementMode::TimingDriven] {
+        let design = build_dsc(scale).expect("dsc");
+        let options = FlowOptions {
+            atpg: AtpgConfig {
+                fault_sample: Some(800),
+                max_random_blocks: 24,
+                ..AtpgConfig::default()
+            },
+            layout: ImplementOptions {
+                placement: PlacementConfig { mode, iterations: 0, ..PlacementConfig::default() },
+                ..ImplementOptions::default()
+            },
+            ..FlowOptions::default()
+        };
+        let result = run_flow(design.netlist, &options).expect("flow");
+        println!(
+            "{:<18} {:>12.0} {:>12.0} {:>+10.3} {:>10.0} {:>9}",
+            format!("{mode:?}"),
+            result.layout.placement.hpwl_um,
+            result.layout.routing.total_wirelength_um,
+            result.signoff_timing.setup.wns_ns,
+            result.signoff_timing.fmax_mhz,
+            result.timing_ecos,
+        );
+        last_result = Some(result);
+    }
+    rule(76);
+    let result = last_result.expect("ran");
+    println!(
+        "clock tree: {} buffers, {} levels, skew {:.3} ns, max latency {:.3} ns",
+        result.layout.clock_tree.buffers,
+        result.layout.clock_tree.levels,
+        result.layout.clock_tree.skew_ns,
+        result.layout.clock_tree.max_latency_ns
+    );
+    println!(
+        "critical path: {} levels, placement improved HPWL by {:.1}%",
+        result.signoff_timing.critical_levels,
+        result.layout.placement.improvement() * 100.0
+    );
+    println!();
+    let report = SignoffReport::assemble(&result, &Technology::default());
+    print!("{}", report.render());
+}

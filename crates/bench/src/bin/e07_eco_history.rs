@@ -1,0 +1,67 @@
+//! E7 — the change history: 3 spec changes, 10 netlist ECOs, 3 timing
+//! ECOs, 13 pin-assignment versions — replayed with the per-class
+//! formal check, and the incremental-vs-full-reflow effort that makes
+//! six engineers × three months feasible.
+
+use camsoc_bench::{header, rule, scale_from_env};
+use camsoc_core::build_dsc;
+use camsoc_core::eco::{paper_change_history, replay_history, ChangeKind};
+use camsoc_core::project::{change_breakdown, EffortEstimate, Staffing};
+
+fn main() {
+    let scale = scale_from_env(0.03);
+    header("E7", "29 changes absorbed: replay with formal checks and effort");
+    let design = build_dsc(scale).expect("dsc");
+    let history = paper_change_history();
+    let outcome = replay_history(design.netlist, &history, 0xE7).expect("replay");
+
+    println!();
+    println!("{:<14} {:>6} {:>14} {:>12}", "change kind", "count", "checks ok", "hours");
+    rule(50);
+    for (kind, n, hours) in change_breakdown(&history) {
+        let ok = outcome
+            .log
+            .iter()
+            .filter(|c| c.request.kind == kind && c.check_ok)
+            .count();
+        println!("{:<14} {:>6} {:>11}/{:<2} {:>12.0}", format!("{kind:?}"), n, ok, n, hours);
+    }
+    rule(50);
+    println!(
+        "all formal checks behaved as the change class predicts: {}",
+        outcome.all_checks_ok()
+    );
+
+    // pin-assignment version layer series
+    let layers: Vec<usize> =
+        outcome.log.iter().filter_map(|c| c.substrate_layers).collect();
+    println!();
+    println!("substrate layers across the 13 pin versions: {layers:?}");
+
+    // effort
+    let estimate = EffortEstimate::for_history(&history);
+    let team = Staffing::paper_team();
+    println!();
+    println!("effort model (6 engineers x 13 weeks = {:.0} h capacity):", team.capacity_hours());
+    println!(
+        "  base flow {:.0} h + incremental changes {:.0} h = {:.0} h  -> fits: {}",
+        estimate.base_hours,
+        estimate.change_hours,
+        estimate.total_incremental(),
+        estimate.fits(&team)
+    );
+    println!(
+        "  with full re-runs instead: {:.0} h -> fits: {}",
+        estimate.total_full_rerun(),
+        estimate.total_full_rerun() <= team.capacity_hours()
+    );
+    println!();
+    println!(
+        "replay applied {} changes ({} spec / {} netlist / {} timing / {} pin)",
+        outcome.log.len(),
+        outcome.count(ChangeKind::Spec),
+        outcome.count(ChangeKind::NetlistEco),
+        outcome.count(ChangeKind::TimingEco),
+        outcome.count(ChangeKind::PinAssign)
+    );
+}

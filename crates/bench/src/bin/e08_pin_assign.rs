@@ -1,0 +1,59 @@
+//! E8 — pin assignment: "manually performed many versions of pin
+//! assignments to reduce the number of substrate layers from four to
+//! two resulting in packaging cost saving." Naive vs optimized
+//! assignment on the TFBGA256, with the mass-production saving.
+
+use camsoc_bench::{header, rule};
+use camsoc_pinassign::assign::{naive_assignment, optimize, OptimizeConfig, Problem};
+use camsoc_pinassign::cost::PackageCostModel;
+use camsoc_pinassign::package::Tfbga;
+
+fn main() {
+    header("E8", "pin assignment: substrate layers 4 -> 2 on TFBGA256");
+    let package = Tfbga::tfbga256();
+    println!(
+        "package {}: {} signal balls; 96 signals, 15% customer-locked, 8-bit buses",
+        package.name,
+        package.signal_ball_count()
+    );
+
+    let problem = Problem::synthesize(&package, 96, 0.15, 0xE8);
+    let naive = naive_assignment(&problem);
+    let optimized = optimize(&problem, &OptimizeConfig::default());
+
+    println!();
+    println!(
+        "{:<12} {:>10} {:>8} {:>12}",
+        "assignment", "crossings", "layers", "bus spread"
+    );
+    rule(46);
+    for (name, a) in [("naive", &naive), ("optimized", &optimized)] {
+        println!(
+            "{:<12} {:>10} {:>8} {:>12}",
+            name, a.quality.crossings, a.quality.layers, a.quality.group_spread
+        );
+    }
+    rule(46);
+
+    let cost = PackageCostModel::default();
+    let from = naive.quality.layers;
+    let to = optimized.quality.layers;
+    println!(
+        "package cost: {} layers ${:.2} -> {} layers ${:.2} (saving ${:.2}/unit)",
+        from,
+        cost.unit_cost(from),
+        to,
+        cost.unit_cost(to),
+        cost.saving_per_unit(from, to)
+    );
+    println!(
+        "at the paper's 3.5M units/year: ${:.0} annual packaging saving",
+        cost.saving_total(from, to, 3_500_000)
+    );
+    println!();
+    println!(
+        "paper vs measured: layers 4 -> 2 vs {} -> {}",
+        from.max(2),
+        to.max(2)
+    );
+}

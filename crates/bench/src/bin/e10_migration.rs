@@ -1,0 +1,50 @@
+//! E10 — process migration: "migrated the chip from 0.25um process to
+//! 0.18um one achieving 20% saving in die cost."
+
+use camsoc_bench::{header, rule};
+use camsoc_fab::DieCostModel;
+use camsoc_netlist::tech::{Technology, TechnologyNode};
+
+fn main() {
+    header("E10", "0.25um -> 0.18um migration, ~20% die-cost saving");
+    let t250 = Technology::node(TechnologyNode::Tsmc250);
+    let t180 = Technology::node(TechnologyNode::Tsmc180);
+    let model = DieCostModel::default();
+
+    // the production die: ~60 mm², 75% shrinkable core
+    let (from, to, saving) = model.migrate_area(60.0, 0.75, &t250, &t180);
+
+    println!();
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "metric", t250.node.name(), t180.node.name()
+    );
+    rule(54);
+    println!("{:<22} {:>14.1} {:>14.1}", "die area (mm2)", from.die_area_mm2, to.die_area_mm2);
+    println!("{:<22} {:>14} {:>14}", "gross dies/wafer", from.gross_dies, to.gross_dies);
+    println!(
+        "{:<22} {:>13.1}% {:>13.1}%",
+        "yield",
+        from.yield_fraction * 100.0,
+        to.yield_fraction * 100.0
+    );
+    println!("{:<22} {:>14.0} {:>14.0}", "good dies/wafer", from.good_dies, to.good_dies);
+    println!("{:<22} {:>14.0} {:>14.0}", "wafer cost ($)", t250.wafer_cost_usd, t180.wafer_cost_usd);
+    println!(
+        "{:<22} {:>14.2} {:>14.2}",
+        "cost per die ($)", from.cost_per_die_usd, to.cost_per_die_usd
+    );
+    rule(54);
+    println!(
+        "die-cost saving: {:.1}%  (paper: ~20%)",
+        saving * 100.0
+    );
+
+    // sensitivity: how the saving moves with core fraction
+    println!();
+    println!("sensitivity to shrinkable core fraction:");
+    for frac in [0.55, 0.65, 0.75, 0.85, 0.95] {
+        let (_, _, s) = model.migrate_area(60.0, frac, &t250, &t180);
+        println!("  core {:.0}% shrinkable -> saving {:>5.1}%", frac * 100.0, s * 100.0);
+    }
+}

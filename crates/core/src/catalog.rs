@@ -1,0 +1,260 @@
+//! The DSC controller's IP catalogue, straight from the paper's
+//! specification list:
+//!
+//! > "a hybrid RISC/DSP processor, a hardwired JPEG encoding and
+//! > decoding engine, a USB 1.1 device/mini-host controller with TxRx
+//! > PHY, an SD/MMC flash card host interface, an SDRAM controller, an
+//! > LCD Interface, an NTSC/PAL TV encoder, a 10-bit video DAC, an
+//! > 8-bit LCD DAC, and two PLLs."
+//!
+//! Gate budgets are chosen so the digital blocks plus integration glue
+//! land on the published "240 K gates excluding memory macros".
+
+use crate::ip::{Hdl, IpBlock, IpKind, IpQuality, IpSource};
+
+/// The complete DSC IP set.
+pub fn dsc_catalog() -> Vec<IpBlock> {
+    vec![
+        IpBlock {
+            name: "u_cpu",
+            description: "hybrid RISC/DSP processor (hardened legacy chip), 133 MHz",
+            kind: IpKind::HardMacro,
+            source: IpSource::CustomerLegacy,
+            quality: IpQuality {
+                testbench_quality: 0.6, // chip-level vectors, no unit TBs
+                latent_bugs: 3,
+                physical_violations: 4,
+                fpga_targeted: false,
+            },
+            gate_budget: 95_000,
+            seed: 0xC1_0001,
+            spare_cells: 24,
+        },
+        IpBlock {
+            name: "u_jpeg",
+            description: "hardwired JPEG codec engine (university IP, hardened)",
+            kind: IpKind::SoftRtl { language: Hdl::Verilog },
+            source: IpSource::University,
+            quality: IpQuality {
+                testbench_quality: 0.55,
+                latent_bugs: 6,
+                physical_violations: 2,
+                fpga_targeted: false,
+            },
+            gate_budget: 58_000,
+            seed: 0xC1_0002,
+            spare_cells: 16,
+        },
+        IpBlock {
+            name: "u_usb",
+            description: "USB 1.1 device/mini-host controller (third-party VHDL)",
+            kind: IpKind::SoftRtl { language: Hdl::Vhdl },
+            source: IpSource::ThirdParty,
+            quality: IpQuality {
+                testbench_quality: 0.35, // the problem child
+                latent_bugs: 12,
+                physical_violations: 9,
+                fpga_targeted: true,
+            },
+            gate_budget: 21_000,
+            seed: 0xC1_0003,
+            spare_cells: 8,
+        },
+        IpBlock {
+            name: "u_sdmmc",
+            description: "SD/MMC flash-card host interface (third-party VHDL)",
+            kind: IpKind::SoftRtl { language: Hdl::Vhdl },
+            source: IpSource::ThirdParty,
+            quality: IpQuality {
+                testbench_quality: 0.5,
+                latent_bugs: 5,
+                physical_violations: 3,
+                fpga_targeted: false,
+            },
+            gate_budget: 9_000,
+            seed: 0xC1_0004,
+            spare_cells: 4,
+        },
+        IpBlock {
+            name: "u_sdram",
+            description: "SDRAM controller (in-house)",
+            kind: IpKind::SoftRtl { language: Hdl::Verilog },
+            source: IpSource::InHouse,
+            quality: IpQuality::production(),
+            gate_budget: 13_000,
+            seed: 0xC1_0005,
+            spare_cells: 6,
+        },
+        IpBlock {
+            name: "u_lcd",
+            description: "LCD interface (in-house)",
+            kind: IpKind::SoftRtl { language: Hdl::Verilog },
+            source: IpSource::InHouse,
+            quality: IpQuality::production(),
+            gate_budget: 8_000,
+            seed: 0xC1_0006,
+            spare_cells: 4,
+        },
+        IpBlock {
+            name: "u_tvenc",
+            description: "NTSC/PAL TV encoder (in-house)",
+            kind: IpKind::SoftRtl { language: Hdl::Verilog },
+            source: IpSource::InHouse,
+            quality: IpQuality::production(),
+            gate_budget: 17_000,
+            seed: 0xC1_0007,
+            spare_cells: 6,
+        },
+        IpBlock {
+            name: "u_vdac",
+            description: "10-bit video DAC (analog hard IP)",
+            kind: IpKind::Analog,
+            source: IpSource::InHouse,
+            quality: IpQuality { physical_violations: 2, ..IpQuality::production() },
+            gate_budget: 0,
+            seed: 0xC1_0008,
+            spare_cells: 0,
+        },
+        IpBlock {
+            name: "u_ldac",
+            description: "8-bit LCD DAC (analog hard IP)",
+            kind: IpKind::Analog,
+            source: IpSource::InHouse,
+            quality: IpQuality::production(),
+            gate_budget: 0,
+            seed: 0xC1_0009,
+            spare_cells: 0,
+        },
+        IpBlock {
+            name: "u_pll0",
+            description: "system PLL (analog hard IP)",
+            kind: IpKind::Analog,
+            source: IpSource::InHouse,
+            quality: IpQuality::production(),
+            gate_budget: 0,
+            seed: 0xC1_000A,
+            spare_cells: 0,
+        },
+        IpBlock {
+            name: "u_pll1",
+            description: "video PLL (analog hard IP)",
+            kind: IpKind::Analog,
+            source: IpSource::InHouse,
+            quality: IpQuality::production(),
+            gate_budget: 0,
+            seed: 0xC1_000B,
+            spare_cells: 0,
+        },
+    ]
+}
+
+/// Gate budget of the integration glue (bus fabric, muxing, registers).
+pub const GLUE_GATE_BUDGET: usize = 19_000;
+
+/// The 30 embedded memory macros: `(name, block, words, bits)`.
+///
+/// Frame buffers and codec line stores dominate; small FIFOs pepper the
+/// peripherals.
+pub fn dsc_memories() -> Vec<(String, &'static str, usize, usize)> {
+    let mut mems = Vec::new();
+    // CPU caches / TCM: 4 large
+    for (i, words) in [4096usize, 4096, 2048, 2048].iter().enumerate() {
+        mems.push((format!("u_cpu_ram{i}"), "u_cpu", *words, 32));
+    }
+    // JPEG line buffers and quant/huffman tables: 8
+    for i in 0..4 {
+        mems.push((format!("u_jpeg_line{i}"), "u_jpeg", 1024, 16));
+    }
+    for i in 0..2 {
+        mems.push((format!("u_jpeg_qt{i}"), "u_jpeg", 64, 8));
+    }
+    for i in 0..2 {
+        mems.push((format!("u_jpeg_huff{i}"), "u_jpeg", 512, 16));
+    }
+    // display pipeline: 6
+    for i in 0..3 {
+        mems.push((format!("u_lcd_fifo{i}"), "u_lcd", 512, 24));
+    }
+    for i in 0..3 {
+        mems.push((format!("u_tvenc_line{i}"), "u_tvenc", 1440, 16));
+    }
+    // peripherals: 12 small FIFOs
+    for i in 0..4 {
+        mems.push((format!("u_usb_fifo{i}"), "u_usb", 256, 8));
+    }
+    for i in 0..4 {
+        mems.push((format!("u_sdmmc_fifo{i}"), "u_sdmmc", 256, 16));
+    }
+    for i in 0..4 {
+        mems.push((format!("u_sdram_fifo{i}"), "u_sdram", 128, 32));
+    }
+    mems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::IpKind;
+
+    #[test]
+    fn catalog_matches_paper_spec_list() {
+        let cat = dsc_catalog();
+        assert_eq!(cat.len(), 11);
+        // two PLLs, two DACs
+        assert_eq!(
+            cat.iter().filter(|ip| matches!(ip.kind, IpKind::Analog)).count(),
+            4
+        );
+        // two VHDL third-party blocks (USB + SD/MMC)
+        assert_eq!(cat.iter().filter(|ip| ip.is_vhdl()).count(), 2);
+        // names unique
+        let mut names: Vec<_> = cat.iter().map(|ip| ip.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn budgets_sum_to_about_240k_with_glue() {
+        let digital: usize = dsc_catalog().iter().map(|ip| ip.gate_budget).sum();
+        let total = digital + GLUE_GATE_BUDGET;
+        assert!(
+            (230_000..=250_000).contains(&total),
+            "total budget {total} not ~240K"
+        );
+    }
+
+    #[test]
+    fn exactly_thirty_memories() {
+        let mems = dsc_memories();
+        assert_eq!(mems.len(), 30);
+        // names unique, blocks all in the catalog
+        let cat = dsc_catalog();
+        let mut names: Vec<&String> = mems.iter().map(|(n, ..)| n).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 30);
+        for (_, block, words, bits) in &mems {
+            assert!(cat.iter().any(|ip| ip.name == *block), "unknown block {block}");
+            assert!(*words > 0 && *bits > 0);
+        }
+    }
+
+    #[test]
+    fn usb_is_the_problem_child() {
+        let cat = dsc_catalog();
+        let usb = cat.iter().find(|ip| ip.name == "u_usb").unwrap();
+        assert!(usb.quality.fpga_targeted);
+        let worst = cat
+            .iter()
+            .filter(|ip| !matches!(ip.kind, IpKind::Analog))
+            .min_by(|a, b| {
+                a.quality
+                    .testbench_quality
+                    .partial_cmp(&b.quality.testbench_quality)
+                    .expect("finite")
+            })
+            .unwrap();
+        assert_eq!(worst.name, "u_usb");
+    }
+}

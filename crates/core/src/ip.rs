@@ -1,0 +1,204 @@
+//! IP blocks as the integration team receives them.
+//!
+//! Every IP in the paper arrived differently: the RISC/DSP was a
+//! previous-generation *chip* that had to be hardened into a macro; the
+//! USB and SD controllers came from a third party as VHDL (forcing a
+//! mixed-language simulation environment) with FPGA-targeted RTL that
+//! failed first simulation; the JPEG codec came from a university lab
+//! and needed industrial hardening; the DACs and PLLs are analog hard
+//! IP. The struct here carries exactly the attributes those war stories
+//! turn on.
+
+use camsoc_netlist::generate::{ip_block, IpBlockParams};
+use camsoc_netlist::graph::Netlist;
+use camsoc_netlist::NetlistError;
+
+/// Measured NAND2-equivalents per generated instance (flop-heavy
+/// pipelines average well above 1.0); used to convert a gate-equivalent
+/// budget into an instance target.
+pub const GE_PER_INSTANCE: f64 = 2.25;
+
+/// Hardware description language of delivered RTL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hdl {
+    /// Verilog (the locally dominant language in the paper).
+    Verilog,
+    /// VHDL (the third-party deliveries, forcing mixed-language sim).
+    Vhdl,
+}
+
+/// How an IP is delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpKind {
+    /// Pre-hardened layout macro (fixed timing/area).
+    HardMacro,
+    /// Synthesizable RTL.
+    SoftRtl {
+        /// Delivery language.
+        language: Hdl,
+    },
+    /// Analog block (DAC, PLL): no gate-level netlist, layout only.
+    Analog,
+}
+
+/// Where an IP comes from — the paper's risk axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpSource {
+    /// Developed by the design-service provider.
+    InHouse,
+    /// Licensed from a third-party vendor.
+    ThirdParty,
+    /// University research laboratory (prototype grade).
+    University,
+    /// The customer's previous-generation silicon.
+    CustomerLegacy,
+}
+
+/// Deliverable quality attributes (drive the verification model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IpQuality {
+    /// Testbench completeness 0..1 (the paper: "in-consistent and
+    /// in-sufficient test benches").
+    pub testbench_quality: f64,
+    /// Latent RTL bugs expected at delivery.
+    pub latent_bugs: usize,
+    /// DRC/LVS violations in the delivered database.
+    pub physical_violations: usize,
+    /// Was the RTL targeted at FPGA (unsynthesizable-for-ASIC constructs)?
+    pub fpga_targeted: bool,
+}
+
+impl IpQuality {
+    /// Production-grade deliverable.
+    pub fn production() -> IpQuality {
+        IpQuality {
+            testbench_quality: 0.85,
+            latent_bugs: 2,
+            physical_violations: 0,
+            fpga_targeted: false,
+        }
+    }
+
+    /// Prototype-grade deliverable.
+    pub fn prototype() -> IpQuality {
+        IpQuality {
+            testbench_quality: 0.5,
+            latent_bugs: 8,
+            physical_violations: 12,
+            fpga_targeted: false,
+        }
+    }
+}
+
+/// One IP block in the integration plan.
+#[derive(Debug, Clone)]
+pub struct IpBlock {
+    /// Instance name in the top level (e.g. `u_jpeg`).
+    pub name: &'static str,
+    /// Human description.
+    pub description: &'static str,
+    /// Delivery form.
+    pub kind: IpKind,
+    /// Provenance.
+    pub source: IpSource,
+    /// Quality attributes.
+    pub quality: IpQuality,
+    /// Gate budget (NAND2-equivalents) for digital blocks, 0 for analog.
+    pub gate_budget: usize,
+    /// Generator seed (deterministic reconstruction).
+    pub seed: u64,
+    /// Spare cells to embed.
+    pub spare_cells: usize,
+}
+
+impl IpBlock {
+    /// Generate the gate-level netlist for this block at a scale factor
+    /// (1.0 = published gate budget). Analog blocks return `None`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors.
+    pub fn generate(&self, scale: f64) -> Result<Option<Netlist>, NetlistError> {
+        if matches!(self.kind, IpKind::Analog) {
+            return Ok(None);
+        }
+        let target =
+            ((self.gate_budget as f64 * scale / GE_PER_INSTANCE) as usize).max(60);
+        let params = IpBlockParams {
+            target_gates: target,
+            data_width: 16,
+            datapath_fraction: 0.55,
+            seed: self.seed,
+            spare_cells: self.spare_cells,
+        };
+        Ok(Some(ip_block(self.name, &params)?))
+    }
+
+    /// Is this block simulated in VHDL (forcing mixed-language sim)?
+    pub fn is_vhdl(&self) -> bool {
+        matches!(self.kind, IpKind::SoftRtl { language: Hdl::Vhdl })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IpBlock {
+        IpBlock {
+            name: "u_test",
+            description: "test block",
+            kind: IpKind::SoftRtl { language: Hdl::Verilog },
+            source: IpSource::InHouse,
+            quality: IpQuality::production(),
+            gate_budget: 2_000,
+            seed: 99,
+            spare_cells: 4,
+        }
+    }
+
+    #[test]
+    fn digital_block_generates_near_budget_in_gate_equivalents() {
+        let ip = sample();
+        let nl = ip.generate(1.0).unwrap().unwrap();
+        nl.validate().unwrap();
+        let ge = camsoc_netlist::stats::NetlistStats::of(&nl).gate_equivalents;
+        assert!(
+            ge >= 0.8 * ip.gate_budget as f64 && ge < 2.5 * ip.gate_budget as f64,
+            "gate equivalents {ge} vs budget {}",
+            ip.gate_budget
+        );
+        assert_eq!(nl.spares().count(), 4);
+    }
+
+    #[test]
+    fn scale_shrinks_the_block() {
+        let ip = sample();
+        let full = ip.generate(1.0).unwrap().unwrap();
+        let small = ip.generate(0.1).unwrap().unwrap();
+        assert!(small.num_instances() < full.num_instances() / 3);
+    }
+
+    #[test]
+    fn analog_block_has_no_netlist() {
+        let ip = IpBlock { kind: IpKind::Analog, gate_budget: 0, ..sample() };
+        assert!(ip.generate(1.0).unwrap().is_none());
+    }
+
+    #[test]
+    fn vhdl_detection() {
+        let mut ip = sample();
+        assert!(!ip.is_vhdl());
+        ip.kind = IpKind::SoftRtl { language: Hdl::Vhdl };
+        assert!(ip.is_vhdl());
+    }
+
+    #[test]
+    fn quality_presets_ordered() {
+        let p = IpQuality::production();
+        let q = IpQuality::prototype();
+        assert!(p.testbench_quality > q.testbench_quality);
+        assert!(p.latent_bugs < q.latent_bugs);
+        assert!(p.physical_violations < q.physical_violations);
+    }
+}

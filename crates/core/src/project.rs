@@ -1,0 +1,135 @@
+//! Project schedule and effort accounting.
+//!
+//! "It took three months for a team of six engineers to complete the
+//! Netlist-to-GDSII service" — while absorbing 29 changes. The model
+//! splits effort into the base flow plus per-change increments and
+//! answers whether a staffing/schedule combination holds, which is the
+//! quantitative form of the paper's "the implementation team has to be
+//! flexible and adaptive to changes".
+
+use crate::eco::{ChangeKind, ChangeRequest};
+
+/// Hours per engineer-week.
+pub const HOURS_PER_WEEK: f64 = 45.0;
+
+/// Base (change-free) effort of the Netlist→GDSII service, hours.
+///
+/// Floorplanning, placement/CTS/route iterations, DFT insertion, STA
+/// sign-off, formal, DRC/LVS and tape-out logistics for a 240 K-gate
+/// design of this era.
+pub const BASE_FLOW_HOURS: f64 = 2_200.0;
+
+/// A staffing plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Staffing {
+    /// Engineers on the implementation team.
+    pub engineers: usize,
+    /// Schedule length in weeks.
+    pub weeks: f64,
+}
+
+impl Staffing {
+    /// The paper's team: six engineers, three months (~13 weeks).
+    pub fn paper_team() -> Staffing {
+        Staffing { engineers: 6, weeks: 13.0 }
+    }
+
+    /// Total capacity in hours.
+    pub fn capacity_hours(&self) -> f64 {
+        self.engineers as f64 * self.weeks * HOURS_PER_WEEK
+    }
+}
+
+/// Effort estimate for a project with a change history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EffortEstimate {
+    /// Base flow hours.
+    pub base_hours: f64,
+    /// Change hours (incremental handling).
+    pub change_hours: f64,
+    /// Change hours if every change forced a full re-run.
+    pub change_hours_full_rerun: f64,
+}
+
+impl EffortEstimate {
+    /// Estimate for a change history handled incrementally.
+    pub fn for_history(history: &[ChangeRequest]) -> EffortEstimate {
+        let change_hours = history.iter().map(|c| c.kind.incremental_hours()).sum();
+        let change_hours_full_rerun =
+            history.iter().map(|c| c.kind.full_rerun_hours()).sum();
+        EffortEstimate { base_hours: BASE_FLOW_HOURS, change_hours, change_hours_full_rerun }
+    }
+
+    /// Total with incremental change handling.
+    pub fn total_incremental(&self) -> f64 {
+        self.base_hours + self.change_hours
+    }
+
+    /// Total if every change forced a full reflow.
+    pub fn total_full_rerun(&self) -> f64 {
+        self.base_hours + self.change_hours_full_rerun
+    }
+
+    /// Does the staffing hold for incremental handling?
+    pub fn fits(&self, staffing: &Staffing) -> bool {
+        self.total_incremental() <= staffing.capacity_hours()
+    }
+}
+
+/// Breakdown by change kind (for the E7 table).
+pub fn change_breakdown(history: &[ChangeRequest]) -> Vec<(ChangeKind, usize, f64)> {
+    [
+        ChangeKind::Spec,
+        ChangeKind::NetlistEco,
+        ChangeKind::TimingEco,
+        ChangeKind::PinAssign,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let n = history.iter().filter(|c| c.kind == kind).count();
+        (kind, n, n as f64 * kind.incremental_hours())
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eco::paper_change_history;
+
+    #[test]
+    fn paper_team_fits_incremental_but_not_full_reruns() {
+        let estimate = EffortEstimate::for_history(&paper_change_history());
+        let team = Staffing::paper_team();
+        assert!(
+            estimate.fits(&team),
+            "incremental {} hours exceeds capacity {}",
+            estimate.total_incremental(),
+            team.capacity_hours()
+        );
+        assert!(
+            estimate.total_full_rerun() > team.capacity_hours(),
+            "full reruns should blow the schedule: {} vs {}",
+            estimate.total_full_rerun(),
+            team.capacity_hours()
+        );
+    }
+
+    #[test]
+    fn capacity_math() {
+        let team = Staffing { engineers: 6, weeks: 13.0 };
+        assert!((team.capacity_hours() - 6.0 * 13.0 * 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_covers_all_changes() {
+        let history = paper_change_history();
+        let breakdown = change_breakdown(&history);
+        let total: usize = breakdown.iter().map(|(_, n, _)| n).sum();
+        assert_eq!(total, history.len());
+        let hours: f64 = breakdown.iter().map(|(_, _, h)| h).sum();
+        assert!(
+            (hours - EffortEstimate::for_history(&history).change_hours).abs() < 1e-9
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! The sign-off / QoR report.
+//!
+//! Collects every gate the paper's flow checks before GDSII hand-off —
+//! timing, DRC, LVS, formal equivalence, scan coverage, inventory — into
+//! one structure with a rendered text report (the artefact a design
+//! service mails its customer).
+
+use std::fmt::Write as _;
+
+use camsoc_netlist::stats::{self, NetlistStats};
+use camsoc_netlist::tech::Technology;
+
+use crate::flow::FlowResult;
+
+/// One sign-off line item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignoffItem {
+    /// Check name.
+    pub name: &'static str,
+    /// Pass/fail.
+    pub passed: bool,
+    /// Detail string.
+    pub detail: String,
+}
+
+/// The assembled sign-off report.
+#[derive(Debug, Clone)]
+pub struct SignoffReport {
+    /// All line items.
+    pub items: Vec<SignoffItem>,
+    /// Design statistics.
+    pub stats: NetlistStats,
+    /// Die area (mm²).
+    pub die_mm2: f64,
+    /// Fmax (MHz).
+    pub fmax_mhz: f64,
+    /// Stuck-at fault coverage.
+    pub fault_coverage: f64,
+}
+
+impl SignoffReport {
+    /// Assemble from a flow result.
+    pub fn assemble(result: &FlowResult, tech: &Technology) -> SignoffReport {
+        let s = NetlistStats::of(&result.netlist);
+        let area = stats::area_report(&result.netlist, tech);
+        let items = vec![
+            SignoffItem {
+                name: "setup timing",
+                passed: result.signoff_timing.setup.clean(),
+                detail: format!(
+                    "WNS {:+.3} ns, {} endpoints",
+                    result.signoff_timing.setup.wns_ns, result.signoff_timing.setup.endpoints
+                ),
+            },
+            SignoffItem {
+                name: "hold timing",
+                passed: result.signoff_timing.hold.clean(),
+                detail: format!("WNS {:+.3} ns", result.signoff_timing.hold.wns_ns),
+            },
+            SignoffItem {
+                name: "drc",
+                passed: result.layout.drc.clean(),
+                detail: format!("{} violations", result.layout.drc.violations.len()),
+            },
+            SignoffItem {
+                name: "lvs",
+                passed: result.lvs.clean(),
+                detail: format!(
+                    "{} matched, {} mismatches",
+                    result.lvs.matched,
+                    result.lvs.mismatches.len()
+                ),
+            },
+            SignoffItem {
+                name: "formal equivalence",
+                passed: result.equivalence.passed(),
+                detail: format!("{:?}", result.equivalence.verdict),
+            },
+            SignoffItem {
+                name: "scan/ATPG",
+                // the production target is the low-90s (the paper's 93 %);
+                // the gate here is the floor below which DFT sign-off
+                // would bounce the netlist back
+                passed: result.atpg.fault_coverage() > 0.75,
+                detail: format!(
+                    "{:.1} % fault coverage, {} chains, {} patterns",
+                    result.atpg.fault_coverage() * 100.0,
+                    result.scan.chains.len(),
+                    result.atpg.patterns.len()
+                ),
+            },
+            SignoffItem {
+                name: "routing congestion",
+                // mirrors the DRC policy: marginal overflow is absorbed
+                // by detailed routing and is not a sign-off failure
+                passed: !result.layout.drc.violations.iter().any(|v| {
+                    matches!(
+                        v,
+                        camsoc_layout::drc::DrcViolation::RoutingOverflow { .. }
+                    )
+                }),
+                detail: format!(
+                    "max utilisation {:.2}, {} overflowed edges",
+                    result.layout.routing.max_utilisation,
+                    result.layout.routing.overflowed_edges
+                ),
+            },
+            SignoffItem {
+                name: "gdsii",
+                passed: !result.gds.is_empty(),
+                detail: format!("{} bytes", result.gds.len()),
+            },
+        ];
+        SignoffReport {
+            items,
+            stats: s,
+            die_mm2: area.die_mm2,
+            fmax_mhz: result.signoff_timing.fmax_mhz,
+            fault_coverage: result.atpg.fault_coverage(),
+        }
+    }
+
+    /// All gates green.
+    pub fn ready(&self) -> bool {
+        self.items.iter().all(|i| i.passed)
+    }
+
+    /// Render as a text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "==== camsoc sign-off report ====");
+        let _ = writeln!(
+            out,
+            "gates: {:.0} GE | flops: {} | memories: {} | die: {:.2} mm2 | fmax: {:.0} MHz",
+            self.stats.gate_equivalents,
+            self.stats.flops,
+            self.stats.macros,
+            self.die_mm2,
+            self.fmax_mhz
+        );
+        for item in &self.items {
+            let _ = writeln!(
+                out,
+                "[{}] {:<20} {}",
+                if item.passed { "PASS" } else { "FAIL" },
+                item.name,
+                item.detail
+            );
+        }
+        let _ = writeln!(
+            out,
+            "verdict: {}",
+            if self.ready() { "TAPEOUT READY" } else { "NOT READY" }
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsc::build_dsc;
+    use crate::flow::{run_flow, FlowOptions};
+    use camsoc_dft::atpg::AtpgConfig;
+    use camsoc_layout::place::{PlacementConfig, PlacementMode};
+    use camsoc_layout::ImplementOptions;
+
+    #[test]
+    fn report_renders_every_gate() {
+        let design = build_dsc(0.02).unwrap();
+        let options = FlowOptions {
+            atpg: AtpgConfig {
+                fault_sample: Some(300),
+                max_random_blocks: 16,
+                ..AtpgConfig::default()
+            },
+            layout: ImplementOptions {
+                placement: PlacementConfig {
+                    mode: PlacementMode::Wirelength,
+                    iterations: 2_000,
+                    ..PlacementConfig::default()
+                },
+                ..ImplementOptions::default()
+            },
+            ..FlowOptions::default()
+        };
+        let result = run_flow(design.netlist, &options).unwrap();
+        let tech = Technology::default();
+        let report = SignoffReport::assemble(&result, &tech);
+        let text = report.render();
+        for name in
+            ["setup timing", "hold timing", "drc", "lvs", "formal equivalence", "gdsii"]
+        {
+            assert!(text.contains(name), "missing {name} in report");
+        }
+        assert!(text.contains("GE"));
+        assert_eq!(report.ready(), result.tapeout_ready() && report.items.iter().all(|i| i.passed));
+    }
+}

@@ -1,0 +1,244 @@
+//! The system-verification campaign model.
+//!
+//! The paper's verification lessons: vendor testbenches were
+//! "in-consistent and in-sufficient", the team had to develop the
+//! testbench as the project went, the USB IP took "over 10 versions of
+//! RTL code modification", and sign-off was complicated by simulator
+//! inconsistencies between the customer's ModelSim and the house
+//! NC-Verilog.
+//!
+//! The campaign model: each IP holds latent bugs; each weekly regression
+//! round runs the testbench at its current coverage, finds each
+//! remaining bug with probability proportional to coverage, and grows
+//! the testbench. Finding a bug in third-party RTL costs a *vendor
+//! revision* round-trip. The cross-simulator check from
+//! [`camsoc_sim::diff`] runs on a representative block as part of
+//! sign-off.
+
+use camsoc_netlist::generate::SplitMix64;
+use camsoc_sim::diff::{cross_sim_check, DiffReport, SimulatorProfile};
+use camsoc_sim::testbench::Testbench;
+use camsoc_sim::{Logic, SimError};
+
+use crate::ip::{IpBlock, IpKind};
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Maximum regression rounds (project weeks).
+    pub max_rounds: usize,
+    /// Testbench coverage growth per round of directed-test writing.
+    pub coverage_growth: f64,
+    /// Coverage ceiling.
+    pub coverage_cap: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            max_rounds: 26,
+            coverage_growth: 0.06,
+            coverage_cap: 0.97,
+            seed: 0xB06,
+        }
+    }
+}
+
+/// Per-IP campaign outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpCampaign {
+    /// IP instance name.
+    pub name: &'static str,
+    /// Bugs found (of the latent population).
+    pub bugs_found: usize,
+    /// Bugs still latent when the campaign stopped.
+    pub bugs_remaining: usize,
+    /// Vendor RTL revisions required (third-party IP only).
+    pub vendor_revisions: usize,
+    /// Final testbench coverage.
+    pub final_coverage: f64,
+    /// Round in which the last bug was found (None if bugs remain).
+    pub clean_at_round: Option<usize>,
+}
+
+/// Whole-campaign outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Per-IP results.
+    pub per_ip: Vec<IpCampaign>,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Whether a mixed-language simulation environment was required.
+    pub mixed_language: bool,
+}
+
+impl CampaignReport {
+    /// Total bugs found across IPs.
+    pub fn total_bugs_found(&self) -> usize {
+        self.per_ip.iter().map(|c| c.bugs_found).sum()
+    }
+
+    /// True when no IP has latent bugs left.
+    pub fn clean(&self) -> bool {
+        self.per_ip.iter().all(|c| c.bugs_remaining == 0)
+    }
+}
+
+/// Run the verification campaign over a set of IPs.
+pub fn run_campaign(ips: &[IpBlock], config: &CampaignConfig) -> CampaignReport {
+    let mut rng = SplitMix64::new(config.seed);
+    let mut states: Vec<(usize, f64, usize, Option<usize>)> = ips
+        .iter()
+        .map(|ip| (ip.quality.latent_bugs, ip.quality.testbench_quality, 0usize, None))
+        .collect();
+    let mut rounds = 0usize;
+    for round in 0..config.max_rounds {
+        rounds = round + 1;
+        let mut any_remaining = false;
+        for (idx, ip) in ips.iter().enumerate() {
+            let (ref mut bugs, ref mut coverage, ref mut revisions, ref mut clean_at) =
+                states[idx];
+            if *bugs == 0 {
+                continue;
+            }
+            // each latent bug found with p ≈ coverage × difficulty
+            let mut found = 0usize;
+            for _ in 0..*bugs {
+                // FPGA-targeted RTL hides bugs behind synthesis mismatches
+                let p = *coverage * if ip.quality.fpga_targeted { 0.35 } else { 0.6 };
+                if rng.chance(p) {
+                    found += 1;
+                }
+            }
+            *bugs -= found;
+            if found > 0 && matches!(ip.source, crate::ip::IpSource::ThirdParty) {
+                // every batch of bugs costs a vendor round-trip
+                *revisions += 1;
+            }
+            if *bugs == 0 && found > 0 {
+                *clean_at = Some(round);
+            }
+            if *bugs > 0 {
+                any_remaining = true;
+            }
+            *coverage = (*coverage + config.coverage_growth).min(config.coverage_cap);
+        }
+        if !any_remaining {
+            break;
+        }
+    }
+    let per_ip = ips
+        .iter()
+        .zip(&states)
+        .map(|(ip, &(remaining, coverage, revisions, clean_at))| IpCampaign {
+            name: ip.name,
+            bugs_found: ip.quality.latent_bugs - remaining,
+            bugs_remaining: remaining,
+            vendor_revisions: revisions,
+            final_coverage: coverage,
+            clean_at_round: clean_at,
+        })
+        .collect();
+    let mixed_language = ips.iter().any(|ip| ip.is_vhdl())
+        && ips
+            .iter()
+            .any(|ip| matches!(ip.kind, IpKind::SoftRtl { language: crate::ip::Hdl::Verilog }));
+    CampaignReport { per_ip, rounds, mixed_language }
+}
+
+/// Sign-off cross-simulator consistency check: run a smoke testbench on
+/// a representative generated block under the four simulator profiles.
+///
+/// `with_reset` builds the properly reset design (consistent across
+/// simulators); `false` builds one with an unreset flop — the class of
+/// design the paper's "extra twist during ASIC sign-off" comes from.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulation runs.
+pub fn signoff_sim_consistency(with_reset: bool) -> Result<DiffReport, SimError> {
+    use camsoc_netlist::builder::NetlistBuilder;
+    use camsoc_netlist::cell::CellFunction;
+    let mut b = NetlistBuilder::new("signoff_block");
+    let clk = b.input("clk");
+    let rn = b.input("rstn");
+    let d = b.fresh_net();
+    let q = if with_reset {
+        b.dffr_feedback(d, rn, clk)
+    } else {
+        b.dff_feedback(d, clk)
+    };
+    b.gate_into(CellFunction::Inv, &[q], d);
+    b.output("q", q);
+    let nl = b.finish();
+
+    let mut tb = Testbench::new();
+    tb.add_clock("clk", 10_000);
+    tb.drive(0, "rstn", Logic::Zero);
+    tb.drive(2_000, "rstn", Logic::One);
+    tb.expect(9_000, "q", Logic::One);
+    tb.expect(19_000, "q", Logic::Zero);
+    cross_sim_check(&nl, &tb, &SimulatorProfile::matrix())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::dsc_catalog;
+
+    #[test]
+    fn campaign_converges_and_usb_needs_many_revisions() {
+        let ips = dsc_catalog();
+        let report = run_campaign(&ips, &CampaignConfig::default());
+        assert!(report.clean(), "bugs remain: {:?}", report.per_ip);
+        assert!(report.mixed_language, "USB/SD are VHDL among Verilog IPs");
+        let usb = report.per_ip.iter().find(|c| c.name == "u_usb").unwrap();
+        let sdram = report.per_ip.iter().find(|c| c.name == "u_sdram").unwrap();
+        assert!(usb.vendor_revisions >= 2, "usb revisions {}", usb.vendor_revisions);
+        assert!(usb.bugs_found > sdram.bugs_found);
+        assert!(
+            usb.clean_at_round.unwrap() >= sdram.clean_at_round.unwrap_or(0),
+            "usb should converge later"
+        );
+    }
+
+    #[test]
+    fn short_campaign_leaves_bugs() {
+        let ips = dsc_catalog();
+        let report =
+            run_campaign(&ips, &CampaignConfig { max_rounds: 2, ..CampaignConfig::default() });
+        assert!(!report.clean());
+        assert!(report.total_bugs_found() > 0);
+    }
+
+    #[test]
+    fn better_testbenches_find_bugs_faster_on_average() {
+        let ips = dsc_catalog();
+        let avg_rounds = |growth: f64| -> f64 {
+            (0..8)
+                .map(|seed| {
+                    let cfg = CampaignConfig {
+                        coverage_growth: growth,
+                        seed: 0x100 + seed,
+                        ..CampaignConfig::default()
+                    };
+                    run_campaign(&ips, &cfg).rounds as f64
+                })
+                .sum::<f64>()
+                / 8.0
+        };
+        let fast = avg_rounds(0.15);
+        let slow = avg_rounds(0.02);
+        assert!(fast <= slow, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn signoff_consistency_detects_reset_hole() {
+        let clean = signoff_sim_consistency(true).unwrap();
+        assert!(clean.consistent(), "{:?}", clean.divergences);
+        let racy = signoff_sim_consistency(false).unwrap();
+        assert!(!racy.consistent(), "unreset design should diverge");
+    }
+}

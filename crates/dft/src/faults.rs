@@ -1,0 +1,163 @@
+//! The single-stuck-at fault universe.
+//!
+//! Faults are modelled at two sites, matching classic ATPG practice:
+//!
+//! * **Net (stem) faults** — the driver output stuck at 0/1; equivalent
+//!   under fault collapsing to the input-pin faults of all its loads when
+//!   the net does not branch.
+//! * **Branch (input-pin) faults** — a gate input pin stuck at 0/1,
+//!   generated only where the net fans out to more than one load (where
+//!   stem and branch faults are genuinely distinguishable).
+
+use camsoc_netlist::graph::{InstanceId, NetId, Netlist};
+
+/// A single stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StuckAtFault {
+    /// Net (driver output) stuck at `stuck_one`.
+    Net {
+        /// Faulty net.
+        net: NetId,
+        /// `true` = stuck-at-1, `false` = stuck-at-0.
+        stuck_one: bool,
+    },
+    /// Input pin `pin` of `inst` stuck at `stuck_one`.
+    Pin {
+        /// Instance whose input pin is faulty.
+        inst: InstanceId,
+        /// Pin index (into the instance's input list).
+        pin: usize,
+        /// `true` = stuck-at-1, `false` = stuck-at-0.
+        stuck_one: bool,
+    },
+}
+
+impl StuckAtFault {
+    /// Human-readable site description for reports.
+    pub fn describe(&self, nl: &Netlist) -> String {
+        match *self {
+            StuckAtFault::Net { net, stuck_one } => {
+                format!("{} SA{}", nl.net(net).name, u8::from(stuck_one))
+            }
+            StuckAtFault::Pin { inst, pin, stuck_one } => {
+                format!("{}.{pin} SA{}", nl.instance(inst).name, u8::from(stuck_one))
+            }
+        }
+    }
+}
+
+/// A generated fault list.
+#[derive(Debug, Clone, Default)]
+pub struct FaultList {
+    /// The faults, in deterministic order.
+    pub faults: Vec<StuckAtFault>,
+}
+
+impl FaultList {
+    /// Build the (partially collapsed) fault universe for a netlist.
+    ///
+    /// Net faults are created for every net that has a driver; branch
+    /// faults for every combinational input pin on nets with fanout > 1.
+    /// Buffer/inverter input faults are collapsed into their net faults
+    /// (they are equivalent/dominated) when the net does not branch.
+    pub fn generate(nl: &Netlist) -> FaultList {
+        let fanout = nl.fanout_counts();
+        let mut faults = Vec::new();
+        for (id, net) in nl.nets() {
+            if net.driver.is_some() {
+                faults.push(StuckAtFault::Net { net: id, stuck_one: false });
+                faults.push(StuckAtFault::Net { net: id, stuck_one: true });
+            }
+        }
+        for (id, inst) in nl.instances() {
+            if inst.function().is_sequential() {
+                continue;
+            }
+            for (pin, &net) in inst.inputs.iter().enumerate() {
+                if fanout[net.index()] > 1 {
+                    faults.push(StuckAtFault::Pin { inst: id, pin, stuck_one: false });
+                    faults.push(StuckAtFault::Pin { inst: id, pin, stuck_one: true });
+                }
+            }
+        }
+        FaultList { faults }
+    }
+
+    /// Deterministically sample `n` faults (evenly strided) — used to
+    /// estimate coverage on designs whose full universe would be slow to
+    /// simulate exhaustively.
+    pub fn sample(&self, n: usize) -> FaultList {
+        if n == 0 || n >= self.faults.len() {
+            return self.clone();
+        }
+        let stride = self.faults.len() as f64 / n as f64;
+        let faults =
+            (0..n).map(|i| self.faults[(i as f64 * stride) as usize]).collect();
+        FaultList { faults }
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camsoc_netlist::builder::NetlistBuilder;
+    use camsoc_netlist::cell::CellFunction;
+
+    #[test]
+    fn fault_counts_match_structure() {
+        // a -> inv -> y ; a also feeds an AND (a branches, fanout 2)
+        let mut b = NetlistBuilder::new("f");
+        let a = b.input("a");
+        let c = b.input("b");
+        let n1 = b.gate_auto(CellFunction::Inv, &[a]);
+        let n2 = b.gate_auto(CellFunction::And2, &[a, c]);
+        b.output("y1", n1);
+        b.output("y2", n2);
+        let nl = b.finish();
+        let fl = FaultList::generate(&nl);
+        // nets: a, b, n1, n2 → 8 net faults; branch pins: inv.0 and and.0
+        // (net a fans out twice) → 4 pin faults
+        assert_eq!(fl.len(), 12);
+        let pin_faults =
+            fl.faults.iter().filter(|f| matches!(f, StuckAtFault::Pin { .. })).count();
+        assert_eq!(pin_faults, 4);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let nl = camsoc_netlist::generate::ripple_adder(16).unwrap();
+        let fl = FaultList::generate(&nl);
+        let s1 = fl.sample(50);
+        let s2 = fl.sample(50);
+        assert_eq!(s1.faults, s2.faults);
+        assert_eq!(s1.len(), 50);
+        assert_eq!(fl.sample(0).len(), fl.len());
+        assert_eq!(fl.sample(fl.len() + 10).len(), fl.len());
+        assert!(!fl.is_empty());
+    }
+
+    #[test]
+    fn describe_names_sites() {
+        let mut b = NetlistBuilder::new("d");
+        let a = b.input("a");
+        let y = b.gate(CellFunction::Inv, camsoc_netlist::Drive::X1, "u_i", &[a]);
+        b.output("y", y);
+        let nl = b.finish();
+        let net = nl.find_net("a").unwrap();
+        let f = StuckAtFault::Net { net, stuck_one: true };
+        assert_eq!(f.describe(&nl), "a SA1");
+        let inst = nl.find_instance("u_i").unwrap();
+        let f = StuckAtFault::Pin { inst, pin: 0, stuck_one: false };
+        assert_eq!(f.describe(&nl), "u_i.0 SA0");
+    }
+}

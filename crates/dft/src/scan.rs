@@ -1,0 +1,209 @@
+//! Full-scan insertion and chain stitching.
+//!
+//! Every plain flip-flop (`DFF`, `DFFR`) is replaced by its scan variant
+//! (`SDFF`, `SDFFR`); the flops are then stitched into `num_chains`
+//! balanced chains: the scan-in of each flop connects to the Q of its
+//! predecessor (or the chain's `scan_in` port), and the last Q feeds the
+//! chain's `scan_out` port. A single `scan_en` port drives every
+//! scan-enable pin.
+
+use camsoc_netlist::graph::{InstanceId, Netlist, PortDir};
+use camsoc_netlist::NetlistError;
+
+/// Scan-insertion options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanConfig {
+    /// Number of scan chains to build.
+    pub num_chains: usize,
+    /// Name of the scan-enable input port.
+    pub scan_enable: String,
+    /// Prefix for scan-in ports (`<prefix><k>`).
+    pub scan_in_prefix: String,
+    /// Prefix for scan-out ports.
+    pub scan_out_prefix: String,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig {
+            num_chains: 1,
+            scan_enable: "scan_en".to_string(),
+            scan_in_prefix: "scan_in".to_string(),
+            scan_out_prefix: "scan_out".to_string(),
+        }
+    }
+}
+
+/// Result of scan insertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Flops converted to scan flops.
+    pub scan_flops: usize,
+    /// Chain membership, in shift order (scan-in first).
+    pub chains: Vec<Vec<InstanceId>>,
+}
+
+impl ScanReport {
+    /// Length of the longest chain (drives test time).
+    pub fn max_chain_length(&self) -> usize {
+        self.chains.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Insert full scan into a netlist (consumes and returns it).
+///
+/// # Errors
+///
+/// [`NetlistError::InvalidParameter`] if `num_chains == 0`; propagates
+/// name-collision errors if the scan port names already exist.
+pub fn insert_scan(
+    mut nl: Netlist,
+    config: &ScanConfig,
+) -> Result<(Netlist, ScanReport), NetlistError> {
+    if config.num_chains == 0 {
+        return Err(NetlistError::InvalidParameter("num_chains must be > 0".into()));
+    }
+    // Collect plain flops in deterministic order.
+    let flops: Vec<InstanceId> = nl
+        .flops()
+        .filter(|(_, f)| f.function().scan_equivalent().is_some())
+        .map(|(id, _)| id)
+        .collect();
+    if flops.is_empty() {
+        return Ok((
+            nl,
+            ScanReport { scan_flops: 0, chains: vec![Vec::new(); config.num_chains] },
+        ));
+    }
+
+    // Scan-enable port.
+    let se_net = nl.add_net(config.scan_enable.clone())?;
+    nl.add_port(config.scan_enable.clone(), PortDir::Input, se_net)?;
+
+    // Balanced chains: round-robin partition preserves locality poorly but
+    // balances lengths exactly; stitch in partition order.
+    let per_chain = flops.len().div_ceil(config.num_chains);
+    let mut chains: Vec<Vec<InstanceId>> = Vec::with_capacity(config.num_chains);
+    for c in 0..config.num_chains {
+        let start = c * per_chain;
+        let end = (start + per_chain).min(flops.len());
+        chains.push(if start < end { flops[start..end].to_vec() } else { Vec::new() });
+    }
+
+    for (c, chain) in chains.iter().enumerate() {
+        let si_name = format!("{}{}", config.scan_in_prefix, c);
+        let si_net = nl.add_net(si_name.clone())?;
+        nl.add_port(si_name, PortDir::Input, si_net)?;
+        let mut prev = si_net;
+        for &ff in chain {
+            nl.convert_flop_to_scan(ff, prev, se_net)?;
+            prev = nl.instance(ff).output;
+        }
+        let so_name = format!("{}{}", config.scan_out_prefix, c);
+        nl.add_port(so_name, PortDir::Output, prev)?;
+    }
+
+    Ok((nl, ScanReport { scan_flops: flops.len(), chains }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camsoc_netlist::builder::NetlistBuilder;
+    use camsoc_netlist::cell::CellFunction;
+    use camsoc_netlist::generate;
+    use camsoc_netlist::stats::NetlistStats;
+
+    fn reg_design(n: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("regs");
+        let clk = b.input("clk");
+        let d = b.input_bus("d", n);
+        let q = b.register_bus(&d, clk);
+        b.output_bus("q", &q);
+        b.finish()
+    }
+
+    #[test]
+    fn all_flops_become_scan_flops() {
+        let nl = reg_design(8);
+        let (scanned, report) = insert_scan(nl, &ScanConfig::default()).unwrap();
+        scanned.validate().unwrap();
+        assert_eq!(report.scan_flops, 8);
+        let stats = NetlistStats::of(&scanned);
+        assert_eq!(stats.by_function.get(&CellFunction::Dff), None);
+        assert_eq!(stats.by_function[&CellFunction::Sdff], 8);
+        assert!(scanned.find_port("scan_en").is_some());
+        assert!(scanned.find_port("scan_in0").is_some());
+        assert!(scanned.find_port("scan_out0").is_some());
+    }
+
+    #[test]
+    fn chains_are_balanced() {
+        let nl = reg_design(10);
+        let cfg = ScanConfig { num_chains: 3, ..ScanConfig::default() };
+        let (scanned, report) = insert_scan(nl, &cfg).unwrap();
+        scanned.validate().unwrap();
+        assert_eq!(report.chains.len(), 3);
+        let lengths: Vec<usize> = report.chains.iter().map(Vec::len).collect();
+        assert_eq!(lengths.iter().sum::<usize>(), 10);
+        assert_eq!(report.max_chain_length(), 4);
+        assert!(lengths.iter().all(|&l| l >= 2));
+        assert!(scanned.find_port("scan_in2").is_some());
+    }
+
+    #[test]
+    fn chain_stitching_connects_si_to_previous_q() {
+        let nl = reg_design(4);
+        let (scanned, report) = insert_scan(nl, &ScanConfig::default()).unwrap();
+        let chain = &report.chains[0];
+        for pair in chain.windows(2) {
+            let prev_q = scanned.instance(pair[0]).output;
+            let next = scanned.instance(pair[1]);
+            // SDFF inputs are [d, si, se]
+            assert_eq!(next.inputs[1], prev_q);
+        }
+        // first flop's SI is the scan_in0 net
+        let first = scanned.instance(chain[0]);
+        let si_port = scanned.find_port("scan_in0").unwrap();
+        assert_eq!(first.inputs[1], scanned.port(si_port).net);
+        // scan_out is the last flop's Q
+        let so_port = scanned.find_port("scan_out0").unwrap();
+        assert_eq!(scanned.port(so_port).net, scanned.instance(*chain.last().unwrap()).output);
+    }
+
+    #[test]
+    fn dffr_becomes_sdffr_preserving_reset() {
+        let mut b = NetlistBuilder::new("r");
+        let clk = b.input("clk");
+        let rn = b.input("rstn");
+        let d = b.input("d");
+        let q = b.dffr_auto(d, rn, clk);
+        b.output("q", q);
+        let nl = b.finish();
+        let (scanned, _) = insert_scan(nl, &ScanConfig::default()).unwrap();
+        let (_, ff) = scanned.flops().next().unwrap();
+        assert_eq!(ff.function(), CellFunction::Sdffr);
+        // [d, rn, si, se]
+        assert_eq!(ff.inputs.len(), 4);
+        assert_eq!(scanned.net(ff.inputs[1]).name, "rstn");
+    }
+
+    #[test]
+    fn zero_chains_rejected_and_comb_design_is_noop() {
+        let nl = generate::ripple_adder(4).unwrap();
+        let cfg = ScanConfig { num_chains: 0, ..ScanConfig::default() };
+        assert!(insert_scan(nl.clone(), &cfg).is_err());
+        let (scanned, report) = insert_scan(nl, &ScanConfig::default()).unwrap();
+        assert_eq!(report.scan_flops, 0);
+        // no scan ports added for a flop-free design
+        assert!(scanned.find_port("scan_en").is_none());
+    }
+
+    #[test]
+    fn scan_design_remains_acyclic_and_valid() {
+        let nl = reg_design(3);
+        let (scanned, _) = insert_scan(nl, &ScanConfig::default()).unwrap();
+        scanned.combinational_topo_order().unwrap();
+        scanned.validate().unwrap();
+    }
+}

@@ -1,0 +1,99 @@
+//! Scan test-vector accounting.
+//!
+//! A combinational pattern from ATPG becomes, on the tester, a scan
+//! *load* (shift the flop portion in through the chains), one capture
+//! cycle, and a scan *unload* overlapped with the next load. Test time is
+//! therefore dominated by `patterns × (max_chain_length + 1)` shift
+//! cycles — the quantity the MBIST/scan scheduling trade-offs in the
+//! paper's flow are about.
+
+use crate::atpg::Pattern;
+use crate::scan::ScanReport;
+
+/// Tester-time accounting for a pattern set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestTime {
+    /// Number of patterns.
+    pub patterns: usize,
+    /// Longest scan-chain length.
+    pub max_chain: usize,
+    /// Total tester cycles (overlapped load/unload).
+    pub cycles: u64,
+    /// Tester time in milliseconds at the given shift clock.
+    pub time_ms: f64,
+}
+
+/// Compute tester cycles and time for a pattern set.
+///
+/// `shift_mhz` is the scan shift clock (typically 10–25 MHz in this era).
+pub fn test_time(patterns: &[Pattern], scan: &ScanReport, shift_mhz: f64) -> TestTime {
+    let max_chain = scan.max_chain_length();
+    let p = patterns.len() as u64;
+    // load of pattern k overlaps unload of pattern k-1; final unload adds
+    // one more chain length.
+    let cycles = p * (max_chain as u64 + 1) + max_chain as u64;
+    let time_ms = cycles as f64 / (shift_mhz * 1e6) * 1e3;
+    TestTime { patterns: patterns.len(), max_chain, cycles, time_ms }
+}
+
+/// Static compaction: drop patterns that detect no fault not already
+/// detected by an earlier pattern, given a per-pattern detection count
+/// produced during ATPG. (A simple reverse-order pass.)
+///
+/// `detects[i]` lists the fault indices first detected by pattern `i`.
+pub fn compact(patterns: Vec<Pattern>, detects: &[Vec<usize>]) -> Vec<Pattern> {
+    assert_eq!(patterns.len(), detects.len(), "detects per pattern");
+    patterns
+        .into_iter()
+        .zip(detects)
+        .filter(|(_, d)| !d.is_empty())
+        .map(|(p, _)| p)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camsoc_netlist::graph::InstanceId;
+
+    fn scan_report(chains: Vec<usize>) -> ScanReport {
+        ScanReport {
+            scan_flops: chains.iter().sum(),
+            chains: chains
+                .iter()
+                .map(|&n| (0..n).map(|i| InstanceId(i as u32)).collect())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn test_time_scales_with_patterns_and_chain() {
+        let patterns: Vec<Pattern> = vec![vec![true; 8]; 100];
+        let s1 = scan_report(vec![50]);
+        let s2 = scan_report(vec![25, 25]);
+        let t1 = test_time(&patterns, &s1, 20.0);
+        let t2 = test_time(&patterns, &s2, 20.0);
+        assert_eq!(t1.max_chain, 50);
+        assert_eq!(t2.max_chain, 25);
+        // two balanced chains roughly halve the time
+        assert!(t2.cycles < t1.cycles);
+        assert!(t2.time_ms < t1.time_ms);
+        assert_eq!(t1.cycles, 100 * 51 + 50);
+    }
+
+    #[test]
+    fn more_patterns_cost_more() {
+        let s = scan_report(vec![40]);
+        let few = test_time(&vec![vec![false; 4]; 10], &s, 20.0);
+        let many = test_time(&vec![vec![false; 4]; 1000], &s, 20.0);
+        assert!(many.cycles > few.cycles);
+    }
+
+    #[test]
+    fn compact_drops_useless_patterns() {
+        let patterns: Vec<Pattern> = vec![vec![true], vec![false], vec![true]];
+        let detects = vec![vec![0, 1], vec![], vec![2]];
+        let kept = compact(patterns, &detects);
+        assert_eq!(kept.len(), 2);
+    }
+}

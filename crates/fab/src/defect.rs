@@ -1,0 +1,89 @@
+//! Random-defect yield models.
+//!
+//! The industry-standard pair: Poisson (pessimistic for clustered
+//! defects) and negative binomial with clustering parameter α (the
+//! "foundry yield model" the paper's 93.4 % refers to).
+
+/// A defect-limited yield model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum YieldModel {
+    /// `Y = exp(−A·D)`.
+    Poisson,
+    /// `Y = (1 + A·D/α)^{−α}` with clustering parameter α.
+    NegativeBinomial {
+        /// Defect clustering parameter (typically 1.5–3).
+        alpha: f64,
+    },
+}
+
+impl YieldModel {
+    /// The foundry's production model for this era.
+    pub fn foundry() -> YieldModel {
+        YieldModel::NegativeBinomial { alpha: 2.0 }
+    }
+
+    /// Predicted yield for a die of `area_cm2` at defect density
+    /// `density_per_cm2`.
+    pub fn yield_for(&self, area_cm2: f64, density_per_cm2: f64) -> f64 {
+        let ad = (area_cm2 * density_per_cm2).max(0.0);
+        match *self {
+            YieldModel::Poisson => (-ad).exp(),
+            YieldModel::NegativeBinomial { alpha } => (1.0 + ad / alpha).powf(-alpha),
+        }
+    }
+
+    /// Defect density that would produce the observed yield (inverse of
+    /// [`YieldModel::yield_for`]).
+    pub fn density_for_yield(&self, area_cm2: f64, yield_fraction: f64) -> f64 {
+        let y = yield_fraction.clamp(1e-9, 1.0);
+        match *self {
+            YieldModel::Poisson => -y.ln() / area_cm2,
+            YieldModel::NegativeBinomial { alpha } => {
+                alpha * (y.powf(-1.0 / alpha) - 1.0) / area_cm2
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yield_decreases_with_area_and_density() {
+        for m in [YieldModel::Poisson, YieldModel::foundry()] {
+            assert!(m.yield_for(0.5, 0.5) > m.yield_for(1.0, 0.5));
+            assert!(m.yield_for(0.5, 0.5) > m.yield_for(0.5, 1.0));
+            assert_eq!(m.yield_for(0.0, 1.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn negative_binomial_is_more_optimistic_than_poisson() {
+        // clustering concentrates defects on fewer dies
+        let p = YieldModel::Poisson;
+        let nb = YieldModel::foundry();
+        for ad in [0.1, 0.5, 1.0, 2.0] {
+            assert!(nb.yield_for(1.0, ad) > p.yield_for(1.0, ad), "ad={ad}");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for m in [YieldModel::Poisson, YieldModel::foundry()] {
+            for y in [0.5, 0.827, 0.934] {
+                let d = m.density_for_yield(0.6, y);
+                let back = m.yield_for(0.6, d);
+                assert!((back - y).abs() < 1e-9, "{m:?} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn foundry_model_934_shape() {
+        // a ~0.6 cm² DSC die at a mature 0.23 /cm² line is ≈ 93.4 %
+        let m = YieldModel::foundry();
+        let d = m.density_for_yield(0.6, 0.934);
+        assert!(d > 0.1 && d < 0.3, "density {d}");
+    }
+}

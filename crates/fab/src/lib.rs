@@ -1,0 +1,37 @@
+//! # camsoc-fab
+//!
+//! Manufacturing: defect and parametric yield, wafer test artifacts,
+//! the mass-production yield ramp, die cost and process migration,
+//! reliability qualification and failure analysis.
+//!
+//! The paper's production story supplies the targets:
+//!
+//! * initial yield **82.7 %**, improved "very close to foundry's yield
+//!   model of **93.4 %** over a period of 8 months";
+//! * measures: "optimizing probe card overdrive spec, optimizing power
+//!   relay waiting time, and retargeting Isat and Vth by optimizing
+//!   poly CD in the foundry according to results from corner lot
+//!   splitting", plus a metal-only spare-cell fix for an output buffer
+//!   whose weak drive cost 5 % of yield;
+//! * reliability qualification (ESD, temperature cycling, high/low
+//!   temperature storage, humidity);
+//! * failure analysis of 20 field returns (pins short to GND) that
+//!   cleared the package and chip and traced the fault to the system
+//!   board by sinking 400 mA into a good chip's pin;
+//! * 0.25 µm → 0.18 µm migration for ~20 % die-cost saving.
+//!
+//! Every mechanism is a model with the corresponding knob, so the ramp
+//! experiment can replay the paper's sequence of corrective actions.
+
+pub mod defect;
+pub mod diecost;
+pub mod fa;
+pub mod parametric;
+pub mod probe;
+pub mod ramp;
+pub mod reliability;
+pub mod spares;
+
+pub use defect::YieldModel;
+pub use diecost::DieCostModel;
+pub use ramp::{RampAction, RampConfig, RampSimulator};

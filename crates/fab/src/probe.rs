@@ -1,0 +1,146 @@
+//! Wafer-test artifacts: probe-card overdrive and power-relay settling.
+//!
+//! Two of the paper's yield measures were pure *test* fixes — good dies
+//! were being binned out by a mis-set tester, not by silicon defects:
+//!
+//! * **Probe overdrive**: too little overdrive → oxide on the pads keeps
+//!   contact resistance high and good dies fail continuity; too much →
+//!   pad damage (real damage, a genuine loss).
+//! * **Power-relay wait**: measuring supply current before the rails
+//!   settle flags good dies as shorts.
+
+/// Probe-card overdrive model. Overdrive is in µm of post-touchdown
+/// travel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeModel {
+    /// Overdrive below this leaves contact resistance marginal (µm).
+    pub min_contact_um: f64,
+    /// Overdrive above this starts damaging pads (µm).
+    pub max_safe_um: f64,
+    /// Worst-case false-reject rate when far below min (fraction).
+    pub max_false_reject: f64,
+    /// Pad-damage loss rate per µm beyond the safe limit (fraction/µm).
+    pub damage_per_um: f64,
+}
+
+impl Default for ProbeModel {
+    fn default() -> Self {
+        ProbeModel {
+            min_contact_um: 50.0,
+            max_safe_um: 90.0,
+            max_false_reject: 0.035,
+            damage_per_um: 0.002,
+        }
+    }
+}
+
+impl ProbeModel {
+    /// Yield loss (overkill + damage) at an overdrive setting.
+    pub fn loss(&self, overdrive_um: f64) -> f64 {
+        let under = if overdrive_um < self.min_contact_um {
+            // ramps from 0 at min_contact to max at zero overdrive
+            self.max_false_reject * (1.0 - overdrive_um / self.min_contact_um).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let over = if overdrive_um > self.max_safe_um {
+            self.damage_per_um * (overdrive_um - self.max_safe_um)
+        } else {
+            0.0
+        };
+        (under + over).min(1.0)
+    }
+
+    /// Sweep overdrive settings and return `(best_setting, loss)`.
+    pub fn optimize(&self, candidates: &[f64]) -> (f64, f64) {
+        candidates
+            .iter()
+            .map(|&od| (od, self.loss(od)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .unwrap_or((self.min_contact_um, 0.0))
+    }
+}
+
+/// Power-relay settling model. Wait time in milliseconds before the
+/// supply-current measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelayModel {
+    /// Settling time constant (ms).
+    pub tau_ms: f64,
+    /// False-short rate when measuring at t = 0 (fraction).
+    pub max_false_short: f64,
+    /// Tester time cost per ms of waiting (ms are throughput).
+    pub cost_per_ms: f64,
+}
+
+impl Default for RelayModel {
+    fn default() -> Self {
+        RelayModel { tau_ms: 2.0, max_false_short: 0.025, cost_per_ms: 0.0005 }
+    }
+}
+
+impl RelayModel {
+    /// Yield loss from measuring after `wait_ms`.
+    pub fn loss(&self, wait_ms: f64) -> f64 {
+        self.max_false_short * (-wait_ms / self.tau_ms).exp()
+    }
+
+    /// Combined objective: yield loss + tester-time cost.
+    pub fn objective(&self, wait_ms: f64) -> f64 {
+        self.loss(wait_ms) + self.cost_per_ms * wait_ms
+    }
+
+    /// Sweep wait times and return `(best_wait_ms, loss_at_best)`.
+    pub fn optimize(&self, candidates: &[f64]) -> (f64, f64) {
+        let best = candidates
+            .iter()
+            .map(|&w| (w, self.objective(w)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .unwrap_or((5.0 * self.tau_ms, 0.0));
+        (best.0, self.loss(best.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_loss_is_u_shaped() {
+        let m = ProbeModel::default();
+        let low = m.loss(10.0);
+        let mid = m.loss(70.0);
+        let high = m.loss(140.0);
+        assert!(low > mid);
+        assert!(high > mid);
+        assert_eq!(mid, 0.0);
+    }
+
+    #[test]
+    fn probe_optimize_lands_in_safe_window() {
+        let m = ProbeModel::default();
+        let candidates: Vec<f64> = (0..20).map(|i| i as f64 * 10.0).collect();
+        let (best, loss) = m.optimize(&candidates);
+        assert!(best >= m.min_contact_um && best <= m.max_safe_um, "best {best}");
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    fn relay_loss_decays_with_wait() {
+        let m = RelayModel::default();
+        assert!(m.loss(0.0) > m.loss(2.0));
+        assert!(m.loss(2.0) > m.loss(10.0));
+        assert!(m.loss(20.0) < 1e-4);
+    }
+
+    #[test]
+    fn relay_optimum_balances_loss_and_time() {
+        let m = RelayModel::default();
+        let candidates: Vec<f64> = (0..60).map(|i| i as f64 * 0.5).collect();
+        let (best, loss) = m.optimize(&candidates);
+        // should wait several time constants, but not forever
+        assert!(best > 2.0 * m.tau_ms, "best {best}");
+        assert!(best < 20.0 * m.tau_ms);
+        assert!(loss < 0.005);
+    }
+}

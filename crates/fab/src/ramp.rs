@@ -1,0 +1,282 @@
+//! The mass-production yield ramp: 82.7 % → ~93.4 % over eight months.
+//!
+//! Monthly yield is the product of independent loss mechanisms, each
+//! with a corrective action:
+//!
+//! | mechanism | initial loss | corrective action |
+//! |---|---|---|
+//! | random defects | foundry-model baseline | (line maturity, gradual) |
+//! | probe-card overdrive overkill | ~2.5 % | `OptimizeProbeOverdrive` |
+//! | power-relay false shorts | ~1.8 % | `OptimizeRelayWait` |
+//! | parametric (poly CD off-centre) | ~2.5 % | `RetargetPolyCd` (corner lots) |
+//! | weak output buffer | ~5 % | `FixBufferWithSpares` (metal ECO) |
+//!
+//! The simulator applies a schedule of actions month by month and
+//! reports the measured (Monte-Carlo) yield series, which the E9 bench
+//! compares against the paper's two anchors.
+
+use camsoc_netlist::cell::Drive;
+use camsoc_netlist::generate::SplitMix64;
+
+use crate::defect::YieldModel;
+use crate::parametric::ParametricModel;
+use crate::probe::{ProbeModel, RelayModel};
+use crate::spares::BufferMarginModel;
+
+/// A corrective action applied in some month.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RampAction {
+    /// Sweep and fix probe-card overdrive.
+    OptimizeProbeOverdrive,
+    /// Sweep and fix power-relay wait time.
+    OptimizeRelayWait,
+    /// Corner-lot split and poly CD retarget.
+    RetargetPolyCd,
+    /// Metal-only spare-cell fix for the weak output buffer.
+    FixBufferWithSpares,
+}
+
+/// Ramp configuration.
+#[derive(Debug, Clone)]
+pub struct RampConfig {
+    /// Die area in cm².
+    pub die_area_cm2: f64,
+    /// Defect density at month 0 (per cm²).
+    pub initial_defect_density: f64,
+    /// Defect density the line matures to.
+    pub mature_defect_density: f64,
+    /// Months for the defect learning curve to halve the excess.
+    pub defect_halflife_months: f64,
+    /// Dies probed per simulated month.
+    pub dies_per_month: usize,
+    /// Action schedule: (month index, action).
+    pub schedule: Vec<(usize, RampAction)>,
+    /// Months to simulate.
+    pub months: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for RampConfig {
+    fn default() -> Self {
+        RampConfig {
+            die_area_cm2: 0.60,
+            initial_defect_density: 0.16,
+            mature_defect_density: 0.1157,
+            defect_halflife_months: 2.5,
+            dies_per_month: 40_000,
+            schedule: vec![
+                (1, RampAction::OptimizeProbeOverdrive),
+                (2, RampAction::OptimizeRelayWait),
+                (3, RampAction::FixBufferWithSpares),
+                (5, RampAction::RetargetPolyCd),
+            ],
+            months: 8,
+            seed: 0xFAB,
+        }
+    }
+}
+
+/// One month's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonthReport {
+    /// Month index (0-based).
+    pub month: usize,
+    /// Measured yield (Monte-Carlo over the month's dies).
+    pub measured_yield: f64,
+    /// The foundry defect-model prediction for this month's density.
+    pub model_yield: f64,
+    /// Actions applied this month.
+    pub actions: Vec<RampAction>,
+    /// Loss breakdown: (mechanism, loss fraction).
+    pub losses: Vec<(&'static str, f64)>,
+}
+
+/// The ramp simulator.
+#[derive(Debug)]
+pub struct RampSimulator {
+    config: RampConfig,
+    probe: ProbeModel,
+    relay: RelayModel,
+    parametric: ParametricModel,
+    buffer: BufferMarginModel,
+    model: YieldModel,
+    // mutable state: which fixes are in place
+    probe_fixed: bool,
+    relay_fixed: bool,
+    cd_retargeted: bool,
+    buffer_fixed: bool,
+}
+
+impl RampSimulator {
+    /// Create a simulator with default mechanism models.
+    pub fn new(config: RampConfig) -> Self {
+        RampSimulator {
+            config,
+            probe: ProbeModel::default(),
+            relay: RelayModel::default(),
+            parametric: ParametricModel::default(),
+            buffer: BufferMarginModel::default(),
+            model: YieldModel::foundry(),
+            probe_fixed: false,
+            relay_fixed: false,
+            cd_retargeted: false,
+            buffer_fixed: false,
+        }
+    }
+
+    fn defect_density(&self, month: usize) -> f64 {
+        let excess = self.config.initial_defect_density - self.config.mature_defect_density;
+        self.config.mature_defect_density
+            + excess * 0.5f64.powf(month as f64 / self.config.defect_halflife_months)
+    }
+
+    fn current_losses(&self, seed: u64) -> Vec<(&'static str, f64)> {
+        let mut losses = Vec::new();
+        // probe: initial setting 30 µm under-driven
+        let probe_loss =
+            if self.probe_fixed { self.probe.loss(70.0) } else { self.probe.loss(35.0) };
+        losses.push(("probe-overdrive", probe_loss));
+        let relay_loss =
+            if self.relay_fixed { self.relay.loss(10.0) } else { self.relay.loss(1.4) };
+        losses.push(("power-relay", relay_loss));
+        let cd_target = if self.cd_retargeted { 247.0 } else { 254.5 };
+        let parametric_loss = 1.0 - self.parametric.parametric_yield(cd_target, 8_000, seed);
+        losses.push(("parametric-cd", parametric_loss));
+        let buffer_loss = if self.buffer_fixed {
+            self.buffer.fail_fraction_with_spare(Drive::X2, Drive::X2, 8_000, seed ^ 0x5)
+        } else {
+            self.buffer.fail_fraction(Drive::X2, 8_000, seed ^ 0x5)
+        };
+        losses.push(("weak-output-buffer", buffer_loss));
+        losses
+    }
+
+    /// Run the ramp; returns one report per month.
+    pub fn run(&mut self) -> Vec<MonthReport> {
+        let mut rng = SplitMix64::new(self.config.seed);
+        let mut reports = Vec::new();
+        for month in 0..self.config.months {
+            let actions: Vec<RampAction> = self
+                .config
+                .schedule
+                .iter()
+                .filter(|&&(m, _)| m == month)
+                .map(|&(_, a)| a)
+                .collect();
+            for a in &actions {
+                match a {
+                    RampAction::OptimizeProbeOverdrive => self.probe_fixed = true,
+                    RampAction::OptimizeRelayWait => self.relay_fixed = true,
+                    RampAction::RetargetPolyCd => self.cd_retargeted = true,
+                    RampAction::FixBufferWithSpares => self.buffer_fixed = true,
+                }
+            }
+            let density = self.defect_density(month);
+            let defect_yield = self.model.yield_for(self.config.die_area_cm2, density);
+            let losses = self.current_losses(rng.next_u64());
+            let survival: f64 = losses.iter().map(|(_, l)| 1.0 - l).product();
+            let true_yield = defect_yield * survival;
+            // Monte-Carlo measurement over the month's dies
+            let mut good = 0usize;
+            let n = self.config.dies_per_month;
+            for _ in 0..n {
+                if rng.chance(true_yield) {
+                    good += 1;
+                }
+            }
+            reports.push(MonthReport {
+                month,
+                measured_yield: good as f64 / n.max(1) as f64,
+                model_yield: self
+                    .model
+                    .yield_for(self.config.die_area_cm2, self.config.mature_defect_density),
+                actions,
+                losses,
+            });
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_matches_paper_anchors() {
+        let mut sim = RampSimulator::new(RampConfig::default());
+        let reports = sim.run();
+        assert_eq!(reports.len(), 8);
+        let first = reports.first().unwrap().measured_yield;
+        let last = reports.last().unwrap().measured_yield;
+        // paper: 82.7 % initially
+        assert!((0.78..0.87).contains(&first), "initial yield {first}");
+        // paper: "very close to foundry's yield model of 93.4 %"
+        assert!((0.90..0.96).contains(&last), "final yield {last}");
+        let model = reports.last().unwrap().model_yield;
+        assert!((model - 0.934).abs() < 0.01, "foundry model {model}");
+        assert!((last - model).abs() < 0.03, "final {last} vs model {model}");
+    }
+
+    #[test]
+    fn yield_is_monotone_nondecreasing_within_noise() {
+        let mut sim = RampSimulator::new(RampConfig::default());
+        let reports = sim.run();
+        for w in reports.windows(2) {
+            assert!(
+                w[1].measured_yield > w[0].measured_yield - 0.02,
+                "month {} dropped: {} -> {}",
+                w[1].month,
+                w[0].measured_yield,
+                w[1].measured_yield
+            );
+        }
+    }
+
+    #[test]
+    fn buffer_fix_removes_five_percent_step() {
+        let mut sim = RampSimulator::new(RampConfig::default());
+        let reports = sim.run();
+        // find the month the buffer fix landed
+        let fix_month = reports
+            .iter()
+            .position(|r| r.actions.contains(&RampAction::FixBufferWithSpares))
+            .expect("schedule has buffer fix");
+        let before = &reports[fix_month - 1];
+        let after = &reports[fix_month];
+        let loss_before = before
+            .losses
+            .iter()
+            .find(|(n, _)| *n == "weak-output-buffer")
+            .unwrap()
+            .1;
+        let loss_after =
+            after.losses.iter().find(|(n, _)| *n == "weak-output-buffer").unwrap().1;
+        assert!((0.02..0.10).contains(&loss_before), "loss before {loss_before}");
+        assert!(loss_after < 0.002, "loss after {loss_after}");
+    }
+
+    #[test]
+    fn no_actions_means_no_ramp() {
+        let config = RampConfig {
+            schedule: vec![],
+            initial_defect_density: 0.1157, // already mature line
+            ..RampConfig::default()
+        };
+        let mut sim = RampSimulator::new(config);
+        let reports = sim.run();
+        let first = reports.first().unwrap().measured_yield;
+        let last = reports.last().unwrap().measured_yield;
+        assert!((last - first).abs() < 0.02, "unexpected ramp {first} -> {last}");
+        // stuck well below the model
+        assert!(last < reports.last().unwrap().model_yield - 0.05);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = RampSimulator::new(RampConfig::default()).run();
+        let b = RampSimulator::new(RampConfig::default()).run();
+        assert_eq!(a, b);
+    }
+}

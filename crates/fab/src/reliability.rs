@@ -1,0 +1,206 @@
+//! Reliability qualification: ESD, temperature cycling, storage,
+//! humidity.
+//!
+//! "The chip also went through reliability test including ESD
+//! performance test, temperature cycle test, high/low temperature
+//! storage test and humidity/temperature test." Each stress is modelled
+//! as a per-unit strength distribution against a stress level; a
+//! qualification run samples units, applies the stress, and passes only
+//! with zero failures (the standard LTPD-style criterion).
+
+use camsoc_netlist::generate::SplitMix64;
+
+/// One qualification stress.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stress {
+    /// Human-body-model ESD at the given voltage.
+    EsdHbm {
+        /// Zap voltage (V).
+        volts: f64,
+    },
+    /// Temperature cycling, −65 °C to 150 °C.
+    TempCycle {
+        /// Number of cycles.
+        cycles: u32,
+    },
+    /// High-temperature storage at 150 °C.
+    HighTempStorage {
+        /// Duration (hours).
+        hours: u32,
+    },
+    /// Low-temperature storage at −65 °C.
+    LowTempStorage {
+        /// Duration (hours).
+        hours: u32,
+    },
+    /// Temperature-humidity bias, 85 °C / 85 % RH.
+    HumidityBias {
+        /// Duration (hours).
+        hours: u32,
+    },
+}
+
+impl Stress {
+    /// The standard qualification plan of the era (JESD22-ish).
+    pub fn standard_plan() -> Vec<Stress> {
+        vec![
+            Stress::EsdHbm { volts: 2000.0 },
+            Stress::TempCycle { cycles: 500 },
+            Stress::HighTempStorage { hours: 1000 },
+            Stress::LowTempStorage { hours: 1000 },
+            Stress::HumidityBias { hours: 1000 },
+        ]
+    }
+
+    /// Name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stress::EsdHbm { .. } => "ESD-HBM",
+            Stress::TempCycle { .. } => "temp-cycle",
+            Stress::HighTempStorage { .. } => "high-temp-storage",
+            Stress::LowTempStorage { .. } => "low-temp-storage",
+            Stress::HumidityBias { .. } => "humidity-bias",
+        }
+    }
+}
+
+/// Process strength against each stress: the margin factor by which the
+/// median unit exceeds the standard stress level (σ is lognormal-ish
+/// spread).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessStrength {
+    /// Median ESD withstand voltage (V).
+    pub esd_median_v: f64,
+    /// Median cycles to failure.
+    pub tc_median_cycles: f64,
+    /// Median storage lifetime (hours).
+    pub storage_median_hours: f64,
+    /// Median THB lifetime (hours).
+    pub thb_median_hours: f64,
+    /// Relative sigma of the strength distributions.
+    pub sigma: f64,
+}
+
+impl Default for ProcessStrength {
+    fn default() -> Self {
+        // a healthy qualified process: comfortable margins everywhere
+        ProcessStrength {
+            esd_median_v: 4500.0,
+            tc_median_cycles: 4000.0,
+            storage_median_hours: 12_000.0,
+            thb_median_hours: 9_000.0,
+            sigma: 0.18,
+        }
+    }
+}
+
+impl ProcessStrength {
+    /// A process with an ESD weakness (for negative testing).
+    pub fn esd_weak() -> ProcessStrength {
+        ProcessStrength { esd_median_v: 1800.0, ..ProcessStrength::default() }
+    }
+
+    fn unit_fails(&self, stress: Stress, rng: &mut SplitMix64) -> bool {
+        let gauss = |rng: &mut SplitMix64| {
+            let u1 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let u2 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            (-2.0 * u1.max(1e-12).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let lognormal = |median: f64, rng: &mut SplitMix64| {
+            median * (gauss(rng) * self.sigma).exp()
+        };
+        match stress {
+            Stress::EsdHbm { volts } => lognormal(self.esd_median_v, rng) < volts,
+            Stress::TempCycle { cycles } => {
+                lognormal(self.tc_median_cycles, rng) < cycles as f64
+            }
+            Stress::HighTempStorage { hours } | Stress::LowTempStorage { hours } => {
+                lognormal(self.storage_median_hours, rng) < hours as f64
+            }
+            Stress::HumidityBias { hours } => {
+                lognormal(self.thb_median_hours, rng) < hours as f64
+            }
+        }
+    }
+}
+
+/// Result of one stress leg.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegResult {
+    /// Stress applied.
+    pub stress: Stress,
+    /// Sample size.
+    pub sample: usize,
+    /// Failures observed.
+    pub failures: usize,
+}
+
+impl LegResult {
+    /// Zero-failure pass criterion.
+    pub fn passed(&self) -> bool {
+        self.failures == 0
+    }
+}
+
+/// Run a qualification: `sample` units per leg, zero failures to pass.
+pub fn qualify(
+    strength: &ProcessStrength,
+    plan: &[Stress],
+    sample: usize,
+    seed: u64,
+) -> Vec<LegResult> {
+    let mut rng = SplitMix64::new(seed);
+    plan.iter()
+        .map(|&stress| {
+            let failures =
+                (0..sample).filter(|_| strength.unit_fails(stress, &mut rng)).count();
+            LegResult { stress, sample, failures }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_process_passes_standard_plan() {
+        let results = qualify(
+            &ProcessStrength::default(),
+            &Stress::standard_plan(),
+            77,
+            0x9E1,
+        );
+        assert_eq!(results.len(), 5);
+        for leg in &results {
+            assert!(leg.passed(), "{} failed with {}", leg.stress.name(), leg.failures);
+        }
+    }
+
+    #[test]
+    fn esd_weak_process_fails_the_esd_leg() {
+        let results =
+            qualify(&ProcessStrength::esd_weak(), &Stress::standard_plan(), 77, 0x9E2);
+        let esd = results.iter().find(|l| l.stress.name() == "ESD-HBM").unwrap();
+        assert!(!esd.passed(), "weak process passed ESD");
+        // other legs unaffected
+        for leg in results.iter().filter(|l| l.stress.name() != "ESD-HBM") {
+            assert!(leg.passed());
+        }
+    }
+
+    #[test]
+    fn harsher_stress_fails_more_units() {
+        let s = ProcessStrength::default();
+        let mild = qualify(&s, &[Stress::EsdHbm { volts: 2000.0 }], 5000, 3);
+        let harsh = qualify(&s, &[Stress::EsdHbm { volts: 5500.0 }], 5000, 3);
+        assert!(harsh[0].failures > mild[0].failures);
+    }
+
+    #[test]
+    fn stress_names_are_stable() {
+        for s in Stress::standard_plan() {
+            assert!(!s.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The weak-output-buffer escape and its spare-cell metal fix.
+//!
+//! "Manufacturing test uncovered that the yield killer (5 % loss) was in
+//! the insufficient driving strength of an output buffer in the CPU ...
+//! We also corrected the insufficient driving strength problem by means
+//! of metal changes to utilize the spare cells."
+//!
+//! The marginality model: the buffer's drive must exceed the load it
+//! sees; process variation spreads actual drive, so a nominal-marginal
+//! buffer loses the slow tail of the distribution. Doubling drive via a
+//! spare cell in parallel (a metal-only rewire) moves the distribution
+//! away from the cliff. The netlist-level edit itself is
+//! [`camsoc_netlist::eco::EcoSession::spare_fix`]; this module models
+//! the *production* consequence.
+
+use camsoc_netlist::cell::Drive;
+use camsoc_netlist::generate::SplitMix64;
+
+/// Marginal output-buffer model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferMarginModel {
+    /// Required drive (normalised) to meet VOL/VOH at the rated load.
+    pub required_drive: f64,
+    /// Process sigma of actual drive (fraction of nominal).
+    pub drive_sigma: f64,
+}
+
+impl Default for BufferMarginModel {
+    fn default() -> Self {
+        // nominal X2 buffer (strength 2.0) with ~1.67σ of margin:
+        // about 5 % of dies fall below the requirement
+        BufferMarginModel { required_drive: 1.8, drive_sigma: 0.06 }
+    }
+}
+
+impl BufferMarginModel {
+    /// Fraction of dies failing at a given nominal drive, by Monte Carlo.
+    pub fn fail_fraction(&self, drive: Drive, samples: usize, seed: u64) -> f64 {
+        let mut rng = SplitMix64::new(seed);
+        let nominal = drive.strength();
+        let mut fails = 0usize;
+        for _ in 0..samples {
+            let u1 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let u2 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let z = (-2.0 * u1.max(1e-12).ln()).sqrt()
+                * (2.0 * std::f64::consts::PI * u2).cos();
+            let actual = nominal * (1.0 + z * self.drive_sigma);
+            if actual < self.required_drive {
+                fails += 1;
+            }
+        }
+        fails as f64 / samples.max(1) as f64
+    }
+
+    /// Effective drive after wiring a spare buffer in parallel
+    /// (metal-only fix): strengths add.
+    pub fn fail_fraction_with_spare(
+        &self,
+        drive: Drive,
+        spare: Drive,
+        samples: usize,
+        seed: u64,
+    ) -> f64 {
+        let combined = BufferMarginModel {
+            required_drive: self.required_drive * drive.strength()
+                / (drive.strength() + spare.strength()),
+            ..*self
+        };
+        combined.fail_fraction(drive, samples, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marginal_buffer_loses_about_five_percent() {
+        let m = BufferMarginModel::default();
+        let loss = m.fail_fraction(Drive::X2, 100_000, 1);
+        assert!(
+            (0.02..0.10).contains(&loss),
+            "loss {loss} should be in the ~5 % region"
+        );
+    }
+
+    #[test]
+    fn spare_fix_removes_the_loss() {
+        let m = BufferMarginModel::default();
+        let before = m.fail_fraction(Drive::X2, 50_000, 2);
+        let after = m.fail_fraction_with_spare(Drive::X2, Drive::X2, 50_000, 2);
+        assert!(after < before / 10.0, "before {before} after {after}");
+        assert!(after < 0.001);
+    }
+
+    #[test]
+    fn bigger_buffer_fails_less() {
+        let m = BufferMarginModel::default();
+        let x2 = m.fail_fraction(Drive::X2, 50_000, 3);
+        let x4 = m.fail_fraction(Drive::X4, 50_000, 3);
+        assert!(x4 < x2);
+    }
+}

@@ -1,0 +1,210 @@
+//! Entropy-coded bitstream I/O with JPEG byte stuffing.
+//!
+//! JPEG escapes any `0xFF` byte in the entropy-coded segment with a
+//! following `0x00` so decoders can find markers; the writer stuffs and
+//! the reader un-stuffs transparently.
+
+use crate::JpegError;
+
+/// MSB-first bit writer with `0xFF 0x00` stuffing.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    acc: u32,
+    nbits: u32,
+    logical_bits: usize,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Write the low `n` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 24`.
+    pub fn put(&mut self, value: u32, n: u32) {
+        assert!(n <= 24, "bit run too long");
+        self.logical_bits += n as usize;
+        self.acc = (self.acc << n) | (value & ((1u32 << n) - 1).max(0));
+        self.nbits += n;
+        while self.nbits >= 8 {
+            let byte = ((self.acc >> (self.nbits - 8)) & 0xFF) as u8;
+            self.bytes.push(byte);
+            if byte == 0xFF {
+                self.bytes.push(0x00); // stuffing
+            }
+            self.nbits -= 8;
+        }
+    }
+
+    /// Pad the final partial byte with 1-bits (per the standard) and
+    /// return the stuffed bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.put((1u32 << pad) - 1, pad);
+        }
+        self.bytes
+    }
+
+    /// Logical bits written so far (excluding padding and byte
+    /// stuffing).
+    pub fn bit_len(&self) -> usize {
+        self.logical_bits
+    }
+}
+
+/// MSB-first bit reader that removes `0xFF 0x00` stuffing and stops at
+/// markers.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u32,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read bits from `data` (the entropy-coded segment).
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    /// Top up the accumulator; stops quietly at end of data or at a
+    /// marker (an un-stuffed `0xFF`).
+    fn fill(&mut self) {
+        while self.nbits <= 24 {
+            if self.pos >= self.data.len() {
+                return;
+            }
+            let byte = self.data[self.pos];
+            if byte == 0xFF {
+                match self.data.get(self.pos + 1) {
+                    Some(0x00) => {
+                        self.pos += 2; // stuffed FF
+                        self.acc = (self.acc << 8) | 0xFF;
+                    }
+                    _ => return, // marker: stop filling
+                }
+            } else {
+                self.pos += 1;
+                self.acc = (self.acc << 8) | byte as u32;
+            }
+            self.nbits += 8;
+        }
+    }
+
+    /// Read one bit.
+    ///
+    /// # Errors
+    ///
+    /// [`JpegError::BadStream`] at end of data.
+    pub fn bit(&mut self) -> Result<u32, JpegError> {
+        if self.nbits == 0 {
+            self.fill();
+            if self.nbits == 0 {
+                return Err(JpegError::BadStream("entropy data exhausted".into()));
+            }
+        }
+        self.nbits -= 1;
+        Ok((self.acc >> self.nbits) & 1)
+    }
+
+    /// Read `n` bits (n ≤ 16), MSB first.
+    ///
+    /// # Errors
+    ///
+    /// [`JpegError::BadStream`] at end of data.
+    pub fn bits(&mut self, n: u32) -> Result<u32, JpegError> {
+        debug_assert!(n <= 16);
+        let mut v = 0;
+        for _ in 0..n {
+            v = (v << 1) | self.bit()?;
+        }
+        Ok(v)
+    }
+
+    /// Byte offset consumed so far (for diagnostics).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_random_runs() {
+        let mut w = BitWriter::new();
+        let mut rng = camsoc_netlist_free_rng(42);
+        let mut expect = Vec::new();
+        for _ in 0..500 {
+            let n = 1 + (rng() % 16) as u32;
+            let v = (rng() as u32) & ((1 << n) - 1);
+            expect.push((v, n));
+            w.put(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for (v, n) in expect {
+            assert_eq!(r.bits(n).unwrap(), v);
+        }
+    }
+
+    // tiny local xorshift so this crate stays dependency-free
+    fn camsoc_netlist_free_rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed.max(1);
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        }
+    }
+
+    #[test]
+    fn ff_bytes_are_stuffed_and_unstuffed() {
+        let mut w = BitWriter::new();
+        w.put(0xFF, 8);
+        w.put(0xFF, 8);
+        w.put(0xAB, 8);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0xFF, 0x00, 0xFF, 0x00, 0xAB]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(8).unwrap(), 0xFF);
+        assert_eq!(r.bits(8).unwrap(), 0xFF);
+        assert_eq!(r.bits(8).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn final_byte_padded_with_ones() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1011_1111]);
+    }
+
+    #[test]
+    fn reader_errors_at_end_and_markers() {
+        let mut r = BitReader::new(&[]);
+        assert!(r.bit().is_err());
+        // 0xFF followed by a marker byte (not 0x00) is an error
+        let data = [0xFF, 0xD9];
+        let mut r = BitReader::new(&data);
+        assert!(r.bits(8).is_err());
+    }
+
+    #[test]
+    fn bit_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        w.put(0b11, 2);
+        assert_eq!(w.bit_len(), 2);
+        w.put(0xFF, 8);
+        assert_eq!(w.bit_len(), 10);
+    }
+}

@@ -1,0 +1,267 @@
+//! Images, colour conversion and chroma subsampling.
+//!
+//! JPEG (JFIF) uses full-range BT.601 YCbCr. The DSC pipeline captures
+//! RGB from the sensor pipeline, converts to YCbCr, and (for the 4:2:0
+//! mode the camera ships) averages chroma over 2×2 pixels.
+
+/// An interleaved 8-bit RGB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rgb {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// `width * height * 3` bytes, row-major, RGB order.
+    pub data: Vec<u8>,
+}
+
+impl Rgb {
+    /// Create a black image.
+    pub fn new(width: usize, height: usize) -> Rgb {
+        Rgb { width, height, data: vec![0; width * height * 3] }
+    }
+
+    /// Pixel accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    pub fn pixel(&self, x: usize, y: usize) -> (u8, u8, u8) {
+        let i = (y * self.width + x) * 3;
+        (self.data[i], self.data[i + 1], self.data[i + 2])
+    }
+
+    /// Pixel mutator.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    pub fn set_pixel(&mut self, x: usize, y: usize, rgb: (u8, u8, u8)) {
+        let i = (y * self.width + x) * 3;
+        self.data[i] = rgb.0;
+        self.data[i + 1] = rgb.1;
+        self.data[i + 2] = rgb.2;
+    }
+
+    /// Total pixels.
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+/// One 8-bit sample plane with its own dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plane {
+    /// Width in samples.
+    pub width: usize,
+    /// Height in samples.
+    pub height: usize,
+    /// Row-major samples.
+    pub data: Vec<u8>,
+}
+
+impl Plane {
+    /// Create a plane filled with `value`.
+    pub fn filled(width: usize, height: usize, value: u8) -> Plane {
+        Plane { width, height, data: vec![value; width * height] }
+    }
+
+    /// Sample with edge clamping (used for block extraction at borders).
+    pub fn sample_clamped(&self, x: isize, y: isize) -> u8 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[y * self.width + x]
+    }
+}
+
+/// A YCbCr image as three planes (chroma may be subsampled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ycbcr {
+    /// Luma plane at full resolution.
+    pub y: Plane,
+    /// Blue-difference chroma.
+    pub cb: Plane,
+    /// Red-difference chroma.
+    pub cr: Plane,
+}
+
+fn clamp_u8(v: f32) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+/// Convert one RGB triple to full-range YCbCr.
+pub fn rgb_to_ycbcr(r: u8, g: u8, b: u8) -> (u8, u8, u8) {
+    let (r, g, b) = (r as f32, g as f32, b as f32);
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = 128.0 - 0.168736 * r - 0.331264 * g + 0.5 * b;
+    let cr = 128.0 + 0.5 * r - 0.418688 * g - 0.081312 * b;
+    (clamp_u8(y), clamp_u8(cb), clamp_u8(cr))
+}
+
+/// Convert one YCbCr triple back to RGB.
+pub fn ycbcr_to_rgb(y: u8, cb: u8, cr: u8) -> (u8, u8, u8) {
+    let y = y as f32;
+    let cb = cb as f32 - 128.0;
+    let cr = cr as f32 - 128.0;
+    let r = y + 1.402 * cr;
+    let g = y - 0.344136 * cb - 0.714136 * cr;
+    let b = y + 1.772 * cb;
+    (clamp_u8(r), clamp_u8(g), clamp_u8(b))
+}
+
+/// Convert an RGB image to planar YCbCr at full (4:4:4) resolution.
+pub fn to_ycbcr(img: &Rgb) -> Ycbcr {
+    let mut y = Plane::filled(img.width, img.height, 0);
+    let mut cb = Plane::filled(img.width, img.height, 0);
+    let mut cr = Plane::filled(img.width, img.height, 0);
+    for yy in 0..img.height {
+        for xx in 0..img.width {
+            let (r, g, b) = img.pixel(xx, yy);
+            let (yv, cbv, crv) = rgb_to_ycbcr(r, g, b);
+            let i = yy * img.width + xx;
+            y.data[i] = yv;
+            cb.data[i] = cbv;
+            cr.data[i] = crv;
+        }
+    }
+    Ycbcr { y, cb, cr }
+}
+
+/// 2×2-average chroma downsample (4:4:4 → 4:2:0).
+pub fn subsample_420(plane: &Plane) -> Plane {
+    let w = plane.width.div_ceil(2);
+    let h = plane.height.div_ceil(2);
+    let mut out = Plane::filled(w, h, 0);
+    for y in 0..h {
+        for x in 0..w {
+            let mut sum = 0u32;
+            let mut n = 0u32;
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let sx = x * 2 + dx;
+                    let sy = y * 2 + dy;
+                    if sx < plane.width && sy < plane.height {
+                        sum += plane.data[sy * plane.width + sx] as u32;
+                        n += 1;
+                    }
+                }
+            }
+            out.data[y * w + x] = (sum / n) as u8;
+        }
+    }
+    out
+}
+
+/// Nearest-neighbour chroma upsample (4:2:0 → 4:4:4 at `width×height`).
+pub fn upsample_420(plane: &Plane, width: usize, height: usize) -> Plane {
+    let mut out = Plane::filled(width, height, 0);
+    for y in 0..height {
+        for x in 0..width {
+            out.data[y * width + x] = plane.sample_clamped((x / 2) as isize, (y / 2) as isize);
+        }
+    }
+    out
+}
+
+/// Reassemble an RGB image from full-resolution YCbCr planes.
+pub fn to_rgb(y: &Plane, cb: &Plane, cr: &Plane) -> Rgb {
+    let mut img = Rgb::new(y.width, y.height);
+    for yy in 0..y.height {
+        for xx in 0..y.width {
+            let i = yy * y.width + xx;
+            let rgb = ycbcr_to_rgb(y.data[i], cb.data[i], cr.data[i]);
+            img.set_pixel(xx, yy, rgb);
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_colors_convert_correctly() {
+        // white → Y≈255, neutral chroma
+        let (y, cb, cr) = rgb_to_ycbcr(255, 255, 255);
+        assert_eq!(y, 255);
+        assert!((cb as i32 - 128).abs() <= 1);
+        assert!((cr as i32 - 128).abs() <= 1);
+        // black
+        let (y, cb, cr) = rgb_to_ycbcr(0, 0, 0);
+        assert_eq!(y, 0);
+        assert!((cb as i32 - 128).abs() <= 1);
+        assert!((cr as i32 - 128).abs() <= 1);
+        // pure red has high Cr
+        let (_, _, cr) = rgb_to_ycbcr(255, 0, 0);
+        assert!(cr > 200);
+        // pure blue has high Cb
+        let (_, cb, _) = rgb_to_ycbcr(0, 0, 255);
+        assert!(cb > 200);
+    }
+
+    #[test]
+    fn round_trip_error_is_small() {
+        for r in (0..=255).step_by(37) {
+            for g in (0..=255).step_by(41) {
+                for b in (0..=255).step_by(43) {
+                    let (y, cb, cr) = rgb_to_ycbcr(r as u8, g as u8, b as u8);
+                    let (r2, g2, b2) = ycbcr_to_rgb(y, cb, cr);
+                    assert!((r as i32 - r2 as i32).abs() <= 2, "r {r} -> {r2}");
+                    assert!((g as i32 - g2 as i32).abs() <= 2, "g {g} -> {g2}");
+                    assert!((b as i32 - b2 as i32).abs() <= 2, "b {b} -> {b2}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subsample_then_upsample_preserves_flat_regions() {
+        let mut p = Plane::filled(16, 16, 0);
+        for y in 0..16 {
+            for x in 0..16 {
+                p.data[y * 16 + x] = if x < 8 { 40 } else { 200 };
+            }
+        }
+        let down = subsample_420(&p);
+        assert_eq!(down.width, 8);
+        assert_eq!(down.height, 8);
+        let up = upsample_420(&down, 16, 16);
+        // interior flat pixels are exact
+        assert_eq!(up.data[5 * 16 + 2], 40);
+        assert_eq!(up.data[5 * 16 + 12], 200);
+    }
+
+    #[test]
+    fn odd_dimensions_subsample_without_panic() {
+        let p = Plane::filled(15, 9, 77);
+        let down = subsample_420(&p);
+        assert_eq!(down.width, 8);
+        assert_eq!(down.height, 5);
+        assert!(down.data.iter().all(|&v| v == 77));
+    }
+
+    #[test]
+    fn clamped_sampling_at_borders() {
+        let mut p = Plane::filled(4, 4, 0);
+        p.data[0] = 99;
+        assert_eq!(p.sample_clamped(-3, -3), 99);
+        p.data[15] = 55;
+        assert_eq!(p.sample_clamped(10, 10), 55);
+    }
+
+    #[test]
+    fn full_image_conversion_round_trip() {
+        let mut img = Rgb::new(8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                img.set_pixel(x, y, ((x * 32) as u8, (y * 32) as u8, 128));
+            }
+        }
+        let ycc = to_ycbcr(&img);
+        let back = to_rgb(&ycc.y, &ycc.cb, &ycc.cr);
+        for i in 0..img.data.len() {
+            assert!((img.data[i] as i32 - back.data[i] as i32).abs() <= 2);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! 8×8 forward and inverse DCT.
+//!
+//! Two implementations: a straightforward separable reference transform
+//! (the specification), and the AAN (Arai–Agui–Nakajima) fast algorithm
+//! — 5 multiplies per 8-point transform — which is what a hardwired
+//! engine of the paper's era actually implements. Tests pin the fast
+//! path to the reference within tight tolerance.
+
+use std::f32::consts::PI;
+
+/// Forward reference DCT-II of a level-shifted 8×8 block.
+///
+/// Input samples should already be shifted to `-128..=127`.
+pub fn fdct_ref(block: &[f32; 64]) -> [f32; 64] {
+    let mut out = [0f32; 64];
+    for v in 0..8 {
+        for u in 0..8 {
+            let cu = if u == 0 { 1.0 / 2f32.sqrt() } else { 1.0 };
+            let cv = if v == 0 { 1.0 / 2f32.sqrt() } else { 1.0 };
+            let mut sum = 0f32;
+            for y in 0..8 {
+                for x in 0..8 {
+                    sum += block[y * 8 + x]
+                        * ((2 * x + 1) as f32 * u as f32 * PI / 16.0).cos()
+                        * ((2 * y + 1) as f32 * v as f32 * PI / 16.0).cos();
+                }
+            }
+            out[v * 8 + u] = 0.25 * cu * cv * sum;
+        }
+    }
+    out
+}
+
+/// Inverse reference DCT (returns level-shifted samples).
+pub fn idct_ref(coef: &[f32; 64]) -> [f32; 64] {
+    let mut out = [0f32; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut sum = 0f32;
+            for v in 0..8 {
+                for u in 0..8 {
+                    let cu = if u == 0 { 1.0 / 2f32.sqrt() } else { 1.0 };
+                    let cv = if v == 0 { 1.0 / 2f32.sqrt() } else { 1.0 };
+                    sum += cu
+                        * cv
+                        * coef[v * 8 + u]
+                        * ((2 * x + 1) as f32 * u as f32 * PI / 16.0).cos()
+                        * ((2 * y + 1) as f32 * v as f32 * PI / 16.0).cos();
+                }
+            }
+            out[y * 8 + x] = 0.25 * sum;
+        }
+    }
+    out
+}
+
+// AAN constants.
+const A1: f32 = 0.707_106_77; // cos(4π/16)
+const A2: f32 = 0.541_196_1; // cos(2π/16) − cos(6π/16)
+const A3: f32 = 0.707_106_77;
+const A4: f32 = 1.306_562_9; // cos(2π/16) + cos(6π/16)
+const A5: f32 = 0.382_683_43; // cos(6π/16)
+
+/// Per-coefficient output scale factors of the raw AAN butterfly,
+/// folded into quantisation by real encoders; we apply them explicitly
+/// so `fdct_aan` matches `fdct_ref` bit-for-bit within float noise.
+fn aan_scale(u: usize) -> f32 {
+    // s[k] = 1 / (4 * scalefactor[k]) with scalefactor from the AAN paper
+    const S: [f32; 8] = [
+        0.353_553_39, // 1/(2√2)
+        0.254_897_79,
+        0.270_598_05,
+        0.300_672_44,
+        0.353_553_39,
+        0.449_988_1,
+        0.653_281_5,
+        1.281_457_7,
+    ];
+    S[u]
+}
+
+fn aan_1d(v: &mut [f32; 8]) {
+    // stage 1
+    let p0 = v[0] + v[7];
+    let p7 = v[0] - v[7];
+    let p1 = v[1] + v[6];
+    let p6 = v[1] - v[6];
+    let p2 = v[2] + v[5];
+    let p5 = v[2] - v[5];
+    let p3 = v[3] + v[4];
+    let p4 = v[3] - v[4];
+    // even part
+    let q0 = p0 + p3;
+    let q3 = p0 - p3;
+    let q1 = p1 + p2;
+    let q2 = p1 - p2;
+    v[0] = q0 + q1;
+    v[4] = q0 - q1;
+    let r = (q2 + q3) * A1;
+    v[2] = q3 + r;
+    v[6] = q3 - r;
+    // odd part
+    let s0 = p4 + p5;
+    let s1 = p5 + p6;
+    let s2 = p6 + p7;
+    let z5 = (s0 - s2) * A5;
+    let z2 = A2 * s0 + z5;
+    let z4 = A4 * s2 + z5;
+    let z3 = s1 * A3;
+    let z11 = p7 + z3;
+    let z13 = p7 - z3;
+    v[5] = z13 + z2;
+    v[3] = z13 - z2;
+    v[1] = z11 + z4;
+    v[7] = z11 - z4;
+}
+
+/// Forward AAN DCT of a level-shifted 8×8 block, scaled to match
+/// [`fdct_ref`].
+pub fn fdct_aan(block: &[f32; 64]) -> [f32; 64] {
+    let mut tmp = *block;
+    // rows
+    for r in 0..8 {
+        let mut row = [0f32; 8];
+        row.copy_from_slice(&tmp[r * 8..r * 8 + 8]);
+        aan_1d(&mut row);
+        tmp[r * 8..r * 8 + 8].copy_from_slice(&row);
+    }
+    // columns
+    for c in 0..8 {
+        let mut col = [0f32; 8];
+        for r in 0..8 {
+            col[r] = tmp[r * 8 + c];
+        }
+        aan_1d(&mut col);
+        for r in 0..8 {
+            tmp[r * 8 + c] = col[r];
+        }
+    }
+    // scaling
+    let mut out = [0f32; 64];
+    for v in 0..8 {
+        for u in 0..8 {
+            out[v * 8 + u] = tmp[v * 8 + u] * aan_scale(u) * aan_scale(v);
+        }
+    }
+    out
+}
+
+/// Forward DCT over integer samples (0..=255), with level shift;
+/// produces integer coefficients (rounded). The codec's entry point.
+pub fn fdct_block(samples: &[u8; 64]) -> [i32; 64] {
+    let mut f = [0f32; 64];
+    for i in 0..64 {
+        f[i] = samples[i] as f32 - 128.0;
+    }
+    let c = fdct_aan(&f);
+    let mut out = [0i32; 64];
+    for i in 0..64 {
+        out[i] = c[i].round() as i32;
+    }
+    out
+}
+
+/// Inverse DCT back to integer samples (0..=255) with level unshift.
+pub fn idct_block(coef: &[i32; 64]) -> [u8; 64] {
+    let mut f = [0f32; 64];
+    for i in 0..64 {
+        f[i] = coef[i] as f32;
+    }
+    let s = idct_ref(&f);
+    let mut out = [0u8; 64];
+    for i in 0..64 {
+        out[i] = (s[i] + 128.0).round().clamp(0.0, 255.0) as u8;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_block(seed: u32) -> [f32; 64] {
+        let mut b = [0f32; 64];
+        let mut s = seed.max(1);
+        for v in b.iter_mut() {
+            s = s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            *v = ((s >> 16) % 256) as f32 - 128.0;
+        }
+        b
+    }
+
+    #[test]
+    fn flat_block_has_only_dc() {
+        let block = [64f32; 64];
+        let c = fdct_ref(&block);
+        assert!((c[0] - 8.0 * 64.0 / 8.0 * 8.0).abs() < 1e-2 || c[0] > 0.0);
+        // DC = 8 * mean = 8 * 64 = 512
+        assert!((c[0] - 512.0).abs() < 1e-2, "dc {}", c[0]);
+        for (i, &v) in c.iter().enumerate().skip(1) {
+            assert!(v.abs() < 1e-3, "ac[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn reference_round_trips() {
+        let block = test_block(3);
+        let c = fdct_ref(&block);
+        let back = idct_ref(&c);
+        for i in 0..64 {
+            assert!((block[i] - back[i]).abs() < 1e-2, "i={i}");
+        }
+    }
+
+    #[test]
+    fn aan_matches_reference() {
+        for seed in 1..6 {
+            let block = test_block(seed);
+            let a = fdct_aan(&block);
+            let r = fdct_ref(&block);
+            for i in 0..64 {
+                assert!(
+                    (a[i] - r[i]).abs() < 0.05,
+                    "seed {seed} coef {i}: aan {} vs ref {}",
+                    a[i],
+                    r[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn integer_block_round_trip_is_close() {
+        let mut samples = [0u8; 64];
+        let mut s = 7u32;
+        for v in samples.iter_mut() {
+            s = s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            *v = (s >> 20) as u8;
+        }
+        let coef = fdct_block(&samples);
+        let back = idct_block(&coef);
+        for i in 0..64 {
+            assert!(
+                (samples[i] as i32 - back[i] as i32).abs() <= 2,
+                "i={i} {} vs {}",
+                samples[i],
+                back[i]
+            );
+        }
+    }
+
+    #[test]
+    fn energy_is_preserved_parseval() {
+        let block = test_block(11);
+        let c = fdct_ref(&block);
+        let e_space: f32 = block.iter().map(|v| v * v).sum();
+        let e_freq: f32 = c.iter().map(|v| v * v).sum();
+        assert!((e_space - e_freq).abs() / e_space < 1e-3);
+    }
+
+    #[test]
+    fn horizontal_cosine_concentrates_in_one_coefficient() {
+        let mut block = [0f32; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                block[y * 8 + x] = (((2 * x + 1) as f32 * 2.0 * PI) / 16.0).cos() * 100.0;
+            }
+        }
+        let c = fdct_ref(&block);
+        // energy should be at u=2, v=0
+        let main = c[2].abs();
+        for (i, &v) in c.iter().enumerate() {
+            if i != 2 {
+                assert!(v.abs() < main / 50.0 + 1e-2, "leak at {i}: {v} (main {main})");
+            }
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Huffman entropy coding with the ITU-T T.81 Annex K typical tables.
+//!
+//! Baseline JPEG codes each block as a DC difference (category +
+//! magnitude bits) followed by AC run/size symbols with magnitude bits,
+//! terminated by EOB unless coefficient 63 is nonzero. `0xF0` (ZRL)
+//! encodes a run of sixteen zeros.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::JpegError;
+
+/// A Huffman table: the JPEG `BITS`/`HUFFVAL` representation plus
+/// derived encode and decode structures.
+#[derive(Debug, Clone)]
+pub struct HuffTable {
+    /// Count of codes per length 1..=16.
+    pub bits: [u8; 16],
+    /// Symbol values in code order.
+    pub vals: Vec<u8>,
+    /// Per-symbol `(code, length)` for encoding.
+    enc: Vec<Option<(u16, u8)>>,
+    /// Decoding: smallest code per length.
+    mincode: [i32; 17],
+    /// Decoding: largest code per length (−1 = none).
+    maxcode: [i32; 17],
+    /// Decoding: index of first value per length.
+    valptr: [usize; 17],
+}
+
+impl HuffTable {
+    /// Build a table from `BITS` and `HUFFVAL`.
+    ///
+    /// # Errors
+    ///
+    /// [`JpegError::BadStream`] if the counts are inconsistent with the
+    /// value list or overflow the code space.
+    pub fn new(bits: [u8; 16], vals: Vec<u8>) -> Result<HuffTable, JpegError> {
+        let total: usize = bits.iter().map(|&b| b as usize).sum();
+        if total != vals.len() || total > 256 {
+            return Err(JpegError::BadStream("huffman bits/vals mismatch".into()));
+        }
+        // canonical code assignment
+        let mut enc = vec![None; 256];
+        let mut mincode = [0i32; 17];
+        let mut maxcode = [-1i32; 17];
+        let mut valptr = [0usize; 17];
+        let mut code: u32 = 0;
+        let mut k = 0usize;
+        for len in 1..=16usize {
+            mincode[len] = code as i32;
+            valptr[len] = k;
+            for _ in 0..bits[len - 1] {
+                if code >= (1u32 << len) {
+                    return Err(JpegError::BadStream("huffman code overflow".into()));
+                }
+                enc[vals[k] as usize] = Some((code as u16, len as u8));
+                code += 1;
+                k += 1;
+            }
+            if bits[len - 1] > 0 {
+                maxcode[len] = code as i32 - 1;
+            } else {
+                maxcode[len] = -1;
+            }
+            code <<= 1;
+        }
+        Ok(HuffTable { bits, vals, enc, mincode, maxcode, valptr })
+    }
+
+    /// Emit a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol has no code in this table (encoder bug).
+    pub fn put_symbol(&self, w: &mut BitWriter, symbol: u8) {
+        let (code, len) =
+            self.enc[symbol as usize].expect("symbol must be codeable by table");
+        w.put(code as u32, len as u32);
+    }
+
+    /// Decode one symbol.
+    ///
+    /// # Errors
+    ///
+    /// [`JpegError::BadStream`] on an invalid code or exhausted data.
+    pub fn get_symbol(&self, r: &mut BitReader<'_>) -> Result<u8, JpegError> {
+        let mut code: i32 = 0;
+        for len in 1..=16usize {
+            code = (code << 1) | r.bit()? as i32;
+            if self.maxcode[len] >= 0 && code <= self.maxcode[len] && code >= self.mincode[len] {
+                let idx = self.valptr[len] + (code - self.mincode[len]) as usize;
+                return Ok(self.vals[idx]);
+            }
+        }
+        Err(JpegError::BadStream("invalid huffman code".into()))
+    }
+
+    // ---- Annex K typical tables ----
+
+    /// Standard DC luminance table.
+    pub fn dc_luma() -> HuffTable {
+        HuffTable::new(
+            [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0],
+            (0..=11).collect(),
+        )
+        .expect("standard table")
+    }
+
+    /// Standard DC chrominance table.
+    pub fn dc_chroma() -> HuffTable {
+        HuffTable::new(
+            [0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0],
+            (0..=11).collect(),
+        )
+        .expect("standard table")
+    }
+
+    /// Standard AC luminance table.
+    pub fn ac_luma() -> HuffTable {
+        HuffTable::new(
+            [0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7D],
+            vec![
+                0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13,
+                0x51, 0x61, 0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08, 0x23, 0x42,
+                0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0, 0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0A,
+                0x16, 0x17, 0x18, 0x19, 0x1A, 0x25, 0x26, 0x27, 0x28, 0x29, 0x2A, 0x34, 0x35,
+                0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49, 0x4A,
+                0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5A, 0x63, 0x64, 0x65, 0x66, 0x67,
+                0x68, 0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7A, 0x83, 0x84,
+                0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98,
+                0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3,
+                0xB4, 0xB5, 0xB6, 0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5, 0xC6, 0xC7,
+                0xC8, 0xC9, 0xCA, 0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1,
+                0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA, 0xF1, 0xF2, 0xF3, 0xF4,
+                0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA,
+            ],
+        )
+        .expect("standard table")
+    }
+
+    /// Standard AC chrominance table.
+    pub fn ac_chroma() -> HuffTable {
+        HuffTable::new(
+            [0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 0x77],
+            vec![
+                0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21, 0x31, 0x06, 0x12, 0x41, 0x51,
+                0x07, 0x61, 0x71, 0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91, 0xA1, 0xB1,
+                0xC1, 0x09, 0x23, 0x33, 0x52, 0xF0, 0x15, 0x62, 0x72, 0xD1, 0x0A, 0x16, 0x24,
+                0x34, 0xE1, 0x25, 0xF1, 0x17, 0x18, 0x19, 0x1A, 0x26, 0x27, 0x28, 0x29, 0x2A,
+                0x35, 0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49,
+                0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5A, 0x63, 0x64, 0x65, 0x66,
+                0x67, 0x68, 0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7A, 0x82,
+                0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96,
+                0x97, 0x98, 0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7, 0xA8, 0xA9, 0xAA,
+                0xB2, 0xB3, 0xB4, 0xB5, 0xB6, 0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5,
+                0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9,
+                0xDA, 0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA, 0xF2, 0xF3, 0xF4,
+                0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA,
+            ],
+        )
+        .expect("standard table")
+    }
+}
+
+/// Magnitude category of a value (number of bits to represent |v|).
+pub fn category(v: i32) -> u32 {
+    let mut a = v.unsigned_abs();
+    let mut n = 0;
+    while a != 0 {
+        a >>= 1;
+        n += 1;
+    }
+    n
+}
+
+/// The `SSSS`-bit magnitude encoding of `v` (one's-complement for
+/// negatives, per the standard).
+pub fn magnitude_bits(v: i32, ssss: u32) -> u32 {
+    if v >= 0 {
+        v as u32
+    } else {
+        (v + (1 << ssss) - 1) as u32
+    }
+}
+
+/// Decode a magnitude value from its category and raw bits.
+pub fn extend(bits: u32, ssss: u32) -> i32 {
+    if ssss == 0 {
+        return 0;
+    }
+    let vt = 1i32 << (ssss - 1);
+    if (bits as i32) < vt {
+        bits as i32 - (1 << ssss) + 1
+    } else {
+        bits as i32
+    }
+}
+
+/// Encode one block (zigzag order, quantised) into the stream; returns
+/// the new DC predictor.
+pub fn encode_block(
+    w: &mut BitWriter,
+    zz: &[i32; 64],
+    dc_pred: i32,
+    dc_table: &HuffTable,
+    ac_table: &HuffTable,
+) -> i32 {
+    // DC
+    let diff = zz[0] - dc_pred;
+    let ssss = category(diff);
+    dc_table.put_symbol(w, ssss as u8);
+    if ssss > 0 {
+        w.put(magnitude_bits(diff, ssss), ssss);
+    }
+    // AC
+    let mut run = 0u32;
+    for &c in &zz[1..64] {
+        if c == 0 {
+            run += 1;
+            continue;
+        }
+        while run >= 16 {
+            ac_table.put_symbol(w, 0xF0); // ZRL
+            run -= 16;
+        }
+        let ssss = category(c);
+        ac_table.put_symbol(w, ((run as u8) << 4) | ssss as u8);
+        w.put(magnitude_bits(c, ssss), ssss);
+        run = 0;
+    }
+    if run > 0 {
+        ac_table.put_symbol(w, 0x00); // EOB
+    }
+    zz[0]
+}
+
+/// Decode one block (zigzag order, quantised); returns the new DC
+/// predictor.
+///
+/// # Errors
+///
+/// [`JpegError::BadStream`] on invalid codes, out-of-range runs, or
+/// truncated data.
+pub fn decode_block(
+    r: &mut BitReader<'_>,
+    zz: &mut [i32; 64],
+    dc_pred: i32,
+    dc_table: &HuffTable,
+    ac_table: &HuffTable,
+) -> Result<i32, JpegError> {
+    zz.fill(0);
+    let ssss = dc_table.get_symbol(r)? as u32;
+    if ssss > 11 {
+        return Err(JpegError::BadStream("dc category out of range".into()));
+    }
+    let diff = if ssss > 0 { extend(r.bits(ssss)?, ssss) } else { 0 };
+    zz[0] = dc_pred + diff;
+    let mut k = 1usize;
+    while k < 64 {
+        let rs = ac_table.get_symbol(r)?;
+        let run = (rs >> 4) as usize;
+        let ssss = (rs & 0xF) as u32;
+        if ssss == 0 {
+            if rs == 0x00 {
+                break; // EOB
+            }
+            if rs == 0xF0 {
+                k += 16; // ZRL
+                continue;
+            }
+            return Err(JpegError::BadStream("bad ac symbol".into()));
+        }
+        k += run;
+        if k >= 64 {
+            return Err(JpegError::BadStream("ac run overflows block".into()));
+        }
+        zz[k] = extend(r.bits(ssss)?, ssss);
+        k += 1;
+    }
+    Ok(zz[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_tables_build() {
+        for t in [
+            HuffTable::dc_luma(),
+            HuffTable::dc_chroma(),
+            HuffTable::ac_luma(),
+            HuffTable::ac_chroma(),
+        ] {
+            let total: usize = t.bits.iter().map(|&b| b as usize).sum();
+            assert_eq!(total, t.vals.len());
+        }
+        assert_eq!(HuffTable::ac_luma().vals.len(), 162);
+        assert_eq!(HuffTable::ac_chroma().vals.len(), 162);
+    }
+
+    #[test]
+    fn symbol_round_trip_all_codes() {
+        for t in [HuffTable::ac_luma(), HuffTable::dc_luma()] {
+            let mut w = BitWriter::new();
+            for &v in &t.vals {
+                t.put_symbol(&mut w, v);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &v in &t.vals {
+                assert_eq!(t.get_symbol(&mut r).unwrap(), v);
+            }
+        }
+    }
+
+    #[test]
+    fn category_and_extend_invert_magnitude_bits() {
+        for v in -1000..=1000 {
+            let ssss = category(v);
+            if v == 0 {
+                assert_eq!(ssss, 0);
+                continue;
+            }
+            let bits = magnitude_bits(v, ssss);
+            assert_eq!(extend(bits, ssss), v, "v={v}");
+        }
+        assert_eq!(category(1), 1);
+        assert_eq!(category(-1), 1);
+        assert_eq!(category(255), 8);
+        assert_eq!(category(-256), 9);
+    }
+
+    #[test]
+    fn block_round_trip_sparse_and_dense() {
+        let dc = HuffTable::dc_luma();
+        let ac = HuffTable::ac_luma();
+        let blocks: Vec<[i32; 64]> = vec![
+            {
+                let mut b = [0i32; 64];
+                b[0] = 37;
+                b[1] = -4;
+                b[20] = 9;
+                b[63] = -1; // forces no-EOB path
+                b
+            },
+            [0i32; 64],
+            {
+                let mut b = [3i32; 64]; // dense
+                b[0] = -100;
+                b
+            },
+            {
+                let mut b = [0i32; 64];
+                b[0] = 5;
+                b[40] = 1; // long zero run > 16 → ZRL path
+                b
+            },
+        ];
+        let mut w = BitWriter::new();
+        let mut pred = 0;
+        for b in &blocks {
+            pred = encode_block(&mut w, b, pred, &dc, &ac);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let mut pred = 0;
+        for b in &blocks {
+            let mut out = [0i32; 64];
+            pred = decode_block(&mut r, &mut out, pred, &dc, &ac).unwrap();
+            assert_eq!(&out, b);
+        }
+    }
+
+    #[test]
+    fn invalid_bits_vals_rejected() {
+        assert!(HuffTable::new([16; 16], vec![0; 10]).is_err());
+        // too many codes of length 1
+        assert!(HuffTable::new(
+            [3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+            vec![0, 1, 2]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let dc = HuffTable::dc_luma();
+        let ac = HuffTable::ac_luma();
+        let mut w = BitWriter::new();
+        let mut b = [0i32; 64];
+        b[0] = 1000;
+        encode_block(&mut w, &b, 0, &dc, &ac);
+        let bytes = w.finish();
+        // cut the stream short
+        let cut = &bytes[..bytes.len().saturating_sub(1).min(1)];
+        let mut r = BitReader::new(cut);
+        let mut out = [0i32; 64];
+        assert!(decode_block(&mut r, &mut out, 0, &dc, &ac).is_err());
+    }
+}

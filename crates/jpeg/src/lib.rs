@@ -1,0 +1,83 @@
+//! # camsoc-jpeg
+//!
+//! Baseline JPEG codec — the multimedia IP at the heart of the paper's
+//! DSC controller ("a hardwired JPEG encoding and decoding engine",
+//! developed with a university lab, companion paper [1]).
+//!
+//! Two layers live here:
+//!
+//! 1. **The codec itself** — a complete baseline sequential JPEG
+//!    encoder/decoder: RGB↔YCbCr with 4:4:4/4:2:0 sampling ([`color`]),
+//!    8×8 DCT ([`dct`]), Annex-K quantisation with quality scaling
+//!    ([`quant`]), zigzag ([`zigzag`]), Huffman entropy coding
+//!    ([`huffman`]), and the JFIF container ([`jfif`]).
+//! 2. **Implementation cost models** — a cycle-level model of the
+//!    hardwired pipeline ([`pipeline`]) and of a software implementation
+//!    on the hybrid RISC/DSP ([`software`]), which together regenerate
+//!    the paper's justification for hardwiring: 3 M pixels must encode
+//!    in 0.1 s at 133 MHz, which software misses by well over an order
+//!    of magnitude.
+//!
+//! # Example
+//!
+//! ```
+//! use camsoc_jpeg::jfif::{decode, encode, EncodeParams, Sampling};
+//! use camsoc_jpeg::psnr::{psnr, test_image};
+//!
+//! # fn main() -> Result<(), camsoc_jpeg::JpegError> {
+//! let img = test_image(64, 48, 7);
+//! let bytes = encode(&img, &EncodeParams { quality: 85, sampling: Sampling::S420 })?;
+//! let back = decode(&bytes)?;
+//! assert!(psnr(&img, &back) > 30.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bitstream;
+pub mod color;
+pub mod dct;
+pub mod huffman;
+pub mod jfif;
+pub mod pipeline;
+pub mod psnr;
+pub mod quant;
+pub mod software;
+pub mod zigzag;
+
+pub use color::Rgb;
+pub use jfif::{decode, encode, EncodeParams, Sampling};
+
+use std::fmt;
+
+/// Errors from encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JpegError {
+    /// Image dimensions are zero or exceed the codec's limits.
+    BadDimensions {
+        /// Width supplied.
+        width: usize,
+        /// Height supplied.
+        height: usize,
+    },
+    /// Quality out of the accepted 1..=100 range.
+    BadQuality(u8),
+    /// The byte stream is not a JPEG or is truncated.
+    BadStream(String),
+    /// A feature outside baseline sequential JPEG was encountered.
+    Unsupported(String),
+}
+
+impl fmt::Display for JpegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JpegError::BadDimensions { width, height } => {
+                write!(f, "bad image dimensions {width}x{height}")
+            }
+            JpegError::BadQuality(q) => write!(f, "quality {q} outside 1..=100"),
+            JpegError::BadStream(m) => write!(f, "malformed jpeg stream: {m}"),
+            JpegError::Unsupported(m) => write!(f, "unsupported jpeg feature: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JpegError {}

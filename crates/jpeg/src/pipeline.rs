@@ -1,0 +1,210 @@
+//! Cycle-level model of the hardwired JPEG engine.
+//!
+//! The paper: "To meet processing speed requirement of 3M pixels @
+//! 0.1 Sec and long battery life, the JPEG codec function has been
+//! implemented in a hardware accelerator." The engine modelled here is
+//! the standard architecture of that accelerator generation: a fully
+//! pipelined sample path (colour convert → DCT → quantise → zigzag) at
+//! one sample per cycle, with a Huffman packer whose output-bus
+//! bandwidth can back-pressure the pipe, plus SDRAM fetch stalls per
+//! block.
+
+use crate::jfif::{encode_with_stats, EncodeParams, EncodeStats, Sampling};
+use crate::color::Rgb;
+use crate::JpegError;
+
+/// Hardware-engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Engine clock in MHz (the chip runs 133 MHz in 0.25 µm).
+    pub clock_mhz: f64,
+    /// Sustained datapath throughput in samples per cycle.
+    pub samples_per_cycle: f64,
+    /// Pipeline fill latency in cycles (per frame).
+    pub fill_latency_cycles: u64,
+    /// Entropy-output bus bandwidth in bytes per cycle.
+    pub bus_bytes_per_cycle: f64,
+    /// SDRAM fetch stall cycles per 8×8 block.
+    pub mem_stall_per_block: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            clock_mhz: 133.0,
+            samples_per_cycle: 1.0,
+            fill_latency_cycles: 256,
+            bus_bytes_per_cycle: 2.0,
+            mem_stall_per_block: 4,
+        }
+    }
+}
+
+/// Timing estimate for one frame through the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineEstimate {
+    /// Total engine cycles.
+    pub cycles: u64,
+    /// Wall time in seconds at the configured clock.
+    pub seconds: f64,
+    /// Throughput in megapixels per second.
+    pub mpixels_per_s: f64,
+    /// Cycles lost to entropy-bus back-pressure (0 when the bus keeps up).
+    pub backpressure_cycles: u64,
+}
+
+impl PipelineEstimate {
+    /// Does the engine meet a frame-time budget (e.g. the paper's 0.1 s)?
+    pub fn meets_budget(&self, budget_s: f64) -> bool {
+        self.seconds <= budget_s
+    }
+}
+
+/// Samples per pixel for a sampling mode (Y + subsampled chroma).
+pub fn samples_per_pixel(sampling: Sampling) -> f64 {
+    match sampling {
+        Sampling::S444 => 3.0,
+        Sampling::S420 => 1.5,
+    }
+}
+
+/// Estimate engine timing for a frame from its encode statistics.
+pub fn estimate(
+    config: &PipelineConfig,
+    pixels: usize,
+    sampling: Sampling,
+    stats: &EncodeStats,
+) -> PipelineEstimate {
+    let samples = pixels as f64 * samples_per_pixel(sampling);
+    let sample_cycles = (samples / config.samples_per_cycle).ceil() as u64;
+    let output_cycles = (stats.bytes as f64 / config.bus_bytes_per_cycle).ceil() as u64;
+    let datapath = sample_cycles.max(output_cycles);
+    let backpressure = output_cycles.saturating_sub(sample_cycles);
+    let cycles = config.fill_latency_cycles
+        + datapath
+        + stats.blocks as u64 * config.mem_stall_per_block;
+    let seconds = cycles as f64 / (config.clock_mhz * 1e6);
+    PipelineEstimate {
+        cycles,
+        seconds,
+        mpixels_per_s: pixels as f64 / seconds / 1e6,
+        backpressure_cycles: backpressure,
+    }
+}
+
+/// Encode a frame and estimate the engine's time for it.
+///
+/// # Errors
+///
+/// Propagates [`JpegError`] from the encoder.
+pub fn encode_timed(
+    img: &Rgb,
+    params: &EncodeParams,
+    config: &PipelineConfig,
+) -> Result<(Vec<u8>, PipelineEstimate), JpegError> {
+    let (bytes, stats) = encode_with_stats(img, params)?;
+    let est = estimate(config, img.pixels(), params.sampling, &stats);
+    Ok((bytes, est))
+}
+
+/// Estimate for a frame of the given size *without* running the encoder,
+/// using a typical compressed-size assumption (bits per pixel). Used for
+/// the 3-Mpixel full-frame numbers where encoding the actual frame in a
+/// test would be slow.
+pub fn estimate_synthetic(
+    config: &PipelineConfig,
+    width: usize,
+    height: usize,
+    sampling: Sampling,
+    bits_per_pixel: f64,
+) -> PipelineEstimate {
+    let pixels = width * height;
+    let blocks = (pixels as f64 * samples_per_pixel(sampling) / 64.0).ceil() as usize;
+    let stats = EncodeStats {
+        blocks,
+        nonzero_coefficients: blocks * 6,
+        bytes: (pixels as f64 * bits_per_pixel / 8.0) as usize,
+    };
+    estimate(config, pixels, sampling, &stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psnr::test_image;
+
+    #[test]
+    fn three_mpixel_frame_meets_100ms_at_133mhz() {
+        // 2048×1536 = 3.1 Mpixel, 4:2:0, ~1.5 bpp typical
+        let est = estimate_synthetic(
+            &PipelineConfig::default(),
+            2048,
+            1536,
+            Sampling::S420,
+            1.5,
+        );
+        assert!(est.meets_budget(0.1), "engine takes {:.3} s", est.seconds);
+        assert!(est.mpixels_per_s > 30.0);
+        assert_eq!(est.backpressure_cycles, 0); // bus keeps up at 2 B/cycle
+    }
+
+    #[test]
+    fn narrow_bus_backpressures() {
+        let cfg = PipelineConfig { bus_bytes_per_cycle: 0.05, ..PipelineConfig::default() };
+        let est = estimate_synthetic(&cfg, 512, 512, Sampling::S420, 2.0);
+        assert!(est.backpressure_cycles > 0);
+        let fast = estimate_synthetic(
+            &PipelineConfig::default(),
+            512,
+            512,
+            Sampling::S420,
+            2.0,
+        );
+        assert!(est.cycles > fast.cycles);
+    }
+
+    #[test]
+    fn sampling_changes_sample_count() {
+        let cfg = PipelineConfig::default();
+        let e444 = estimate_synthetic(&cfg, 256, 256, Sampling::S444, 1.5);
+        let e420 = estimate_synthetic(&cfg, 256, 256, Sampling::S420, 1.5);
+        assert!(e444.cycles > e420.cycles);
+        assert_eq!(samples_per_pixel(Sampling::S444), 3.0);
+        assert_eq!(samples_per_pixel(Sampling::S420), 1.5);
+    }
+
+    #[test]
+    fn encode_timed_consistent_with_real_stats() {
+        let img = test_image(64, 48, 9);
+        let (bytes, est) = encode_timed(
+            &img,
+            &EncodeParams { quality: 85, sampling: Sampling::S420 },
+            &PipelineConfig::default(),
+        )
+        .unwrap();
+        assert!(!bytes.is_empty());
+        assert!(est.cycles > 0);
+        assert!(est.seconds > 0.0);
+        // small frame at 133 MHz is far under a millisecond
+        assert!(est.seconds < 1e-3);
+    }
+
+    #[test]
+    fn slower_clock_scales_time_linearly() {
+        let fast = estimate_synthetic(
+            &PipelineConfig { clock_mhz: 133.0, ..PipelineConfig::default() },
+            1024,
+            768,
+            Sampling::S420,
+            1.5,
+        );
+        let slow = estimate_synthetic(
+            &PipelineConfig { clock_mhz: 66.5, ..PipelineConfig::default() },
+            1024,
+            768,
+            Sampling::S420,
+            1.5,
+        );
+        assert!((slow.seconds / fast.seconds - 2.0).abs() < 1e-9);
+    }
+}

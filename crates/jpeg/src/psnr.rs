@@ -1,0 +1,164 @@
+//! Quality metrics and synthetic test imagery.
+//!
+//! The camera maker's acceptance criterion for the codec IP is
+//! rate/distortion shape: PSNR versus quality versus compression ratio.
+//! Real sensor captures are unavailable, so [`test_image`] synthesises
+//! photo-like content (smooth gradients + blobs + texture) that
+//! exercises the same coefficient statistics.
+
+use crate::color::Rgb;
+
+/// Peak signal-to-noise ratio between two same-size images, in dB.
+///
+/// Returns `f64::INFINITY` for identical images.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn psnr(a: &Rgb, b: &Rgb) -> f64 {
+    assert_eq!(a.width, b.width, "width mismatch");
+    assert_eq!(a.height, b.height, "height mismatch");
+    let mse: f64 = a
+        .data
+        .iter()
+        .zip(&b.data)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.data.len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+/// Mean absolute error between two same-size images.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn mae(a: &Rgb, b: &Rgb) -> f64 {
+    assert_eq!(a.data.len(), b.data.len(), "size mismatch");
+    a.data
+        .iter()
+        .zip(&b.data)
+        .map(|(&x, &y)| (x as f64 - y as f64).abs())
+        .sum::<f64>()
+        / a.data.len() as f64
+}
+
+/// Synthesise a photo-like test image: a sky-to-ground gradient, a few
+/// soft blobs, and mild deterministic texture. Seeded and reproducible.
+pub fn test_image(width: usize, height: usize, seed: u64) -> Rgb {
+    let mut img = Rgb::new(width, height);
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut rand = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    // blob parameters
+    let nblobs = 3 + (rand() % 4) as usize;
+    let blobs: Vec<(f64, f64, f64, [f64; 3])> = (0..nblobs)
+        .map(|_| {
+            let cx = (rand() % width.max(1) as u64) as f64;
+            let cy = (rand() % height.max(1) as u64) as f64;
+            let r = 4.0 + (rand() % 16) as f64;
+            let tint = [
+                (rand() % 200) as f64,
+                (rand() % 200) as f64,
+                (rand() % 200) as f64,
+            ];
+            (cx, cy, r, tint)
+        })
+        .collect();
+    for y in 0..height {
+        for x in 0..width {
+            let fy = y as f64 / height.max(1) as f64;
+            // gradient: blue-ish sky to warm ground
+            let mut rgb = [
+                60.0 + 140.0 * fy,
+                90.0 + 90.0 * fy,
+                200.0 - 120.0 * fy,
+            ];
+            for (cx, cy, r, tint) in &blobs {
+                let d2 = (x as f64 - cx).powi(2) + (y as f64 - cy).powi(2);
+                let w = (-d2 / (2.0 * r * r)).exp();
+                for c in 0..3 {
+                    rgb[c] = rgb[c] * (1.0 - w) + tint[c] * w;
+                }
+            }
+            // texture
+            let n = ((x.wrapping_mul(31) ^ y.wrapping_mul(17)) % 7) as f64 - 3.0;
+            for c in rgb.iter_mut() {
+                *c = (*c + n).clamp(0.0, 255.0);
+            }
+            img.set_pixel(x, y, (rgb[0] as u8, rgb[1] as u8, rgb[2] as u8));
+        }
+    }
+    img
+}
+
+/// Compression ratio raw RGB bytes : encoded bytes.
+pub fn compression_ratio(img: &Rgb, encoded_len: usize) -> f64 {
+    (img.data.len() as f64) / encoded_len.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let a = test_image(16, 16, 1);
+        assert_eq!(psnr(&a, &a), f64::INFINITY);
+        assert_eq!(mae(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn noisier_images_have_lower_psnr() {
+        let a = test_image(32, 32, 1);
+        let mut b = a.clone();
+        let mut c = a.clone();
+        for (i, p) in b.data.iter_mut().enumerate() {
+            *p = p.wrapping_add((i % 3) as u8); // small noise
+        }
+        for (i, p) in c.data.iter_mut().enumerate() {
+            *p = p.wrapping_add((i % 17) as u8); // bigger noise
+        }
+        assert!(psnr(&a, &b) > psnr(&a, &c));
+        assert!(mae(&a, &b) < mae(&a, &c));
+    }
+
+    #[test]
+    fn test_image_is_deterministic_and_varied() {
+        let a = test_image(24, 24, 5);
+        let b = test_image(24, 24, 5);
+        assert_eq!(a, b);
+        let c = test_image(24, 24, 6);
+        assert_ne!(a, c);
+        // not flat
+        let min = a.data.iter().min().unwrap();
+        let max = a.data.iter().max().unwrap();
+        assert!(max - min > 50);
+    }
+
+    #[test]
+    fn compression_ratio_sane() {
+        let img = test_image(10, 10, 2);
+        assert!((compression_ratio(&img, 100) - 3.0).abs() < 1e-9);
+        assert!(compression_ratio(&img, 0) > 0.0); // guards /0
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn psnr_size_mismatch_panics() {
+        let a = test_image(8, 8, 1);
+        let b = test_image(9, 8, 1);
+        psnr(&a, &b);
+    }
+}

@@ -1,0 +1,175 @@
+//! Quantisation tables (ITU-T T.81 Annex K) with libjpeg-style quality
+//! scaling.
+
+use crate::JpegError;
+
+/// Annex K luminance table, raster order.
+pub const LUMA_BASE: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Annex K chrominance table, raster order.
+pub const CHROMA_BASE: [u16; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99, //
+    18, 21, 26, 66, 99, 99, 99, 99, //
+    24, 26, 56, 99, 99, 99, 99, 99, //
+    47, 66, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// A quantisation table scaled to a quality setting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantTable {
+    /// Per-coefficient divisors, raster order, each in 1..=255.
+    pub values: [u16; 64],
+}
+
+impl QuantTable {
+    /// Scale a base table to `quality` (1..=100) with the libjpeg
+    /// formula: 50 → base table, 100 → all-ones, 1 → very coarse.
+    ///
+    /// # Errors
+    ///
+    /// [`JpegError::BadQuality`] outside 1..=100.
+    pub fn scaled(base: &[u16; 64], quality: u8) -> Result<QuantTable, JpegError> {
+        if quality == 0 || quality > 100 {
+            return Err(JpegError::BadQuality(quality));
+        }
+        let scale: i32 = if quality < 50 {
+            5000 / quality as i32
+        } else {
+            200 - 2 * quality as i32
+        };
+        let mut values = [0u16; 64];
+        for i in 0..64 {
+            let v = (base[i] as i32 * scale + 50) / 100;
+            values[i] = v.clamp(1, 255) as u16;
+        }
+        Ok(QuantTable { values })
+    }
+
+    /// The luminance table at a quality.
+    ///
+    /// # Errors
+    ///
+    /// [`JpegError::BadQuality`] outside 1..=100.
+    pub fn luma(quality: u8) -> Result<QuantTable, JpegError> {
+        QuantTable::scaled(&LUMA_BASE, quality)
+    }
+
+    /// The chrominance table at a quality.
+    ///
+    /// # Errors
+    ///
+    /// [`JpegError::BadQuality`] outside 1..=100.
+    pub fn chroma(quality: u8) -> Result<QuantTable, JpegError> {
+        QuantTable::scaled(&CHROMA_BASE, quality)
+    }
+
+    /// Quantise a raster-order coefficient block (round-to-nearest).
+    pub fn quantize(&self, coef: &[i32; 64]) -> [i32; 64] {
+        let mut out = [0i32; 64];
+        for i in 0..64 {
+            let q = self.values[i] as i32;
+            let c = coef[i];
+            out[i] = if c >= 0 { (c + q / 2) / q } else { -((-c + q / 2) / q) };
+        }
+        out
+    }
+
+    /// Dequantise back to coefficient magnitudes.
+    pub fn dequantize(&self, q: &[i32; 64]) -> [i32; 64] {
+        let mut out = [0i32; 64];
+        for i in 0..64 {
+            out[i] = q[i] * self.values[i] as i32;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_50_is_base_table() {
+        let t = QuantTable::luma(50).unwrap();
+        assert_eq!(t.values, LUMA_BASE);
+    }
+
+    #[test]
+    fn quality_100_is_all_ones() {
+        let t = QuantTable::luma(100).unwrap();
+        assert!(t.values.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn lower_quality_is_coarser() {
+        let q20 = QuantTable::luma(20).unwrap();
+        let q80 = QuantTable::luma(80).unwrap();
+        for i in 0..64 {
+            assert!(q20.values[i] >= q80.values[i]);
+        }
+        assert!(q20.values.iter().sum::<u16>() > q80.values.iter().sum::<u16>());
+    }
+
+    #[test]
+    fn bad_quality_rejected() {
+        assert!(QuantTable::luma(0).is_err());
+        assert!(QuantTable::luma(101).is_err());
+        assert!(QuantTable::luma(1).is_ok());
+        assert!(QuantTable::luma(100).is_ok());
+    }
+
+    #[test]
+    fn quantize_rounds_to_nearest_and_signs() {
+        let t = QuantTable { values: [10u16; 64] };
+        let mut coef = [0i32; 64];
+        coef[0] = 14; // → 1
+        coef[1] = 15; // → 2 (round half up)
+        coef[2] = -14; // → -1
+        coef[3] = -15; // → -2
+        coef[4] = 4; // → 0
+        let q = t.quantize(&coef);
+        assert_eq!(q[0], 1);
+        assert_eq!(q[1], 2);
+        assert_eq!(q[2], -1);
+        assert_eq!(q[3], -2);
+        assert_eq!(q[4], 0);
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded_by_half_step() {
+        let t = QuantTable::luma(75).unwrap();
+        let mut coef = [0i32; 64];
+        let mut s = 5u32;
+        for c in coef.iter_mut() {
+            s = s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            *c = ((s >> 16) as i32 % 400) - 200;
+        }
+        let deq = t.dequantize(&t.quantize(&coef));
+        for i in 0..64 {
+            let err = (coef[i] - deq[i]).abs();
+            assert!(err <= (t.values[i] as i32 + 1) / 2, "i={i} err {err}");
+        }
+    }
+
+    #[test]
+    fn chroma_table_is_coarser_than_luma_at_high_frequencies() {
+        let l = QuantTable::luma(50).unwrap();
+        let c = QuantTable::chroma(50).unwrap();
+        assert!(c.values[63] >= l.values[63]);
+        assert!(c.values.iter().map(|&v| v as u32).sum::<u32>()
+            > l.values.iter().map(|&v| v as u32).sum::<u32>());
+    }
+}

@@ -1,0 +1,176 @@
+//! Cycle-cost model of a software JPEG encoder on the hybrid RISC/DSP.
+//!
+//! The counterfactual the paper's hardware decision rests on: what would
+//! the camera's own 133 MHz processor spend encoding a frame? The model
+//! charges per-pixel colour conversion, per-block DCT/quantisation and
+//! per-coefficient Huffman work, with coefficients taken from a real
+//! encode of the frame — so the comparison against
+//! [`crate::pipeline`] uses identical content.
+
+use crate::jfif::{encode_with_stats, EncodeParams, EncodeStats};
+use crate::color::Rgb;
+use crate::JpegError;
+
+/// Per-operation cycle costs for the RISC/DSP.
+///
+/// Defaults reflect a late-90s hybrid RISC/DSP with single-cycle MAC:
+/// a fixed-point AAN 2-D DCT in ~1.2 K cycles/block including memory
+/// traffic, table-driven Huffman at ~25 cycles per coded coefficient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftwareCostModel {
+    /// Processor clock in MHz.
+    pub clock_mhz: f64,
+    /// Colour conversion cycles per pixel.
+    pub cycles_color_per_pixel: f64,
+    /// 2-D DCT cycles per 8×8 block.
+    pub cycles_dct_per_block: f64,
+    /// Quantisation + zigzag cycles per block.
+    pub cycles_quant_per_block: f64,
+    /// Huffman cycles per nonzero coefficient.
+    pub cycles_huffman_per_coeff: f64,
+    /// Fixed Huffman/bitstream cycles per block.
+    pub cycles_huffman_per_block: f64,
+    /// Loop/DMA/block-fetch overhead per block.
+    pub cycles_overhead_per_block: f64,
+}
+
+impl Default for SoftwareCostModel {
+    fn default() -> Self {
+        SoftwareCostModel {
+            clock_mhz: 133.0,
+            cycles_color_per_pixel: 8.0,
+            cycles_dct_per_block: 1200.0,
+            cycles_quant_per_block: 300.0,
+            cycles_huffman_per_coeff: 25.0,
+            cycles_huffman_per_block: 120.0,
+            cycles_overhead_per_block: 150.0,
+        }
+    }
+}
+
+/// Software timing estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftwareEstimate {
+    /// Total cycles.
+    pub cycles: f64,
+    /// Wall time in seconds.
+    pub seconds: f64,
+    /// Throughput in megapixels per second.
+    pub mpixels_per_s: f64,
+}
+
+impl SoftwareEstimate {
+    /// Does software meet a frame-time budget?
+    pub fn meets_budget(&self, budget_s: f64) -> bool {
+        self.seconds <= budget_s
+    }
+}
+
+impl SoftwareCostModel {
+    /// Estimate from encode statistics and pixel count.
+    pub fn estimate(&self, pixels: usize, stats: &EncodeStats) -> SoftwareEstimate {
+        let cycles = pixels as f64 * self.cycles_color_per_pixel
+            + stats.blocks as f64
+                * (self.cycles_dct_per_block
+                    + self.cycles_quant_per_block
+                    + self.cycles_huffman_per_block
+                    + self.cycles_overhead_per_block)
+            + stats.nonzero_coefficients as f64 * self.cycles_huffman_per_coeff;
+        let seconds = cycles / (self.clock_mhz * 1e6);
+        SoftwareEstimate {
+            cycles,
+            seconds,
+            mpixels_per_s: pixels as f64 / seconds / 1e6,
+        }
+    }
+
+    /// Encode a frame and estimate the software time for it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`JpegError`] from the encoder.
+    pub fn encode_timed(
+        &self,
+        img: &Rgb,
+        params: &EncodeParams,
+    ) -> Result<(Vec<u8>, SoftwareEstimate), JpegError> {
+        let (bytes, stats) = encode_with_stats(img, params)?;
+        Ok((bytes, self.estimate(img.pixels(), &stats)))
+    }
+
+    /// Synthetic estimate for a large frame without encoding it
+    /// (typical block statistics assumed).
+    pub fn estimate_synthetic(
+        &self,
+        width: usize,
+        height: usize,
+        samples_per_pixel: f64,
+    ) -> SoftwareEstimate {
+        let pixels = width * height;
+        let blocks = (pixels as f64 * samples_per_pixel / 64.0).ceil() as usize;
+        let stats = EncodeStats {
+            blocks,
+            nonzero_coefficients: blocks * 6,
+            bytes: pixels * 2 / 10,
+        };
+        self.estimate(pixels, &stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jfif::Sampling;
+    use crate::pipeline::{estimate_synthetic, PipelineConfig};
+    use crate::psnr::test_image;
+
+    #[test]
+    fn software_misses_the_dsc_budget_by_an_order_of_magnitude() {
+        let model = SoftwareCostModel::default();
+        let est = model.estimate_synthetic(2048, 1536, 1.5);
+        assert!(!est.meets_budget(0.1), "software met budget: {:.3}s", est.seconds);
+        assert!(est.seconds > 1.0, "expected > 1s, got {:.3}s", est.seconds);
+    }
+
+    #[test]
+    fn hardware_beats_software_by_large_factor_on_same_frame() {
+        let sw = SoftwareCostModel::default().estimate_synthetic(2048, 1536, 1.5);
+        let hw = estimate_synthetic(
+            &PipelineConfig::default(),
+            2048,
+            1536,
+            Sampling::S420,
+            1.5,
+        );
+        let speedup = sw.seconds / hw.seconds;
+        assert!(speedup > 20.0, "speedup only {speedup:.1}x");
+        assert!(hw.meets_budget(0.1));
+        assert!(!sw.meets_budget(0.1));
+    }
+
+    #[test]
+    fn encode_timed_uses_real_coefficients() {
+        let img = test_image(64, 64, 3);
+        let model = SoftwareCostModel::default();
+        let (_, est) = model
+            .encode_timed(&img, &EncodeParams { quality: 85, sampling: Sampling::S420 })
+            .unwrap();
+        assert!(est.cycles > 0.0);
+        // busier content (lower quality threshold → more nonzero coeffs at
+        // higher quality) costs more huffman cycles
+        let (_, est_hi) = model
+            .encode_timed(&img, &EncodeParams { quality: 98, sampling: Sampling::S420 })
+            .unwrap();
+        assert!(est_hi.cycles > est.cycles);
+    }
+
+    #[test]
+    fn faster_clock_scales() {
+        let slow = SoftwareCostModel::default();
+        let fast = SoftwareCostModel { clock_mhz: 266.0, ..slow };
+        let a = slow.estimate_synthetic(512, 512, 1.5);
+        let b = fast.estimate_synthetic(512, 512, 1.5);
+        assert!((a.seconds / b.seconds - 2.0).abs() < 1e-9);
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

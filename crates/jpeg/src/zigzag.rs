@@ -1,0 +1,78 @@
+//! Zigzag scan order for 8×8 coefficient blocks.
+
+/// `ZIGZAG[k]` is the raster index of the `k`-th coefficient in zigzag
+/// order (DC first, then ascending spatial frequency).
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Inverse mapping: `UNZIGZAG[raster] = zigzag position`.
+pub const fn unzigzag() -> [usize; 64] {
+    let mut inv = [0usize; 64];
+    let mut k = 0;
+    while k < 64 {
+        inv[ZIGZAG[k]] = k;
+        k += 1;
+    }
+    inv
+}
+
+/// Scan a raster-order block into zigzag order.
+pub fn to_zigzag(block: &[i32; 64]) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for (k, &src) in ZIGZAG.iter().enumerate() {
+        out[k] = block[src];
+    }
+    out
+}
+
+/// Unscan a zigzag-order block back to raster order.
+pub fn from_zigzag(zz: &[i32; 64]) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for (k, &dst) in ZIGZAG.iter().enumerate() {
+        out[dst] = zz[k];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in &ZIGZAG {
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn starts_dc_then_first_two_acs() {
+        assert_eq!(ZIGZAG[0], 0); // DC
+        assert_eq!(ZIGZAG[1], 1); // right neighbour
+        assert_eq!(ZIGZAG[2], 8); // below
+        assert_eq!(ZIGZAG[63], 63); // highest frequency last
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut block = [0i32; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = i as i32 * 7 - 100;
+        }
+        assert_eq!(from_zigzag(&to_zigzag(&block)), block);
+    }
+
+    #[test]
+    fn unzigzag_inverts() {
+        let inv = unzigzag();
+        for k in 0..64 {
+            assert_eq!(inv[ZIGZAG[k]], k);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Clock-tree synthesis: recursive H-tree over the flop population.
+//!
+//! Produces the per-flop clock latency map the sign-off STA consumes
+//! (skew between launch and capture flops is what the paper's three
+//! setup/hold-fix ECOs were about).
+
+use std::collections::HashMap;
+
+use camsoc_netlist::graph::{InstanceId, Netlist};
+use camsoc_netlist::tech::Technology;
+
+use crate::floorplan::Floorplan;
+use crate::place::Placement;
+
+/// A synthesised clock tree.
+#[derive(Debug, Clone)]
+pub struct ClockTree {
+    /// Per-flop insertion latency in ns.
+    pub latency_ns: HashMap<InstanceId, f64>,
+    /// Clock buffers inserted.
+    pub buffers: usize,
+    /// Tree depth (buffer levels).
+    pub levels: usize,
+    /// Global skew: max − min latency (ns).
+    pub skew_ns: f64,
+    /// Maximum insertion latency (ns).
+    pub max_latency_ns: f64,
+}
+
+/// Flops per leaf cluster.
+pub const LEAF_SIZE: usize = 16;
+/// Clock buffer delay in ns (X8 buffer driving a subtree).
+pub const BUFFER_DELAY_NS: f64 = 0.12;
+
+/// Build an H-tree for the flops clocked (directly or through buffers)
+/// by `clock_port`. Flops on other clocks get zero latency.
+pub fn synthesize(
+    nl: &Netlist,
+    tech: &Technology,
+    fp: &Floorplan,
+    placement: &Placement,
+    clock_port: &str,
+) -> ClockTree {
+    let _ = clock_port; // single-clock designs: all flops belong to it
+    let flops: Vec<(InstanceId, f64, f64)> = nl
+        .flops()
+        .map(|(id, _)| (id, placement.x[id.index()], placement.y[id.index()]))
+        .collect();
+    let mut latency_ns = HashMap::new();
+    let mut buffers = 0usize;
+    let mut max_depth = 0usize;
+    if !flops.is_empty() {
+        // root at the core centre
+        let root = (fp.core.w / 2.0, fp.core.h / 2.0);
+        build(
+            &flops,
+            root,
+            BUFFER_DELAY_NS, // root buffer
+            1,
+            tech,
+            &mut latency_ns,
+            &mut buffers,
+            &mut max_depth,
+        );
+        buffers += 1; // the root buffer itself
+    }
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &l in latency_ns.values() {
+        min = min.min(l);
+        max = max.max(l);
+    }
+    if latency_ns.is_empty() {
+        min = 0.0;
+        max = 0.0;
+    }
+    ClockTree {
+        latency_ns,
+        buffers,
+        levels: max_depth,
+        skew_ns: max - min,
+        max_latency_ns: max,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build(
+    flops: &[(InstanceId, f64, f64)],
+    driver: (f64, f64),
+    latency: f64,
+    depth: usize,
+    tech: &Technology,
+    out: &mut HashMap<InstanceId, f64>,
+    buffers: &mut usize,
+    max_depth: &mut usize,
+) {
+    *max_depth = (*max_depth).max(depth);
+    let centroid = {
+        let n = flops.len() as f64;
+        (
+            flops.iter().map(|f| f.1).sum::<f64>() / n,
+            flops.iter().map(|f| f.2).sum::<f64>() / n,
+        )
+    };
+    let wire_mm =
+        ((driver.0 - centroid.0).abs() + (driver.1 - centroid.1).abs()) / 1000.0;
+    let here = latency + tech.wire_delay_ns_per_mm * wire_mm;
+    if flops.len() <= LEAF_SIZE {
+        // leaf buffer drives the cluster directly
+        *buffers += 1;
+        for &(id, fx, fy) in flops {
+            let leaf_mm = ((centroid.0 - fx).abs() + (centroid.1 - fy).abs()) / 1000.0;
+            out.insert(id, here + BUFFER_DELAY_NS + tech.wire_delay_ns_per_mm * leaf_mm);
+        }
+        return;
+    }
+    // split along the longer axis at the median
+    let mut sorted = flops.to_vec();
+    let (min_x, max_x) = sorted
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), f| (lo.min(f.1), hi.max(f.1)));
+    let (min_y, max_y) = sorted
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), f| (lo.min(f.2), hi.max(f.2)));
+    if max_x - min_x >= max_y - min_y {
+        sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    } else {
+        sorted.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"));
+    }
+    let mid = sorted.len() / 2;
+    let (left, right) = sorted.split_at(mid);
+    *buffers += 1; // branch buffer at the centroid
+    build(left, centroid, here + BUFFER_DELAY_NS, depth + 1, tech, out, buffers, max_depth);
+    build(right, centroid, here + BUFFER_DELAY_NS, depth + 1, tech, out, buffers, max_depth);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::{place, PlacementConfig, PlacementMode};
+    use camsoc_netlist::generate::{self, IpBlockParams};
+    use camsoc_sta::Constraints;
+
+    fn tree_for(gates: usize) -> (Netlist, ClockTree) {
+        let nl = generate::ip_block(
+            "blk",
+            &IpBlockParams { target_gates: gates, seed: 4, ..Default::default() },
+        )
+        .unwrap();
+        let tech = Technology::default();
+        let fp = Floorplan::generate(&nl, &tech).unwrap();
+        let p = place(
+            &nl,
+            &tech,
+            &fp,
+            &Constraints::single_clock("clk", 7.5),
+            &PlacementConfig {
+                mode: PlacementMode::Wirelength,
+                iterations: 2_000,
+                ..PlacementConfig::default()
+            },
+        );
+        let t = synthesize(&nl, &tech, &fp, &p, "clk");
+        (nl, t)
+    }
+
+    #[test]
+    fn every_flop_gets_a_latency() {
+        let (nl, tree) = tree_for(600);
+        assert_eq!(tree.latency_ns.len(), nl.flops().count());
+        assert!(tree.buffers > 0);
+        assert!(tree.levels >= 1);
+        for &l in tree.latency_ns.values() {
+            assert!(l > 0.0 && l.is_finite());
+        }
+    }
+
+    #[test]
+    fn skew_is_bounded_and_consistent() {
+        let (_, tree) = tree_for(800);
+        let min = tree.latency_ns.values().cloned().fold(f64::INFINITY, f64::min);
+        assert!((tree.max_latency_ns - min - tree.skew_ns).abs() < 1e-12);
+        // balanced tree keeps skew well under a max latency
+        assert!(tree.skew_ns <= tree.max_latency_ns);
+        // and under a nanosecond for these die sizes
+        assert!(tree.skew_ns < 1.0, "skew {}", tree.skew_ns);
+    }
+
+    #[test]
+    fn more_flops_need_more_buffers_and_depth() {
+        let (_, small) = tree_for(300);
+        let (_, big) = tree_for(2500);
+        assert!(big.buffers > small.buffers);
+        assert!(big.levels >= small.levels);
+    }
+
+    #[test]
+    fn flopless_design_yields_empty_tree() {
+        let nl = generate::ripple_adder(8).unwrap();
+        let tech = Technology::default();
+        let fp = Floorplan::generate(&nl, &tech).unwrap();
+        let p = place(
+            &nl,
+            &tech,
+            &fp,
+            &Constraints::default(),
+            &PlacementConfig { iterations: 100, ..PlacementConfig::default() },
+        );
+        let t = synthesize(&nl, &tech, &fp, &p, "clk");
+        assert!(t.latency_ns.is_empty());
+        assert_eq!(t.buffers, 0);
+        assert_eq!(t.skew_ns, 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Design-rule checking over placement and routing.
+//!
+//! The paper: "IP quality is less than ideal. We have to clean up many
+//! DRC/LVS violation in the database provided by the IP vendors." This
+//! module supplies the checker those cleanups answer to, at the
+//! global-routing abstraction: placement legality (cells in rows, inside
+//! the core, no overlaps), macro legality, and routing-capacity
+//! violations.
+
+use std::collections::HashMap;
+
+use camsoc_netlist::graph::Netlist;
+
+/// Fraction of gcell edges allowed to be marginally over capacity after
+/// global routing: small local overflows are absorbed by detailed
+/// routing (layer reassignment, off-grid tracks) and are not sign-off
+/// violations. Anything above this — or any edge above
+/// [`MAX_UTILISATION`] — is a genuine congestion failure.
+pub const OVERFLOW_EDGE_BUDGET: f64 = 0.005;
+/// Maximum tolerated edge utilisation for the marginal-overflow waiver.
+pub const MAX_UTILISATION: f64 = 1.10;
+
+use crate::floorplan::Floorplan;
+use crate::place::Placement;
+use crate::route::RouteResult;
+
+/// One DRC violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DrcViolation {
+    /// A cell lies outside the core area.
+    CellOutsideCore {
+        /// Offending instance name.
+        instance: String,
+    },
+    /// Two cells occupy the same site.
+    CellOverlap {
+        /// First instance.
+        a: String,
+        /// Second instance.
+        b: String,
+    },
+    /// Two macros overlap.
+    MacroOverlap {
+        /// First macro name.
+        a: String,
+        /// Second macro name.
+        b: String,
+    },
+    /// Routing demand exceeds capacity on some gcell edges.
+    RoutingOverflow {
+        /// Number of overflowed edges.
+        edges: usize,
+    },
+}
+
+/// DRC report.
+#[derive(Debug, Clone, Default)]
+pub struct DrcReport {
+    /// All violations found.
+    pub violations: Vec<DrcViolation>,
+}
+
+impl DrcReport {
+    /// Clean = no violations.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Count by class, for reporting.
+    pub fn summary(&self) -> HashMap<&'static str, usize> {
+        let mut m = HashMap::new();
+        for v in &self.violations {
+            let k = match v {
+                DrcViolation::CellOutsideCore { .. } => "cell-outside-core",
+                DrcViolation::CellOverlap { .. } => "cell-overlap",
+                DrcViolation::MacroOverlap { .. } => "macro-overlap",
+                DrcViolation::RoutingOverflow { .. } => "routing-overflow",
+            };
+            *m.entry(k).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+/// Run all checks.
+pub fn check(
+    nl: &Netlist,
+    fp: &Floorplan,
+    placement: &Placement,
+    routing: &RouteResult,
+) -> DrcReport {
+    let mut violations = Vec::new();
+    // cells inside core
+    for (id, inst) in nl.instances() {
+        let (x, y) = placement.location(id);
+        if x < 0.0 || x > fp.core.w || y < 0.0 || y > fp.core.h {
+            violations.push(DrcViolation::CellOutsideCore { instance: inst.name.clone() });
+        }
+    }
+    // site overlaps: quantise to (row, x) keys
+    let mut sites: HashMap<(usize, i64), String> = HashMap::new();
+    for (id, inst) in nl.instances() {
+        let key = (placement.row[id.index()], (placement.x[id.index()] * 100.0) as i64);
+        if let Some(other) = sites.insert(key, inst.name.clone()) {
+            violations.push(DrcViolation::CellOverlap { a: other, b: inst.name.clone() });
+        }
+    }
+    // macro overlaps
+    for i in 0..fp.macros.len() {
+        for j in i + 1..fp.macros.len() {
+            if fp.macros[i].1.overlaps(&fp.macros[j].1) {
+                violations.push(DrcViolation::MacroOverlap {
+                    a: nl.macro_inst(fp.macros[i].0).name.clone(),
+                    b: nl.macro_inst(fp.macros[j].0).name.clone(),
+                });
+            }
+        }
+    }
+    // routing overflow: waive marginal overflow detailed routing will
+    // absorb; flag real congestion
+    let total_edges =
+        (routing.grid.0.saturating_sub(1)) * routing.grid.1 + routing.grid.0 * (routing.grid.1.saturating_sub(1));
+    let edge_budget = (total_edges as f64 * OVERFLOW_EDGE_BUDGET).ceil() as usize;
+    if routing.overflowed_edges > edge_budget || routing.max_utilisation > MAX_UTILISATION {
+        violations.push(DrcViolation::RoutingOverflow { edges: routing.overflowed_edges });
+    }
+    DrcReport { violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::{place, PlacementConfig, PlacementMode};
+    use crate::route::{route, RouteConfig};
+    use camsoc_netlist::generate::{self, IpBlockParams};
+    use camsoc_netlist::tech::Technology;
+    use camsoc_sta::Constraints;
+
+    fn flow(gates: usize, route_cap: u32) -> (Netlist, DrcReport) {
+        let nl = generate::ip_block(
+            "blk",
+            &IpBlockParams { target_gates: gates, seed: 6, ..Default::default() },
+        )
+        .unwrap();
+        let tech = Technology::default();
+        let fp = Floorplan::generate(&nl, &tech).unwrap();
+        let p = place(
+            &nl,
+            &tech,
+            &fp,
+            &Constraints::single_clock("clk", 7.5),
+            &PlacementConfig {
+                mode: PlacementMode::Wirelength,
+                iterations: 3_000,
+                ..PlacementConfig::default()
+            },
+        );
+        let r = route(
+            &nl,
+            &fp,
+            &p,
+            &RouteConfig { edge_capacity: route_cap, ..RouteConfig::default() },
+        );
+        let report = check(&nl, &fp, &p, &r);
+        (nl, report)
+    }
+
+    #[test]
+    fn healthy_flow_is_clean() {
+        let (_, report) = flow(300, 10_000);
+        assert!(report.clean(), "violations: {:?}", report.summary());
+    }
+
+    #[test]
+    fn starved_routing_reports_overflow() {
+        let (_, report) = flow(800, 1);
+        assert!(!report.clean());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, DrcViolation::RoutingOverflow { .. })));
+        assert!(report.summary()["routing-overflow"] >= 1);
+    }
+
+    #[test]
+    fn displaced_cell_is_flagged() {
+        let nl = generate::ripple_adder(4).unwrap();
+        let tech = Technology::default();
+        let fp = crate::floorplan::Floorplan::generate(&nl, &tech).unwrap();
+        let mut p = place(
+            &nl,
+            &tech,
+            &fp,
+            &Constraints::default(),
+            &PlacementConfig { iterations: 100, ..PlacementConfig::default() },
+        );
+        p.x[0] = -500.0; // push a cell off the die
+        let r = route(&nl, &fp, &p, &RouteConfig::default());
+        let report = check(&nl, &fp, &p, &r);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, DrcViolation::CellOutsideCore { .. })));
+    }
+
+    #[test]
+    fn duplicate_slot_is_flagged() {
+        let nl = generate::ripple_adder(4).unwrap();
+        let tech = Technology::default();
+        let fp = crate::floorplan::Floorplan::generate(&nl, &tech).unwrap();
+        let mut p = place(
+            &nl,
+            &tech,
+            &fp,
+            &Constraints::default(),
+            &PlacementConfig { iterations: 100, ..PlacementConfig::default() },
+        );
+        // force instance 1 onto instance 0's slot
+        p.x[1] = p.x[0];
+        p.row[1] = p.row[0];
+        let r = route(&nl, &fp, &p, &RouteConfig::default());
+        let report = check(&nl, &fp, &p, &r);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, DrcViolation::CellOverlap { .. })));
+    }
+}

@@ -1,0 +1,101 @@
+//! Parasitic extraction: routed lengths → per-net wire delays.
+//!
+//! A lumped-RC estimate per net: resistance/capacitance grow with the
+//! routed length, plus a pin-capacitance term per fanout. The output
+//! vector plugs straight into [`camsoc_sta::Sta::with_wire_delays`] —
+//! closing the place-route-extract-STA sign-off loop the paper runs.
+
+use camsoc_netlist::graph::Netlist;
+use camsoc_netlist::tech::Technology;
+
+use crate::route::RouteResult;
+
+/// Additional delay per fanout pin (ns) from pin capacitance.
+pub const PIN_DELAY_NS: f64 = 0.004;
+
+/// Compute per-net wire delay (ns), indexed by `NetId`.
+pub fn wire_delays(nl: &Netlist, tech: &Technology, routing: &RouteResult) -> Vec<f64> {
+    let fanout = nl.fanout_counts();
+    (0..nl.num_nets())
+        .map(|i| {
+            let mm = routing.net_length_um[i] / 1000.0;
+            tech.wire_delay_ns_per_mm * mm + PIN_DELAY_NS * fanout[i] as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+    use crate::place::{place, PlacementConfig, PlacementMode};
+    use crate::route::{route, RouteConfig};
+    use camsoc_netlist::generate::{self, IpBlockParams};
+    use camsoc_sta::{Constraints, Sta};
+
+    #[test]
+    fn longer_nets_have_larger_delays() {
+        let nl = generate::ip_block(
+            "blk",
+            &IpBlockParams { target_gates: 400, seed: 5, ..Default::default() },
+        )
+        .unwrap();
+        let tech = Technology::default();
+        let fp = Floorplan::generate(&nl, &tech).unwrap();
+        let p = place(
+            &nl,
+            &tech,
+            &fp,
+            &Constraints::single_clock("clk", 7.5),
+            &PlacementConfig {
+                mode: PlacementMode::Wirelength,
+                iterations: 2_000,
+                ..PlacementConfig::default()
+            },
+        );
+        let r = route(&nl, &fp, &p, &RouteConfig::default());
+        let delays = wire_delays(&nl, &tech, &r);
+        assert_eq!(delays.len(), nl.num_nets());
+        // find two nets with very different routed lengths
+        let mut lens: Vec<(usize, f64)> =
+            r.net_length_um.iter().cloned().enumerate().collect();
+        lens.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        let shortest = lens.iter().find(|(_, l)| *l > 0.0).expect("routed net");
+        let longest = lens.last().expect("nets");
+        assert!(
+            delays[longest.0] > delays[shortest.0],
+            "delay should grow with length"
+        );
+        // extracted delays feed sign-off STA
+        let report = Sta::new(&nl, &tech, Constraints::single_clock("clk", 7.5))
+            .with_wire_delays(delays)
+            .analyze()
+            .unwrap();
+        assert!(report.setup.endpoints > 0);
+    }
+
+    #[test]
+    fn unrouted_nets_still_carry_pin_delay() {
+        let nl = generate::ripple_adder(4).unwrap();
+        let tech = Technology::default();
+        let routing = RouteResult {
+            grid: (2, 2),
+            gcell_um: (10.0, 10.0),
+            net_length_um: vec![0.0; nl.num_nets()],
+            total_wirelength_um: 0.0,
+            overflowed_edges: 0,
+            total_overflow: 0,
+            max_utilisation: 0.0,
+        };
+        let delays = wire_delays(&nl, &tech, &routing);
+        // any net with fanout gets at least the pin term
+        let fanout = nl.fanout_counts();
+        for (i, &d) in delays.iter().enumerate() {
+            if fanout[i] > 0 {
+                assert!(d > 0.0);
+            } else {
+                assert_eq!(d, 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Floorplanning: die sizing, standard-cell rows, macro placement.
+//!
+//! The DSC controller's floorplan shape is conventional for the era:
+//! memory macros packed along the top edge, the remaining core area
+//! filled with standard-cell rows at a target utilisation, an IO ring
+//! around everything.
+
+use camsoc_netlist::graph::{MacroId, Netlist};
+use camsoc_netlist::stats;
+use camsoc_netlist::tech::Technology;
+
+/// An axis-aligned rectangle in micrometres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f64,
+    /// Bottom edge.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+impl Rect {
+    /// Does this rectangle overlap another (strictly)?
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x < other.x + other.w
+            && other.x < self.x + self.w
+            && self.y < other.y + other.h
+            && other.y < self.y + self.h
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+}
+
+/// One standard-cell row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Row {
+    /// Bottom y coordinate (µm).
+    pub y: f64,
+    /// Row height (µm).
+    pub height: f64,
+    /// Left x (µm).
+    pub x: f64,
+    /// Usable width (µm).
+    pub width: f64,
+}
+
+/// The floorplan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    /// Core region (µm).
+    pub core: Rect,
+    /// Die outline including IO ring (µm).
+    pub die: Rect,
+    /// Standard-cell rows, bottom to top.
+    pub rows: Vec<Row>,
+    /// Macro placements.
+    pub macros: Vec<(MacroId, Rect)>,
+    /// Row site width quantum (µm).
+    pub site_um: f64,
+}
+
+/// Standard-cell row height in µm for the 0.25 µm generation.
+pub const ROW_HEIGHT_FACTOR: f64 = 13.0; // ~13 × feature in µm terms
+
+impl Floorplan {
+    /// Generate a floorplan for a netlist under a technology.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the design has no area (empty netlist).
+    pub fn generate(nl: &Netlist, tech: &Technology) -> Result<Floorplan, String> {
+        let area = stats::area_report(nl, tech);
+        if area.core_mm2 <= 0.0 {
+            return Err("design has zero core area".to_string());
+        }
+        let row_height = ROW_HEIGHT_FACTOR * tech.node.feature_um() * 4.0;
+        let site = tech.node.feature_um() * 4.0;
+
+        // Macro strip along the top: compute total macro footprint.
+        let macro_area_um2: f64 =
+            nl.macros().map(|(_, m)| tech.sram_area_um2(m.words, m.bits)).sum();
+        let cell_area_um2 = area.stdcell_mm2 * 1e6 / stats::CORE_UTILISATION;
+
+        // Square-ish core: width from total area.
+        let total = cell_area_um2 + macro_area_um2 * 1.15;
+        let core_w = total.sqrt().max(4.0 * row_height);
+        // macro strip height
+        let macro_h = if macro_area_um2 > 0.0 {
+            (macro_area_um2 * 1.15 / core_w).max(row_height)
+        } else {
+            0.0
+        };
+        let rows_h = cell_area_um2 / core_w;
+        let nrows = (rows_h / row_height).ceil().max(1.0) as usize;
+        let core_h = nrows as f64 * row_height + macro_h;
+        let core = Rect { x: 0.0, y: 0.0, w: core_w, h: core_h };
+        let ring = stats::IO_RING_MM * 1e3;
+        let die = Rect {
+            x: -ring,
+            y: -ring,
+            w: core_w + 2.0 * ring,
+            h: core_h + 2.0 * ring,
+        };
+
+        let rows: Vec<Row> = (0..nrows)
+            .map(|i| Row {
+                y: i as f64 * row_height,
+                height: row_height,
+                x: 0.0,
+                width: core_w,
+            })
+            .collect();
+
+        // Pack macros left-to-right (wrapping) in the strip above the rows.
+        let mut macros = Vec::new();
+        let strip_y = nrows as f64 * row_height;
+        let mut cursor_x = 0.0;
+        let mut cursor_y = strip_y;
+        let mut lane_h: f64 = 0.0;
+        for (id, m) in nl.macros() {
+            let a = tech.sram_area_um2(m.words, m.bits);
+            // aspect ~2:1 wide
+            let h = (a / 2.0).sqrt();
+            let w = 2.0 * h;
+            if cursor_x + w > core_w && cursor_x > 0.0 {
+                cursor_x = 0.0;
+                cursor_y += lane_h * 1.05;
+                lane_h = 0.0;
+            }
+            macros.push((id, Rect { x: cursor_x, y: cursor_y, w, h }));
+            cursor_x += w * 1.05;
+            lane_h = lane_h.max(h);
+        }
+        // grow core if macros spilled upward
+        let top = macros
+            .iter()
+            .map(|(_, r)| r.y + r.h)
+            .fold(core.h, f64::max);
+        let mut fp = Floorplan { core, die, rows, macros, site_um: site };
+        if top > fp.core.h {
+            fp.core.h = top;
+            fp.die.h = top + 2.0 * ring;
+        }
+        Ok(fp)
+    }
+
+    /// Row capacity in sites.
+    pub fn row_sites(&self, row: usize) -> usize {
+        (self.rows[row].width / self.site_um) as usize
+    }
+
+    /// Die area in mm².
+    pub fn die_area_mm2(&self) -> f64 {
+        self.die.w * self.die.h / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camsoc_netlist::builder::NetlistBuilder;
+    use camsoc_netlist::generate::{self, IpBlockParams};
+    use camsoc_netlist::tech::TechnologyNode;
+
+    #[test]
+    fn rect_overlap_logic() {
+        let a = Rect { x: 0.0, y: 0.0, w: 10.0, h: 10.0 };
+        let b = Rect { x: 5.0, y: 5.0, w: 10.0, h: 10.0 };
+        let c = Rect { x: 10.0, y: 0.0, w: 5.0, h: 5.0 };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c)); // touching edges do not overlap
+        assert_eq!(a.center(), (5.0, 5.0));
+    }
+
+    #[test]
+    fn floorplan_fits_cells() {
+        let nl = generate::ip_block(
+            "blk",
+            &IpBlockParams { target_gates: 2000, ..Default::default() },
+        )
+        .unwrap();
+        let tech = Technology::node(TechnologyNode::Tsmc250);
+        let fp = Floorplan::generate(&nl, &tech).unwrap();
+        assert!(!fp.rows.is_empty());
+        // total row capacity exceeds cell count (utilisation headroom)
+        let sites: usize = (0..fp.rows.len()).map(|r| fp.row_sites(r)).sum();
+        assert!(sites > nl.num_instances());
+        assert!(fp.die_area_mm2() > 0.0);
+        assert!(fp.die.w > fp.core.w);
+    }
+
+    #[test]
+    fn macros_do_not_overlap_each_other_or_rows() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let mut last = a;
+        for _ in 0..50 {
+            last = b.gate_auto(camsoc_netlist::cell::CellFunction::Inv, &[last]);
+        }
+        b.output("y", last);
+        for i in 0..6 {
+            let inp = b.fresh_net();
+            b.gate_into(camsoc_netlist::cell::CellFunction::Buf, &[a], inp);
+            let out = b.fresh_net();
+            b.memory(&format!("u_ram{i}"), 1024, 16, vec![inp], vec![out]);
+        }
+        let nl = b.finish();
+        let tech = Technology::default();
+        let fp = Floorplan::generate(&nl, &tech).unwrap();
+        assert_eq!(fp.macros.len(), 6);
+        for i in 0..fp.macros.len() {
+            for j in i + 1..fp.macros.len() {
+                assert!(
+                    !fp.macros[i].1.overlaps(&fp.macros[j].1),
+                    "macros {i} and {j} overlap"
+                );
+            }
+            // macros sit above the top row
+            let top_row = fp.rows.last().unwrap();
+            assert!(fp.macros[i].1.y >= top_row.y + top_row.height - 1e-9);
+        }
+    }
+
+    #[test]
+    fn bigger_designs_get_bigger_dies() {
+        let tech = Technology::default();
+        let small = generate::ip_block(
+            "s",
+            &IpBlockParams { target_gates: 500, ..Default::default() },
+        )
+        .unwrap();
+        let big = generate::ip_block(
+            "b",
+            &IpBlockParams { target_gates: 5000, ..Default::default() },
+        )
+        .unwrap();
+        let fs = Floorplan::generate(&small, &tech).unwrap();
+        let fb = Floorplan::generate(&big, &tech).unwrap();
+        assert!(fb.die_area_mm2() > fs.die_area_mm2());
+    }
+
+    #[test]
+    fn empty_netlist_rejected() {
+        let nl = camsoc_netlist::graph::Netlist::new("empty");
+        assert!(Floorplan::generate(&nl, &Technology::default()).is_err());
+    }
+}

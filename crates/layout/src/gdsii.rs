@@ -1,0 +1,267 @@
+//! GDSII stream writer — the tape-out artifact.
+//!
+//! Emits a real binary GDSII (Calma stream format) file: HEADER, BGNLIB,
+//! LIBNAME, UNITS, one structure containing a boundary per placed cell
+//! and macro plus the die outline, ENDSTR, ENDLIB. The paper's deliverable
+//! is literally "GDSII ready for manufacturing"; this writer produces a
+//! structurally valid stream (record framing, data types, coordinates in
+//! database units) that a GDSII parser can walk.
+
+use camsoc_netlist::graph::Netlist;
+
+use crate::floorplan::Floorplan;
+use crate::place::Placement;
+
+// GDSII record types (record-type byte << 8 | data-type byte).
+const HEADER: u16 = 0x0002;
+const BGNLIB: u16 = 0x0102;
+const LIBNAME: u16 = 0x0206;
+const UNITS: u16 = 0x0305;
+const BGNSTR: u16 = 0x0502;
+const STRNAME: u16 = 0x0606;
+const ENDSTR: u16 = 0x0700;
+const BOUNDARY: u16 = 0x0800;
+const LAYER: u16 = 0x0D02;
+const DATATYPE: u16 = 0x0E02;
+const XY: u16 = 0x1003;
+const ENDEL: u16 = 0x1100;
+const ENDLIB: u16 = 0x0400;
+
+/// Layer used for standard cells.
+pub const CELL_LAYER: i16 = 10;
+/// Layer used for macros.
+pub const MACRO_LAYER: i16 = 20;
+/// Layer used for the die outline.
+pub const OUTLINE_LAYER: i16 = 0;
+
+fn record(out: &mut Vec<u8>, rec: u16, data: &[u8]) {
+    let len = (4 + data.len()) as u16;
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(&rec.to_be_bytes());
+    out.extend_from_slice(data);
+}
+
+fn record_i16(out: &mut Vec<u8>, rec: u16, values: &[i16]) {
+    let mut data = Vec::with_capacity(values.len() * 2);
+    for v in values {
+        data.extend_from_slice(&v.to_be_bytes());
+    }
+    record(out, rec, &data);
+}
+
+fn record_i32(out: &mut Vec<u8>, rec: u16, values: &[i32]) {
+    let mut data = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        data.extend_from_slice(&v.to_be_bytes());
+    }
+    record(out, rec, &data);
+}
+
+fn record_str(out: &mut Vec<u8>, rec: u16, s: &str) {
+    let mut data = s.as_bytes().to_vec();
+    if data.len() % 2 == 1 {
+        data.push(0); // pad to even length
+    }
+    record(out, rec, &data);
+}
+
+/// GDSII 8-byte excess-64 floating point.
+fn gds_real(v: f64) -> [u8; 8] {
+    if v == 0.0 {
+        return [0; 8];
+    }
+    let sign = if v < 0.0 { 0x80u8 } else { 0 };
+    let mut m = v.abs();
+    let mut e = 64i32;
+    while m >= 1.0 {
+        m /= 16.0;
+        e += 1;
+    }
+    while m < 1.0 / 16.0 {
+        m *= 16.0;
+        e -= 1;
+    }
+    let mut out = [0u8; 8];
+    out[0] = sign | (e as u8);
+    let mut frac = m;
+    for b in out.iter_mut().skip(1) {
+        frac *= 256.0;
+        let byte = frac as u8;
+        *b = byte;
+        frac -= byte as f64;
+    }
+    out
+}
+
+fn rect_xy(x0: i32, y0: i32, x1: i32, y1: i32) -> [i32; 10] {
+    [x0, y0, x1, y0, x1, y1, x0, y1, x0, y0]
+}
+
+/// Write a placed design as a GDSII stream.
+///
+/// Coordinates are in database units of 1 nm (1000 units per µm).
+pub fn write(nl: &Netlist, fp: &Floorplan, placement: &Placement) -> Vec<u8> {
+    let mut out = Vec::new();
+    record_i16(&mut out, HEADER, &[600]); // version 6
+    // BGNLIB: modification + access timestamps (12 i16s); fixed epoch
+    let ts = [2005i16, 3, 7, 12, 0, 0, 2005, 3, 7, 12, 0, 0];
+    record_i16(&mut out, BGNLIB, &ts);
+    record_str(&mut out, LIBNAME, &nl.name.to_uppercase());
+    // UNITS: user unit = 1e-3 (µm in mm?), db unit in metres = 1e-9
+    let mut units = Vec::new();
+    units.extend_from_slice(&gds_real(1e-3));
+    units.extend_from_slice(&gds_real(1e-9));
+    record(&mut out, UNITS, &units);
+    record_i16(&mut out, BGNSTR, &ts);
+    record_str(&mut out, STRNAME, "TOP");
+
+    let nm = |um: f64| (um * 1000.0) as i32;
+    // die outline
+    record_i16(&mut out, BOUNDARY, &[]);
+    record_i16(&mut out, LAYER, &[OUTLINE_LAYER]);
+    record_i16(&mut out, DATATYPE, &[0]);
+    record_i32(
+        &mut out,
+        XY,
+        &rect_xy(nm(fp.die.x), nm(fp.die.y), nm(fp.die.x + fp.die.w), nm(fp.die.y + fp.die.h)),
+    );
+    record_i16(&mut out, ENDEL, &[]);
+    // cells
+    let half = fp.site_um * 0.45;
+    for (id, _) in nl.instances() {
+        let (x, y) = placement.location(id);
+        record_i16(&mut out, BOUNDARY, &[]);
+        record_i16(&mut out, LAYER, &[CELL_LAYER]);
+        record_i16(&mut out, DATATYPE, &[0]);
+        record_i32(
+            &mut out,
+            XY,
+            &rect_xy(nm(x - half), nm(y - half), nm(x + half), nm(y + half)),
+        );
+        record_i16(&mut out, ENDEL, &[]);
+    }
+    // macros
+    for (_, rect) in &fp.macros {
+        record_i16(&mut out, BOUNDARY, &[]);
+        record_i16(&mut out, LAYER, &[MACRO_LAYER]);
+        record_i16(&mut out, DATATYPE, &[0]);
+        record_i32(
+            &mut out,
+            XY,
+            &rect_xy(nm(rect.x), nm(rect.y), nm(rect.x + rect.w), nm(rect.y + rect.h)),
+        );
+        record_i16(&mut out, ENDEL, &[]);
+    }
+    record_i16(&mut out, ENDSTR, &[]);
+    record_i16(&mut out, ENDLIB, &[]);
+    out
+}
+
+/// Walk a GDSII stream and count records by type; errors on framing
+/// problems. Used to sanity-check the writer (and any stream).
+pub fn verify(stream: &[u8]) -> Result<std::collections::HashMap<u16, usize>, String> {
+    let mut counts = std::collections::HashMap::new();
+    let mut pos = 0usize;
+    while pos < stream.len() {
+        if pos + 4 > stream.len() {
+            return Err(format!("truncated record header at {pos}"));
+        }
+        let len = u16::from_be_bytes([stream[pos], stream[pos + 1]]) as usize;
+        let rec = u16::from_be_bytes([stream[pos + 2], stream[pos + 3]]);
+        if len < 4 || pos + len > stream.len() {
+            return Err(format!("bad record length {len} at {pos}"));
+        }
+        *counts.entry(rec).or_insert(0) += 1;
+        pos += len;
+        if rec == ENDLIB {
+            break;
+        }
+    }
+    if counts.get(&ENDLIB).copied().unwrap_or(0) != 1 {
+        return Err("missing ENDLIB".into());
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::{place, PlacementConfig};
+    use camsoc_netlist::generate;
+    use camsoc_netlist::tech::Technology;
+    use camsoc_sta::Constraints;
+
+    fn stream_for(width: usize) -> (Netlist, Vec<u8>) {
+        let nl = generate::ripple_adder(width).unwrap();
+        let tech = Technology::default();
+        let fp = Floorplan::generate(&nl, &tech).unwrap();
+        let p = place(
+            &nl,
+            &tech,
+            &fp,
+            &Constraints::default(),
+            &PlacementConfig { iterations: 200, ..PlacementConfig::default() },
+        );
+        let s = write(&nl, &fp, &p);
+        (nl, s)
+    }
+
+    #[test]
+    fn stream_is_well_formed() {
+        let (nl, s) = stream_for(8);
+        let counts = verify(&s).unwrap();
+        assert_eq!(counts[&HEADER], 1);
+        assert_eq!(counts[&BGNLIB], 1);
+        assert_eq!(counts[&ENDLIB], 1);
+        assert_eq!(counts[&BGNSTR], 1);
+        // one boundary per cell + die outline
+        assert_eq!(counts[&BOUNDARY], nl.num_instances() + 1);
+        assert_eq!(counts[&BOUNDARY], counts[&ENDEL]);
+    }
+
+    #[test]
+    fn bigger_design_bigger_stream() {
+        let (_, small) = stream_for(4);
+        let (_, big) = stream_for(16);
+        assert!(big.len() > small.len());
+    }
+
+    #[test]
+    fn verify_rejects_corruption() {
+        let (_, mut s) = stream_for(4);
+        assert!(verify(&s).is_ok());
+        // chop the tail off
+        let cut = s.len() - 6;
+        assert!(verify(&s[..cut]).is_err());
+        // corrupt a record length
+        s[0] = 0xFF;
+        s[1] = 0xFF;
+        assert!(verify(&s).is_err());
+    }
+
+    #[test]
+    fn gds_real_encodes_known_values() {
+        // 1e-9 in excess-64: standard value 0x39 44 B8 2F A0 9B 5A 54 —
+        // check the exponent/sign byte and round trip magnitude instead
+        let b = gds_real(1e-9);
+        assert_eq!(b[0] & 0x80, 0); // positive
+        let b0 = gds_real(0.0);
+        assert_eq!(b0, [0u8; 8]);
+        let bneg = gds_real(-1.0);
+        assert_eq!(bneg[0] & 0x80, 0x80);
+        // decode and compare
+        let decode = |b: [u8; 8]| -> f64 {
+            let sign = if b[0] & 0x80 != 0 { -1.0 } else { 1.0 };
+            let e = (b[0] & 0x7F) as i32 - 64;
+            let mut m = 0.0f64;
+            for (i, &byte) in b[1..].iter().enumerate() {
+                m += byte as f64 / 256f64.powi(i as i32 + 1);
+            }
+            sign * m * 16f64.powi(e)
+        };
+        for v in [1.0, 1e-9, 1e-3, 123.456, -0.25] {
+            let rel = (decode(gds_real(v)) - v).abs() / v.abs();
+            assert!(rel < 1e-12, "round trip {v}: rel err {rel}");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! # camsoc-layout
+//!
+//! Physical design: floorplanning, timing-driven placement, global
+//! routing, clock-tree synthesis, parasitic extraction, DRC, LVS and
+//! GDSII export.
+//!
+//! The paper's silicon phase — "the physical design of the chip was done
+//! with timing-driven placement and routing, physical synthesis, formal
+//! verification and STA QoR check", ending in a Netlist-to-GDSII
+//! hand-off — is rebuilt here over the [`camsoc_netlist`] IR:
+//!
+//! * [`floorplan`] — die sizing from cell area, standard-cell rows,
+//!   memory-macro placement.
+//! * [`place`] — simulated-annealing placement, wirelength-driven or
+//!   timing-driven (criticality-weighted via [`camsoc_sta`]).
+//! * [`route`] — grid-based global routing with congestion negotiation.
+//! * [`cts`] — recursive H-tree clock distribution with per-flop latency
+//!   and skew accounting.
+//! * [`extract`] — routed-length → per-net RC delay, feeding sign-off STA.
+//! * [`si`] — signal integrity: crosstalk screening, dynamic IR-drop
+//!   estimation and decap insertion (the conclusion's "next projects
+//!   require" list).
+//! * [`drc`] — placement/routing design-rule checks.
+//! * [`lvs`] — layout-vs-schematic connectivity comparison.
+//! * [`gdsii`] — binary GDSII stream writer (the tape-out artifact).
+//!
+//! The one-call driver is [`implement`], which runs the whole back end
+//! and returns a [`LayoutResult`] with the sign-off artefacts.
+
+pub mod cts;
+pub mod drc;
+pub mod extract;
+pub mod floorplan;
+pub mod gdsii;
+pub mod lvs;
+pub mod place;
+pub mod route;
+pub mod si;
+
+use camsoc_netlist::graph::Netlist;
+use camsoc_netlist::tech::Technology;
+use camsoc_sta::{Constraints, Sta, TimingReport};
+
+/// Options for the full back-end run.
+#[derive(Debug, Clone)]
+pub struct ImplementOptions {
+    /// Placement effort and mode.
+    pub placement: place::PlacementConfig,
+    /// Routing grid resolution.
+    pub routing: route::RouteConfig,
+    /// Clock port name for CTS (must match a constraint clock).
+    pub clock_port: String,
+}
+
+impl Default for ImplementOptions {
+    fn default() -> Self {
+        ImplementOptions {
+            placement: place::PlacementConfig::default(),
+            routing: route::RouteConfig::default(),
+            clock_port: "clk".to_string(),
+        }
+    }
+}
+
+/// Everything the back end produces.
+#[derive(Debug)]
+pub struct LayoutResult {
+    /// The floorplan.
+    pub floorplan: floorplan::Floorplan,
+    /// Final placement.
+    pub placement: place::Placement,
+    /// Global-routing result.
+    pub routing: route::RouteResult,
+    /// Clock tree.
+    pub clock_tree: cts::ClockTree,
+    /// Extracted per-net wire delays (ns).
+    pub wire_delays_ns: Vec<f64>,
+    /// Post-route DRC report.
+    pub drc: drc::DrcReport,
+    /// Post-route sign-off timing.
+    pub timing: TimingReport,
+}
+
+/// Error from the back-end driver.
+#[derive(Debug)]
+pub enum LayoutError {
+    /// Floorplanning failed (die cannot fit the design).
+    Floorplan(String),
+    /// Timing analysis failed.
+    Sta(camsoc_sta::StaError),
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::Floorplan(m) => write!(f, "floorplan: {m}"),
+            LayoutError::Sta(e) => write!(f, "sta: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+impl From<camsoc_sta::StaError> for LayoutError {
+    fn from(e: camsoc_sta::StaError) -> Self {
+        LayoutError::Sta(e)
+    }
+}
+
+/// Run the full back end: floorplan → place → CTS → route → extract →
+/// DRC → sign-off STA.
+///
+/// # Errors
+///
+/// [`LayoutError`] if floorplanning or timing analysis fails.
+pub fn implement(
+    nl: &Netlist,
+    tech: &Technology,
+    constraints: &Constraints,
+    options: &ImplementOptions,
+) -> Result<LayoutResult, LayoutError> {
+    let floorplan = floorplan::Floorplan::generate(nl, tech)
+        .map_err(LayoutError::Floorplan)?;
+    let placement = place::place(nl, tech, &floorplan, constraints, &options.placement);
+    let clock_tree = cts::synthesize(nl, tech, &floorplan, &placement, &options.clock_port);
+    let routing = route::route(nl, &floorplan, &placement, &options.routing);
+    let wire_delays_ns = extract::wire_delays(nl, tech, &routing);
+    let drc = drc::check(nl, &floorplan, &placement, &routing);
+    let timing = Sta::new(nl, tech, constraints.clone())
+        .with_wire_delays(wire_delays_ns.clone())
+        .with_clock_latency(clock_tree.latency_ns.clone())
+        .analyze()?;
+    Ok(LayoutResult {
+        floorplan,
+        placement,
+        routing,
+        clock_tree,
+        wire_delays_ns,
+        drc,
+        timing,
+    })
+}

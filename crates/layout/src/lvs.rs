@@ -1,0 +1,235 @@
+//! Layout-vs-schematic comparison.
+//!
+//! Compares the connectivity of two netlists — the sign-off schematic
+//! versus the netlist extracted back from layout — by name: same
+//! instance set, same cells, same pin-to-net binding, same ports and
+//! macros. Any divergence (a mask edit, an extraction bug, a vendor
+//! database problem) surfaces as a structured mismatch, as in the
+//! paper's sign-off loop.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use camsoc_netlist::graph::{Netlist, PortDir};
+
+/// One LVS mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LvsMismatch {
+    /// Instance exists only in one netlist.
+    InstanceOnlyIn {
+        /// "schematic" or "layout".
+        side: &'static str,
+        /// Instance name.
+        name: String,
+    },
+    /// Same instance, different cell.
+    CellDiffers {
+        /// Instance name.
+        name: String,
+        /// Schematic cell.
+        schematic: String,
+        /// Layout cell.
+        layout: String,
+    },
+    /// Same instance, different connectivity.
+    ConnectivityDiffers {
+        /// Instance name.
+        name: String,
+    },
+    /// Port set differs.
+    PortDiffers {
+        /// Port name.
+        name: String,
+    },
+    /// Macro set differs.
+    MacroDiffers {
+        /// Macro name.
+        name: String,
+    },
+}
+
+/// LVS result.
+#[derive(Debug, Clone, Default)]
+pub struct LvsReport {
+    /// Instances that matched exactly.
+    pub matched: usize,
+    /// All mismatches.
+    pub mismatches: Vec<LvsMismatch>,
+}
+
+impl LvsReport {
+    /// Clean compare.
+    pub fn clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+fn signature(nl: &Netlist, id: camsoc_netlist::graph::InstanceId) -> (String, Vec<String>) {
+    let inst = nl.instance(id);
+    let mut nets: Vec<String> =
+        inst.inputs.iter().map(|&n| nl.net(n).name.clone()).collect();
+    nets.push(format!("Y:{}", nl.net(inst.output).name));
+    if let Some(c) = inst.clock {
+        nets.push(format!("CK:{}", nl.net(c).name));
+    }
+    (inst.cell.lib_name(), nets)
+}
+
+/// Compare schematic vs layout netlists.
+pub fn compare(schematic: &Netlist, layout: &Netlist) -> LvsReport {
+    let mut report = LvsReport::default();
+    let sch: BTreeMap<&str, camsoc_netlist::graph::InstanceId> =
+        schematic.instances().map(|(id, i)| (i.name.as_str(), id)).collect();
+    let lay: BTreeMap<&str, camsoc_netlist::graph::InstanceId> =
+        layout.instances().map(|(id, i)| (i.name.as_str(), id)).collect();
+
+    for (&name, &sid) in &sch {
+        match lay.get(name) {
+            None => report.mismatches.push(LvsMismatch::InstanceOnlyIn {
+                side: "schematic",
+                name: name.to_string(),
+            }),
+            Some(&lid) => {
+                let (scell, snets) = signature(schematic, sid);
+                let (lcell, lnets) = signature(layout, lid);
+                if scell != lcell {
+                    report.mismatches.push(LvsMismatch::CellDiffers {
+                        name: name.to_string(),
+                        schematic: scell,
+                        layout: lcell,
+                    });
+                } else if snets != lnets {
+                    report
+                        .mismatches
+                        .push(LvsMismatch::ConnectivityDiffers { name: name.to_string() });
+                } else {
+                    report.matched += 1;
+                }
+            }
+        }
+    }
+    for &name in lay.keys() {
+        if !sch.contains_key(name) {
+            report.mismatches.push(LvsMismatch::InstanceOnlyIn {
+                side: "layout",
+                name: name.to_string(),
+            });
+        }
+    }
+    // ports
+    let sp: BTreeSet<(String, bool)> = schematic
+        .ports()
+        .map(|(_, p)| (p.name.clone(), p.dir == PortDir::Input))
+        .collect();
+    let lp: BTreeSet<(String, bool)> =
+        layout.ports().map(|(_, p)| (p.name.clone(), p.dir == PortDir::Input)).collect();
+    for (name, _) in sp.symmetric_difference(&lp) {
+        report.mismatches.push(LvsMismatch::PortDiffers { name: name.clone() });
+    }
+    // macros
+    let sm: BTreeSet<(String, usize, usize)> =
+        schematic.macros().map(|(_, m)| (m.name.clone(), m.words, m.bits)).collect();
+    let lm: BTreeSet<(String, usize, usize)> =
+        layout.macros().map(|(_, m)| (m.name.clone(), m.words, m.bits)).collect();
+    for (name, _, _) in sm.symmetric_difference(&lm) {
+        report.mismatches.push(LvsMismatch::MacroDiffers { name: name.clone() });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camsoc_netlist::cell::{CellFunction, Drive};
+    use camsoc_netlist::eco::EcoSession;
+    use camsoc_netlist::generate::{self, IpBlockParams};
+
+    #[test]
+    fn identical_netlists_are_clean() {
+        let nl = generate::ip_block(
+            "blk",
+            &IpBlockParams { target_gates: 300, seed: 7, ..Default::default() },
+        )
+        .unwrap();
+        let report = compare(&nl, &nl.clone());
+        assert!(report.clean());
+        assert_eq!(report.matched, nl.num_instances());
+    }
+
+    #[test]
+    fn rewire_is_caught_as_connectivity_diff() {
+        let nl = generate::ripple_adder(4).unwrap();
+        let mut eco = EcoSession::new(nl.clone());
+        let (gid, _) = eco
+            .netlist()
+            .instances()
+            .find(|(_, i)| i.inputs.len() == 2)
+            .expect("2-input gate");
+        let other_net = eco.netlist().find_net("a[0]").unwrap();
+        eco.rewire(gid, 1, other_net).unwrap();
+        let (layout, _) = eco.finish();
+        let report = compare(&nl, &layout);
+        assert!(!report.clean());
+        assert!(report
+            .mismatches
+            .iter()
+            .any(|m| matches!(m, LvsMismatch::ConnectivityDiffers { .. })));
+    }
+
+    #[test]
+    fn drive_change_is_a_cell_diff() {
+        let nl = generate::ripple_adder(2).unwrap();
+        let mut layout = nl.clone();
+        let (id, _) = layout.instances().next().unwrap();
+        layout.instance_mut(id).cell.drive = Drive::X4;
+        let report = compare(&nl, &layout);
+        assert!(report
+            .mismatches
+            .iter()
+            .any(|m| matches!(m, LvsMismatch::CellDiffers { .. })));
+    }
+
+    #[test]
+    fn missing_instance_and_port_detected() {
+        let mut b = camsoc_netlist::builder::NetlistBuilder::new("s");
+        let a = b.input("a");
+        let y = b.gate_auto(CellFunction::Inv, &[a]);
+        b.output("y", y);
+        let schematic = b.finish();
+
+        let mut b = camsoc_netlist::builder::NetlistBuilder::new("l");
+        let a = b.input("a");
+        let y = b.gate_auto(CellFunction::Inv, &[a]);
+        let extra = b.gate_auto(CellFunction::Buf, &[y]);
+        b.output("z", extra);
+        let layout = b.finish();
+
+        let report = compare(&schematic, &layout);
+        assert!(report
+            .mismatches
+            .iter()
+            .any(|m| matches!(m, LvsMismatch::InstanceOnlyIn { side: "layout", .. })));
+        assert!(report
+            .mismatches
+            .iter()
+            .any(|m| matches!(m, LvsMismatch::PortDiffers { .. })));
+    }
+
+    #[test]
+    fn macro_geometry_change_detected() {
+        let build = |words: usize| {
+            let mut b = camsoc_netlist::builder::NetlistBuilder::new("m");
+            let a = b.input("a");
+            let inp = b.fresh_net();
+            b.gate_into(CellFunction::Buf, &[a], inp);
+            let out = b.fresh_net();
+            b.memory("u_ram", words, 8, vec![inp], vec![out]);
+            b.output("q", out);
+            b.finish()
+        };
+        let report = compare(&build(256), &build(512));
+        assert!(report
+            .mismatches
+            .iter()
+            .any(|m| matches!(m, LvsMismatch::MacroDiffers { .. })));
+    }
+}

@@ -1,0 +1,439 @@
+//! Simulated-annealing standard-cell placement.
+//!
+//! Cells live on a slot grid (rows × uniform-pitch sites — the classic
+//! row-based abstraction); the annealer minimises half-perimeter
+//! wirelength (HPWL). In timing-driven mode, nets on the worst timing
+//! paths (from a pre-placement STA with estimated wires) carry extra
+//! weight, pulling the critical logic together — the mechanism behind
+//! the paper's "timing-driven placement".
+
+use std::collections::HashMap;
+
+use camsoc_netlist::generate::SplitMix64;
+use camsoc_netlist::graph::{InstanceId, NetId, Netlist};
+use camsoc_netlist::tech::Technology;
+use camsoc_sta::{Constraints, Sta};
+
+use crate::floorplan::Floorplan;
+
+/// Placement objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementMode {
+    /// Pure HPWL.
+    Wirelength,
+    /// HPWL with critical-path net weighting.
+    TimingDriven,
+}
+
+/// Annealer configuration.
+#[derive(Debug, Clone)]
+pub struct PlacementConfig {
+    /// Objective mode.
+    pub mode: PlacementMode,
+    /// Annealing moves; `0` = auto (scales with the instance count, so
+    /// effort per cell is constant as designs grow).
+    pub iterations: usize,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Weight multiplier applied to critical nets in timing mode.
+    pub critical_weight: f64,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            mode: PlacementMode::TimingDriven,
+            iterations: 0, // auto
+            seed: 0x9_1ACE,
+            critical_weight: 8.0,
+        }
+    }
+}
+
+/// A completed placement.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Per-instance x coordinate (µm).
+    pub x: Vec<f64>,
+    /// Per-instance y coordinate (µm).
+    pub y: Vec<f64>,
+    /// Per-instance row index.
+    pub row: Vec<usize>,
+    /// Final weighted HPWL (µm).
+    pub hpwl_um: f64,
+    /// HPWL of the initial (sequential) placement (µm).
+    pub initial_hpwl_um: f64,
+    /// Moves accepted by the annealer.
+    pub accepted_moves: usize,
+}
+
+impl Placement {
+    /// Location of an instance.
+    pub fn location(&self, id: InstanceId) -> (f64, f64) {
+        (self.x[id.index()], self.y[id.index()])
+    }
+
+    /// HPWL improvement ratio versus the initial placement.
+    pub fn improvement(&self) -> f64 {
+        if self.initial_hpwl_um == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.hpwl_um / self.initial_hpwl_um
+    }
+}
+
+/// Fixed-position pins (ports and macro pins) per net.
+struct PinDb {
+    /// net → fixed (x, y) points
+    fixed: Vec<Vec<(f64, f64)>>,
+    /// net → movable instance pins
+    movable: Vec<Vec<InstanceId>>,
+    /// nets worth costing (≥ 2 endpoints total)
+    active: Vec<NetId>,
+    /// per-net weight
+    weight: Vec<f64>,
+}
+
+fn build_pins(nl: &Netlist, fp: &Floorplan, weights: &HashMap<String, f64>) -> PinDb {
+    let n = nl.num_nets();
+    let mut fixed = vec![Vec::new(); n];
+    let mut movable = vec![Vec::new(); n];
+    // ports around the core boundary, evenly spaced
+    let nports = nl.num_ports().max(1);
+    for (i, (_, port)) in nl.ports().enumerate() {
+        let t = i as f64 / nports as f64;
+        let perim = 2.0 * (fp.core.w + fp.core.h);
+        let d = t * perim;
+        let (x, y) = if d < fp.core.w {
+            (d, 0.0)
+        } else if d < fp.core.w + fp.core.h {
+            (fp.core.w, d - fp.core.w)
+        } else if d < 2.0 * fp.core.w + fp.core.h {
+            (2.0 * fp.core.w + fp.core.h - d, fp.core.h)
+        } else {
+            (0.0, perim - d)
+        };
+        fixed[port.net.index()].push((x, y));
+    }
+    // macro pins spread along the macro's bottom edge
+    let macro_rect: HashMap<usize, crate::floorplan::Rect> =
+        fp.macros.iter().map(|(id, r)| (id.index(), *r)).collect();
+    for (mid, m) in nl.macros() {
+        if let Some(rect) = macro_rect.get(&mid.index()) {
+            let total = (m.inputs.len() + m.outputs.len()).max(1);
+            for (j, &net) in m.inputs.iter().chain(&m.outputs).enumerate() {
+                let px = rect.x + (j as f64 + 0.5) / total as f64 * rect.w;
+                fixed[net.index()].push((px, rect.y));
+            }
+        }
+    }
+    for (id, inst) in nl.instances() {
+        for &net in &inst.inputs {
+            movable[net.index()].push(id);
+        }
+        movable[inst.output.index()].push(id);
+        if let Some(c) = inst.clock {
+            movable[c.index()].push(id);
+        }
+    }
+    let mut active = Vec::new();
+    let mut weight = vec![1.0; n];
+    for (id, net) in nl.nets() {
+        let total = fixed[id.index()].len() + movable[id.index()].len();
+        if total >= 2 {
+            active.push(id);
+        }
+        if let Some(&w) = weights.get(&net.name) {
+            weight[id.index()] = w;
+        }
+    }
+    PinDb { fixed, movable, active, weight }
+}
+
+fn net_hpwl(db: &PinDb, net: NetId, x: &[f64], y: &[f64]) -> f64 {
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for &(px, py) in &db.fixed[net.index()] {
+        min_x = min_x.min(px);
+        max_x = max_x.max(px);
+        min_y = min_y.min(py);
+        max_y = max_y.max(py);
+    }
+    for &inst in &db.movable[net.index()] {
+        let (px, py) = (x[inst.index()], y[inst.index()]);
+        min_x = min_x.min(px);
+        max_x = max_x.max(px);
+        min_y = min_y.min(py);
+        max_y = max_y.max(py);
+    }
+    if min_x > max_x {
+        return 0.0;
+    }
+    ((max_x - min_x) + (max_y - min_y)) * db.weight[net.index()]
+}
+
+/// Critical-net weights from a pre-placement STA.
+fn timing_weights(
+    nl: &Netlist,
+    tech: &Technology,
+    constraints: &Constraints,
+    boost: f64,
+) -> HashMap<String, f64> {
+    let mut weights = HashMap::new();
+    if let Ok(report) = Sta::new(nl, tech, constraints.clone()).analyze() {
+        if let Some(path) = report.critical_path {
+            for step in path.steps {
+                weights.insert(step.net, boost);
+            }
+        }
+    }
+    weights
+}
+
+/// Place a netlist onto a floorplan.
+///
+/// Cells are snapped to row/site slots; the returned coordinates are
+/// slot centres in µm.
+pub fn place(
+    nl: &Netlist,
+    tech: &Technology,
+    fp: &Floorplan,
+    constraints: &Constraints,
+    config: &PlacementConfig,
+) -> Placement {
+    let n = nl.num_instances();
+    let iterations = if config.iterations > 0 {
+        config.iterations
+    } else {
+        (n * 25).max(10_000)
+    };
+    let weights = match config.mode {
+        PlacementMode::Wirelength => HashMap::new(),
+        PlacementMode::TimingDriven => {
+            timing_weights(nl, tech, constraints, config.critical_weight)
+        }
+    };
+    let db = build_pins(nl, fp, &weights);
+
+    // slot grid: average cell pitch
+    let nrows = fp.rows.len().max(1);
+    let sites_per_row = ((n.div_ceil(nrows)) as f64 * 1.3).ceil() as usize + 2;
+    let pitch = fp.core.w / sites_per_row as f64;
+
+    let mut slot_of = vec![(0usize, 0usize); n]; // (row, site)
+    let mut occupant: Vec<Vec<Option<InstanceId>>> =
+        vec![vec![None; sites_per_row]; nrows];
+    // fill rows sequentially: generator order is connectivity order, so
+    // neighbours in the netlist start as neighbours on the die — a far
+    // better seed than scattering them across rows
+    for i in 0..n {
+        let row = (i / sites_per_row).min(nrows - 1);
+        let site = if row == nrows - 1 && i / sites_per_row >= nrows {
+            // overflow of the last row cannot happen by construction
+            // (sites_per_row * nrows >= n) but stay defensive
+            (i - row * sites_per_row).min(sites_per_row - 1)
+        } else {
+            i % sites_per_row
+        };
+        slot_of[i] = (row, site);
+        occupant[row][site] = Some(InstanceId(i as u32));
+    }
+
+    let coords = |slot: (usize, usize)| -> (f64, f64) {
+        let (row, site) = slot;
+        (
+            (site as f64 + 0.5) * pitch,
+            fp.rows[row.min(fp.rows.len() - 1)].y + fp.rows[0].height / 2.0,
+        )
+    };
+
+    let mut x = vec![0.0; n];
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let (px, py) = coords(slot_of[i]);
+        x[i] = px;
+        y[i] = py;
+    }
+
+    // initial cost
+    let mut net_cost: Vec<f64> = vec![0.0; nl.num_nets()];
+    let mut total = 0.0;
+    for &net in &db.active {
+        let c = net_hpwl(&db, net, &x, &y);
+        net_cost[net.index()] = c;
+        total += c;
+    }
+    let initial_hpwl = total;
+
+    // nets touching each instance
+    let mut inst_nets: Vec<Vec<NetId>> = vec![Vec::new(); n];
+    for (id, inst) in nl.instances() {
+        let mut nets: Vec<NetId> = inst.inputs.clone();
+        nets.push(inst.output);
+        if let Some(c) = inst.clock {
+            nets.push(c);
+        }
+        nets.sort_unstable();
+        nets.dedup();
+        inst_nets[id.index()] = nets;
+    }
+
+    let mut rng = SplitMix64::new(config.seed);
+    let mut temperature = pitch * 40.0; // cost units are µm
+    let cooling = (0.01f64 / temperature.max(1e-9)).powf(1.0 / iterations as f64);
+    let mut accepted = 0usize;
+
+    for _ in 0..iterations {
+        if n < 2 {
+            break;
+        }
+        let a = InstanceId(rng.below(n) as u32);
+        let target_row = rng.below(nrows);
+        let target_site = rng.below(sites_per_row);
+        let b = occupant[target_row][target_site];
+        if b == Some(a) {
+            continue;
+        }
+        // affected nets
+        let mut nets: Vec<NetId> = inst_nets[a.index()].clone();
+        if let Some(b) = b {
+            nets.extend(&inst_nets[b.index()]);
+            nets.sort_unstable();
+            nets.dedup();
+        }
+        let before: f64 = nets.iter().map(|&nid| net_cost[nid.index()]).sum();
+        // tentative move (swap or displace)
+        let old_a = slot_of[a.index()];
+        let (ax, ay) = (x[a.index()], y[a.index()]);
+        let (nx, ny) = coords((target_row, target_site));
+        x[a.index()] = nx;
+        y[a.index()] = ny;
+        if let Some(b) = b {
+            let (bx, by) = coords(old_a);
+            x[b.index()] = bx;
+            y[b.index()] = by;
+        }
+        let after: f64 = nets.iter().map(|&nid| net_hpwl(&db, nid, &x, &y)).sum();
+        let delta = after - before;
+        let accept = delta < 0.0
+            || rng.chance((-delta / temperature.max(1e-9)).exp().clamp(0.0, 1.0));
+        if accept {
+            accepted += 1;
+            total += delta;
+            for &nid in &nets {
+                net_cost[nid.index()] = net_hpwl(&db, nid, &x, &y);
+            }
+            occupant[old_a.0][old_a.1] = b;
+            occupant[target_row][target_site] = Some(a);
+            slot_of[a.index()] = (target_row, target_site);
+            if let Some(b) = b {
+                slot_of[b.index()] = old_a;
+            }
+        } else {
+            // revert coordinates
+            x[a.index()] = ax;
+            y[a.index()] = ay;
+            if let Some(b) = b {
+                let (bx, by) = coords((target_row, target_site));
+                x[b.index()] = bx;
+                y[b.index()] = by;
+            }
+        }
+        temperature *= cooling;
+    }
+
+    let row = slot_of.iter().map(|&(r, _)| r).collect();
+    Placement {
+        x,
+        y,
+        row,
+        hpwl_um: total,
+        initial_hpwl_um: initial_hpwl,
+        accepted_moves: accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camsoc_netlist::generate::{self, IpBlockParams};
+    use camsoc_netlist::tech::TechnologyNode;
+
+    fn setup(gates: usize) -> (Netlist, Technology, Floorplan, Constraints) {
+        let nl = generate::ip_block(
+            "blk",
+            &IpBlockParams { target_gates: gates, seed: 2, ..Default::default() },
+        )
+        .unwrap();
+        let tech = Technology::node(TechnologyNode::Tsmc250);
+        let fp = Floorplan::generate(&nl, &tech).unwrap();
+        let constraints = Constraints::single_clock("clk", 7.5);
+        (nl, tech, fp, constraints)
+    }
+
+    #[test]
+    fn annealing_reduces_wirelength() {
+        let (nl, tech, fp, constraints) = setup(800);
+        let cfg = PlacementConfig {
+            mode: PlacementMode::Wirelength,
+            iterations: 20_000,
+            ..PlacementConfig::default()
+        };
+        let p = place(&nl, &tech, &fp, &constraints, &cfg);
+        assert!(
+            p.hpwl_um < p.initial_hpwl_um,
+            "no improvement: {} -> {}",
+            p.initial_hpwl_um,
+            p.hpwl_um
+        );
+        assert!(p.improvement() > 0.15, "improvement {:.3}", p.improvement());
+        assert!(p.accepted_moves > 0);
+    }
+
+    #[test]
+    fn all_cells_inside_core() {
+        let (nl, tech, fp, constraints) = setup(500);
+        let cfg = PlacementConfig { iterations: 5_000, ..PlacementConfig::default() };
+        let p = place(&nl, &tech, &fp, &constraints, &cfg);
+        for i in 0..nl.num_instances() {
+            assert!(p.x[i] >= 0.0 && p.x[i] <= fp.core.w, "x[{i}] = {}", p.x[i]);
+            assert!(p.y[i] >= 0.0 && p.y[i] <= fp.core.h, "y[{i}] = {}", p.y[i]);
+        }
+    }
+
+    #[test]
+    fn no_two_cells_share_a_slot() {
+        let (nl, tech, fp, constraints) = setup(400);
+        let cfg = PlacementConfig { iterations: 10_000, ..PlacementConfig::default() };
+        let p = place(&nl, &tech, &fp, &constraints, &cfg);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..nl.num_instances() {
+            let key = (p.row[i], (p.x[i] * 1000.0) as i64);
+            assert!(seen.insert(key), "slot collision at instance {i}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (nl, tech, fp, constraints) = setup(300);
+        let cfg = PlacementConfig { iterations: 3_000, ..PlacementConfig::default() };
+        let a = place(&nl, &tech, &fp, &constraints, &cfg);
+        let b = place(&nl, &tech, &fp, &constraints, &cfg);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.hpwl_um, b.hpwl_um);
+    }
+
+    #[test]
+    fn timing_mode_runs_and_weights_nets() {
+        let (nl, tech, fp, constraints) = setup(400);
+        let cfg = PlacementConfig {
+            mode: PlacementMode::TimingDriven,
+            iterations: 3_000,
+            ..PlacementConfig::default()
+        };
+        let p = place(&nl, &tech, &fp, &constraints, &cfg);
+        assert!(p.hpwl_um > 0.0);
+    }
+}

@@ -1,0 +1,500 @@
+//! Grid-based global routing with congestion negotiation.
+//!
+//! The core is tiled into gcells; each net is first routed with L-shapes
+//! pin-to-pin (a cheap Steiner approximation), then nets crossing
+//! over-capacity edges are ripped up and re-routed with an A* search
+//! whose edge cost grows with congestion — one round of the
+//! negotiation-based scheme production routers use.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use camsoc_netlist::graph::{NetId, Netlist};
+
+use crate::floorplan::Floorplan;
+use crate::place::Placement;
+
+/// Routable tracks per µm of gcell boundary. A 5LM 0.25 µm stack gives
+/// four routing layers (M2–M5) at a 1.1 µm average pitch; the global
+/// router has no layer assignment, so the per-direction capacities sum
+/// to ~3.6/µm.
+pub const TRACKS_PER_UM: f64 = 3.6;
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouteConfig {
+    /// Grid cells across the core (both axes scale to aspect); `0` =
+    /// derive from the design size (≈√instances, so cells-per-gcell and
+    /// per-edge demand stay roughly constant as designs grow).
+    pub gcells: usize,
+    /// Routing capacity per gcell edge (tracks); `0` = derive from the
+    /// gcell size via [`TRACKS_PER_UM`].
+    pub edge_capacity: u32,
+    /// Rip-up/reroute rounds.
+    pub rounds: usize,
+    /// Congestion penalty multiplier for the reroute cost function.
+    pub congestion_penalty: f64,
+    /// Nets with more pins than this are excluded from signal routing
+    /// (clock/reset/scan-enable class nets get dedicated distribution —
+    /// CTS for the clock, spine routing for the others).
+    pub max_fanout_routed: usize,
+}
+
+impl Default for RouteConfig {
+    fn default() -> Self {
+        RouteConfig {
+            gcells: 0, // auto from design size
+            edge_capacity: 0, // auto from gcell size
+            rounds: 8,
+            congestion_penalty: 8.0,
+            max_fanout_routed: 120,
+        }
+    }
+}
+
+/// Result of global routing.
+#[derive(Debug, Clone)]
+pub struct RouteResult {
+    /// Grid dimensions (x, y).
+    pub grid: (usize, usize),
+    /// Gcell size in µm (x, y).
+    pub gcell_um: (f64, f64),
+    /// Per-net routed length in µm (0 for unrouted/single-pin nets).
+    pub net_length_um: Vec<f64>,
+    /// Total wirelength in µm.
+    pub total_wirelength_um: f64,
+    /// Edges whose usage exceeds capacity after the final round.
+    pub overflowed_edges: usize,
+    /// Total overflow: Σ max(0, usage − capacity) over all edges.
+    pub total_overflow: u64,
+    /// Maximum edge utilisation (usage / capacity).
+    pub max_utilisation: f64,
+}
+
+#[derive(Clone)]
+struct Grid {
+    nx: usize,
+    ny: usize,
+    /// horizontal edges: (nx-1) * ny
+    h_usage: Vec<u32>,
+    /// vertical edges: nx * (ny-1)
+    v_usage: Vec<u32>,
+}
+
+impl Grid {
+    fn new(nx: usize, ny: usize) -> Grid {
+        Grid {
+            nx,
+            ny,
+            h_usage: vec![0; (nx.saturating_sub(1)) * ny],
+            v_usage: vec![0; nx * ny.saturating_sub(1)],
+        }
+    }
+    fn h_index(&self, x: usize, y: usize) -> usize {
+        y * (self.nx - 1) + x
+    }
+    fn v_index(&self, x: usize, y: usize) -> usize {
+        y * self.nx + x
+    }
+}
+
+/// A routed net: sequence of gcell coordinates.
+type Path = Vec<(usize, usize)>;
+
+fn l_route(from: (usize, usize), to: (usize, usize)) -> Path {
+    let mut path = vec![from];
+    let (mut x, mut y) = from;
+    while x != to.0 {
+        x = if x < to.0 { x + 1 } else { x - 1 };
+        path.push((x, y));
+    }
+    while y != to.1 {
+        y = if y < to.1 { y + 1 } else { y - 1 };
+        path.push((x, y));
+    }
+    path
+}
+
+fn apply_path(grid: &mut Grid, path: &Path, delta: i64) {
+    for w in path.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if y0 == y1 {
+            let idx = grid.h_index(x0.min(x1), y0);
+            grid.h_usage[idx] = (grid.h_usage[idx] as i64 + delta).max(0) as u32;
+        } else {
+            let idx = grid.v_index(x0, y0.min(y1));
+            grid.v_usage[idx] = (grid.v_usage[idx] as i64 + delta).max(0) as u32;
+        }
+    }
+}
+
+fn path_crosses_overflow(grid: &Grid, path: &Path, cap: u32) -> bool {
+    for w in path.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        let usage = if y0 == y1 {
+            grid.h_usage[grid.h_index(x0.min(x1), y0)]
+        } else {
+            grid.v_usage[grid.v_index(x0, y0.min(y1))]
+        };
+        if usage > cap {
+            return true;
+        }
+    }
+    false
+}
+
+/// A* reroute with congestion-aware costs.
+fn astar(
+    grid: &Grid,
+    from: (usize, usize),
+    to: (usize, usize),
+    cap: u32,
+    penalty: f64,
+) -> Path {
+    #[derive(PartialEq)]
+    struct Node(f64, (usize, usize));
+    impl Eq for Node {}
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other.0.partial_cmp(&self.0).unwrap_or(std::cmp::Ordering::Equal)
+        }
+    }
+    let h = |p: (usize, usize)| -> f64 {
+        (p.0.abs_diff(to.0) + p.1.abs_diff(to.1)) as f64
+    };
+    let mut open = BinaryHeap::new();
+    let mut best: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut parent: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+    open.push(Node(h(from), from));
+    best.insert(from, 0.0);
+    while let Some(Node(_, cur)) = open.pop() {
+        if cur == to {
+            let mut path = vec![to];
+            let mut p = to;
+            while let Some(&prev) = parent.get(&p) {
+                path.push(prev);
+                p = prev;
+            }
+            path.reverse();
+            return path;
+        }
+        let g = best[&cur];
+        let (x, y) = cur;
+        let mut neighbors: Vec<((usize, usize), f64)> = Vec::with_capacity(4);
+        if x + 1 < grid.nx {
+            let u = grid.h_usage[grid.h_index(x, y)];
+            neighbors.push(((x + 1, y), edge_cost(u, cap, penalty)));
+        }
+        if x > 0 {
+            let u = grid.h_usage[grid.h_index(x - 1, y)];
+            neighbors.push(((x - 1, y), edge_cost(u, cap, penalty)));
+        }
+        if y + 1 < grid.ny {
+            let u = grid.v_usage[grid.v_index(x, y)];
+            neighbors.push(((x, y + 1), edge_cost(u, cap, penalty)));
+        }
+        if y > 0 {
+            let u = grid.v_usage[grid.v_index(x, y - 1)];
+            neighbors.push(((x, y - 1), edge_cost(u, cap, penalty)));
+        }
+        for (np, cost) in neighbors {
+            let ng = g + cost;
+            if best.get(&np).map_or(true, |&b| ng < b) {
+                best.insert(np, ng);
+                parent.insert(np, cur);
+                open.push(Node(ng + h(np), np));
+            }
+        }
+    }
+    l_route(from, to) // unreachable in a connected grid; fallback
+}
+
+fn edge_cost(usage: u32, cap: u32, penalty: f64) -> f64 {
+    1.0 + penalty * (usage as f64 / cap.max(1) as f64).powi(3)
+}
+
+/// Route a placed netlist.
+pub fn route(
+    nl: &Netlist,
+    fp: &Floorplan,
+    placement: &Placement,
+    config: &RouteConfig,
+) -> RouteResult {
+    let nx = if config.gcells >= 2 {
+        config.gcells
+    } else {
+        ((nl.num_instances() as f64).sqrt() as usize).clamp(24, 112)
+    };
+    let aspect = (fp.core.h / fp.core.w).max(0.05);
+    let ny = ((nx as f64 * aspect).ceil() as usize).max(2);
+    let gx = fp.core.w / nx as f64;
+    let gy = fp.core.h / ny as f64;
+    let capacity = if config.edge_capacity > 0 {
+        config.edge_capacity
+    } else {
+        ((gx.min(gy) * TRACKS_PER_UM) as u32).max(4)
+    };
+    let mut grid = Grid::new(nx, ny);
+
+    let to_gcell = |x: f64, y: f64| -> (usize, usize) {
+        (
+            ((x / gx) as usize).min(nx - 1),
+            ((y / gy) as usize).min(ny - 1),
+        )
+    };
+
+    // net pins: instance pins + macro pins + port pins
+    let mut pins: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nl.num_nets()];
+    for (id, inst) in nl.instances() {
+        let g = to_gcell(placement.x[id.index()], placement.y[id.index()]);
+        for &net in &inst.inputs {
+            pins[net.index()].push(g);
+        }
+        pins[inst.output.index()].push(g);
+        if let Some(c) = inst.clock {
+            pins[c.index()].push(g);
+        }
+    }
+    // macro pins spread along the macro's bottom edge (like a real
+    // hard-macro pin row), not piled onto one gcell
+    let macro_rect: HashMap<usize, crate::floorplan::Rect> =
+        fp.macros.iter().map(|(id, r)| (id.index(), *r)).collect();
+    for (mid, m) in nl.macros() {
+        if let Some(rect) = macro_rect.get(&mid.index()) {
+            let total = (m.inputs.len() + m.outputs.len()).max(1);
+            for (j, &net) in m.inputs.iter().chain(&m.outputs).enumerate() {
+                let px = rect.x + (j as f64 + 0.5) / total as f64 * rect.w;
+                let g = to_gcell(
+                    px.clamp(0.0, fp.core.w - 1e-6),
+                    rect.y.clamp(0.0, fp.core.h - 1e-6),
+                );
+                pins[net.index()].push(g);
+            }
+        }
+    }
+    // ports spread around the core boundary, matching the placement
+    // model's pin positions (funneling them all into one corner would
+    // fabricate congestion that doesn't exist)
+    let nports = nl.num_ports().max(1);
+    for (i, (_, p)) in nl.ports().enumerate() {
+        let t = i as f64 / nports as f64;
+        let perim = 2.0 * (fp.core.w + fp.core.h);
+        let d = t * perim;
+        let (px, py) = if d < fp.core.w {
+            (d, 0.0)
+        } else if d < fp.core.w + fp.core.h {
+            (fp.core.w, d - fp.core.w)
+        } else if d < 2.0 * fp.core.w + fp.core.h {
+            (2.0 * fp.core.w + fp.core.h - d, fp.core.h)
+        } else {
+            (0.0, perim - d)
+        };
+        pins[p.net.index()].push(to_gcell(
+            px.min(fp.core.w - 1e-6).max(0.0),
+            py.min(fp.core.h - 1e-6).max(0.0),
+        ));
+    }
+
+    // initial L-routing, chaining pins sorted by x
+    let mut paths: Vec<Option<Path>> = vec![None; nl.num_nets()];
+    let fanout_counts = nl.fanout_counts();
+    let routable: Vec<NetId> = nl
+        .nets()
+        .filter(|(id, _)| {
+            if fanout_counts[id.index()] > config.max_fanout_routed {
+                return false; // clock/reset class: dedicated distribution
+            }
+            let mut p = pins[id.index()].clone();
+            p.sort_unstable();
+            p.dedup();
+            p.len() >= 2
+        })
+        .map(|(id, _)| id)
+        .collect();
+    for &net in &routable {
+        let mut p = pins[net.index()].clone();
+        p.sort_unstable();
+        p.dedup();
+        let mut full: Path = Vec::new();
+        for pair in p.windows(2) {
+            let seg = l_route(pair[0], pair[1]);
+            if full.is_empty() {
+                full = seg;
+            } else {
+                full.extend_from_slice(&seg[1..]);
+            }
+        }
+        apply_path(&mut grid, &full, 1);
+        paths[net.index()] = Some(full);
+    }
+
+    // negotiation rounds with PathFinder-style escalating pressure
+    for round in 0..config.rounds {
+        let pressure = config.congestion_penalty * (round + 1) as f64;
+        let mut ripped = 0usize;
+        for &net in &routable {
+            let crosses = paths[net.index()]
+                .as_ref()
+                .is_some_and(|p| path_crosses_overflow(&grid, p, capacity));
+            if !crosses {
+                continue;
+            }
+            ripped += 1;
+            let old = paths[net.index()].take().expect("routed");
+            apply_path(&mut grid, &old, -1);
+            let mut p = pins[net.index()].clone();
+            p.sort_unstable();
+            p.dedup();
+            let mut full: Path = Vec::new();
+            for pair in p.windows(2) {
+                let seg = astar(&grid, pair[0], pair[1], capacity, pressure);
+                if full.is_empty() {
+                    full = seg;
+                } else {
+                    full.extend_from_slice(&seg[1..]);
+                }
+            }
+            apply_path(&mut grid, &full, 1);
+            paths[net.index()] = Some(full);
+        }
+        if ripped == 0 {
+            break;
+        }
+    }
+
+    // accounting
+    let seg_len = |a: (usize, usize), b: (usize, usize)| -> f64 {
+        if a.1 == b.1 {
+            gx
+        } else {
+            gy
+        }
+    };
+    let mut net_length_um = vec![0.0; nl.num_nets()];
+    let mut total = 0.0;
+    for (i, p) in paths.iter().enumerate() {
+        if let Some(p) = p {
+            let len: f64 = p.windows(2).map(|w| seg_len(w[0], w[1])).sum();
+            net_length_um[i] = len;
+            total += len;
+        }
+    }
+    let mut overflow = 0usize;
+    let mut total_overflow = 0u64;
+    let mut max_util = 0.0f64;
+    for &u in grid.h_usage.iter().chain(&grid.v_usage) {
+        let util = u as f64 / capacity.max(1) as f64;
+        max_util = max_util.max(util);
+        if u > capacity {
+            overflow += 1;
+            total_overflow += (u - capacity) as u64;
+        }
+    }
+    RouteResult {
+        grid: (nx, ny),
+        gcell_um: (gx, gy),
+        net_length_um,
+        total_wirelength_um: total,
+        overflowed_edges: overflow,
+        total_overflow,
+        max_utilisation: max_util,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::{place, PlacementConfig, PlacementMode};
+    use camsoc_netlist::generate::{self, IpBlockParams};
+    use camsoc_netlist::tech::Technology;
+    use camsoc_sta::Constraints;
+
+    fn routed(gates: usize, cfg: &RouteConfig) -> (Netlist, RouteResult) {
+        let nl = generate::ip_block(
+            "blk",
+            &IpBlockParams { target_gates: gates, seed: 3, ..Default::default() },
+        )
+        .unwrap();
+        let tech = Technology::default();
+        let fp = Floorplan::generate(&nl, &tech).unwrap();
+        let constraints = Constraints::single_clock("clk", 7.5);
+        let pcfg = PlacementConfig {
+            mode: PlacementMode::Wirelength,
+            iterations: 5_000,
+            ..PlacementConfig::default()
+        };
+        let p = place(&nl, &tech, &fp, &constraints, &pcfg);
+        let r = route(&nl, &fp, &p, cfg);
+        (nl, r)
+    }
+
+    #[test]
+    fn l_route_connects_endpoints() {
+        let p = l_route((0, 0), (3, 2));
+        assert_eq!(p.first(), Some(&(0, 0)));
+        assert_eq!(p.last(), Some(&(3, 2)));
+        assert_eq!(p.len(), 6); // 3 horizontal + 2 vertical + origin
+        for w in p.windows(2) {
+            let d = w[0].0.abs_diff(w[1].0) + w[0].1.abs_diff(w[1].1);
+            assert_eq!(d, 1, "non-adjacent step");
+        }
+    }
+
+    #[test]
+    fn routing_produces_lengths_for_multi_pin_nets() {
+        let (nl, r) = routed(400, &RouteConfig::default());
+        assert!(r.total_wirelength_um > 0.0);
+        let routed_nets = r.net_length_um.iter().filter(|&&l| l > 0.0).count();
+        assert!(routed_nets > nl.num_nets() / 4, "{routed_nets} routed");
+    }
+
+    #[test]
+    fn negotiation_reduces_total_overflow() {
+        // Moderate shortage: negotiation should shed hot spots. The metric
+        // is total overflow (demand above capacity summed over edges) —
+        // spreading one saturated trunk across several near-capacity
+        // edges is exactly what negotiation is for.
+        let tight = RouteConfig { edge_capacity: 8, rounds: 0, ..RouteConfig::default() };
+        let (_, r0) = routed(600, &tight);
+        assert!(r0.total_overflow > 0, "test needs initial congestion");
+        let negotiated =
+            RouteConfig { edge_capacity: 8, rounds: 3, ..RouteConfig::default() };
+        let (_, r3) = routed(600, &negotiated);
+        assert!(
+            r3.total_overflow <= r0.total_overflow,
+            "negotiation made it worse: {} -> {}",
+            r0.total_overflow,
+            r3.total_overflow
+        );
+        assert!(r3.max_utilisation <= r0.max_utilisation + 1e-9);
+    }
+
+    #[test]
+    fn generous_capacity_has_no_overflow() {
+        let cfg = RouteConfig { edge_capacity: 10_000, ..RouteConfig::default() };
+        let (_, r) = routed(300, &cfg);
+        assert_eq!(r.overflowed_edges, 0);
+        assert!(r.max_utilisation < 1.0);
+    }
+
+    #[test]
+    fn astar_prefers_uncongested_detour() {
+        let mut grid = Grid::new(5, 5);
+        // congest the straight corridor at y=0
+        for x in 0..4 {
+            let idx = grid.h_index(x, 0);
+            grid.h_usage[idx] = 100;
+        }
+        let p = astar(&grid, (0, 0), (4, 0), 10, 8.0);
+        assert_eq!(p.first(), Some(&(0, 0)));
+        assert_eq!(p.last(), Some(&(4, 0)));
+        // detour leaves row 0
+        assert!(p.iter().any(|&(_, y)| y > 0), "no detour: {p:?}");
+    }
+}

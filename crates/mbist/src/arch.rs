@@ -1,0 +1,339 @@
+//! The memory-BIST circuit generator.
+//!
+//! Reproduces the paper's in-house generator: for a set of embedded
+//! memories it emits real gate-level BIST logic onto a netlist — **one
+//! common controller**, one **sequencer** per group of memories, and
+//! **one pattern generator per memory** (address counter, data-background
+//! mux, read comparator, fail latch). The alternative per-memory style
+//! (a full controller at every macro) is also generable so the area
+//! trade-off the shared architecture wins can be measured.
+
+use camsoc_netlist::builder::NetlistBuilder;
+use camsoc_netlist::cell::CellFunction;
+use camsoc_netlist::generate::counter_into;
+use camsoc_netlist::graph::{NetId, Netlist};
+use camsoc_netlist::stats::NetlistStats;
+use camsoc_netlist::NetlistError;
+
+use crate::march::MarchAlgorithm;
+
+/// Geometry of one memory under test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemGeometry {
+    /// Macro instance name.
+    pub name: String,
+    /// Words.
+    pub words: usize,
+    /// Bits per word.
+    pub bits: usize,
+}
+
+impl MemGeometry {
+    /// Address bits needed.
+    pub fn addr_bits(&self) -> usize {
+        self.words.next_power_of_two().trailing_zeros().max(1) as usize
+    }
+}
+
+/// BIST architecture style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BistStyle {
+    /// One shared controller + per-group sequencers + per-memory pattern
+    /// generators (the paper's architecture).
+    Shared,
+    /// A full controller replicated at every memory.
+    PerMemory,
+}
+
+/// A generated BIST circuit plus its accounting.
+#[derive(Debug)]
+pub struct BistArchitecture {
+    /// The generated gate-level BIST logic (with the memories attached
+    /// as macros).
+    pub netlist: Netlist,
+    /// Architecture style.
+    pub style: BistStyle,
+    /// Controllers emitted.
+    pub controllers: usize,
+    /// Sequencers emitted.
+    pub sequencers: usize,
+    /// Pattern generators emitted.
+    pub pattern_generators: usize,
+    /// March algorithm the controller sequences.
+    pub algorithm: MarchAlgorithm,
+}
+
+/// Memories per sequencer group in the shared style.
+pub const MEMS_PER_SEQUENCER: usize = 8;
+
+impl BistArchitecture {
+    /// Generate BIST logic for the given memories.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::InvalidParameter`] if `memories` is empty.
+    pub fn generate(
+        memories: &[MemGeometry],
+        style: BistStyle,
+        algorithm: MarchAlgorithm,
+    ) -> Result<BistArchitecture, NetlistError> {
+        if memories.is_empty() {
+            return Err(NetlistError::InvalidParameter("no memories to test".into()));
+        }
+        let mut b = NetlistBuilder::new("mbist");
+        let clk = b.input("clk");
+        let rn = b.input("rstn");
+        let start = b.input("bist_start");
+
+        let (controllers, sequencers) = match style {
+            BistStyle::Shared => {
+                (1, memories.len().div_ceil(MEMS_PER_SEQUENCER))
+            }
+            BistStyle::PerMemory => (memories.len(), 0),
+        };
+
+        // Controller(s): an element-phase counter plus done/compare FSM
+        // glue sized by the algorithm's element count.
+        let mut ctrl_go = Vec::new();
+        for c in 0..controllers {
+            b.set_block(format!("u_bist_ctrl{c}"));
+            let go = controller_into(&mut b, clk, rn, start, &algorithm);
+            ctrl_go.push(go);
+        }
+        // Sequencers fan the controller's phase out per memory group.
+        let mut group_go = Vec::new();
+        match style {
+            BistStyle::Shared => {
+                for sq in 0..sequencers {
+                    b.set_block(format!("u_bist_seq{sq}"));
+                    let go = sequencer_into(&mut b, clk, rn, ctrl_go[0]);
+                    group_go.push(go);
+                }
+            }
+            BistStyle::PerMemory => {
+                group_go = ctrl_go.clone();
+            }
+        }
+
+        // Pattern generator per memory: address counter + background mux
+        // + comparator tree + sticky fail flop.
+        let mut fail_flags = Vec::new();
+        for (i, mem) in memories.iter().enumerate() {
+            b.set_block(format!("u_bist_pg{i}"));
+            let go = match style {
+                BistStyle::Shared => group_go[i / MEMS_PER_SEQUENCER],
+                BistStyle::PerMemory => group_go[i],
+            };
+            let fail = pattern_generator_into(&mut b, clk, rn, go, mem, i);
+            fail_flags.push(fail);
+        }
+
+        // OR-reduce fail flags to bist_fail; done from controller 0.
+        let mut fail = fail_flags[0];
+        for &f in &fail_flags[1..] {
+            fail = b.gate_auto(CellFunction::Or2, &[fail, f]);
+        }
+        b.output("bist_fail", fail);
+        b.output("bist_done", ctrl_go[0]);
+
+        let nl = b.finish();
+        nl.validate()?;
+        Ok(BistArchitecture {
+            netlist: nl,
+            style,
+            controllers,
+            sequencers,
+            pattern_generators: memories.len(),
+            algorithm,
+        })
+    }
+
+    /// Gate-equivalent overhead of the BIST logic.
+    pub fn overhead_ge(&self) -> f64 {
+        NetlistStats::of(&self.netlist).gate_equivalents
+    }
+}
+
+/// Controller: element counter over the March algorithm plus run FSM.
+/// Returns the `go` strobe net.
+fn controller_into(
+    b: &mut NetlistBuilder,
+    clk: NetId,
+    rn: NetId,
+    start: NetId,
+    algorithm: &MarchAlgorithm,
+) -> NetId {
+    // element phase counter: ceil(log2(#elements)) + op counter bits
+    let phase_bits = (algorithm.elements.len().next_power_of_two().trailing_zeros() as usize)
+        .max(2)
+        + 3;
+    let phase = counter_into(b, clk, rn, start, phase_bits);
+    // run flop: set on start, cleared at terminal phase
+    let terminal = {
+        let mut t = phase[0];
+        for &q in &phase[1..] {
+            t = b.gate_auto(CellFunction::And2, &[t, q]);
+        }
+        t
+    };
+    let d = b.fresh_net();
+    let run = b.dffr_feedback(d, rn, clk);
+    let not_term = b.gate_auto(CellFunction::Inv, &[terminal]);
+    let hold = b.gate_auto(CellFunction::And2, &[run, not_term]);
+    b.gate_into(CellFunction::Or2, &[start, hold], d);
+    // go strobe = run & !terminal
+    b.gate_auto(CellFunction::And2, &[run, not_term])
+}
+
+/// Sequencer: retimes the controller strobe into a group enable.
+fn sequencer_into(b: &mut NetlistBuilder, clk: NetId, rn: NetId, go: NetId) -> NetId {
+    let d = b.fresh_net();
+    let q = b.dffr_feedback(d, rn, clk);
+    b.gate_into(CellFunction::Buf, &[go], d);
+    // small handshake: q AND go keeps alignment
+    b.gate_auto(CellFunction::And2, &[q, go])
+}
+
+/// Pattern generator for one memory. Returns the sticky fail net.
+fn pattern_generator_into(
+    b: &mut NetlistBuilder,
+    clk: NetId,
+    rn: NetId,
+    go: NetId,
+    mem: &MemGeometry,
+    index: usize,
+) -> NetId {
+    let abits = mem.addr_bits();
+    // address counter
+    let addr = counter_into(b, clk, rn, go, abits);
+    // data background select (phase bit): toggles 0x00/0xFF backgrounds
+    let bg_d = b.fresh_net();
+    let bg = b.dffr_feedback(bg_d, rn, clk);
+    let bg_n = b.gate_auto(CellFunction::Inv, &[bg]);
+    b.gate_into(CellFunction::Mux2, &[bg, bg_n, addr[abits - 1]], bg_d);
+    // memory macro hookup: inputs = [ce, we, addr..., din...], outputs = dout
+    let we = b.gate_auto(CellFunction::And2, &[go, bg]);
+    let mut mem_ins = vec![go, we];
+    mem_ins.extend_from_slice(&addr);
+    let din: Vec<NetId> = (0..mem.bits).map(|_| bg).collect();
+    mem_ins.extend_from_slice(&din);
+    let dout: Vec<NetId> = (0..mem.bits).map(|_| b.fresh_net()).collect();
+    b.memory(&format!("{}_{index}", mem.name), mem.words, mem.bits, mem_ins, dout.clone());
+    // comparator: dout bits vs background, XOR-OR tree
+    let mut miscompare = b.gate_auto(CellFunction::Xor2, &[dout[0], bg]);
+    for &bit in &dout[1..] {
+        let x = b.gate_auto(CellFunction::Xor2, &[bit, bg]);
+        miscompare = b.gate_auto(CellFunction::Or2, &[miscompare, x]);
+    }
+    // sticky fail flop
+    let fd = b.fresh_net();
+    let fq = b.dffr_feedback(fd, rn, clk);
+    let gated = b.gate_auto(CellFunction::And2, &[miscompare, go]);
+    b.gate_into(CellFunction::Or2, &[fq, gated], fd);
+    fq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mems(n: usize) -> Vec<MemGeometry> {
+        (0..n)
+            .map(|i| MemGeometry {
+                name: format!("u_mem{i}"),
+                words: 256 << (i % 3),
+                bits: 8 + 8 * (i % 2),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shared_architecture_counts_match_paper_shape() {
+        // 30 memories → 1 controller, ceil(30/8)=4 sequencers, 30 PGs
+        let arch = BistArchitecture::generate(
+            &mems(30),
+            BistStyle::Shared,
+            MarchAlgorithm::march_c_minus(),
+        )
+        .unwrap();
+        assert_eq!(arch.controllers, 1);
+        assert_eq!(arch.sequencers, 4);
+        assert_eq!(arch.pattern_generators, 30);
+        assert_eq!(arch.netlist.num_macros(), 30);
+        arch.netlist.combinational_topo_order().unwrap();
+    }
+
+    #[test]
+    fn shared_is_smaller_than_per_memory() {
+        let m = mems(30);
+        let shared =
+            BistArchitecture::generate(&m, BistStyle::Shared, MarchAlgorithm::march_c_minus())
+                .unwrap();
+        let per =
+            BistArchitecture::generate(&m, BistStyle::PerMemory, MarchAlgorithm::march_c_minus())
+                .unwrap();
+        assert!(
+            shared.overhead_ge() < per.overhead_ge(),
+            "shared {} >= per-memory {}",
+            shared.overhead_ge(),
+            per.overhead_ge()
+        );
+        assert_eq!(per.controllers, 30);
+    }
+
+    #[test]
+    fn addr_bits_covers_words() {
+        let g = MemGeometry { name: "m".into(), words: 1000, bits: 8 };
+        assert_eq!(g.addr_bits(), 10);
+        let g = MemGeometry { name: "m".into(), words: 256, bits: 8 };
+        assert_eq!(g.addr_bits(), 8);
+        let g = MemGeometry { name: "m".into(), words: 1, bits: 8 };
+        assert_eq!(g.addr_bits(), 1);
+    }
+
+    #[test]
+    fn empty_memory_list_rejected() {
+        assert!(BistArchitecture::generate(
+            &[],
+            BistStyle::Shared,
+            MarchAlgorithm::mats_plus()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn bist_netlist_has_expected_interface() {
+        let arch = BistArchitecture::generate(
+            &mems(4),
+            BistStyle::Shared,
+            MarchAlgorithm::march_c_minus(),
+        )
+        .unwrap();
+        let nl = &arch.netlist;
+        assert!(nl.find_port("bist_start").is_some());
+        assert!(nl.find_port("bist_fail").is_some());
+        assert!(nl.find_port("bist_done").is_some());
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn overhead_scales_with_memory_count() {
+        let small = BistArchitecture::generate(
+            &mems(5),
+            BistStyle::Shared,
+            MarchAlgorithm::march_c_minus(),
+        )
+        .unwrap();
+        let big = BistArchitecture::generate(
+            &mems(30),
+            BistStyle::Shared,
+            MarchAlgorithm::march_c_minus(),
+        )
+        .unwrap();
+        assert!(big.overhead_ge() > small.overhead_ge());
+        // shared controller amortises: per-memory overhead shrinks
+        let per_small = small.overhead_ge() / 5.0;
+        let per_big = big.overhead_ge() / 30.0;
+        assert!(per_big < per_small);
+    }
+}

@@ -1,0 +1,176 @@
+//! The classical memory fault taxonomy.
+//!
+//! Faults follow van de Goor's functional fault models, the basis of the
+//! March-test literature (and of the companion paper's methodology):
+//! stuck-at, transition, coupling (inversion and idempotent),
+//! address-decoder and stuck-open faults.
+
+/// A functional memory fault, injectable into [`crate::memory::Sram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryFault {
+    /// A cell bit permanently reads `value`; writes to it are lost (SAF).
+    StuckAt {
+        /// Word address of the faulty cell.
+        cell: usize,
+        /// Bit position within the word.
+        bit: usize,
+        /// The stuck value.
+        value: bool,
+    },
+    /// A cell bit cannot make one transition (TF): if `rising` it cannot
+    /// go 0→1, otherwise it cannot go 1→0.
+    Transition {
+        /// Word address.
+        cell: usize,
+        /// Bit position.
+        bit: usize,
+        /// Which transition fails.
+        rising: bool,
+    },
+    /// Inversion coupling (CFin): when the aggressor bit toggles, the
+    /// victim bit inverts.
+    CouplingInv {
+        /// Aggressor word address.
+        aggressor_cell: usize,
+        /// Aggressor bit.
+        aggressor_bit: usize,
+        /// Victim word address.
+        victim_cell: usize,
+        /// Victim bit.
+        victim_bit: usize,
+    },
+    /// Idempotent coupling (CFid): when the aggressor bit makes the
+    /// `aggressor_rising` transition, the victim bit is forced to
+    /// `victim_value`.
+    CouplingIdem {
+        /// Aggressor word address.
+        aggressor_cell: usize,
+        /// Aggressor bit.
+        aggressor_bit: usize,
+        /// Which aggressor transition triggers.
+        aggressor_rising: bool,
+        /// Victim word address.
+        victim_cell: usize,
+        /// Victim bit.
+        victim_bit: usize,
+        /// Value forced onto the victim.
+        victim_value: bool,
+    },
+    /// Address-decoder fault (AF): accesses to `addr` are redirected to
+    /// `aliased_to` (the cell at `addr` is unreachable).
+    AddressAlias {
+        /// The address whose decoder line is broken.
+        addr: usize,
+        /// The address actually accessed.
+        aliased_to: usize,
+    },
+    /// Stuck-open fault (SOF): the cell's access path is broken; a read
+    /// returns the sense amplifier's previous value.
+    StuckOpen {
+        /// Word address.
+        cell: usize,
+    },
+}
+
+impl MemoryFault {
+    /// Short class mnemonic (`SAF`, `TF`, `CFin`, `CFid`, `AF`, `SOF`).
+    pub fn class(&self) -> &'static str {
+        match self {
+            MemoryFault::StuckAt { .. } => "SAF",
+            MemoryFault::Transition { .. } => "TF",
+            MemoryFault::CouplingInv { .. } => "CFin",
+            MemoryFault::CouplingIdem { .. } => "CFid",
+            MemoryFault::AddressAlias { .. } => "AF",
+            MemoryFault::StuckOpen { .. } => "SOF",
+        }
+    }
+
+    /// All class mnemonics in report order.
+    pub const CLASSES: [&'static str; 6] = ["SAF", "TF", "CFin", "CFid", "AF", "SOF"];
+
+    /// Draw a random fault of the given class for a `words × bits`
+    /// memory, using the provided RNG.
+    pub fn random_of_class(
+        class: &str,
+        words: usize,
+        bits: usize,
+        rng: &mut camsoc_netlist::generate::SplitMix64,
+    ) -> MemoryFault {
+        let cell = rng.below(words);
+        let bit = rng.below(bits);
+        match class {
+            "SAF" => MemoryFault::StuckAt { cell, bit, value: rng.chance(0.5) },
+            "TF" => MemoryFault::Transition { cell, bit, rising: rng.chance(0.5) },
+            "CFin" => {
+                let mut victim = rng.below(words);
+                if victim == cell && words > 1 {
+                    victim = (victim + 1) % words;
+                }
+                MemoryFault::CouplingInv {
+                    aggressor_cell: cell,
+                    aggressor_bit: bit,
+                    victim_cell: victim,
+                    victim_bit: rng.below(bits),
+                }
+            }
+            "CFid" => {
+                let mut victim = rng.below(words);
+                if victim == cell && words > 1 {
+                    victim = (victim + 1) % words;
+                }
+                MemoryFault::CouplingIdem {
+                    aggressor_cell: cell,
+                    aggressor_bit: bit,
+                    aggressor_rising: rng.chance(0.5),
+                    victim_cell: victim,
+                    victim_bit: rng.below(bits),
+                    victim_value: rng.chance(0.5),
+                }
+            }
+            "AF" => {
+                let mut other = rng.below(words);
+                if other == cell && words > 1 {
+                    other = (other + 1) % words;
+                }
+                MemoryFault::AddressAlias { addr: cell, aliased_to: other }
+            }
+            "SOF" => MemoryFault::StuckOpen { cell },
+            other => panic!("unknown fault class {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camsoc_netlist::generate::SplitMix64;
+
+    #[test]
+    fn classes_are_distinct_and_complete() {
+        let mut rng = SplitMix64::new(1);
+        for class in MemoryFault::CLASSES {
+            let f = MemoryFault::random_of_class(class, 64, 8, &mut rng);
+            assert_eq!(f.class(), class);
+        }
+    }
+
+    #[test]
+    fn coupling_faults_avoid_self_coupling() {
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..200 {
+            match MemoryFault::random_of_class("CFin", 4, 2, &mut rng) {
+                MemoryFault::CouplingInv { aggressor_cell, victim_cell, .. } => {
+                    assert_ne!(aggressor_cell, victim_cell);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fault class")]
+    fn unknown_class_panics() {
+        let mut rng = SplitMix64::new(3);
+        MemoryFault::random_of_class("XYZ", 8, 8, &mut rng);
+    }
+}

@@ -1,0 +1,48 @@
+//! # camsoc-mbist
+//!
+//! Memory built-in self-test: fault-injectable SRAM models, March test
+//! algorithms, a BIST architecture generator, and test scheduling.
+//!
+//! The paper: "There are 30 embedded memory macros in the controller. We
+//! use an in-house memory BIST circuit generator to insert one common
+//! BIST controller, multiple sequencers, and 30 pattern generators."
+//! (The methodology is the companion paper [2], Cheng-Wen Wu's SoC
+//! testing work.) This crate rebuilds that generator and the analysis
+//! around it:
+//!
+//! * [`memory`] — a word-addressable SRAM model with injectable faults.
+//! * [`faults`] — the classical memory fault taxonomy: stuck-at (SAF),
+//!   transition (TF), inversion/idempotent coupling (CFin/CFid),
+//!   address-decoder (AF) and stuck-open (SOF) faults.
+//! * [`march`] — March elements/algorithms (MATS+, March X, March C−,
+//!   March B) and the engine that runs them against a memory, plus
+//!   theoretical and measured coverage.
+//! * [`arch`] — the BIST circuit generator: one shared controller,
+//!   per-clock-domain sequencers, one pattern generator per memory;
+//!   area accounting for shared vs per-memory architectures.
+//! * [`schedule`] — serial/parallel test scheduling under a power cap,
+//!   with total test-time estimates.
+//!
+//! # Example
+//!
+//! ```
+//! use camsoc_mbist::march::{run_march, MarchAlgorithm};
+//! use camsoc_mbist::memory::Sram;
+//! use camsoc_mbist::faults::MemoryFault;
+//!
+//! let mut mem = Sram::new(1024, 8);
+//! mem.inject(MemoryFault::StuckAt { cell: 37, bit: 3, value: true });
+//! let outcome = run_march(&MarchAlgorithm::march_c_minus(), &mut mem);
+//! assert!(outcome.failed()); // March C- catches every stuck-at fault
+//! ```
+
+pub mod arch;
+pub mod faults;
+pub mod march;
+pub mod memory;
+pub mod schedule;
+
+pub use arch::{BistArchitecture, BistStyle};
+pub use faults::MemoryFault;
+pub use march::{run_march, MarchAlgorithm, MarchOutcome};
+pub use memory::Sram;

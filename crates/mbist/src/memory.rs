@@ -1,0 +1,366 @@
+//! Fault-injectable SRAM model.
+//!
+//! A behavioural word-addressable memory whose read/write operations pass
+//! through the injected [`MemoryFault`]s, so a March test observes
+//! exactly the corruptions the fault models predict.
+
+use crate::faults::MemoryFault;
+
+/// A `words × bits` SRAM with injectable functional faults.
+///
+/// Words are at most 64 bits. Uninitialised cells hold an arbitrary but
+/// deterministic pattern (alternating `0xAAAA…`/`0x5555…` by address),
+/// as real silicon powers up in an unknown state — March algorithms
+/// must not rely on initial contents.
+#[derive(Debug, Clone)]
+pub struct Sram {
+    words: usize,
+    bits: usize,
+    data: Vec<u64>,
+    faults: Vec<MemoryFault>,
+    /// Sense-amp latch for stuck-open behaviour.
+    last_read: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl Sram {
+    /// Create a memory of the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 64` or either dimension is zero.
+    pub fn new(words: usize, bits: usize) -> Self {
+        assert!(bits >= 1 && bits <= 64, "bits must be 1..=64");
+        assert!(words >= 1, "words must be >= 1");
+        let mask = if bits == 64 { !0u64 } else { (1u64 << bits) - 1 };
+        let data = (0..words)
+            .map(|a| if a % 2 == 0 { 0xAAAA_AAAA_AAAA_AAAA & mask } else { 0x5555_5555_5555_5555 & mask })
+            .collect();
+        Sram { words, bits, data, faults: Vec::new(), last_read: 0, reads: 0, writes: 0 }
+    }
+
+    /// Word count.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+    /// Bits per word.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+    /// Read operations performed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+    /// Write operations performed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    fn mask(&self) -> u64 {
+        if self.bits == 64 {
+            !0u64
+        } else {
+            (1u64 << self.bits) - 1
+        }
+    }
+
+    /// Inject a fault. Multiple faults may coexist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault references an out-of-range cell or bit.
+    pub fn inject(&mut self, fault: MemoryFault) {
+        let check = |cell: usize, bit: usize, sram: &Sram| {
+            assert!(cell < sram.words, "fault cell out of range");
+            assert!(bit < sram.bits, "fault bit out of range");
+        };
+        match fault {
+            MemoryFault::StuckAt { cell, bit, .. } | MemoryFault::Transition { cell, bit, .. } => {
+                check(cell, bit, self)
+            }
+            MemoryFault::CouplingInv {
+                aggressor_cell,
+                aggressor_bit,
+                victim_cell,
+                victim_bit,
+            } => {
+                check(aggressor_cell, aggressor_bit, self);
+                check(victim_cell, victim_bit, self);
+            }
+            MemoryFault::CouplingIdem {
+                aggressor_cell,
+                aggressor_bit,
+                victim_cell,
+                victim_bit,
+                ..
+            } => {
+                check(aggressor_cell, aggressor_bit, self);
+                check(victim_cell, victim_bit, self);
+            }
+            MemoryFault::AddressAlias { addr, aliased_to } => {
+                assert!(addr < self.words && aliased_to < self.words);
+            }
+            MemoryFault::StuckOpen { cell } => assert!(cell < self.words),
+        }
+        self.faults.push(fault);
+    }
+
+    /// Remove all injected faults (the repaired/good device).
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Number of injected faults.
+    pub fn fault_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    fn effective_addr(&self, addr: usize) -> usize {
+        for f in &self.faults {
+            if let MemoryFault::AddressAlias { addr: a, aliased_to } = *f {
+                if a == addr {
+                    return aliased_to;
+                }
+            }
+        }
+        addr
+    }
+
+    /// Apply stuck-at forcing to a raw value at `addr`.
+    fn apply_stuck(&self, addr: usize, mut value: u64) -> u64 {
+        for f in &self.faults {
+            if let MemoryFault::StuckAt { cell, bit, value: v } = *f {
+                if cell == addr {
+                    if v {
+                        value |= 1 << bit;
+                    } else {
+                        value &= !(1 << bit);
+                    }
+                }
+            }
+        }
+        value
+    }
+
+    /// Write a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write(&mut self, addr: usize, value: u64) {
+        assert!(addr < self.words, "address out of range");
+        self.writes += 1;
+        let addr = self.effective_addr(addr);
+        let value = value & self.mask();
+        let old = self.data[addr];
+        let mut new = value;
+        // transition faults: failing transitions keep the old bit
+        for f in &self.faults {
+            if let MemoryFault::Transition { cell, bit, rising } = *f {
+                if cell == addr {
+                    let ob = (old >> bit) & 1;
+                    let nb = (new >> bit) & 1;
+                    let blocked = if rising { ob == 0 && nb == 1 } else { ob == 1 && nb == 0 };
+                    if blocked {
+                        new = (new & !(1 << bit)) | (ob << bit);
+                    }
+                }
+            }
+        }
+        // stuck bits never change
+        new = self.apply_stuck(addr, new);
+        self.data[addr] = new;
+        // coupling: aggressor transitions disturb victims
+        let transitions = old ^ new;
+        if transitions != 0 {
+            let faults = self.faults.clone();
+            for f in &faults {
+                match *f {
+                    MemoryFault::CouplingInv {
+                        aggressor_cell,
+                        aggressor_bit,
+                        victim_cell,
+                        victim_bit,
+                    } if aggressor_cell == addr && (transitions >> aggressor_bit) & 1 == 1 => {
+                        self.data[victim_cell] ^= 1 << victim_bit;
+                        self.data[victim_cell] = self.apply_stuck(victim_cell, self.data[victim_cell]);
+                    }
+                    MemoryFault::CouplingIdem {
+                        aggressor_cell,
+                        aggressor_bit,
+                        aggressor_rising,
+                        victim_cell,
+                        victim_bit,
+                        victim_value,
+                    } if aggressor_cell == addr && (transitions >> aggressor_bit) & 1 == 1 => {
+                        let went_up = (new >> aggressor_bit) & 1 == 1;
+                        if went_up == aggressor_rising {
+                            if victim_value {
+                                self.data[victim_cell] |= 1 << victim_bit;
+                            } else {
+                                self.data[victim_cell] &= !(1 << victim_bit);
+                            }
+                            self.data[victim_cell] =
+                                self.apply_stuck(victim_cell, self.data[victim_cell]);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Read a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read(&mut self, addr: usize) -> u64 {
+        assert!(addr < self.words, "address out of range");
+        self.reads += 1;
+        let addr = self.effective_addr(addr);
+        let stuck_open = self
+            .faults
+            .iter()
+            .any(|f| matches!(f, MemoryFault::StuckOpen { cell } if *cell == addr));
+        let value = if stuck_open {
+            self.last_read
+        } else {
+            self.apply_stuck(addr, self.data[addr])
+        };
+        self.last_read = value;
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn good_memory_round_trips() {
+        let mut m = Sram::new(64, 16);
+        for a in 0..64 {
+            m.write(a, (a as u64 * 3) & 0xFFFF);
+        }
+        for a in 0..64 {
+            assert_eq!(m.read(a), (a as u64 * 3) & 0xFFFF);
+        }
+        assert_eq!(m.writes(), 64);
+        assert_eq!(m.reads(), 64);
+    }
+
+    #[test]
+    fn initial_contents_are_not_all_zero() {
+        let mut m = Sram::new(8, 8);
+        let any_nonzero = (0..8).any(|a| m.read(a) != 0);
+        assert!(any_nonzero);
+    }
+
+    #[test]
+    fn stuck_at_ignores_writes() {
+        let mut m = Sram::new(16, 8);
+        m.inject(MemoryFault::StuckAt { cell: 5, bit: 2, value: true });
+        m.write(5, 0x00);
+        assert_eq!(m.read(5), 0b100);
+        m.inject(MemoryFault::StuckAt { cell: 5, bit: 0, value: false });
+        m.write(5, 0xFF);
+        assert_eq!(m.read(5), 0xFE | 0b100);
+    }
+
+    #[test]
+    fn transition_fault_blocks_one_direction_only() {
+        let mut m = Sram::new(8, 4);
+        m.inject(MemoryFault::Transition { cell: 3, bit: 1, rising: true });
+        m.write(3, 0b0000);
+        m.write(3, 0b0010); // rising blocked
+        assert_eq!(m.read(3), 0b0000);
+        m.write(3, 0b1111);
+        assert_eq!(m.read(3) & 0b10, 0); // still blocked
+        // falling works: set via... cannot set, so check the other bits wrote
+        assert_eq!(m.read(3), 0b1101);
+    }
+
+    #[test]
+    fn inversion_coupling_flips_victim() {
+        let mut m = Sram::new(8, 4);
+        m.inject(MemoryFault::CouplingInv {
+            aggressor_cell: 1,
+            aggressor_bit: 0,
+            victim_cell: 2,
+            victim_bit: 3,
+        });
+        m.write(1, 0b0000); // settle aggressor first (init contents arbitrary)
+        m.write(2, 0b0000);
+        m.write(1, 0b0001); // aggressor toggles → victim flips
+        assert_eq!(m.read(2), 0b1000);
+        m.write(1, 0b0000); // toggles again → flips back
+        assert_eq!(m.read(2), 0b0000);
+    }
+
+    #[test]
+    fn idempotent_coupling_forces_victim_on_one_edge() {
+        let mut m = Sram::new(8, 4);
+        m.inject(MemoryFault::CouplingIdem {
+            aggressor_cell: 0,
+            aggressor_bit: 1,
+            aggressor_rising: true,
+            victim_cell: 4,
+            victim_bit: 0,
+            victim_value: true,
+        });
+        m.write(4, 0b0000);
+        m.write(0, 0b0000);
+        m.write(0, 0b0010); // rising edge → victim forced to 1
+        assert_eq!(m.read(4), 0b0001);
+        m.write(4, 0b0000);
+        m.write(0, 0b0000); // falling edge → no effect
+        assert_eq!(m.read(4), 0b0000);
+    }
+
+    #[test]
+    fn address_alias_redirects_both_ops() {
+        let mut m = Sram::new(8, 8);
+        m.inject(MemoryFault::AddressAlias { addr: 6, aliased_to: 2 });
+        m.write(2, 0x11);
+        m.write(6, 0x99); // actually writes cell 2
+        assert_eq!(m.read(2), 0x99);
+        assert_eq!(m.read(6), 0x99);
+    }
+
+    #[test]
+    fn stuck_open_returns_previous_read() {
+        let mut m = Sram::new(8, 8);
+        m.inject(MemoryFault::StuckOpen { cell: 3 });
+        m.write(1, 0x55);
+        m.write(3, 0xFF);
+        let first = m.read(1);
+        assert_eq!(first, 0x55);
+        assert_eq!(m.read(3), 0x55); // sense amp holds previous value
+    }
+
+    #[test]
+    fn clear_faults_restores_good_behaviour() {
+        let mut m = Sram::new(8, 8);
+        m.inject(MemoryFault::StuckAt { cell: 0, bit: 0, value: true });
+        assert_eq!(m.fault_count(), 1);
+        m.clear_faults();
+        m.write(0, 0x00);
+        assert_eq!(m.read(0), 0x00);
+    }
+
+    #[test]
+    #[should_panic(expected = "address out of range")]
+    fn out_of_range_read_panics() {
+        let mut m = Sram::new(4, 4);
+        m.read(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault cell out of range")]
+    fn out_of_range_fault_panics() {
+        let mut m = Sram::new(4, 4);
+        m.inject(MemoryFault::StuckAt { cell: 10, bit: 0, value: true });
+    }
+}

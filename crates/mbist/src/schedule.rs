@@ -1,0 +1,157 @@
+//! MBIST test scheduling: serial vs power-constrained parallel.
+//!
+//! With 30 memories, running every March test back-to-back wastes tester
+//! time, while running all 30 at once can exceed the package's power
+//! budget. The scheduler packs memories into concurrent sessions greedily
+//! under a power cap — the standard SoC-test scheduling formulation of
+//! the companion methodology paper.
+
+use crate::arch::MemGeometry;
+use crate::march::MarchAlgorithm;
+
+/// Per-memory test cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemTestCost {
+    /// Memory geometry.
+    pub mem: MemGeometry,
+    /// Test cycles (ops/cell × words).
+    pub cycles: u64,
+    /// Active test power in milliwatts (∝ bits switched per cycle).
+    pub power_mw: f64,
+}
+
+/// Compute the per-memory costs for an algorithm at a given frequency.
+pub fn test_costs(memories: &[MemGeometry], algorithm: &MarchAlgorithm) -> Vec<MemTestCost> {
+    memories
+        .iter()
+        .map(|m| MemTestCost {
+            mem: m.clone(),
+            cycles: (algorithm.ops_per_cell() * m.words) as u64,
+            // empirical-looking power model: sense + drivers scale with
+            // word width, weakly with depth
+            power_mw: 0.8 * m.bits as f64 + 0.002 * m.words as f64,
+        })
+        .collect()
+}
+
+/// A power-feasible schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestSchedule {
+    /// Sessions; each session runs its memory indices concurrently.
+    pub sessions: Vec<Vec<usize>>,
+    /// Total cycles (sum over sessions of the longest member).
+    pub total_cycles: u64,
+    /// Peak concurrent power over the schedule (mW).
+    pub peak_power_mw: f64,
+    /// Test time in milliseconds at the given BIST clock.
+    pub time_ms: f64,
+}
+
+/// Fully serial schedule (one memory at a time).
+pub fn schedule_serial(costs: &[MemTestCost], bist_mhz: f64) -> TestSchedule {
+    let sessions: Vec<Vec<usize>> = (0..costs.len()).map(|i| vec![i]).collect();
+    let total_cycles: u64 = costs.iter().map(|c| c.cycles).sum();
+    let peak = costs.iter().map(|c| c.power_mw).fold(0.0, f64::max);
+    TestSchedule {
+        sessions,
+        total_cycles,
+        peak_power_mw: peak,
+        time_ms: total_cycles as f64 / (bist_mhz * 1e6) * 1e3,
+    }
+}
+
+/// Greedy power-constrained parallel schedule: longest tests first, each
+/// packed into the first session with power headroom.
+pub fn schedule_parallel(
+    costs: &[MemTestCost],
+    power_cap_mw: f64,
+    bist_mhz: f64,
+) -> TestSchedule {
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| costs[b].cycles.cmp(&costs[a].cycles));
+    let mut sessions: Vec<Vec<usize>> = Vec::new();
+    let mut session_power: Vec<f64> = Vec::new();
+    for idx in order {
+        let p = costs[idx].power_mw;
+        match session_power.iter().position(|&used| used + p <= power_cap_mw) {
+            Some(s) => {
+                sessions[s].push(idx);
+                session_power[s] += p;
+            }
+            None => {
+                sessions.push(vec![idx]);
+                session_power.push(p);
+            }
+        }
+    }
+    let total_cycles: u64 = sessions
+        .iter()
+        .map(|s| s.iter().map(|&i| costs[i].cycles).max().unwrap_or(0))
+        .sum();
+    let peak = session_power.iter().copied().fold(0.0, f64::max);
+    TestSchedule {
+        sessions,
+        total_cycles,
+        peak_power_mw: peak,
+        time_ms: total_cycles as f64 / (bist_mhz * 1e6) * 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mems() -> Vec<MemGeometry> {
+        (0..30)
+            .map(|i| MemGeometry {
+                name: format!("m{i}"),
+                words: 256 << (i % 4),
+                bits: 8 + 8 * (i % 2),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_is_faster_than_serial_within_power() {
+        let costs = test_costs(&mems(), &MarchAlgorithm::march_c_minus());
+        let serial = schedule_serial(&costs, 50.0);
+        let parallel = schedule_parallel(&costs, 100.0, 50.0);
+        assert!(parallel.total_cycles < serial.total_cycles);
+        assert!(parallel.time_ms < serial.time_ms);
+        assert!(parallel.peak_power_mw <= 100.0);
+        // every memory appears exactly once
+        let mut seen: Vec<usize> = parallel.sessions.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tight_power_cap_degenerates_to_serial() {
+        let costs = test_costs(&mems(), &MarchAlgorithm::march_c_minus());
+        let min_power = costs.iter().map(|c| c.power_mw).fold(f64::INFINITY, f64::min);
+        let tight = schedule_parallel(&costs, min_power, 50.0);
+        // nothing can share a session with anything bigger
+        assert!(tight.sessions.iter().filter(|s| s.len() > 1).count() <= 1);
+        assert!(tight.total_cycles >= schedule_parallel(&costs, 1e9, 50.0).total_cycles);
+    }
+
+    #[test]
+    fn unlimited_power_is_single_session_bound() {
+        let costs = test_costs(&mems(), &MarchAlgorithm::mats_plus());
+        let unlimited = schedule_parallel(&costs, 1e12, 50.0);
+        let longest = costs.iter().map(|c| c.cycles).max().unwrap();
+        assert_eq!(unlimited.total_cycles, longest);
+        assert_eq!(unlimited.sessions.len(), 1);
+    }
+
+    #[test]
+    fn cycles_scale_with_algorithm_cost() {
+        let m = mems();
+        let cheap = test_costs(&m, &MarchAlgorithm::mats_plus());
+        let thorough = test_costs(&m, &MarchAlgorithm::march_b());
+        for (a, b) in cheap.iter().zip(&thorough) {
+            assert!(b.cycles > a.cycles);
+            assert_eq!(b.cycles / a.cycles, 17 / 5); // 17N vs 5N
+        }
+    }
+}

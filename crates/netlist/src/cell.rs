@@ -1,0 +1,575 @@
+//! Standard-cell library: logic functions, sequential cells and drive
+//! strengths.
+//!
+//! The library is deliberately compact — the set of cells a mid-1990s
+//! 0.25 µm ASIC library would offer and that the paper's 240 K-gate design
+//! would map onto — but complete enough that synthesis-style mapping, scan
+//! replacement, ECO and equivalence checking all have realistic structure
+//! to work with.
+
+use std::fmt;
+
+/// Combinational and sequential cell functions.
+///
+/// Combinational functions evaluate bit-parallel over `u64` lanes via
+/// [`CellFunction::eval`]; sequential cells (`Dff*`, `Sdff*`, `Latch`) are
+/// state elements whose next-state semantics live in the simulator and
+/// fault simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CellFunction {
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Inv,
+    /// 2-input AND.
+    And2,
+    /// 3-input AND.
+    And3,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 4-input NAND.
+    Nand4,
+    /// 2-input OR.
+    Or2,
+    /// 3-input OR.
+    Or3,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer; inputs are `[d0, d1, sel]`.
+    Mux2,
+    /// AND-OR-invert: `!((a & b) | c)`; inputs `[a, b, c]`.
+    Aoi21,
+    /// OR-AND-invert: `!((a | b) & c)`; inputs `[a, b, c]`.
+    Oai21,
+    /// 3-input majority (full-adder carry); inputs `[a, b, c]`.
+    Maj3,
+    /// Constant logic 0.
+    Tie0,
+    /// Constant logic 1.
+    Tie1,
+    /// D flip-flop; inputs `[d]` plus a clock pin.
+    Dff,
+    /// D flip-flop with active-low asynchronous reset; inputs `[d, rn]`.
+    Dffr,
+    /// Scan D flip-flop; inputs `[d, si, se]` plus clock.
+    Sdff,
+    /// Scan D flip-flop with async reset; inputs `[d, rn, si, se]`.
+    Sdffr,
+    /// Transparent-high latch; inputs `[d, en]`.
+    Latch,
+}
+
+impl CellFunction {
+    /// All functions, in a stable order (useful for histograms).
+    pub const ALL: [CellFunction; 24] = [
+        CellFunction::Buf,
+        CellFunction::Inv,
+        CellFunction::And2,
+        CellFunction::And3,
+        CellFunction::Nand2,
+        CellFunction::Nand3,
+        CellFunction::Nand4,
+        CellFunction::Or2,
+        CellFunction::Or3,
+        CellFunction::Nor2,
+        CellFunction::Nor3,
+        CellFunction::Xor2,
+        CellFunction::Xnor2,
+        CellFunction::Mux2,
+        CellFunction::Aoi21,
+        CellFunction::Oai21,
+        CellFunction::Maj3,
+        CellFunction::Tie0,
+        CellFunction::Tie1,
+        CellFunction::Dff,
+        CellFunction::Dffr,
+        CellFunction::Sdff,
+        CellFunction::Sdffr,
+        CellFunction::Latch,
+    ];
+
+    /// Number of data input pins (excluding the clock pin of flip-flops).
+    pub fn num_inputs(self) -> usize {
+        match self {
+            CellFunction::Tie0 | CellFunction::Tie1 => 0,
+            CellFunction::Buf | CellFunction::Inv | CellFunction::Dff => 1,
+            CellFunction::And2
+            | CellFunction::Nand2
+            | CellFunction::Or2
+            | CellFunction::Nor2
+            | CellFunction::Xor2
+            | CellFunction::Xnor2
+            | CellFunction::Dffr
+            | CellFunction::Latch => 2,
+            CellFunction::And3
+            | CellFunction::Nand3
+            | CellFunction::Or3
+            | CellFunction::Nor3
+            | CellFunction::Mux2
+            | CellFunction::Aoi21
+            | CellFunction::Oai21
+            | CellFunction::Maj3
+            | CellFunction::Sdff => 3,
+            CellFunction::Nand4 | CellFunction::Sdffr => 4,
+        }
+    }
+
+    /// Whether this is a sequential element (flip-flop or latch).
+    pub fn is_sequential(self) -> bool {
+        matches!(
+            self,
+            CellFunction::Dff
+                | CellFunction::Dffr
+                | CellFunction::Sdff
+                | CellFunction::Sdffr
+                | CellFunction::Latch
+        )
+    }
+
+    /// Whether this is a flip-flop (clocked state element).
+    pub fn is_flop(self) -> bool {
+        matches!(
+            self,
+            CellFunction::Dff | CellFunction::Dffr | CellFunction::Sdff | CellFunction::Sdffr
+        )
+    }
+
+    /// Whether this is a scan flip-flop.
+    pub fn is_scan_flop(self) -> bool {
+        matches!(self, CellFunction::Sdff | CellFunction::Sdffr)
+    }
+
+    /// Whether this is a tie (constant) cell.
+    pub fn is_tie(self) -> bool {
+        matches!(self, CellFunction::Tie0 | CellFunction::Tie1)
+    }
+
+    /// The scan-equivalent of a plain flip-flop, if one exists.
+    ///
+    /// Used by scan insertion: `Dff → Sdff`, `Dffr → Sdffr`.
+    pub fn scan_equivalent(self) -> Option<CellFunction> {
+        match self {
+            CellFunction::Dff => Some(CellFunction::Sdff),
+            CellFunction::Dffr => Some(CellFunction::Sdffr),
+            _ => None,
+        }
+    }
+
+    /// Evaluate the combinational function bit-parallel over 64 lanes.
+    ///
+    /// Each `u64` input carries 64 independent binary patterns; the result
+    /// carries the 64 outputs. Sequential and tie cells evaluate as:
+    /// ties produce their constant, flip-flops/latches pass through their
+    /// data pin (callers model state explicitly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() < self.num_inputs()`.
+    pub fn eval(self, inputs: &[u64]) -> u64 {
+        match self {
+            CellFunction::Buf => inputs[0],
+            CellFunction::Inv => !inputs[0],
+            CellFunction::And2 => inputs[0] & inputs[1],
+            CellFunction::And3 => inputs[0] & inputs[1] & inputs[2],
+            CellFunction::Nand2 => !(inputs[0] & inputs[1]),
+            CellFunction::Nand3 => !(inputs[0] & inputs[1] & inputs[2]),
+            CellFunction::Nand4 => !(inputs[0] & inputs[1] & inputs[2] & inputs[3]),
+            CellFunction::Or2 => inputs[0] | inputs[1],
+            CellFunction::Or3 => inputs[0] | inputs[1] | inputs[2],
+            CellFunction::Nor2 => !(inputs[0] | inputs[1]),
+            CellFunction::Nor3 => !(inputs[0] | inputs[1] | inputs[2]),
+            CellFunction::Xor2 => inputs[0] ^ inputs[1],
+            CellFunction::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellFunction::Mux2 => (inputs[0] & !inputs[2]) | (inputs[1] & inputs[2]),
+            CellFunction::Aoi21 => !((inputs[0] & inputs[1]) | inputs[2]),
+            CellFunction::Oai21 => !((inputs[0] | inputs[1]) & inputs[2]),
+            CellFunction::Maj3 => {
+                (inputs[0] & inputs[1]) | (inputs[1] & inputs[2]) | (inputs[0] & inputs[2])
+            }
+            CellFunction::Tie0 => 0,
+            CellFunction::Tie1 => !0,
+            // State elements: data pass-through for combinational contexts.
+            CellFunction::Dff
+            | CellFunction::Dffr
+            | CellFunction::Sdff
+            | CellFunction::Sdffr
+            | CellFunction::Latch => inputs[0],
+        }
+    }
+
+    /// Library cell name stem (without drive suffix), e.g. `NAND2`.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellFunction::Buf => "BUF",
+            CellFunction::Inv => "INV",
+            CellFunction::And2 => "AND2",
+            CellFunction::And3 => "AND3",
+            CellFunction::Nand2 => "NAND2",
+            CellFunction::Nand3 => "NAND3",
+            CellFunction::Nand4 => "NAND4",
+            CellFunction::Or2 => "OR2",
+            CellFunction::Or3 => "OR3",
+            CellFunction::Nor2 => "NOR2",
+            CellFunction::Nor3 => "NOR3",
+            CellFunction::Xor2 => "XOR2",
+            CellFunction::Xnor2 => "XNOR2",
+            CellFunction::Mux2 => "MUX2",
+            CellFunction::Aoi21 => "AOI21",
+            CellFunction::Oai21 => "OAI21",
+            CellFunction::Maj3 => "MAJ3",
+            CellFunction::Tie0 => "TIE0",
+            CellFunction::Tie1 => "TIE1",
+            CellFunction::Dff => "DFF",
+            CellFunction::Dffr => "DFFR",
+            CellFunction::Sdff => "SDFF",
+            CellFunction::Sdffr => "SDFFR",
+            CellFunction::Latch => "LATCH",
+        }
+    }
+
+    /// Parse a cell name stem produced by [`CellFunction::name`].
+    pub fn from_name(name: &str) -> Option<CellFunction> {
+        CellFunction::ALL.iter().copied().find(|f| f.name() == name)
+    }
+
+    /// Pin names in the order inputs are stored, for the Verilog writer.
+    pub fn input_pin_names(self) -> &'static [&'static str] {
+        match self {
+            CellFunction::Tie0 | CellFunction::Tie1 => &[],
+            CellFunction::Buf | CellFunction::Inv => &["A"],
+            CellFunction::And2
+            | CellFunction::Nand2
+            | CellFunction::Or2
+            | CellFunction::Nor2
+            | CellFunction::Xor2
+            | CellFunction::Xnor2 => &["A", "B"],
+            CellFunction::And3
+            | CellFunction::Nand3
+            | CellFunction::Or3
+            | CellFunction::Nor3
+            | CellFunction::Maj3 => &["A", "B", "C"],
+            CellFunction::Nand4 => &["A", "B", "C", "D"],
+            CellFunction::Mux2 => &["D0", "D1", "S"],
+            CellFunction::Aoi21 | CellFunction::Oai21 => &["A", "B", "C"],
+            CellFunction::Dff => &["D"],
+            CellFunction::Dffr => &["D", "RN"],
+            CellFunction::Sdff => &["D", "SI", "SE"],
+            CellFunction::Sdffr => &["D", "RN", "SI", "SE"],
+            CellFunction::Latch => &["D", "EN"],
+        }
+    }
+
+    /// Relative gate-equivalent complexity used for area/gate-count.
+    ///
+    /// One gate equivalent (GE) is a NAND2; numbers follow typical
+    /// standard-cell data books of the era.
+    pub fn gate_equivalents(self) -> f64 {
+        match self {
+            CellFunction::Buf => 0.75,
+            CellFunction::Inv => 0.5,
+            CellFunction::And2 | CellFunction::Or2 => 1.25,
+            CellFunction::Nand2 | CellFunction::Nor2 => 1.0,
+            CellFunction::And3 | CellFunction::Or3 => 1.75,
+            CellFunction::Nand3 | CellFunction::Nor3 => 1.5,
+            CellFunction::Nand4 => 2.0,
+            CellFunction::Xor2 | CellFunction::Xnor2 => 2.25,
+            CellFunction::Mux2 => 2.25,
+            CellFunction::Aoi21 | CellFunction::Oai21 => 1.5,
+            CellFunction::Maj3 => 2.5,
+            CellFunction::Tie0 | CellFunction::Tie1 => 0.5,
+            CellFunction::Dff => 5.0,
+            CellFunction::Dffr => 5.75,
+            CellFunction::Sdff => 6.5,
+            CellFunction::Sdffr => 7.25,
+            CellFunction::Latch => 3.0,
+        }
+    }
+
+    /// Intrinsic delay weight (unitless; scaled by the technology node).
+    pub(crate) fn intrinsic_delay_weight(self) -> f64 {
+        match self {
+            CellFunction::Buf => 1.0,
+            CellFunction::Inv => 0.6,
+            CellFunction::And2 | CellFunction::Or2 => 1.2,
+            CellFunction::Nand2 | CellFunction::Nor2 => 0.9,
+            CellFunction::And3 | CellFunction::Or3 => 1.5,
+            CellFunction::Nand3 | CellFunction::Nor3 => 1.2,
+            CellFunction::Nand4 => 1.5,
+            CellFunction::Xor2 | CellFunction::Xnor2 => 1.8,
+            CellFunction::Mux2 => 1.7,
+            CellFunction::Aoi21 | CellFunction::Oai21 => 1.3,
+            CellFunction::Maj3 => 1.9,
+            CellFunction::Tie0 | CellFunction::Tie1 => 0.0,
+            CellFunction::Dff | CellFunction::Dffr => 2.2,
+            CellFunction::Sdff | CellFunction::Sdffr => 2.4,
+            CellFunction::Latch => 1.6,
+        }
+    }
+}
+
+impl fmt::Display for CellFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Drive strength of a library cell.
+///
+/// Larger drives have proportionally lower load-dependent delay and
+/// proportionally larger area and input capacitance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Drive {
+    /// Unit drive.
+    #[default]
+    X1,
+    /// Double drive.
+    X2,
+    /// Quadruple drive.
+    X4,
+    /// Octuple drive (output buffers, clock drivers).
+    X8,
+}
+
+impl Drive {
+    /// All drive strengths in increasing order.
+    pub const ALL: [Drive; 4] = [Drive::X1, Drive::X2, Drive::X4, Drive::X8];
+
+    /// Numeric strength multiplier.
+    pub fn strength(self) -> f64 {
+        match self {
+            Drive::X1 => 1.0,
+            Drive::X2 => 2.0,
+            Drive::X4 => 4.0,
+            Drive::X8 => 8.0,
+        }
+    }
+
+    /// Area multiplier relative to X1 (sub-linear, as in real libraries).
+    pub fn area_factor(self) -> f64 {
+        match self {
+            Drive::X1 => 1.0,
+            Drive::X2 => 1.45,
+            Drive::X4 => 2.3,
+            Drive::X8 => 4.0,
+        }
+    }
+
+    /// The next size up, if any — used by timing ECO upsizing.
+    pub fn upsized(self) -> Option<Drive> {
+        match self {
+            Drive::X1 => Some(Drive::X2),
+            Drive::X2 => Some(Drive::X4),
+            Drive::X4 => Some(Drive::X8),
+            Drive::X8 => None,
+        }
+    }
+
+    /// The next size down, if any — used by hold-fix downsizing.
+    pub fn downsized(self) -> Option<Drive> {
+        match self {
+            Drive::X1 => None,
+            Drive::X2 => Some(Drive::X1),
+            Drive::X4 => Some(Drive::X2),
+            Drive::X8 => Some(Drive::X4),
+        }
+    }
+
+    /// Drive suffix as it appears in library cell names, e.g. `X4`.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Drive::X1 => "X1",
+            Drive::X2 => "X2",
+            Drive::X4 => "X4",
+            Drive::X8 => "X8",
+        }
+    }
+
+    /// Parse a suffix produced by [`Drive::suffix`].
+    pub fn from_suffix(s: &str) -> Option<Drive> {
+        Drive::ALL.iter().copied().find(|d| d.suffix() == s)
+    }
+}
+
+impl fmt::Display for Drive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// A concrete library cell: function plus drive strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cell {
+    /// Logic function of the cell.
+    pub function: CellFunction,
+    /// Drive strength.
+    pub drive: Drive,
+}
+
+impl Cell {
+    /// Create a cell from function and drive.
+    pub fn new(function: CellFunction, drive: Drive) -> Self {
+        Cell { function, drive }
+    }
+
+    /// Full library name, e.g. `NAND2X2`.
+    pub fn lib_name(&self) -> String {
+        format!("{}{}", self.function.name(), self.drive.suffix())
+    }
+
+    /// Parse a full library name produced by [`Cell::lib_name`].
+    pub fn from_lib_name(name: &str) -> Option<Cell> {
+        // Drive suffix is always two chars (X1/X2/X4/X8).
+        if name.len() < 3 {
+            return None;
+        }
+        let (stem, suffix) = name.split_at(name.len() - 2);
+        Some(Cell {
+            function: CellFunction::from_name(stem)?,
+            drive: Drive::from_suffix(suffix)?,
+        })
+    }
+
+    /// Gate equivalents including the drive area factor.
+    pub fn gate_equivalents(&self) -> f64 {
+        self.function.gate_equivalents() * self.drive.area_factor()
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.lib_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic_gates() {
+        let a = 0b1100;
+        let b = 0b1010;
+        assert_eq!(CellFunction::And2.eval(&[a, b]) & 0xF, 0b1000);
+        assert_eq!(CellFunction::Or2.eval(&[a, b]) & 0xF, 0b1110);
+        assert_eq!(CellFunction::Xor2.eval(&[a, b]) & 0xF, 0b0110);
+        assert_eq!(CellFunction::Nand2.eval(&[a, b]) & 0xF, 0b0111);
+        assert_eq!(CellFunction::Nor2.eval(&[a, b]) & 0xF, 0b0001);
+        assert_eq!(CellFunction::Xnor2.eval(&[a, b]) & 0xF, 0b1001);
+        assert_eq!(CellFunction::Inv.eval(&[a]) & 0xF, 0b0011);
+        assert_eq!(CellFunction::Buf.eval(&[a]) & 0xF, 0b1100);
+    }
+
+    #[test]
+    fn eval_mux_selects_correctly() {
+        let d0 = 0b0101;
+        let d1 = 0b0011;
+        let sel = 0b1100;
+        // sel=0 → d0, sel=1 → d1
+        assert_eq!(CellFunction::Mux2.eval(&[d0, d1, sel]) & 0xF, 0b0001);
+    }
+
+    #[test]
+    fn eval_maj3_is_full_adder_carry() {
+        for a in 0..2u64 {
+            for b in 0..2u64 {
+                for c in 0..2u64 {
+                    let maj = CellFunction::Maj3.eval(&[!0 * a, !0 * b, !0 * c]) & 1;
+                    assert_eq!(maj, u64::from(a + b + c >= 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_aoi_oai() {
+        for bits in 0..8u64 {
+            let a = !0 * (bits & 1);
+            let b = !0 * ((bits >> 1) & 1);
+            let c = !0 * ((bits >> 2) & 1);
+            let aoi = CellFunction::Aoi21.eval(&[a, b, c]) & 1;
+            let oai = CellFunction::Oai21.eval(&[a, b, c]) & 1;
+            let (ab, bb, cb) = (bits & 1, (bits >> 1) & 1, (bits >> 2) & 1);
+            assert_eq!(aoi, 1 ^ ((ab & bb) | cb));
+            assert_eq!(oai, 1 ^ ((ab | bb) & cb));
+        }
+    }
+
+    #[test]
+    fn ties_are_constant() {
+        assert_eq!(CellFunction::Tie0.eval(&[]), 0);
+        assert_eq!(CellFunction::Tie1.eval(&[]), !0);
+    }
+
+    #[test]
+    fn num_inputs_matches_pin_names() {
+        for f in CellFunction::ALL {
+            assert_eq!(
+                f.num_inputs(),
+                f.input_pin_names().len(),
+                "pin-name mismatch for {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_equivalents() {
+        assert_eq!(CellFunction::Dff.scan_equivalent(), Some(CellFunction::Sdff));
+        assert_eq!(CellFunction::Dffr.scan_equivalent(), Some(CellFunction::Sdffr));
+        assert_eq!(CellFunction::Nand2.scan_equivalent(), None);
+        assert!(CellFunction::Sdff.is_scan_flop());
+        assert!(!CellFunction::Dff.is_scan_flop());
+    }
+
+    #[test]
+    fn lib_name_round_trips() {
+        for f in CellFunction::ALL {
+            for d in Drive::ALL {
+                let c = Cell::new(f, d);
+                assert_eq!(Cell::from_lib_name(&c.lib_name()), Some(c));
+            }
+        }
+        assert_eq!(Cell::from_lib_name("BOGUSX1"), None);
+        assert_eq!(Cell::from_lib_name("X1"), None);
+    }
+
+    #[test]
+    fn drive_sizing_ladder() {
+        assert_eq!(Drive::X1.upsized(), Some(Drive::X2));
+        assert_eq!(Drive::X8.upsized(), None);
+        assert_eq!(Drive::X1.downsized(), None);
+        assert_eq!(Drive::X8.downsized(), Some(Drive::X4));
+        // strength strictly increasing
+        for w in Drive::ALL.windows(2) {
+            assert!(w[0].strength() < w[1].strength());
+            assert!(w[0].area_factor() < w[1].area_factor());
+        }
+    }
+
+    #[test]
+    fn gate_equivalents_nand2_is_unit() {
+        assert_eq!(CellFunction::Nand2.gate_equivalents(), 1.0);
+        assert!(CellFunction::Dff.gate_equivalents() > 4.0);
+        // drive grows area
+        assert!(
+            Cell::new(CellFunction::Nand2, Drive::X4).gate_equivalents()
+                > Cell::new(CellFunction::Nand2, Drive::X1).gate_equivalents()
+        );
+    }
+
+    #[test]
+    fn sequential_classification() {
+        assert!(CellFunction::Dff.is_sequential());
+        assert!(CellFunction::Latch.is_sequential());
+        assert!(CellFunction::Latch.is_sequential() && !CellFunction::Latch.is_flop());
+        assert!(!CellFunction::Nand2.is_sequential());
+        assert!(CellFunction::Tie1.is_tie());
+    }
+}

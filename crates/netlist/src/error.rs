@@ -1,0 +1,84 @@
+//! Error types for netlist construction and transformation.
+
+use std::fmt;
+
+/// Errors produced by netlist operations.
+///
+/// Every fallible public function in this crate returns
+/// `Result<_, NetlistError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// An instance, net or port name was used twice.
+    DuplicateName(String),
+    /// A referenced object does not exist.
+    NotFound(String),
+    /// A net has more than one driver.
+    MultipleDrivers { net: String },
+    /// A net has no driver (floating input).
+    Undriven { net: String },
+    /// A pin index is out of range for the cell function.
+    BadPinIndex { instance: String, pin: usize },
+    /// The operation is only valid on a particular cell class
+    /// (e.g. resizing a tie cell, scanning a combinational gate).
+    WrongCellClass { instance: String, expected: &'static str },
+    /// The netlist contains a combinational cycle through the named net.
+    CombinationalCycle { net: String },
+    /// A spare-cell ECO ran out of usable spare cells.
+    NoSpareCell { function: String },
+    /// Structural Verilog parse error with line number.
+    Parse { line: usize, message: String },
+    /// The requested generator parameters are invalid.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            NetlistError::NotFound(n) => write!(f, "object `{n}` not found"),
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has multiple drivers")
+            }
+            NetlistError::Undriven { net } => write!(f, "net `{net}` has no driver"),
+            NetlistError::BadPinIndex { instance, pin } => {
+                write!(f, "pin index {pin} out of range on instance `{instance}`")
+            }
+            NetlistError::WrongCellClass { instance, expected } => {
+                write!(f, "instance `{instance}` is not a {expected}")
+            }
+            NetlistError::CombinationalCycle { net } => {
+                write!(f, "combinational cycle through net `{net}`")
+            }
+            NetlistError::NoSpareCell { function } => {
+                write!(f, "no spare cell available for function {function}")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetlistError::DuplicateName("n1".into());
+        assert_eq!(e.to_string(), "duplicate name `n1`");
+        let e = NetlistError::MultipleDrivers { net: "x".into() };
+        assert!(e.to_string().contains("multiple drivers"));
+        let e = NetlistError::Parse { line: 3, message: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,692 @@
+//! Procedural generators for realistic gate-level structure.
+//!
+//! The paper's IP blocks (RISC/DSP core, USB, SD/MMC, SDRAM controller,
+//! LCD interface, TV encoder, and the JPEG engine's control wrapper) are
+//! proprietary. What the *flow* cares about — and what these generators
+//! reproduce — is their structure: datapaths (adders, multipliers),
+//! register files, FSM control logic and glue, at published gate budgets,
+//! clocked and resettable, with realistic logic depth and fanout.
+//!
+//! All generators are deterministic in their seed (a SplitMix64 PRNG is
+//! embedded so the crate stays dependency-free).
+
+use crate::builder::NetlistBuilder;
+use crate::cell::CellFunction;
+use crate::error::NetlistError;
+use crate::graph::{NetId, Netlist};
+
+/// Minimal deterministic PRNG (SplitMix64) for structure generation.
+///
+/// Not cryptographic; chosen because generators must be reproducible from
+/// a seed and must not pull an external dependency into the IR crate.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) < p
+    }
+}
+
+/// Full adder on three nets; returns `(sum, carry)`.
+fn full_adder(b: &mut NetlistBuilder, a: NetId, x: NetId, cin: NetId) -> (NetId, NetId) {
+    let axb = b.gate_auto(CellFunction::Xor2, &[a, x]);
+    let sum = b.gate_auto(CellFunction::Xor2, &[axb, cin]);
+    let carry = b.gate_auto(CellFunction::Maj3, &[a, x, cin]);
+    (sum, carry)
+}
+
+/// Build a ripple-carry adder inside an existing builder; returns the sum
+/// nets (width + 1 bits, last is carry out).
+pub fn ripple_adder_into(
+    b: &mut NetlistBuilder,
+    a: &[NetId],
+    x: &[NetId],
+    cin: NetId,
+) -> Vec<NetId> {
+    assert_eq!(a.len(), x.len(), "adder operand widths must match");
+    let mut carry = cin;
+    let mut out = Vec::with_capacity(a.len() + 1);
+    for i in 0..a.len() {
+        let (s, c) = full_adder(b, a[i], x[i], carry);
+        out.push(s);
+        carry = c;
+    }
+    out.push(carry);
+    out
+}
+
+/// Standalone `width`-bit ripple-carry adder netlist with ports
+/// `a[..]`, `b[..]`, `cin`, `sum[..]`, `cout`.
+///
+/// # Errors
+///
+/// [`NetlistError::InvalidParameter`] if `width == 0`.
+pub fn ripple_adder(width: usize) -> Result<Netlist, NetlistError> {
+    if width == 0 {
+        return Err(NetlistError::InvalidParameter("adder width must be > 0".into()));
+    }
+    let mut b = NetlistBuilder::new(format!("rca{width}"));
+    let a = b.input_bus("a", width);
+    let x = b.input_bus("b", width);
+    let cin = b.input("cin");
+    let sum = ripple_adder_into(&mut b, &a, &x, cin);
+    b.output_bus("sum", &sum[..width]);
+    b.output("cout", sum[width]);
+    Ok(b.finish())
+}
+
+/// Build an unsigned array multiplier inside a builder; returns the
+/// product nets (2 × width bits).
+///
+/// The accumulation is constant-trimmed the way synthesis leaves it:
+/// rows landing on still-empty accumulator slots assign directly, and
+/// half-adders are used wherever one operand is absent — so the netlist
+/// contains no constant-input adder cells (which would be untestable
+/// redundant logic that no production netlist carries).
+pub fn array_multiplier_into(b: &mut NetlistBuilder, a: &[NetId], x: &[NetId]) -> Vec<NetId> {
+    let w = a.len();
+    // acc[k] = None means "known zero so far"
+    let mut acc: Vec<Option<NetId>> = vec![None; 2 * w];
+    for (i, &xi) in x.iter().enumerate() {
+        let pp: Vec<NetId> =
+            a.iter().map(|&aj| b.gate_auto(CellFunction::And2, &[aj, xi])).collect();
+        let mut carry: Option<NetId> = None;
+        for j in 0..w {
+            let k = i + j;
+            match (acc[k], carry) {
+                (None, None) => {
+                    acc[k] = Some(pp[j]);
+                }
+                (None, Some(c)) => {
+                    acc[k] = Some(b.gate_auto(CellFunction::Xor2, &[pp[j], c]));
+                    carry = Some(b.gate_auto(CellFunction::And2, &[pp[j], c]));
+                }
+                (Some(s0), None) => {
+                    acc[k] = Some(b.gate_auto(CellFunction::Xor2, &[s0, pp[j]]));
+                    carry = Some(b.gate_auto(CellFunction::And2, &[s0, pp[j]]));
+                }
+                (Some(s0), Some(c)) => {
+                    let (s, cy) = full_adder(b, s0, pp[j], c);
+                    acc[k] = Some(s);
+                    carry = Some(cy);
+                }
+            }
+        }
+        // propagate the row's final carry upward
+        let mut k = i + w;
+        while let Some(c) = carry {
+            if k >= 2 * w {
+                break; // product is mod 2^(2w); cannot actually occur
+            }
+            match acc[k] {
+                None => {
+                    acc[k] = Some(c);
+                    carry = None;
+                }
+                Some(s0) => {
+                    acc[k] = Some(b.gate_auto(CellFunction::Xor2, &[s0, c]));
+                    carry = Some(b.gate_auto(CellFunction::And2, &[s0, c]));
+                    k += 1;
+                }
+            }
+        }
+    }
+    // any never-written high bits are true zeros
+    acc.into_iter()
+        .map(|slot| slot.unwrap_or_else(|| b.tie(false)))
+        .collect()
+}
+
+/// Ripple adder with no carry-in (half-adder first stage) — the form a
+/// synthesizer emits when the carry-in is constant zero. Returns
+/// width + 1 sum nets.
+pub fn ripple_adder_no_cin_into(
+    b: &mut NetlistBuilder,
+    a: &[NetId],
+    x: &[NetId],
+) -> Vec<NetId> {
+    assert_eq!(a.len(), x.len(), "adder operand widths must match");
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry = {
+        let s = b.gate_auto(CellFunction::Xor2, &[a[0], x[0]]);
+        out.push(s);
+        b.gate_auto(CellFunction::And2, &[a[0], x[0]])
+    };
+    for i in 1..a.len() {
+        let (s, c) = full_adder(b, a[i], x[i], carry);
+        out.push(s);
+        carry = c;
+    }
+    out.push(carry);
+    out
+}
+
+/// Standalone `width × width` array multiplier with ports `a[..]`,
+/// `b[..]`, `p[..]` (2 × width product bits).
+///
+/// # Errors
+///
+/// [`NetlistError::InvalidParameter`] if `width == 0`.
+pub fn array_multiplier(width: usize) -> Result<Netlist, NetlistError> {
+    if width == 0 {
+        return Err(NetlistError::InvalidParameter("multiplier width must be > 0".into()));
+    }
+    let mut b = NetlistBuilder::new(format!("mul{width}"));
+    let a = b.input_bus("a", width);
+    let x = b.input_bus("b", width);
+    let p = array_multiplier_into(&mut b, &a, &x);
+    b.output_bus("p", &p);
+    Ok(b.finish())
+}
+
+/// Build a `width`-bit synchronous counter with enable inside a builder;
+/// returns the count Q nets.
+pub fn counter_into(b: &mut NetlistBuilder, clk: NetId, rn: NetId, en: NetId, width: usize) -> Vec<NetId> {
+    // q' = q xor (en & carry_chain)
+    let mut qs = Vec::with_capacity(width);
+    let mut ds = Vec::with_capacity(width);
+    // create flops first with placeholder D nets
+    for _ in 0..width {
+        let d = b.fresh_net();
+        let q = b.dffr_feedback(d, rn, clk);
+        ds.push(d);
+        qs.push(q);
+    }
+    let mut carry = en;
+    for i in 0..width {
+        b.gate_into(CellFunction::Xor2, &[qs[i], carry], ds[i]);
+        if i + 1 < width {
+            carry = b.gate_auto(CellFunction::And2, &[carry, qs[i]]);
+        }
+    }
+    qs
+}
+
+/// Moore FSM with random next-state/output logic.
+///
+/// `state_bits` flops, `num_inputs` control inputs, `num_outputs` decoded
+/// outputs; next-state logic is a 2-level random AND-OR over state and
+/// inputs. Ports: `clk`, `rstn`, `in[..]`, `out[..]`.
+pub fn fsm(state_bits: usize, num_inputs: usize, num_outputs: usize, seed: u64) -> Netlist {
+    let mut rng = SplitMix64::new(seed);
+    let mut b = NetlistBuilder::new(format!("fsm{state_bits}"));
+    let clk = b.input("clk");
+    let rn = b.input("rstn");
+    let ins = b.input_bus("in", num_inputs.max(1));
+    // state flops with placeholder D nets
+    let mut ds = Vec::new();
+    let mut qs = Vec::new();
+    for _ in 0..state_bits {
+        let d = b.fresh_net();
+        let q = b.dffr_feedback(d, rn, clk);
+        ds.push(d);
+        qs.push(q);
+    }
+    let mut literals: Vec<NetId> = Vec::new();
+    literals.extend_from_slice(&qs);
+    literals.extend_from_slice(&ins);
+    let inverted: Vec<NetId> =
+        literals.iter().map(|&l| b.gate_auto(CellFunction::Inv, &[l])).collect();
+    let pick = |rng: &mut SplitMix64| -> NetId {
+        let i = rng.below(literals.len());
+        if rng.chance(0.5) {
+            literals[i]
+        } else {
+            inverted[i]
+        }
+    };
+    // next-state: OR of 2-3 product terms of 2-3 literals
+    for d in ds.clone() {
+        let mut terms = Vec::new();
+        for _ in 0..(2 + rng.below(2)) {
+            let l1 = pick(&mut rng);
+            let l2 = pick(&mut rng);
+            let t = if rng.chance(0.5) {
+                let l3 = pick(&mut rng);
+                b.gate_auto(CellFunction::And3, &[l1, l2, l3])
+            } else {
+                b.gate_auto(CellFunction::And2, &[l1, l2])
+            };
+            terms.push(t);
+        }
+        let or1 = b.gate_auto(CellFunction::Or2, &[terms[0], terms[1]]);
+        if terms.len() > 2 {
+            b.gate_into(CellFunction::Or2, &[or1, terms[2]], d);
+        } else {
+            b.gate_into(CellFunction::Buf, &[or1], d);
+        }
+    }
+    // outputs: random 2-literal functions of state
+    let mut outs = Vec::new();
+    for _ in 0..num_outputs.max(1) {
+        let l1 = pick(&mut rng);
+        let l2 = pick(&mut rng);
+        let f = match rng.below(3) {
+            0 => CellFunction::And2,
+            1 => CellFunction::Or2,
+            _ => CellFunction::Xor2,
+        };
+        outs.push(b.gate_auto(f, &[l1, l2]));
+    }
+    b.output_bus("out", &outs);
+    b.finish()
+}
+
+/// Register file: `words × bits`, one write port, one combinational read
+/// port, built from flip-flops and mux trees. Ports: `clk`, `we`,
+/// `waddr[..]`, `raddr[..]`, `wdata[..]`, `rdata[..]`.
+///
+/// # Errors
+///
+/// [`NetlistError::InvalidParameter`] unless `words` is a power of two ≥ 2.
+pub fn register_file(words: usize, bits: usize) -> Result<Netlist, NetlistError> {
+    if words < 2 || !words.is_power_of_two() {
+        return Err(NetlistError::InvalidParameter(
+            "register file words must be a power of two >= 2".into(),
+        ));
+    }
+    let abits = words.trailing_zeros() as usize;
+    let mut b = NetlistBuilder::new(format!("rf{words}x{bits}"));
+    let clk = b.input("clk");
+    let we = b.input("we");
+    let waddr = b.input_bus("waddr", abits);
+    let raddr = b.input_bus("raddr", abits);
+    let wdata = b.input_bus("wdata", bits);
+    let waddr_n: Vec<NetId> =
+        waddr.iter().map(|&a| b.gate_auto(CellFunction::Inv, &[a])).collect();
+    // word write-selects: decode waddr & we
+    let mut wsel = Vec::with_capacity(words);
+    for w in 0..words {
+        let mut term = we;
+        for (bit, (&a, &an)) in waddr.iter().zip(&waddr_n).enumerate() {
+            let lit = if (w >> bit) & 1 == 1 { a } else { an };
+            term = b.gate_auto(CellFunction::And2, &[term, lit]);
+        }
+        wsel.push(term);
+    }
+    // storage: q' = wsel ? wdata : q
+    let mut word_q: Vec<Vec<NetId>> = Vec::with_capacity(words);
+    for w in 0..words {
+        let mut qbits = Vec::with_capacity(bits);
+        for bit in 0..bits {
+            let d = b.fresh_net();
+            let q = b.dff(&format!("u_rf_w{w}_b{bit}"), d, clk);
+            b.gate_into(CellFunction::Mux2, &[q, wdata[bit], wsel[w]], d);
+            qbits.push(q);
+        }
+        word_q.push(qbits);
+    }
+    // read mux tree per bit
+    let mut rdata = Vec::with_capacity(bits);
+    for bit in 0..bits {
+        let mut layer: Vec<NetId> = word_q.iter().map(|w| w[bit]).collect();
+        for (lvl, &sel) in raddr.iter().enumerate() {
+            let _ = lvl;
+            let mut next = Vec::with_capacity(layer.len() / 2);
+            for pair in layer.chunks(2) {
+                next.push(b.gate_auto(CellFunction::Mux2, &[pair[0], pair[1], sel]));
+            }
+            layer = next;
+        }
+        rdata.push(layer[0]);
+    }
+    b.output_bus("rdata", &rdata);
+    Ok(b.finish())
+}
+
+/// Parameters for [`ip_block`].
+#[derive(Debug, Clone)]
+pub struct IpBlockParams {
+    /// Target gate-instance budget (approximate; generator stops once met).
+    pub target_gates: usize,
+    /// Data width of the embedded datapaths.
+    pub data_width: usize,
+    /// Fraction of budget spent on pipelined datapath clusters (0..1);
+    /// the rest is FSM/random control logic.
+    pub datapath_fraction: f64,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Number of spare cells to sprinkle (for metal-only ECO).
+    pub spare_cells: usize,
+}
+
+impl Default for IpBlockParams {
+    fn default() -> Self {
+        IpBlockParams {
+            target_gates: 4000,
+            data_width: 16,
+            datapath_fraction: 0.6,
+            seed: 1,
+            spare_cells: 8,
+        }
+    }
+}
+
+/// Generate a synthetic IP block approximating `params.target_gates`
+/// instances: pipelined adder/multiplier datapath clusters, an FSM-style
+/// control section, and spare cells, all clocked by `clk` with async
+/// reset `rstn`. Data flows from `din[..]` to `dout[..]`.
+///
+/// # Errors
+///
+/// [`NetlistError::InvalidParameter`] if the budget or width is zero.
+pub fn ip_block(name: &str, params: &IpBlockParams) -> Result<Netlist, NetlistError> {
+    if params.target_gates == 0 || params.data_width == 0 {
+        return Err(NetlistError::InvalidParameter("ip block budget/width must be > 0".into()));
+    }
+    let w = params.data_width;
+    let mut rng = SplitMix64::new(params.seed);
+    let mut b = NetlistBuilder::new(name);
+    let clk = b.input("clk");
+    let rn = b.input("rstn");
+    let din = b.input_bus("din", w);
+    let ctrl = b.input_bus("ctl", 4);
+
+    // Input register stage.
+    let mut stage: Vec<NetId> = din.iter().map(|&d| b.dff_auto(d, clk)).collect();
+
+    let datapath_budget = (params.target_gates as f64 * params.datapath_fraction) as usize;
+    // Datapath clusters: alternate adder and (narrow) multiplier stages,
+    // each followed by a pipeline register.
+    while b.netlist().num_instances() < datapath_budget {
+        let use_mult = rng.chance(0.25) && w >= 8;
+        if use_mult {
+            // quarter-width multipliers: a full-width array multiplier is
+            // ~2w logic levels deep and would never close 133 MHz in one
+            // cycle; real datapaths pipeline or narrow them.
+            let m = (w / 4).max(2);
+            let lo = stage[..m].to_vec();
+            let hi = stage[m..2 * m].to_vec();
+            let p = array_multiplier_into(&mut b, &lo, &hi);
+            let mut next = p[..2 * m].to_vec();
+            next.extend_from_slice(&stage[2 * m..]);
+            stage = next;
+        } else {
+            // add with rotated self (no carry-in: synthesis trims it)
+            let mut rot = stage.clone();
+            rot.rotate_left(1 + rng.below(w.max(2) - 1));
+            let s = ripple_adder_no_cin_into(&mut b, &stage, &rot);
+            stage = s[..w].to_vec();
+        }
+        // xor in a control bit to keep logic observable
+        let cbit = ctrl[rng.below(4)];
+        stage[0] = b.gate_auto(CellFunction::Xor2, &[stage[0], cbit]);
+        // pipeline register
+        stage = stage.iter().map(|&s| b.dff_auto(s, clk)).collect();
+    }
+
+    // Control section: chain of FSM-ish next-state clusters.
+    let mut state: Vec<NetId> = Vec::new();
+    let mut state_d: Vec<NetId> = Vec::new();
+    let nstate = 8 + rng.below(8);
+    for _ in 0..nstate {
+        let d = b.fresh_net();
+        let q = b.dffr_feedback(d, rn, clk);
+        state_d.push(d);
+        state.push(q);
+    }
+    let mut literal_pool: Vec<NetId> = state.clone();
+    literal_pool.extend(ctrl.iter().copied());
+    literal_pool.push(stage[0]);
+    while b.netlist().num_instances() + state_d.len() * 2 < params.target_gates {
+        // grow the pool with random 2-input gates
+        let i = rng.below(literal_pool.len());
+        let j = rng.below(literal_pool.len());
+        let f = match rng.below(6) {
+            0 => CellFunction::Nand2,
+            1 => CellFunction::Nor2,
+            2 => CellFunction::Xor2,
+            3 => CellFunction::And2,
+            4 => CellFunction::Or2,
+            _ => CellFunction::Aoi21,
+        };
+        let out = if f == CellFunction::Aoi21 {
+            let k = rng.below(literal_pool.len());
+            b.gate_auto(f, &[literal_pool[i], literal_pool[j], literal_pool[k]])
+        } else {
+            b.gate_auto(f, &[literal_pool[i], literal_pool[j]])
+        };
+        literal_pool.push(out);
+        // bound depth growth: register nodes often enough that control
+        // cones stay shallow (the design must close 133 MHz)
+        if rng.chance(0.30) {
+            let q = b.dff_auto(out, clk);
+            literal_pool.push(q);
+        }
+        if literal_pool.len() > 400 {
+            literal_pool.drain(0..200);
+        }
+    }
+    // close the state feedback from the literal pool
+    for d in state_d {
+        let i = rng.below(literal_pool.len());
+        let j = rng.below(literal_pool.len());
+        b.gate_into(CellFunction::Nand2, &[literal_pool[i], literal_pool[j]], d);
+    }
+
+    // Output register + ports.
+    let dout: Vec<NetId> = stage
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let mixed =
+                b.gate_auto(CellFunction::Xor2, &[s, literal_pool[i % literal_pool.len()]]);
+            b.dff_auto(mixed, clk)
+        })
+        .collect();
+    b.output_bus("dout", &dout);
+
+    for _ in 0..params.spare_cells {
+        let f = match rng.below(4) {
+            0 => CellFunction::Nand2,
+            1 => CellFunction::Nor2,
+            2 => CellFunction::Inv,
+            _ => CellFunction::Mux2,
+        };
+        b.spare(f);
+    }
+    let nl = b.finish();
+    nl.validate()?;
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn splitmix_below_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn adder_structure() {
+        let nl = ripple_adder(8).unwrap();
+        nl.validate().unwrap();
+        // 8 full adders: 2 XOR + 1 MAJ each = 24 gates
+        assert_eq!(nl.num_instances(), 24);
+        assert!(nl.find_port("sum[7]").is_some());
+        assert!(nl.find_port("cout").is_some());
+        assert!(ripple_adder(0).is_err());
+    }
+
+    #[test]
+    fn multiplier_structure() {
+        let nl = array_multiplier(4).unwrap();
+        nl.validate().unwrap();
+        assert!(nl.num_instances() > 30);
+        assert!(nl.find_port("p[7]").is_some());
+        assert!(array_multiplier(0).is_err());
+        nl.combinational_topo_order().unwrap();
+        // constant-trimmed: no tie cells should remain in a full product
+        assert_eq!(
+            nl.instances().filter(|(_, i)| i.function().is_tie()).count(),
+            0,
+            "multiplier should contain no constant cells"
+        );
+    }
+
+    #[test]
+    fn multiplier_computes_products() {
+        // verify the trimmed structure still multiplies, via the
+        // bit-parallel evaluator
+        use crate::equiv::{CombModel, SourceKey};
+        let nl = array_multiplier(4).unwrap();
+        let m = CombModel::new(&nl).unwrap();
+        let keys: Vec<&SourceKey> = m.sources.keys().collect();
+        for (a_val, b_val) in [(3u64, 5u64), (15, 15), (0, 9), (7, 11), (1, 1)] {
+            let assign: Vec<u64> = keys
+                .iter()
+                .map(|k| {
+                    if let SourceKey::Port(name) = k {
+                        let bit = |v: u64, i: usize| (v >> i) & 1;
+                        if let Some(rest) = name.strip_prefix("a[") {
+                            bit(a_val, rest.trim_end_matches(']').parse().unwrap())
+                        } else if let Some(rest) = name.strip_prefix("b[") {
+                            bit(b_val, rest.trim_end_matches(']').parse().unwrap())
+                        } else {
+                            0
+                        }
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let values = m.eval(&assign);
+            let mut p = 0u64;
+            for bit in 0..8 {
+                let net = nl.port(nl.find_port(&format!("p[{bit}]")).unwrap()).net;
+                p |= (values[net.index()] & 1) << bit;
+            }
+            assert_eq!(p, a_val * b_val, "{a_val}*{b_val}");
+        }
+    }
+
+    #[test]
+    fn no_cin_adder_adds() {
+        use crate::equiv::{CombModel, SourceKey};
+        let mut b = NetlistBuilder::new("add");
+        let a = b.input_bus("a", 5);
+        let x = b.input_bus("b", 5);
+        let s = ripple_adder_no_cin_into(&mut b, &a, &x);
+        b.output_bus("sum", &s);
+        let nl = b.finish();
+        nl.validate().unwrap();
+        let m = CombModel::new(&nl).unwrap();
+        let keys: Vec<&SourceKey> = m.sources.keys().collect();
+        for (a_val, b_val) in [(13u64, 21u64), (31, 31), (0, 0), (16, 17)] {
+            let assign: Vec<u64> = keys
+                .iter()
+                .map(|k| {
+                    if let SourceKey::Port(name) = k {
+                        let bit = |v: u64, i: usize| (v >> i) & 1;
+                        if let Some(rest) = name.strip_prefix("a[") {
+                            bit(a_val, rest.trim_end_matches(']').parse().unwrap())
+                        } else if let Some(rest) = name.strip_prefix("b[") {
+                            bit(b_val, rest.trim_end_matches(']').parse().unwrap())
+                        } else {
+                            0
+                        }
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let values = m.eval(&assign);
+            let mut sum = 0u64;
+            for bit in 0..6 {
+                let net = nl.port(nl.find_port(&format!("sum[{bit}]")).unwrap()).net;
+                sum |= (values[net.index()] & 1) << bit;
+            }
+            assert_eq!(sum, a_val + b_val, "{a_val}+{b_val}");
+        }
+    }
+
+    #[test]
+    fn fsm_is_valid_and_seeded() {
+        let a = fsm(4, 3, 2, 11);
+        a.validate().unwrap();
+        a.combinational_topo_order().unwrap();
+        assert_eq!(a.flops().count(), 4);
+        let b = fsm(4, 3, 2, 11);
+        assert_eq!(a.num_instances(), b.num_instances());
+        let c = fsm(4, 3, 2, 12);
+        // different seed very likely differs in size or wiring
+        assert!(a != c);
+    }
+
+    #[test]
+    fn register_file_reads_what_it_stores_structurally() {
+        let nl = register_file(4, 2).unwrap();
+        nl.validate().unwrap();
+        nl.combinational_topo_order().unwrap();
+        assert_eq!(nl.flops().count(), 8);
+        assert!(register_file(3, 2).is_err());
+        assert!(register_file(1, 2).is_err());
+    }
+
+    #[test]
+    fn ip_block_hits_budget() {
+        let params = IpBlockParams { target_gates: 3000, ..Default::default() };
+        let nl = ip_block("u_test_ip", &params).unwrap();
+        nl.validate().unwrap();
+        nl.combinational_topo_order().unwrap();
+        let n = nl.num_instances();
+        assert!(
+            n >= 3000 && n < 3000 + 2000,
+            "instance count {n} should be near budget 3000"
+        );
+        assert_eq!(nl.spares().count(), params.spare_cells);
+    }
+
+    #[test]
+    fn ip_block_deterministic_in_seed() {
+        let p = IpBlockParams { target_gates: 1200, seed: 5, ..Default::default() };
+        let a = ip_block("ip", &p).unwrap();
+        let b = ip_block("ip", &p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ip_block_rejects_zero_budget() {
+        let p = IpBlockParams { target_gates: 0, ..Default::default() };
+        assert!(ip_block("ip", &p).is_err());
+    }
+}

@@ -1,0 +1,968 @@
+//! The flat gate-level netlist: instances, nets, ports and memory macros.
+//!
+//! The representation is index-based (arena style): objects are stored in
+//! vectors and referenced by lightweight copyable ids. This keeps the
+//! 240 K-gate DSC controller cheap to traverse for fault simulation,
+//! placement and STA.
+//!
+//! Hierarchy is handled the way physical flows handle it: the netlist is
+//! flat, and every instance carries a *block tag* (the IP it belongs to,
+//! e.g. `u_jpeg`). The integration crate groups and reports by tag.
+
+use std::collections::HashMap;
+
+use crate::cell::{Cell, CellFunction, Drive};
+use crate::error::NetlistError;
+
+/// Index of an [`Instance`] within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(pub u32);
+
+/// Index of a [`Net`] within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+/// Index of a [`Port`] within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u32);
+
+/// Index of a [`MacroInst`] within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacroId(pub u32);
+
+impl NetId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl InstanceId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl PortId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl MacroId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Direction of a top-level port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// Primary input.
+    Input,
+    /// Primary output.
+    Output,
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Driver {
+    /// Driven by the output of a gate instance.
+    Instance(InstanceId),
+    /// Driven by a primary input port.
+    Port(PortId),
+    /// Driven by output pin `pin` of a memory macro.
+    Macro(MacroId, usize),
+}
+
+/// A wire in the netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    /// Unique net name.
+    pub name: String,
+    /// The single driver, if connected.
+    pub driver: Option<Driver>,
+}
+
+/// A standard-cell instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Unique instance name (hierarchical path, e.g. `u_jpeg/u_dct/U123`).
+    pub name: String,
+    /// The library cell.
+    pub cell: Cell,
+    /// Input nets in [`CellFunction::input_pin_names`] order.
+    pub inputs: Vec<NetId>,
+    /// Output net.
+    pub output: NetId,
+    /// Clock net for flip-flops, `None` for combinational cells/latches
+    /// (latches carry their enable as a data input).
+    pub clock: Option<NetId>,
+    /// Block tag: which IP / hierarchy block this instance belongs to.
+    pub block: String,
+    /// True if this is an unused spare cell (inputs tied, output unloaded)
+    /// available for metal-only ECO.
+    pub spare: bool,
+}
+
+impl Instance {
+    /// Shorthand for the instance's cell function.
+    pub fn function(&self) -> CellFunction {
+        self.cell.function
+    }
+    /// Shorthand for the instance's drive strength.
+    pub fn drive(&self) -> Drive {
+        self.cell.drive
+    }
+}
+
+/// A top-level port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// The net bound to the port.
+    pub net: NetId,
+}
+
+/// An embedded memory macro (opaque hard block).
+///
+/// The DSC controller embeds 30 of these; they matter to MBIST (each gets
+/// a pattern generator), floorplanning (they are placed as hard blocks)
+/// and area accounting (they are excluded from the "240 K gates" figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroInst {
+    /// Unique macro instance name.
+    pub name: String,
+    /// Number of words.
+    pub words: usize,
+    /// Bits per word.
+    pub bits: usize,
+    /// Input nets (address, data-in, control) — opaque ordering.
+    pub inputs: Vec<NetId>,
+    /// Output nets (data-out), pin index = position.
+    pub outputs: Vec<NetId>,
+    /// Block tag.
+    pub block: String,
+}
+
+impl MacroInst {
+    /// Total storage bits.
+    pub fn total_bits(&self) -> usize {
+        self.words * self.bits
+    }
+}
+
+/// A flat gate-level netlist.
+///
+/// Construct via [`crate::builder::NetlistBuilder`] or the generators in
+/// [`crate::generate`]; inspect and transform via the methods here and the
+/// [`crate::eco`] operations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Netlist {
+    /// Design name.
+    pub name: String,
+    nets: Vec<Net>,
+    instances: Vec<Instance>,
+    ports: Vec<Port>,
+    macros: Vec<MacroInst>,
+    net_names: HashMap<String, NetId>,
+    instance_names: HashMap<String, InstanceId>,
+}
+
+impl Netlist {
+    /// Create an empty netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist { name: name.into(), ..Netlist::default() }
+    }
+
+    // ---- construction primitives (used by the builder) ----
+
+    /// Add a net. Errors on duplicate name.
+    pub fn add_net(&mut self, name: impl Into<String>) -> Result<NetId, NetlistError> {
+        let name = name.into();
+        if self.net_names.contains_key(&name) {
+            return Err(NetlistError::DuplicateName(name));
+        }
+        let id = NetId(self.nets.len() as u32);
+        self.net_names.insert(name.clone(), id);
+        self.nets.push(Net { name, driver: None });
+        Ok(id)
+    }
+
+    /// Add a gate instance driving `output`. Errors on duplicate instance
+    /// name, already-driven output net, or wrong input count.
+    pub fn add_instance(
+        &mut self,
+        name: impl Into<String>,
+        cell: Cell,
+        inputs: &[NetId],
+        output: NetId,
+        clock: Option<NetId>,
+        block: impl Into<String>,
+    ) -> Result<InstanceId, NetlistError> {
+        let name = name.into();
+        if self.instance_names.contains_key(&name) {
+            return Err(NetlistError::DuplicateName(name));
+        }
+        if inputs.len() != cell.function.num_inputs() {
+            return Err(NetlistError::BadPinIndex { instance: name, pin: inputs.len() });
+        }
+        if self.nets[output.index()].driver.is_some() {
+            return Err(NetlistError::MultipleDrivers {
+                net: self.nets[output.index()].name.clone(),
+            });
+        }
+        let id = InstanceId(self.instances.len() as u32);
+        self.nets[output.index()].driver = Some(Driver::Instance(id));
+        self.instance_names.insert(name.clone(), id);
+        self.instances.push(Instance {
+            name,
+            cell,
+            inputs: inputs.to_vec(),
+            output,
+            clock,
+            block: block.into(),
+            spare: false,
+        });
+        Ok(id)
+    }
+
+    /// Add a top-level port bound to `net`. Input ports become the net's
+    /// driver.
+    pub fn add_port(
+        &mut self,
+        name: impl Into<String>,
+        dir: PortDir,
+        net: NetId,
+    ) -> Result<PortId, NetlistError> {
+        let name = name.into();
+        if self.ports.iter().any(|p| p.name == name) {
+            return Err(NetlistError::DuplicateName(name));
+        }
+        let id = PortId(self.ports.len() as u32);
+        if dir == PortDir::Input {
+            if self.nets[net.index()].driver.is_some() {
+                return Err(NetlistError::MultipleDrivers {
+                    net: self.nets[net.index()].name.clone(),
+                });
+            }
+            self.nets[net.index()].driver = Some(Driver::Port(id));
+        }
+        self.ports.push(Port { name, dir, net });
+        Ok(id)
+    }
+
+    /// Add a memory macro. Output nets become driven by the macro.
+    pub fn add_macro(
+        &mut self,
+        name: impl Into<String>,
+        words: usize,
+        bits: usize,
+        inputs: Vec<NetId>,
+        outputs: Vec<NetId>,
+        block: impl Into<String>,
+    ) -> Result<MacroId, NetlistError> {
+        let name = name.into();
+        if self.macros.iter().any(|m| m.name == name) {
+            return Err(NetlistError::DuplicateName(name));
+        }
+        let id = MacroId(self.macros.len() as u32);
+        for (pin, &net) in outputs.iter().enumerate() {
+            if self.nets[net.index()].driver.is_some() {
+                return Err(NetlistError::MultipleDrivers {
+                    net: self.nets[net.index()].name.clone(),
+                });
+            }
+            self.nets[net.index()].driver = Some(Driver::Macro(id, pin));
+        }
+        self.macros.push(MacroInst { name, words, bits, inputs, outputs, block: block.into() });
+        Ok(id)
+    }
+
+    // ---- accessors ----
+
+    /// Number of gate instances.
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+    /// Number of top-level ports.
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+    /// Number of memory macros.
+    pub fn num_macros(&self) -> usize {
+        self.macros.len()
+    }
+
+    /// Borrow an instance.
+    pub fn instance(&self, id: InstanceId) -> &Instance {
+        &self.instances[id.index()]
+    }
+    /// Mutably borrow an instance.
+    ///
+    /// Prefer the [`crate::eco`] operations for structural edits; this is
+    /// exposed for tags, spare flags and drive changes.
+    pub fn instance_mut(&mut self, id: InstanceId) -> &mut Instance {
+        &mut self.instances[id.index()]
+    }
+    /// Borrow a net.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+    /// Borrow a port.
+    pub fn port(&self, id: PortId) -> &Port {
+        &self.ports[id.index()]
+    }
+    /// Borrow a macro.
+    pub fn macro_inst(&self, id: MacroId) -> &MacroInst {
+        &self.macros[id.index()]
+    }
+
+    /// Iterate over `(InstanceId, &Instance)`.
+    pub fn instances(&self) -> impl Iterator<Item = (InstanceId, &Instance)> {
+        self.instances.iter().enumerate().map(|(i, inst)| (InstanceId(i as u32), inst))
+    }
+    /// Iterate over `(NetId, &Net)`.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets.iter().enumerate().map(|(i, n)| (NetId(i as u32), n))
+    }
+    /// Iterate over `(PortId, &Port)`.
+    pub fn ports(&self) -> impl Iterator<Item = (PortId, &Port)> {
+        self.ports.iter().enumerate().map(|(i, p)| (PortId(i as u32), p))
+    }
+    /// Iterate over `(MacroId, &MacroInst)`.
+    pub fn macros(&self) -> impl Iterator<Item = (MacroId, &MacroInst)> {
+        self.macros.iter().enumerate().map(|(i, m)| (MacroId(i as u32), m))
+    }
+
+    /// Look up a net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_names.get(name).copied()
+    }
+    /// Look up an instance by name.
+    pub fn find_instance(&self, name: &str) -> Option<InstanceId> {
+        self.instance_names.get(name).copied()
+    }
+    /// Look up a port by name.
+    pub fn find_port(&self, name: &str) -> Option<PortId> {
+        self.ports
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| PortId(i as u32))
+    }
+
+    /// Primary input ports.
+    pub fn input_ports(&self) -> impl Iterator<Item = (PortId, &Port)> {
+        self.ports().filter(|(_, p)| p.dir == PortDir::Input)
+    }
+    /// Primary output ports.
+    pub fn output_ports(&self) -> impl Iterator<Item = (PortId, &Port)> {
+        self.ports().filter(|(_, p)| p.dir == PortDir::Output)
+    }
+
+    /// All flip-flop instances.
+    pub fn flops(&self) -> impl Iterator<Item = (InstanceId, &Instance)> {
+        self.instances().filter(|(_, i)| i.function().is_flop())
+    }
+
+    /// All spare-cell instances.
+    pub fn spares(&self) -> impl Iterator<Item = (InstanceId, &Instance)> {
+        self.instances().filter(|(_, i)| i.spare)
+    }
+
+    // ---- derived structure ----
+
+    /// Compute the fanout (load pins) of every net.
+    ///
+    /// Returns, per net, the list of `(InstanceId, pin_index)` input pins
+    /// it feeds. Clock pins are recorded with pin index `usize::MAX`.
+    /// Macro input pins and output ports are not included (query those via
+    /// [`Netlist::macros`] / [`Netlist::output_ports`]).
+    pub fn fanout_map(&self) -> Vec<Vec<(InstanceId, usize)>> {
+        let mut map = vec![Vec::new(); self.nets.len()];
+        for (id, inst) in self.instances() {
+            for (pin, &net) in inst.inputs.iter().enumerate() {
+                map[net.index()].push((id, pin));
+            }
+            if let Some(clk) = inst.clock {
+                map[clk.index()].push((id, usize::MAX));
+            }
+        }
+        map
+    }
+
+    /// Total electrical fanout count per net, including macro inputs and
+    /// output ports (for load/delay estimation).
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nets.len()];
+        for (_, inst) in self.instances() {
+            for &net in &inst.inputs {
+                counts[net.index()] += 1;
+            }
+            if let Some(clk) = inst.clock {
+                counts[clk.index()] += 1;
+            }
+        }
+        for (_, m) in self.macros() {
+            for &net in &m.inputs {
+                counts[net.index()] += 1;
+            }
+        }
+        for (_, p) in self.output_ports() {
+            counts[p.net.index()] += 1;
+        }
+        counts
+    }
+
+    /// Topological order of **combinational** instances.
+    ///
+    /// Sources are primary inputs, flip-flop outputs and macro outputs;
+    /// flip-flops and latches are treated as sinks (their inputs terminate
+    /// paths) and are *not* included in the returned order.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CombinationalCycle`] if combinational gates form a
+    /// loop.
+    pub fn combinational_topo_order(&self) -> Result<Vec<InstanceId>, NetlistError> {
+        // in-degree over combinational instances only
+        let mut indeg = vec![0usize; self.instances.len()];
+        let mut comb = vec![false; self.instances.len()];
+        for (id, inst) in self.instances() {
+            if !inst.function().is_sequential() {
+                comb[id.index()] = true;
+            }
+        }
+        // For each combinational instance, count inputs driven by other
+        // combinational instances.
+        for (id, inst) in self.instances() {
+            if !comb[id.index()] {
+                continue;
+            }
+            for &net in &inst.inputs {
+                if let Some(Driver::Instance(src)) = self.nets[net.index()].driver {
+                    if comb[src.index()] {
+                        indeg[id.index()] += 1;
+                    }
+                }
+            }
+        }
+        let fanout = self.fanout_map();
+        let mut queue: Vec<InstanceId> = self
+            .instances()
+            .filter(|(id, _)| comb[id.index()] && indeg[id.index()] == 0)
+            .map(|(id, _)| id)
+            .collect();
+        let mut order = Vec::with_capacity(self.instances.len());
+        while let Some(id) = queue.pop() {
+            order.push(id);
+            let out = self.instances[id.index()].output;
+            for &(sink, pin) in &fanout[out.index()] {
+                if pin == usize::MAX || !comb[sink.index()] {
+                    continue;
+                }
+                indeg[sink.index()] -= 1;
+                if indeg[sink.index()] == 0 {
+                    queue.push(sink);
+                }
+            }
+        }
+        let total_comb = comb.iter().filter(|&&c| c).count();
+        if order.len() != total_comb {
+            // find a net on the cycle for the error message
+            let stuck = self
+                .instances()
+                .find(|(id, _)| comb[id.index()] && indeg[id.index()] > 0)
+                .map(|(_, i)| self.nets[i.output.index()].name.clone())
+                .unwrap_or_default();
+            return Err(NetlistError::CombinationalCycle { net: stuck });
+        }
+        Ok(order)
+    }
+
+    /// Logic level (depth) of each instance: combinational gates get
+    /// 1 + max(level of combinational drivers); sources are level 1;
+    /// sequential elements are level 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError::CombinationalCycle`].
+    pub fn logic_levels(&self) -> Result<Vec<usize>, NetlistError> {
+        let order = self.combinational_topo_order()?;
+        let mut level = vec![0usize; self.instances.len()];
+        for id in order {
+            let inst = &self.instances[id.index()];
+            let mut max_in = 0usize;
+            for &net in &inst.inputs {
+                if let Some(Driver::Instance(src)) = self.nets[net.index()].driver {
+                    if !self.instances[src.index()].function().is_sequential() {
+                        max_in = max_in.max(level[src.index()]);
+                    }
+                }
+            }
+            level[id.index()] = max_in + 1;
+        }
+        Ok(level)
+    }
+
+    /// Validate structural invariants: every net that is read has a
+    /// driver, tie-offs aside.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Undriven`] naming the first floating net found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let mut read = vec![false; self.nets.len()];
+        for (_, inst) in self.instances() {
+            for &n in &inst.inputs {
+                read[n.index()] = true;
+            }
+            if let Some(c) = inst.clock {
+                read[c.index()] = true;
+            }
+        }
+        for (_, m) in self.macros() {
+            for &n in &m.inputs {
+                read[n.index()] = true;
+            }
+        }
+        for (_, p) in self.output_ports() {
+            read[p.net.index()] = true;
+        }
+        for (id, net) in self.nets() {
+            if read[id.index()] && net.driver.is_none() {
+                return Err(NetlistError::Undriven { net: net.name.clone() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Rename helper used by integration: prefix all instance, net and
+    /// macro names (not port names) with `prefix/`, and set the block tag.
+    pub fn apply_block_prefix(&mut self, prefix: &str) {
+        self.net_names.clear();
+        for net in &mut self.nets {
+            net.name = format!("{prefix}/{}", net.name);
+        }
+        for (i, net) in self.nets.iter().enumerate() {
+            self.net_names.insert(net.name.clone(), NetId(i as u32));
+        }
+        self.instance_names.clear();
+        for inst in &mut self.instances {
+            inst.name = format!("{prefix}/{}", inst.name);
+            inst.block = prefix.to_string();
+        }
+        for (i, inst) in self.instances.iter().enumerate() {
+            self.instance_names.insert(inst.name.clone(), InstanceId(i as u32));
+        }
+        for m in &mut self.macros {
+            m.name = format!("{prefix}/{}", m.name);
+            m.block = prefix.to_string();
+        }
+    }
+
+    /// Merge `other` into `self` (flat stitch): `other`'s ports are
+    /// dissolved; the caller provides `bindings` from `other` port name to
+    /// a net in `self`. Unbound input ports become newly created top-level
+    /// nets named `<prefix>/<port>` with no driver (caller must bind or
+    /// tie them); unbound output ports simply leave their internal net
+    /// available under its prefixed name.
+    ///
+    /// All of `other`'s names must already be prefixed (call
+    /// [`Netlist::apply_block_prefix`] first).
+    ///
+    /// # Errors
+    ///
+    /// Duplicate names, or binding an output port to an already-driven
+    /// net.
+    pub fn absorb(
+        &mut self,
+        other: Netlist,
+        bindings: &HashMap<String, NetId>,
+    ) -> Result<(), NetlistError> {
+        // Map other's nets into self. Port nets bound to self nets alias.
+        let mut net_map: Vec<Option<NetId>> = vec![None; other.nets.len()];
+        for (_, port) in other.ports() {
+            if let Some(&target) = bindings.get(&port.name) {
+                // An output port binding means other drives self's net.
+                if port.dir == PortDir::Output && self.nets[target.index()].driver.is_some() {
+                    return Err(NetlistError::MultipleDrivers {
+                        net: self.nets[target.index()].name.clone(),
+                    });
+                }
+                net_map[port.net.index()] = Some(target);
+            }
+        }
+        // Create remaining nets.
+        for (id, net) in other.nets() {
+            if net_map[id.index()].is_none() {
+                let new = self.add_net(net.name.clone())?;
+                net_map[id.index()] = Some(new);
+            }
+        }
+        let map = |id: NetId| net_map[id.index()].expect("net mapped");
+        // Instances.
+        for (_, inst) in other.instances() {
+            self.add_instance(
+                inst.name.clone(),
+                inst.cell,
+                &inst.inputs.iter().map(|&n| map(n)).collect::<Vec<_>>(),
+                map(inst.output),
+                inst.clock.map(map),
+                inst.block.clone(),
+            )?;
+        }
+        // Macros.
+        for (_, m) in other.macros() {
+            self.add_macro(
+                m.name.clone(),
+                m.words,
+                m.bits,
+                m.inputs.iter().map(|&n| map(n)).collect(),
+                m.outputs.iter().map(|&n| map(n)).collect(),
+                m.block.clone(),
+            )?;
+        }
+        Ok(())
+    }
+
+    // ---- mutation primitives used by ECO/DFT (pub(crate) + curated pub) ----
+
+    /// Disconnect and reconnect input pin `pin` of `inst` to `net`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::BadPinIndex`] if the pin does not exist.
+    pub fn rewire_input(
+        &mut self,
+        inst: InstanceId,
+        pin: usize,
+        net: NetId,
+    ) -> Result<NetId, NetlistError> {
+        let instance = &mut self.instances[inst.index()];
+        if pin >= instance.inputs.len() {
+            return Err(NetlistError::BadPinIndex { instance: instance.name.clone(), pin });
+        }
+        let old = instance.inputs[pin];
+        instance.inputs[pin] = net;
+        Ok(old)
+    }
+
+    /// Convert a plain flip-flop to its scan equivalent, wiring the new
+    /// scan-in and scan-enable pins to the given nets.
+    ///
+    /// `Dff [d]` becomes `Sdff [d, si, se]`; `Dffr [d, rn]` becomes
+    /// `Sdffr [d, rn, si, se]`. Used by scan insertion.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::WrongCellClass`] if the instance is not a plain
+    /// (non-scan) flip-flop.
+    pub fn convert_flop_to_scan(
+        &mut self,
+        inst: InstanceId,
+        si: NetId,
+        se: NetId,
+    ) -> Result<(), NetlistError> {
+        let instance = &mut self.instances[inst.index()];
+        let scan = instance.cell.function.scan_equivalent().ok_or_else(|| {
+            NetlistError::WrongCellClass {
+                instance: instance.name.clone(),
+                expected: "plain flip-flop",
+            }
+        })?;
+        instance.cell.function = scan;
+        instance.inputs.push(si);
+        instance.inputs.push(se);
+        Ok(())
+    }
+
+    /// Attach an instance as the driver of a net, moving its output pin.
+    ///
+    /// The instance's previous output net is left undriven.
+    pub(crate) fn move_output(&mut self, inst: InstanceId, net: NetId) -> Result<(), NetlistError> {
+        if self.nets[net.index()].driver.is_some() {
+            return Err(NetlistError::MultipleDrivers {
+                net: self.nets[net.index()].name.clone(),
+            });
+        }
+        let old = self.instances[inst.index()].output;
+        if self.nets[old.index()].driver == Some(Driver::Instance(inst)) {
+            self.nets[old.index()].driver = None;
+        }
+        self.instances[inst.index()].output = net;
+        self.nets[net.index()].driver = Some(Driver::Instance(inst));
+        Ok(())
+    }
+
+    /// Generate a fresh net name unique in this netlist.
+    pub fn fresh_net_name(&self, stem: &str) -> String {
+        let mut i = self.nets.len();
+        loop {
+            let candidate = format!("{stem}_{i}");
+            if !self.net_names.contains_key(&candidate) {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+
+    /// Generate a fresh instance name unique in this netlist.
+    pub fn fresh_instance_name(&self, stem: &str) -> String {
+        let mut i = self.instances.len();
+        loop {
+            let candidate = format!("{stem}_{i}");
+            if !self.instance_names.contains_key(&candidate) {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+}
+
+pub use Driver as NetDriver;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, CellFunction, Drive};
+
+    fn xor_chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_net("a").unwrap();
+        nl.add_port("a", PortDir::Input, a).unwrap();
+        let mut prev = a;
+        for i in 0..n {
+            let b = nl.add_net(format!("b{i}")).unwrap();
+            nl.add_port(format!("b{i}"), PortDir::Input, b).unwrap();
+            let out = nl.add_net(format!("x{i}")).unwrap();
+            nl.add_instance(
+                format!("u{i}"),
+                Cell::new(CellFunction::Xor2, Drive::X1),
+                &[prev, b],
+                out,
+                None,
+                "top",
+            )
+            .unwrap();
+            prev = out;
+        }
+        nl.add_port("y", PortDir::Output, prev).unwrap();
+        nl
+    }
+
+    #[test]
+    fn build_and_query() {
+        let nl = xor_chain(4);
+        assert_eq!(nl.num_instances(), 4);
+        assert_eq!(nl.num_nets(), 9);
+        assert_eq!(nl.input_ports().count(), 5);
+        assert_eq!(nl.output_ports().count(), 1);
+        assert!(nl.find_instance("u2").is_some());
+        assert!(nl.find_net("x3").is_some());
+        assert!(nl.find_net("nope").is_none());
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut nl = Netlist::new("t");
+        nl.add_net("n").unwrap();
+        assert!(matches!(nl.add_net("n"), Err(NetlistError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.add_port("a", PortDir::Input, a).unwrap();
+        nl.add_instance("u0", Cell::new(CellFunction::Inv, Drive::X1), &[a], y, None, "top")
+            .unwrap();
+        let err = nl.add_instance(
+            "u1",
+            Cell::new(CellFunction::Buf, Drive::X1),
+            &[a],
+            y,
+            None,
+            "top",
+        );
+        assert!(matches!(err, Err(NetlistError::MultipleDrivers { .. })));
+    }
+
+    #[test]
+    fn wrong_input_count_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a").unwrap();
+        let y = nl.add_net("y").unwrap();
+        let err =
+            nl.add_instance("u0", Cell::new(CellFunction::Nand2, Drive::X1), &[a], y, None, "top");
+        assert!(matches!(err, Err(NetlistError::BadPinIndex { .. })));
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let nl = xor_chain(10);
+        let order = nl.combinational_topo_order().unwrap();
+        assert_eq!(order.len(), 10);
+        let pos: HashMap<InstanceId, usize> =
+            order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for i in 1..10 {
+            let a = nl.find_instance(&format!("u{}", i - 1)).unwrap();
+            let b = nl.find_instance(&format!("u{i}")).unwrap();
+            assert!(pos[&a] < pos[&b]);
+        }
+    }
+
+    #[test]
+    fn logic_levels_increase_along_chain() {
+        let nl = xor_chain(5);
+        let levels = nl.logic_levels().unwrap();
+        for i in 0..5 {
+            let id = nl.find_instance(&format!("u{i}")).unwrap();
+            assert_eq!(levels[id.index()], i + 1);
+        }
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a").unwrap();
+        let b = nl.add_net("b").unwrap();
+        nl.add_instance("u0", Cell::new(CellFunction::Inv, Drive::X1), &[a], b, None, "top")
+            .unwrap();
+        nl.add_instance("u1", Cell::new(CellFunction::Inv, Drive::X1), &[b], a, None, "top")
+            .unwrap();
+        assert!(matches!(
+            nl.combinational_topo_order(),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn flop_breaks_cycle() {
+        let mut nl = Netlist::new("t");
+        let clk = nl.add_net("clk").unwrap();
+        nl.add_port("clk", PortDir::Input, clk).unwrap();
+        let q = nl.add_net("q").unwrap();
+        let d = nl.add_net("d").unwrap();
+        nl.add_instance("u_inv", Cell::new(CellFunction::Inv, Drive::X1), &[q], d, None, "top")
+            .unwrap();
+        nl.add_instance(
+            "u_ff",
+            Cell::new(CellFunction::Dff, Drive::X1),
+            &[d],
+            q,
+            Some(clk),
+            "top",
+        )
+        .unwrap();
+        let order = nl.combinational_topo_order().unwrap();
+        assert_eq!(order.len(), 1); // just the inverter
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn undriven_read_net_fails_validation() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a").unwrap(); // no driver
+        let y = nl.add_net("y").unwrap();
+        nl.add_instance("u0", Cell::new(CellFunction::Inv, Drive::X1), &[a], y, None, "top")
+            .unwrap();
+        assert!(matches!(nl.validate(), Err(NetlistError::Undriven { .. })));
+    }
+
+    #[test]
+    fn fanout_map_and_counts() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a").unwrap();
+        nl.add_port("a", PortDir::Input, a).unwrap();
+        let y0 = nl.add_net("y0").unwrap();
+        let y1 = nl.add_net("y1").unwrap();
+        nl.add_instance("u0", Cell::new(CellFunction::Inv, Drive::X1), &[a], y0, None, "top")
+            .unwrap();
+        nl.add_instance("u1", Cell::new(CellFunction::Buf, Drive::X1), &[a], y1, None, "top")
+            .unwrap();
+        nl.add_port("y0", PortDir::Output, y0).unwrap();
+        let fan = nl.fanout_map();
+        assert_eq!(fan[a.index()].len(), 2);
+        let counts = nl.fanout_counts();
+        assert_eq!(counts[a.index()], 2);
+        assert_eq!(counts[y0.index()], 1); // output port
+        assert_eq!(counts[y1.index()], 0);
+    }
+
+    #[test]
+    fn macro_drives_outputs() {
+        let mut nl = Netlist::new("t");
+        let addr = nl.add_net("addr").unwrap();
+        nl.add_port("addr", PortDir::Input, addr).unwrap();
+        let q = nl.add_net("q").unwrap();
+        let id = nl.add_macro("u_ram", 256, 8, vec![addr], vec![q], "mem").unwrap();
+        assert_eq!(nl.macro_inst(id).total_bits(), 2048);
+        assert_eq!(nl.net(q).driver, Some(Driver::Macro(id, 0)));
+        nl.add_port("q", PortDir::Output, q).unwrap();
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn prefix_and_absorb() {
+        let mut top = Netlist::new("top");
+        let clk = top.add_net("clk").unwrap();
+        top.add_port("clk", PortDir::Input, clk).unwrap();
+
+        let mut blk = xor_chain(2);
+        blk.apply_block_prefix("u_blk");
+        assert!(blk.find_instance("u_blk/u0").is_some());
+        assert!(blk.find_net("u_blk/x1").is_some());
+
+        // Bind blk's input 'a' (port name unchanged by prefixing) to clk.
+        let mut bind = HashMap::new();
+        bind.insert("a".to_string(), clk);
+        top.absorb(blk, &bind).unwrap();
+        assert_eq!(top.num_instances(), 2);
+        let u0 = top.find_instance("u_blk/u0").unwrap();
+        assert_eq!(top.instance(u0).inputs[0], clk);
+        // unbound ports left as named nets
+        assert!(top.find_net("u_blk/b0").is_some());
+    }
+
+    #[test]
+    fn rewire_and_move_output() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a").unwrap();
+        let b = nl.add_net("b").unwrap();
+        nl.add_port("a", PortDir::Input, a).unwrap();
+        nl.add_port("b", PortDir::Input, b).unwrap();
+        let y = nl.add_net("y").unwrap();
+        let u =
+            nl.add_instance("u0", Cell::new(CellFunction::Inv, Drive::X1), &[a], y, None, "top")
+                .unwrap();
+        let old = nl.rewire_input(u, 0, b).unwrap();
+        assert_eq!(old, a);
+        assert_eq!(nl.instance(u).inputs[0], b);
+        assert!(nl.rewire_input(u, 5, b).is_err());
+
+        let z = nl.add_net("z").unwrap();
+        nl.move_output(u, z).unwrap();
+        assert_eq!(nl.instance(u).output, z);
+        assert_eq!(nl.net(z).driver, Some(Driver::Instance(u)));
+        assert_eq!(nl.net(y).driver, None);
+    }
+
+    #[test]
+    fn fresh_names_are_unique() {
+        let nl = xor_chain(3);
+        let n = nl.fresh_net_name("x");
+        assert!(nl.find_net(&n).is_none());
+        let i = nl.fresh_instance_name("u");
+        assert!(nl.find_instance(&i).is_none());
+    }
+}

@@ -1,0 +1,65 @@
+//! # camsoc-netlist
+//!
+//! Gate-level netlist intermediate representation for the `camsoc` SOC
+//! design flow — the substrate every other crate (simulation, DFT, STA,
+//! layout, MBIST, the integration flow) consumes.
+//!
+//! The crate provides:
+//!
+//! * [`cell`] — a small standard-cell library: combinational functions,
+//!   flip-flops (plain, resettable and scan variants), tie cells, and
+//!   drive strengths, with bit-parallel logic evaluation.
+//! * [`tech`] — parametric technology models for the two process nodes the
+//!   paper uses (TSMC 0.25 µm and the 0.18 µm migration target): area,
+//!   delay and cost coefficients.
+//! * [`graph`] — the flat gate-level netlist: instances, nets, ports and
+//!   memory macros, with topological utilities.
+//! * [`builder`] — ergonomic construction of netlists.
+//! * [`generate`] — procedural generators for realistic logic structure
+//!   (adders, multipliers, register files, FSMs, random cones) used to
+//!   reconstruct the paper's IP blocks at their published gate budgets.
+//! * [`eco`] — engineering-change-order operations: combinational rewires,
+//!   gate insertion/removal, drive resizing and spare-cell (metal-only)
+//!   fixes, with an audit trail.
+//! * [`equiv`] — combinational equivalence checking (structural hashing,
+//!   64-bit random simulation, and exact BDD-based cone comparison) used
+//!   for post-ECO and post-layout formal verification.
+//! * [`verilog`] — a structural-Verilog writer and parser for the cell
+//!   subset, so netlists can round-trip through text.
+//! * [`stats`] — gate-count / area reporting (the paper's "240 K gates
+//!   excluding memory macros").
+//! * [`power`] — dynamic/clock/leakage power estimation and the
+//!   clock-gating what-if from the conclusion's low-power list.
+//!
+//! # Example
+//!
+//! ```
+//! use camsoc_netlist::builder::NetlistBuilder;
+//! use camsoc_netlist::cell::{CellFunction, Drive};
+//!
+//! let mut b = NetlistBuilder::new("adder_bit");
+//! let a = b.input("a");
+//! let c = b.input("b");
+//! let x = b.gate(CellFunction::Xor2, Drive::X1, "u_sum", &[a, c]);
+//! b.output("sum", x);
+//! let netlist = b.finish();
+//! assert_eq!(netlist.num_instances(), 1);
+//! ```
+
+pub mod builder;
+pub mod cell;
+pub mod eco;
+pub mod equiv;
+pub mod error;
+pub mod generate;
+pub mod graph;
+pub mod power;
+pub mod stats;
+pub mod tech;
+pub mod verilog;
+
+pub use builder::NetlistBuilder;
+pub use cell::{CellFunction, Drive};
+pub use error::NetlistError;
+pub use graph::{InstanceId, MacroId, NetId, Netlist, PortDir, PortId};
+pub use tech::{Technology, TechnologyNode};

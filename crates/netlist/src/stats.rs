@@ -1,0 +1,204 @@
+//! Netlist statistics and area reporting.
+//!
+//! The paper summarises the DSC controller as "240 K gates excluding
+//! memory macros" with "30 embedded memory macros". This module computes
+//! those figures — gate-equivalent counts, per-block breakdowns, and
+//! standard-cell vs macro area under a [`Technology`] — so the chip
+//! inventory experiment (E3) can print the same kind of summary.
+
+use std::collections::BTreeMap;
+
+use crate::cell::CellFunction;
+use crate::graph::Netlist;
+use crate::tech::Technology;
+
+/// Aggregate statistics for a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Number of standard-cell instances (including spares).
+    pub instances: usize,
+    /// NAND2-equivalent gate count (the marketing "gate count").
+    pub gate_equivalents: f64,
+    /// Flip-flop count.
+    pub flops: usize,
+    /// Latch count.
+    pub latches: usize,
+    /// Spare-cell count.
+    pub spares: usize,
+    /// Memory macro count.
+    pub macros: usize,
+    /// Total memory bits across macros.
+    pub memory_bits: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Port count.
+    pub ports: usize,
+    /// Instance count per cell function.
+    pub by_function: BTreeMap<CellFunction, usize>,
+    /// Gate-equivalent count per block tag.
+    pub by_block: BTreeMap<String, f64>,
+}
+
+impl NetlistStats {
+    /// Compute statistics for a netlist.
+    pub fn of(nl: &Netlist) -> Self {
+        let mut by_function = BTreeMap::new();
+        let mut by_block = BTreeMap::new();
+        let mut ge = 0.0;
+        let mut flops = 0;
+        let mut latches = 0;
+        let mut spares = 0;
+        for (_, inst) in nl.instances() {
+            *by_function.entry(inst.function()).or_insert(0) += 1;
+            let g = inst.cell.gate_equivalents();
+            ge += g;
+            *by_block.entry(inst.block.clone()).or_insert(0.0) += g;
+            if inst.function().is_flop() {
+                flops += 1;
+            }
+            if inst.function() == CellFunction::Latch {
+                latches += 1;
+            }
+            if inst.spare {
+                spares += 1;
+            }
+        }
+        let memory_bits = nl.macros().map(|(_, m)| m.total_bits()).sum();
+        NetlistStats {
+            instances: nl.num_instances(),
+            gate_equivalents: ge,
+            flops,
+            latches,
+            spares,
+            macros: nl.num_macros(),
+            memory_bits,
+            nets: nl.num_nets(),
+            ports: nl.num_ports(),
+            by_function,
+            by_block,
+        }
+    }
+}
+
+/// Area breakdown of a netlist under a technology model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// Standard-cell area in mm².
+    pub stdcell_mm2: f64,
+    /// Memory macro area in mm².
+    pub macro_mm2: f64,
+    /// Core area (cells + macros) with a row-utilisation allowance, mm².
+    pub core_mm2: f64,
+    /// Die area including IO ring and seal, mm².
+    pub die_mm2: f64,
+}
+
+/// Core row utilisation assumed when sizing the core from cell area.
+pub const CORE_UTILISATION: f64 = 0.70;
+/// IO-ring width allowance in millimetres (per side).
+pub const IO_RING_MM: f64 = 0.45;
+
+/// Compute the area report for a netlist under a technology.
+pub fn area_report(nl: &Netlist, tech: &Technology) -> AreaReport {
+    let stdcell_um2: f64 =
+        nl.instances().map(|(_, i)| tech.cell_area_um2(i.cell)).sum();
+    let macro_um2: f64 =
+        nl.macros().map(|(_, m)| tech.sram_area_um2(m.words, m.bits)).sum();
+    let stdcell_mm2 = stdcell_um2 / 1e6;
+    let macro_mm2 = macro_um2 / 1e6;
+    let core_mm2 = stdcell_mm2 / CORE_UTILISATION + macro_mm2;
+    // square die: side = sqrt(core) + 2 * io ring
+    let side = core_mm2.sqrt() + 2.0 * IO_RING_MM;
+    AreaReport { stdcell_mm2, macro_mm2, core_mm2, die_mm2: side * side }
+}
+
+/// Render a human-readable summary block (used by reports and examples).
+pub fn summary_text(nl: &Netlist, tech: &Technology) -> String {
+    let s = NetlistStats::of(nl);
+    let a = area_report(nl, tech);
+    let mut out = String::new();
+    out.push_str(&format!("design         : {}\n", nl.name));
+    out.push_str(&format!("technology     : {}\n", tech.node));
+    out.push_str(&format!("instances      : {}\n", s.instances));
+    out.push_str(&format!(
+        "gate count     : {:.0} NAND2-equivalent gates (excl. memories)\n",
+        s.gate_equivalents
+    ));
+    out.push_str(&format!("flip-flops     : {}\n", s.flops));
+    out.push_str(&format!("spare cells    : {}\n", s.spares));
+    out.push_str(&format!(
+        "memory macros  : {} ({} bits total)\n",
+        s.macros, s.memory_bits
+    ));
+    out.push_str(&format!("std-cell area  : {:.2} mm2\n", a.stdcell_mm2));
+    out.push_str(&format!("macro area     : {:.2} mm2\n", a.macro_mm2));
+    out.push_str(&format!("die area       : {:.2} mm2\n", a.die_mm2));
+    if !s.by_block.is_empty() {
+        out.push_str("blocks (kGE)   :\n");
+        for (blk, ge) in &s.by_block {
+            out.push_str(&format!("  {:<16} {:>8.1}\n", blk, ge / 1000.0));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::generate;
+    use crate::tech::TechnologyNode;
+
+    #[test]
+    fn stats_count_everything() {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let d = b.input("d");
+        let q = b.dff_auto(d, clk);
+        let y = b.gate_auto(CellFunction::Nand2, &[q, d]);
+        b.output("y", y);
+        b.spare(CellFunction::Inv);
+        let addr = b.fresh_net();
+        let out = b.fresh_net();
+        b.gate_into(CellFunction::Buf, &[d], addr);
+        b.memory("u_mem", 128, 16, vec![addr], vec![out]);
+        let nl = b.finish();
+        let s = NetlistStats::of(&nl);
+        assert_eq!(s.flops, 1);
+        assert_eq!(s.spares, 1);
+        assert_eq!(s.macros, 1);
+        assert_eq!(s.memory_bits, 128 * 16);
+        assert!(s.gate_equivalents > 0.0);
+        assert_eq!(s.by_function[&CellFunction::Dff], 1);
+    }
+
+    #[test]
+    fn area_scales_with_size() {
+        let small = generate::ripple_adder(4).unwrap();
+        let big = generate::ripple_adder(32).unwrap();
+        let t = Technology::node(TechnologyNode::Tsmc250);
+        let ra = area_report(&small, &t);
+        let rb = area_report(&big, &t);
+        assert!(rb.stdcell_mm2 > ra.stdcell_mm2);
+        assert!(rb.die_mm2 > ra.die_mm2);
+        assert!(ra.die_mm2 > ra.core_mm2); // io ring adds area
+    }
+
+    #[test]
+    fn migration_reduces_stdcell_area() {
+        let nl = generate::ripple_adder(16).unwrap();
+        let t250 = Technology::node(TechnologyNode::Tsmc250);
+        let t180 = Technology::node(TechnologyNode::Tsmc180);
+        assert!(area_report(&nl, &t180).stdcell_mm2 < area_report(&nl, &t250).stdcell_mm2);
+    }
+
+    #[test]
+    fn summary_text_mentions_key_figures() {
+        let nl = generate::ripple_adder(8).unwrap();
+        let t = Technology::default();
+        let s = summary_text(&nl, &t);
+        assert!(s.contains("gate count"));
+        assert!(s.contains("0.25um"));
+        assert!(s.contains("rca8"));
+    }
+}

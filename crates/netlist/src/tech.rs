@@ -1,0 +1,275 @@
+//! Parametric technology-node models.
+//!
+//! The paper implements the DSC controller in TSMC 0.25 µm 1P5M CMOS and
+//! later migrates it to 0.18 µm for a ~20 % die-cost saving. Real PDK data
+//! is proprietary, so this module substitutes a parametric model whose
+//! numbers are in the right ballpark for the era and — more importantly —
+//! whose *ratios* between nodes reproduce the published effect: the flow
+//! consumes area/delay/cost coefficients exactly the way it would consume
+//! library data, and node migration is a model swap.
+
+use crate::cell::Cell;
+
+/// Identifies a process node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TechnologyNode {
+    /// TSMC 0.25 µm 1P5M CMOS — the tapeout node.
+    Tsmc250,
+    /// TSMC 0.18 µm — the cost-reduction migration node.
+    Tsmc180,
+    /// 0.13 µm — mentioned in the conclusion as the next frontier.
+    Tsmc130,
+}
+
+impl TechnologyNode {
+    /// Drawn feature size in micrometres.
+    pub fn feature_um(self) -> f64 {
+        match self {
+            TechnologyNode::Tsmc250 => 0.25,
+            TechnologyNode::Tsmc180 => 0.18,
+            TechnologyNode::Tsmc130 => 0.13,
+        }
+    }
+
+    /// Number of metal layers available for routing.
+    pub fn metal_layers(self) -> usize {
+        match self {
+            TechnologyNode::Tsmc250 => 5,
+            TechnologyNode::Tsmc180 => 6,
+            TechnologyNode::Tsmc130 => 8,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TechnologyNode::Tsmc250 => "0.25um 1P5M",
+            TechnologyNode::Tsmc180 => "0.18um 1P6M",
+            TechnologyNode::Tsmc130 => "0.13um 1P8M",
+        }
+    }
+}
+
+impl std::fmt::Display for TechnologyNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A process-technology model: the numbers the flow needs from a PDK.
+///
+/// Construct with [`Technology::node`] for one of the built-in nodes, or
+/// build a custom model directly (all fields are public and documented).
+///
+/// # Example
+///
+/// ```
+/// use camsoc_netlist::tech::{Technology, TechnologyNode};
+/// let t250 = Technology::node(TechnologyNode::Tsmc250);
+/// let t180 = Technology::node(TechnologyNode::Tsmc180);
+/// // the newer node is denser
+/// assert!(t180.ge_area_um2 < t250.ge_area_um2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Which node this models.
+    pub node: TechnologyNode,
+    /// Area of one gate equivalent (NAND2) in µm².
+    pub ge_area_um2: f64,
+    /// Intrinsic delay of a unit-weight gate in nanoseconds.
+    pub unit_delay_ns: f64,
+    /// Load-dependent delay per fanout (ns per unit load at X1 drive).
+    pub load_delay_ns: f64,
+    /// Wire delay per millimetre of estimated wirelength (ns/mm).
+    pub wire_delay_ns_per_mm: f64,
+    /// Flip-flop setup time (ns).
+    pub setup_ns: f64,
+    /// Flip-flop hold time (ns).
+    pub hold_ns: f64,
+    /// Flip-flop clock-to-Q delay (ns).
+    pub clk_to_q_ns: f64,
+    /// SRAM bit-cell area in µm² (single-port, including overhead amortised).
+    pub sram_bit_um2: f64,
+    /// Wafer diameter in millimetres (200 mm for these nodes).
+    pub wafer_diameter_mm: f64,
+    /// Processed-wafer cost in USD.
+    pub wafer_cost_usd: f64,
+    /// Defect density in defects/cm² for the yield model.
+    pub defect_density_per_cm2: f64,
+    /// Process-variation sigma as a fraction of nominal delay (OCV derate).
+    pub delay_sigma: f64,
+}
+
+impl Technology {
+    /// The built-in model for a node.
+    pub fn node(node: TechnologyNode) -> Technology {
+        match node {
+            // ~1997-2000 era numbers. A NAND2 in 0.25 µm is ≈ 10 µm²;
+            // FO4 ≈ 90 ps; 200 mm wafers ≈ $1500 processed.
+            TechnologyNode::Tsmc250 => Technology {
+                node,
+                ge_area_um2: 10.0,
+                unit_delay_ns: 0.090,
+                load_delay_ns: 0.040,
+                wire_delay_ns_per_mm: 0.12,
+                setup_ns: 0.25,
+                hold_ns: 0.08,
+                clk_to_q_ns: 0.35,
+                sram_bit_um2: 7.0,
+                wafer_diameter_mm: 200.0,
+                wafer_cost_usd: 1500.0,
+                defect_density_per_cm2: 0.6,
+                delay_sigma: 0.05,
+            },
+            // 0.18 µm: ~0.52x area shrink, faster gates, costlier wafer.
+            TechnologyNode::Tsmc180 => Technology {
+                node,
+                ge_area_um2: 5.3,
+                unit_delay_ns: 0.065,
+                load_delay_ns: 0.028,
+                wire_delay_ns_per_mm: 0.14,
+                setup_ns: 0.18,
+                hold_ns: 0.06,
+                clk_to_q_ns: 0.26,
+                sram_bit_um2: 3.6,
+                wafer_diameter_mm: 200.0,
+                wafer_cost_usd: 1900.0,
+                defect_density_per_cm2: 0.7,
+                delay_sigma: 0.06,
+            },
+            TechnologyNode::Tsmc130 => Technology {
+                node,
+                ge_area_um2: 2.8,
+                unit_delay_ns: 0.045,
+                load_delay_ns: 0.019,
+                wire_delay_ns_per_mm: 0.18,
+                setup_ns: 0.13,
+                hold_ns: 0.05,
+                clk_to_q_ns: 0.19,
+                sram_bit_um2: 1.9,
+                wafer_diameter_mm: 200.0,
+                wafer_cost_usd: 2600.0,
+                defect_density_per_cm2: 0.9,
+                delay_sigma: 0.08,
+            },
+        }
+    }
+
+    /// Cell area in µm² for a concrete library cell.
+    pub fn cell_area_um2(&self, cell: Cell) -> f64 {
+        cell.gate_equivalents() * self.ge_area_um2
+    }
+
+    /// Intrinsic (no-load) delay of a cell in ns.
+    pub fn intrinsic_delay_ns(&self, cell: Cell) -> f64 {
+        cell.function.intrinsic_delay_weight() * self.unit_delay_ns
+    }
+
+    /// Load-dependent delay of a cell driving `fanout` unit loads, in ns.
+    ///
+    /// Delay decreases with drive strength: an X4 gate drives four unit
+    /// loads with the delay an X1 gate needs for one.
+    pub fn load_delay_ns(&self, cell: Cell, fanout: usize) -> f64 {
+        self.load_delay_ns * fanout as f64 / cell.drive.strength()
+    }
+
+    /// Total pin-to-pin delay of a cell with the given fanout, in ns.
+    pub fn cell_delay_ns(&self, cell: Cell, fanout: usize) -> f64 {
+        self.intrinsic_delay_ns(cell) + self.load_delay_ns(cell, fanout)
+    }
+
+    /// Area of an SRAM macro with the given geometry, in µm²
+    /// (bit array plus ~30 % periphery overhead).
+    pub fn sram_area_um2(&self, words: usize, bits: usize) -> f64 {
+        (words * bits) as f64 * self.sram_bit_um2 * 1.30
+    }
+
+    /// Gross dies per wafer for a die of `area_mm2`, using the standard
+    /// circle-packing approximation with edge loss.
+    pub fn gross_dies_per_wafer(&self, die_area_mm2: f64) -> usize {
+        if die_area_mm2 <= 0.0 {
+            return 0;
+        }
+        let d = self.wafer_diameter_mm;
+        let per = std::f64::consts::PI * d * d / (4.0 * die_area_mm2)
+            - std::f64::consts::PI * d / (2.0 * die_area_mm2).sqrt();
+        per.max(0.0) as usize
+    }
+
+    /// Scale factor applied to a netlist's core area when migrating a
+    /// design from `self` to `target` (pure area ratio).
+    pub fn migration_area_ratio(&self, target: &Technology) -> f64 {
+        target.ge_area_um2 / self.ge_area_um2
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::node(TechnologyNode::Tsmc250)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, CellFunction, Drive};
+
+    #[test]
+    fn nodes_scale_monotonically() {
+        let t250 = Technology::node(TechnologyNode::Tsmc250);
+        let t180 = Technology::node(TechnologyNode::Tsmc180);
+        let t130 = Technology::node(TechnologyNode::Tsmc130);
+        assert!(t250.ge_area_um2 > t180.ge_area_um2);
+        assert!(t180.ge_area_um2 > t130.ge_area_um2);
+        assert!(t250.unit_delay_ns > t180.unit_delay_ns);
+        assert!(t250.wafer_cost_usd < t180.wafer_cost_usd);
+    }
+
+    #[test]
+    fn cell_delay_decreases_with_drive() {
+        let t = Technology::default();
+        let slow = t.cell_delay_ns(Cell::new(CellFunction::Nand2, Drive::X1), 8);
+        let fast = t.cell_delay_ns(Cell::new(CellFunction::Nand2, Drive::X4), 8);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn cell_delay_increases_with_fanout() {
+        let t = Technology::default();
+        let c = Cell::new(CellFunction::Nand2, Drive::X1);
+        assert!(t.cell_delay_ns(c, 1) < t.cell_delay_ns(c, 10));
+    }
+
+    #[test]
+    fn gross_dies_reasonable_for_dsc_die() {
+        let t = Technology::node(TechnologyNode::Tsmc250);
+        // A ~60 mm² die on a 200 mm wafer: a few hundred gross dies.
+        let n = t.gross_dies_per_wafer(60.0);
+        assert!(n > 300 && n < 600, "gross dies {n}");
+        assert_eq!(t.gross_dies_per_wafer(0.0), 0);
+        // bigger die → fewer dies
+        assert!(t.gross_dies_per_wafer(120.0) < n);
+    }
+
+    #[test]
+    fn migration_shrinks_area() {
+        let t250 = Technology::node(TechnologyNode::Tsmc250);
+        let t180 = Technology::node(TechnologyNode::Tsmc180);
+        let r = t250.migration_area_ratio(&t180);
+        assert!(r > 0.4 && r < 0.7, "area ratio {r}");
+    }
+
+    #[test]
+    fn sram_area_scales_with_bits() {
+        let t = Technology::default();
+        assert!(t.sram_area_um2(1024, 16) > t.sram_area_um2(512, 16));
+        assert!((t.sram_area_um2(100, 10) - 1000.0 * 7.0 * 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_metadata() {
+        assert_eq!(TechnologyNode::Tsmc250.feature_um(), 0.25);
+        assert_eq!(TechnologyNode::Tsmc250.metal_layers(), 5);
+        assert!(TechnologyNode::Tsmc180.to_string().contains("0.18"));
+    }
+}

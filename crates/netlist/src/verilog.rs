@@ -1,0 +1,595 @@
+//! Structural-Verilog writer and parser for the camsoc cell subset.
+//!
+//! The paper's hand-offs (IP vendor → integrator → foundry sign-off) are
+//! all gate-level netlists in text form; reproducing that round-trip
+//! keeps our flow honest about what survives serialisation. The dialect
+//! is a strict subset:
+//!
+//! * one `module` per file; scalar ports only (bus bits are escaped
+//!   identifiers like `\d[3]`),
+//! * `wire` declarations, library-cell instances with named pin
+//!   connections, `RAM<words>X<bits>` macro instances with `I<k>`/`O<k>`
+//!   pins, and `assign <port> = <net>;` aliases for output ports whose
+//!   net carries a different name,
+//! * `(* spare *)` attribute marking spare cells.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::cell::Cell;
+use crate::error::NetlistError;
+use crate::graph::{Netlist, PortDir};
+
+/// Escape an identifier for Verilog if it contains characters outside
+/// `[A-Za-z0-9_]` (escaped identifiers start with `\` and end at
+/// whitespace).
+fn escape(name: &str) -> String {
+    let simple = !name.is_empty()
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !name.chars().next().unwrap().is_ascii_digit();
+    if simple {
+        name.to_string()
+    } else {
+        format!("\\{name} ")
+    }
+}
+
+/// Serialise a netlist to the structural-Verilog subset.
+///
+/// The output round-trips through [`parse`]: ports, wires, instances,
+/// macros, spare flags and block tags (as `// block:` comments) survive.
+pub fn write(nl: &Netlist) -> String {
+    let mut s = String::new();
+    let port_list: Vec<String> =
+        nl.ports().map(|(_, p)| escape(&p.name)).collect();
+    let _ = writeln!(s, "module {} ({});", escape(&nl.name), port_list.join(", "));
+    // port declarations
+    for (_, p) in nl.ports() {
+        let dir = match p.dir {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+        };
+        let _ = writeln!(s, "  {dir} {};", escape(&p.name));
+    }
+    // wires: every net whose name is not exactly a port name
+    let port_names: HashMap<&str, ()> =
+        nl.ports().map(|(_, p)| (p.name.as_str(), ())).collect();
+    for (_, net) in nl.nets() {
+        if !port_names.contains_key(net.name.as_str()) {
+            let _ = writeln!(s, "  wire {};", escape(&net.name));
+        }
+    }
+    // output aliases where the port name differs from its net's name
+    for (_, p) in nl.output_ports() {
+        let net_name = &nl.net(p.net).name;
+        if net_name != &p.name {
+            let _ = writeln!(s, "  assign {} = {};", escape(&p.name), escape(net_name));
+        }
+    }
+    // instances
+    for (_, inst) in nl.instances() {
+        let mut pins: Vec<String> = Vec::new();
+        for (pin_name, &net) in
+            inst.function().input_pin_names().iter().zip(&inst.inputs)
+        {
+            pins.push(format!(".{pin_name}({})", escape(&nl.net(net).name)));
+        }
+        if let Some(clk) = inst.clock {
+            pins.push(format!(".CK({})", escape(&nl.net(clk).name)));
+        }
+        pins.push(format!(".Y({})", escape(&nl.net(inst.output).name)));
+        let attr = if inst.spare { "(* spare *) " } else { "" };
+        let _ = writeln!(
+            s,
+            "  {attr}{} {} ({}); // block:{}",
+            inst.cell.lib_name(),
+            escape(&inst.name),
+            pins.join(", "),
+            inst.block
+        );
+    }
+    // macros
+    for (_, m) in nl.macros() {
+        let mut pins: Vec<String> = Vec::new();
+        for (k, &net) in m.inputs.iter().enumerate() {
+            pins.push(format!(".I{k}({})", escape(&nl.net(net).name)));
+        }
+        for (k, &net) in m.outputs.iter().enumerate() {
+            pins.push(format!(".O{k}({})", escape(&nl.net(net).name)));
+        }
+        let _ = writeln!(
+            s,
+            "  RAM{}X{} {} ({}); // block:{}",
+            m.words,
+            m.bits,
+            escape(&m.name),
+            pins.join(", "),
+            m.block
+        );
+    }
+    s.push_str("endmodule\n");
+    s
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Punct(char),
+    Attr(String),
+    BlockComment(String),
+}
+
+fn tokenize(text: &str) -> Result<Vec<(usize, Token)>, NetlistError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some('/') => {
+                        // line comment — capture block: tags
+                        let mut comment = String::new();
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                break;
+                            }
+                            comment.push(c);
+                        }
+                        let comment = comment.trim_start_matches('/').trim();
+                        if let Some(tag) = comment.strip_prefix("block:") {
+                            tokens.push((line, Token::BlockComment(tag.to_string())));
+                        }
+                    }
+                    _ => {
+                        return Err(NetlistError::Parse {
+                            line,
+                            message: "unexpected '/'".into(),
+                        });
+                    }
+                }
+            }
+            '(' => {
+                chars.next();
+                if chars.peek() == Some(&'*') {
+                    chars.next();
+                    let mut attr = String::new();
+                    loop {
+                        match chars.next() {
+                            Some('*') if chars.peek() == Some(&')') => {
+                                chars.next();
+                                break;
+                            }
+                            Some('\n') => {
+                                line += 1;
+                            }
+                            Some(c) => attr.push(c),
+                            None => {
+                                return Err(NetlistError::Parse {
+                                    line,
+                                    message: "unterminated attribute".into(),
+                                });
+                            }
+                        }
+                    }
+                    tokens.push((line, Token::Attr(attr.trim().to_string())));
+                } else {
+                    tokens.push((line, Token::Punct('(')));
+                }
+            }
+            ')' | ';' | ',' | '.' | '=' => {
+                chars.next();
+                tokens.push((line, Token::Punct(c)));
+            }
+            '\\' => {
+                chars.next();
+                let mut id = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() {
+                        break;
+                    }
+                    id.push(c);
+                    chars.next();
+                }
+                tokens.push((line, Token::Ident(id)));
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let mut id = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        id.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push((line, Token::Ident(id)));
+            }
+            other => {
+                return Err(NetlistError::Parse {
+                    line,
+                    message: format!("unexpected character '{other}'"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Parse a netlist from the structural-Verilog subset produced by
+/// [`write`].
+///
+/// # Errors
+///
+/// [`NetlistError::Parse`] with a line number on any syntax or semantic
+/// problem (unknown cell, undeclared net, bad pin).
+pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
+    let tokens = tokenize(text)?;
+    let mut pos = 0usize;
+    let err = |line: usize, message: &str| NetlistError::Parse {
+        line,
+        message: message.to_string(),
+    };
+    let expect_ident = |tokens: &[(usize, Token)], pos: &mut usize| -> Result<String, NetlistError> {
+        match tokens.get(*pos) {
+            Some((_, Token::Ident(s))) => {
+                *pos += 1;
+                Ok(s.clone())
+            }
+            Some((l, t)) => Err(NetlistError::Parse {
+                line: *l,
+                message: format!("expected identifier, found {t:?}"),
+            }),
+            None => Err(NetlistError::Parse { line: 0, message: "unexpected eof".into() }),
+        }
+    };
+    let expect_punct =
+        |tokens: &[(usize, Token)], pos: &mut usize, c: char| -> Result<(), NetlistError> {
+            match tokens.get(*pos) {
+                Some((_, Token::Punct(p))) if *p == c => {
+                    *pos += 1;
+                    Ok(())
+                }
+                Some((l, t)) => Err(NetlistError::Parse {
+                    line: *l,
+                    message: format!("expected '{c}', found {t:?}"),
+                }),
+                None => Err(NetlistError::Parse { line: 0, message: "unexpected eof".into() }),
+            }
+        };
+
+    // module <name> ( ports ) ;
+    let kw = expect_ident(&tokens, &mut pos)?;
+    if kw != "module" {
+        return Err(err(tokens[0].0, "expected 'module'"));
+    }
+    let name = expect_ident(&tokens, &mut pos)?;
+    let mut nl = Netlist::new(name);
+    expect_punct(&tokens, &mut pos, '(')?;
+    let mut header_ports = Vec::new();
+    loop {
+        match tokens.get(pos) {
+            Some((_, Token::Punct(')'))) => {
+                pos += 1;
+                break;
+            }
+            Some((_, Token::Punct(','))) => {
+                pos += 1;
+            }
+            Some((_, Token::Ident(s))) => {
+                header_ports.push(s.clone());
+                pos += 1;
+            }
+            Some((l, _)) => return Err(err(*l, "bad port list")),
+            None => return Err(err(0, "unexpected eof in port list")),
+        }
+    }
+    expect_punct(&tokens, &mut pos, ';')?;
+
+    #[derive(Default)]
+    struct Pending {
+        inputs: Vec<String>,
+        outputs: Vec<String>,
+        assigns: Vec<(String, String)>,
+    }
+    let mut pending = Pending::default();
+    let mut pending_spare = false;
+    let mut instance_records: Vec<(usize, String, String, Vec<(String, String)>, bool, String)> =
+        Vec::new();
+
+    loop {
+        let (line, tok) = match tokens.get(pos) {
+            Some(t) => (t.0, &t.1),
+            None => return Err(err(0, "unexpected eof before endmodule")),
+        };
+        match tok {
+            Token::Attr(a) => {
+                if a == "spare" {
+                    pending_spare = true;
+                }
+                pos += 1;
+            }
+            Token::BlockComment(_) => {
+                pos += 1;
+            }
+            Token::Ident(kw) if kw == "endmodule" => {
+                break;
+            }
+            Token::Ident(kw) if kw == "input" || kw == "output" || kw == "wire" => {
+                let kind = kw.clone();
+                pos += 1;
+                let id = expect_ident(&tokens, &mut pos)?;
+                expect_punct(&tokens, &mut pos, ';')?;
+                match kind.as_str() {
+                    "input" => pending.inputs.push(id),
+                    "output" => pending.outputs.push(id),
+                    _ => {
+                        nl.add_net(id).map_err(|e| NetlistError::Parse {
+                            line,
+                            message: e.to_string(),
+                        })?;
+                    }
+                }
+            }
+            Token::Ident(kw) if kw == "assign" => {
+                pos += 1;
+                let lhs = expect_ident(&tokens, &mut pos)?;
+                expect_punct(&tokens, &mut pos, '=')?;
+                let rhs = expect_ident(&tokens, &mut pos)?;
+                expect_punct(&tokens, &mut pos, ';')?;
+                pending.assigns.push((lhs, rhs));
+            }
+            Token::Ident(cell_name) => {
+                // instance: CELL name ( .PIN(net), ... ) ;  [// block:tag]
+                let cell_name = cell_name.clone();
+                pos += 1;
+                let inst_name = expect_ident(&tokens, &mut pos)?;
+                expect_punct(&tokens, &mut pos, '(')?;
+                let mut pins = Vec::new();
+                loop {
+                    match tokens.get(pos) {
+                        Some((_, Token::Punct(')'))) => {
+                            pos += 1;
+                            break;
+                        }
+                        Some((_, Token::Punct(','))) => {
+                            pos += 1;
+                        }
+                        Some((_, Token::Punct('.'))) => {
+                            pos += 1;
+                            let pin = expect_ident(&tokens, &mut pos)?;
+                            expect_punct(&tokens, &mut pos, '(')?;
+                            let net = expect_ident(&tokens, &mut pos)?;
+                            expect_punct(&tokens, &mut pos, ')')?;
+                            pins.push((pin, net));
+                        }
+                        Some((l, _)) => return Err(err(*l, "bad pin connection")),
+                        None => return Err(err(0, "unexpected eof in pins")),
+                    }
+                }
+                expect_punct(&tokens, &mut pos, ';')?;
+                let block = match tokens.get(pos) {
+                    Some((_, Token::BlockComment(tag))) => {
+                        pos += 1;
+                        tag.clone()
+                    }
+                    _ => "top".to_string(),
+                };
+                instance_records.push((line, cell_name, inst_name, pins, pending_spare, block));
+                pending_spare = false;
+            }
+            Token::Punct(_) => return Err(err(line, "unexpected punctuation")),
+        }
+    }
+
+    // Create input port nets first (they drive), then declared nets exist,
+    // then instances, then output ports / assigns.
+    for p in &pending.inputs {
+        let net = match nl.find_net(p) {
+            Some(n) => n,
+            None => nl.add_net(p.clone()).map_err(|e| NetlistError::Parse {
+                line: 0,
+                message: e.to_string(),
+            })?,
+        };
+        nl.add_port(p.clone(), PortDir::Input, net)
+            .map_err(|e| NetlistError::Parse { line: 0, message: e.to_string() })?;
+    }
+    // Nets referenced only inside pins might be output port names: create
+    // them lazily below.
+    let get_net = |nl: &mut Netlist, name: &str| -> Result<crate::graph::NetId, NetlistError> {
+        match nl.find_net(name) {
+            Some(n) => Ok(n),
+            None => nl
+                .add_net(name.to_string())
+                .map_err(|e| NetlistError::Parse { line: 0, message: e.to_string() }),
+        }
+    };
+
+    for (line, cell_name, inst_name, pins, spare, block) in instance_records {
+        if let Some(rest) = cell_name.strip_prefix("RAM") {
+            // RAM<words>X<bits>
+            let mut split = rest.splitn(2, 'X');
+            let words: usize = split
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(line, "bad RAM geometry"))?;
+            let bits: usize = split
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(line, "bad RAM geometry"))?;
+            let mut ins: Vec<(usize, String)> = Vec::new();
+            let mut outs: Vec<(usize, String)> = Vec::new();
+            for (pin, net) in pins {
+                if let Some(k) = pin.strip_prefix('I').and_then(|s| s.parse::<usize>().ok()) {
+                    ins.push((k, net));
+                } else if let Some(k) = pin.strip_prefix('O').and_then(|s| s.parse::<usize>().ok())
+                {
+                    outs.push((k, net));
+                } else {
+                    return Err(err(line, &format!("bad RAM pin {pin}")));
+                }
+            }
+            ins.sort_by_key(|&(k, _)| k);
+            outs.sort_by_key(|&(k, _)| k);
+            let ins: Result<Vec<_>, _> =
+                ins.into_iter().map(|(_, n)| get_net(&mut nl, &n)).collect();
+            let outs: Result<Vec<_>, _> =
+                outs.into_iter().map(|(_, n)| get_net(&mut nl, &n)).collect();
+            nl.add_macro(inst_name, words, bits, ins?, outs?, block)
+                .map_err(|e| NetlistError::Parse { line, message: e.to_string() })?;
+            continue;
+        }
+        let cell = Cell::from_lib_name(&cell_name)
+            .ok_or_else(|| err(line, &format!("unknown cell {cell_name}")))?;
+        let pin_names = cell.function.input_pin_names();
+        let mut inputs = vec![None; pin_names.len()];
+        let mut output = None;
+        let mut clock = None;
+        for (pin, net) in pins {
+            let net = get_net(&mut nl, &net)?;
+            if pin == "Y" {
+                output = Some(net);
+            } else if pin == "CK" {
+                clock = Some(net);
+            } else if let Some(idx) = pin_names.iter().position(|&p| p == pin) {
+                inputs[idx] = Some(net);
+            } else {
+                return Err(err(line, &format!("unknown pin {pin} on {cell_name}")));
+            }
+        }
+        let output = output.ok_or_else(|| err(line, "missing output pin Y"))?;
+        let inputs: Vec<_> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| n.ok_or_else(|| err(line, &format!("missing pin {}", pin_names[i]))))
+            .collect::<Result<_, _>>()?;
+        let id = nl
+            .add_instance(inst_name, cell, &inputs, output, clock, block)
+            .map_err(|e| NetlistError::Parse { line, message: e.to_string() })?;
+        if spare {
+            nl.instance_mut(id).spare = true;
+        }
+    }
+
+    // Output ports: either direct (port name == net name) or via assign.
+    let assigns: HashMap<String, String> = pending.assigns.into_iter().collect();
+    for p in &pending.outputs {
+        let net_name = assigns.get(p).cloned().unwrap_or_else(|| p.clone());
+        let net = nl
+            .find_net(&net_name)
+            .ok_or_else(|| err(0, &format!("output {p} references unknown net {net_name}")))?;
+        nl.add_port(p.clone(), PortDir::Output, net)
+            .map_err(|e| NetlistError::Parse { line: 0, message: e.to_string() })?;
+    }
+    let _ = header_ports; // header list is informational in this subset
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::{check_equivalence, EquivOptions, EquivVerdict};
+    use crate::generate::{self, IpBlockParams};
+    use crate::stats::NetlistStats;
+
+    #[test]
+    fn round_trip_adder() {
+        let nl = generate::ripple_adder(8).unwrap();
+        let text = write(&nl);
+        let back = parse(&text).unwrap();
+        back.validate().unwrap();
+        assert_eq!(nl.num_instances(), back.num_instances());
+        assert_eq!(nl.num_ports(), back.num_ports());
+        let r = check_equivalence(&nl, &back, &EquivOptions::default()).unwrap();
+        assert_eq!(r.verdict, EquivVerdict::Equivalent);
+    }
+
+    #[test]
+    fn round_trip_preserves_spares_and_macros() {
+        let mut b = crate::builder::NetlistBuilder::new("m");
+        let clk = b.input("clk");
+        let d = b.input("d");
+        let q = b.dff_auto(d, clk);
+        b.output("q", q);
+        b.spare(crate::cell::CellFunction::Nand2);
+        let a0 = b.fresh_net();
+        b.gate_into(crate::cell::CellFunction::Buf, &[d], a0);
+        let o0 = b.fresh_net();
+        b.memory("u_ram0", 512, 16, vec![a0], vec![o0]);
+        b.output("ram_q", o0);
+        let nl = b.finish();
+
+        let text = write(&nl);
+        let back = parse(&text).unwrap();
+        back.validate().unwrap();
+        let sa = NetlistStats::of(&nl);
+        let sb = NetlistStats::of(&back);
+        assert_eq!(sa.spares, sb.spares);
+        assert_eq!(sa.macros, sb.macros);
+        assert_eq!(sa.memory_bits, sb.memory_bits);
+        assert_eq!(sa.flops, sb.flops);
+    }
+
+    #[test]
+    fn round_trip_ip_block_equivalence() {
+        let nl = generate::ip_block(
+            "ip",
+            &IpBlockParams { target_gates: 600, seed: 3, ..Default::default() },
+        )
+        .unwrap();
+        let text = write(&nl);
+        let back = parse(&text).unwrap();
+        back.validate().unwrap();
+        let r = check_equivalence(&nl, &back, &EquivOptions::default()).unwrap();
+        assert!(r.passed(), "verdict {:?}", r.verdict);
+    }
+
+    #[test]
+    fn escaped_identifiers_survive() {
+        let mut b = crate::builder::NetlistBuilder::new("esc");
+        let a = b.input("d[0]");
+        let y = b.gate(crate::cell::CellFunction::Inv, crate::cell::Drive::X1, "u/inv.0", &[a]);
+        b.output("q[0]", y);
+        let nl = b.finish();
+        let text = write(&nl);
+        assert!(text.contains("\\d[0] "));
+        let back = parse(&text).unwrap();
+        assert!(back.find_instance("u/inv.0").is_some());
+        assert!(back.find_port("q[0]").is_some());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "module t (a);\n  input a;\n  BOGUSX1 u (.A(a), .Y(y));\nendmodule\n";
+        match parse(bad) {
+            Err(NetlistError::Parse { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("BOGUS"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_missing_pin() {
+        let bad = "module t (a, y);\n  input a;\n  output y;\n  NAND2X1 u (.A(a), .Y(y));\nendmodule\n";
+        assert!(matches!(parse(bad), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("garbage !!").is_err());
+        assert!(parse("module t (").is_err());
+        assert!(parse("").is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Substrate-layer → package-cost model.
+//!
+//! The paper's payoff for the 4→2 layer reduction is "packaging cost
+//! saving" across a 3.5-million-unit annual run. Laminate substrate
+//! pricing is strongly layer-dependent: each metal layer pair adds
+//! lamination steps and yield loss.
+
+/// Package cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackageCostModel {
+    /// Assembly cost independent of the substrate (USD).
+    pub base_usd: f64,
+    /// Cost of a 2-layer substrate (USD).
+    pub substrate_2l_usd: f64,
+    /// Incremental cost per additional layer *pair* beyond two (USD).
+    pub per_extra_pair_usd: f64,
+}
+
+impl Default for PackageCostModel {
+    fn default() -> Self {
+        // early-2000s TFBGA economics, in the right ballpark
+        PackageCostModel {
+            base_usd: 0.55,
+            substrate_2l_usd: 0.30,
+            per_extra_pair_usd: 0.22,
+        }
+    }
+}
+
+impl PackageCostModel {
+    /// Unit package cost for a substrate with `layers` metal layers
+    /// (rounded up to an even layer count, as substrates are laminated
+    /// in pairs).
+    pub fn unit_cost(&self, layers: usize) -> f64 {
+        let pairs = layers.max(2).div_ceil(2);
+        self.base_usd + self.substrate_2l_usd + (pairs - 1) as f64 * self.per_extra_pair_usd
+    }
+
+    /// Saving per unit when reducing `from` → `to` layers.
+    pub fn saving_per_unit(&self, from: usize, to: usize) -> f64 {
+        self.unit_cost(from) - self.unit_cost(to)
+    }
+
+    /// Saving over a production volume.
+    pub fn saving_total(&self, from: usize, to: usize, units: u64) -> f64 {
+        self.saving_per_unit(from, to) * units as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_grows_with_layers() {
+        let m = PackageCostModel::default();
+        assert!(m.unit_cost(2) < m.unit_cost(4));
+        assert!(m.unit_cost(4) < m.unit_cost(6));
+        // odd counts round up to the next pair
+        assert_eq!(m.unit_cost(3), m.unit_cost(4));
+        assert_eq!(m.unit_cost(1), m.unit_cost(2));
+    }
+
+    #[test]
+    fn paper_scenario_saving_is_material() {
+        let m = PackageCostModel::default();
+        let per_unit = m.saving_per_unit(4, 2);
+        assert!(per_unit > 0.1, "per-unit saving {per_unit}");
+        // 3.5M units/year
+        let annual = m.saving_total(4, 2, 3_500_000);
+        assert!(annual > 500_000.0, "annual saving {annual}");
+    }
+
+    #[test]
+    fn no_change_no_saving() {
+        let m = PackageCostModel::default();
+        assert_eq!(m.saving_per_unit(2, 2), 0.0);
+        assert!(m.saving_per_unit(2, 4) < 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! BGA package geometry: the TFBGA256 and friends.
+
+/// A ball-grid-array package model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tfbga {
+    /// Package name.
+    pub name: &'static str,
+    /// Balls per side of the full grid.
+    pub grid: usize,
+    /// Ball pitch in millimetres.
+    pub pitch_mm: f64,
+    /// Number of outer rings used for signals (inner balls are
+    /// power/ground).
+    pub signal_rings: usize,
+}
+
+/// One ball: grid coordinates, physical position and escape angle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ball {
+    /// Column 0..grid.
+    pub col: usize,
+    /// Row 0..grid.
+    pub row: usize,
+    /// Position in mm from package centre.
+    pub x_mm: f64,
+    /// Position in mm from package centre.
+    pub y_mm: f64,
+    /// Angle from package centre, radians in `(-π, π]`.
+    pub angle: f64,
+}
+
+impl Tfbga {
+    /// The paper's package: 256 balls, 16×16, 0.8 mm pitch, two signal
+    /// rings (60 + 52 = 112 signal balls).
+    pub fn tfbga256() -> Tfbga {
+        Tfbga { name: "TFBGA256", grid: 16, pitch_mm: 0.8, signal_rings: 2 }
+    }
+
+    /// A denser variant for exploration.
+    pub fn tfbga324() -> Tfbga {
+        Tfbga { name: "TFBGA324", grid: 18, pitch_mm: 0.8, signal_rings: 2 }
+    }
+
+    /// Total ball count.
+    pub fn total_balls(&self) -> usize {
+        self.grid * self.grid
+    }
+
+    /// The signal balls (outer `signal_rings` rings), ordered by escape
+    /// angle around the package — the order substrate traces fan out in.
+    pub fn signal_balls(&self) -> Vec<Ball> {
+        let g = self.grid;
+        let half = (g as f64 - 1.0) / 2.0;
+        let mut balls = Vec::new();
+        for row in 0..g {
+            for col in 0..g {
+                let ring = row.min(col).min(g - 1 - row).min(g - 1 - col);
+                if ring < self.signal_rings {
+                    let x = (col as f64 - half) * self.pitch_mm;
+                    let y = (row as f64 - half) * self.pitch_mm;
+                    balls.push(Ball { col, row, x_mm: x, y_mm: y, angle: y.atan2(x) });
+                }
+            }
+        }
+        balls.sort_by(|a, b| a.angle.partial_cmp(&b.angle).expect("finite angles"));
+        balls
+    }
+
+    /// Number of signal balls.
+    pub fn signal_ball_count(&self) -> usize {
+        self.signal_balls().len()
+    }
+}
+
+/// A die pad on the chip's pad ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiePad {
+    /// Signal name.
+    pub name: String,
+    /// Angle of the pad around the die, radians in `(-π, π]`.
+    pub angle: f64,
+}
+
+/// Generate `n` die pads evenly spaced around the die perimeter.
+pub fn pad_ring(n: usize) -> Vec<DiePad> {
+    (0..n)
+        .map(|i| {
+            let angle =
+                -std::f64::consts::PI + (i as f64 + 0.5) / n as f64 * 2.0 * std::f64::consts::PI;
+            DiePad { name: format!("pad{i}"), angle }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tfbga256_geometry() {
+        let p = Tfbga::tfbga256();
+        assert_eq!(p.total_balls(), 256);
+        // outer ring 60 + second ring 52
+        assert_eq!(p.signal_ball_count(), 112);
+    }
+
+    #[test]
+    fn signal_balls_sorted_by_angle() {
+        let p = Tfbga::tfbga256();
+        let balls = p.signal_balls();
+        for w in balls.windows(2) {
+            assert!(w[0].angle <= w[1].angle);
+        }
+        // all on the two outer rings
+        for b in &balls {
+            let ring = b.row.min(b.col).min(15 - b.row).min(15 - b.col);
+            assert!(ring < 2);
+        }
+    }
+
+    #[test]
+    fn pad_ring_covers_circle() {
+        let pads = pad_ring(100);
+        assert_eq!(pads.len(), 100);
+        for w in pads.windows(2) {
+            assert!(w[0].angle < w[1].angle);
+        }
+        assert!(pads[0].angle > -std::f64::consts::PI);
+        assert!(pads[99].angle < std::f64::consts::PI);
+    }
+
+    #[test]
+    fn denser_package_has_more_signals() {
+        assert!(Tfbga::tfbga324().signal_ball_count() > Tfbga::tfbga256().signal_ball_count());
+    }
+}

@@ -1,0 +1,206 @@
+//! Cross-simulator consistency checking.
+//!
+//! The paper: "There existed inconsistency between simulators/versions
+//! among customer, IP vendors and us. The customer used PC-based
+//! Verilog/ModelSim while we used NC-Verilog. This lead to extra twist
+//! during ASIC sign-off."
+//!
+//! Such mismatches come from behaviour the language leaves open: initial
+//! values (2-state vs 4-state) and the processing order of simultaneous
+//! events. [`cross_sim_check`] runs one testbench under a matrix of those
+//! conventions and reports whether the design's observable behaviour is
+//! *convention-independent* — the property a clean sign-off needs.
+
+use camsoc_netlist::graph::Netlist;
+
+use crate::engine::{SiblingOrder, SimConfig};
+use crate::logic::Logic;
+use crate::testbench::{Testbench, TestbenchReport};
+use crate::SimError;
+
+/// One simulator convention (a "vendor simulator" stand-in).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulatorProfile {
+    /// Display name, e.g. `nc-verilog-like`.
+    pub name: String,
+    /// Initial net value.
+    pub init: Logic,
+    /// Simultaneous-event ordering.
+    pub sibling_order: SiblingOrder,
+}
+
+impl SimulatorProfile {
+    /// The four built-in profiles spanning both conventions.
+    pub fn matrix() -> Vec<SimulatorProfile> {
+        vec![
+            SimulatorProfile {
+                name: "nc-4state-fifo".into(),
+                init: Logic::X,
+                sibling_order: SiblingOrder::Fifo,
+            },
+            SimulatorProfile {
+                name: "nc-4state-lifo".into(),
+                init: Logic::X,
+                sibling_order: SiblingOrder::Lifo,
+            },
+            SimulatorProfile {
+                name: "pc-2state-fifo".into(),
+                init: Logic::Zero,
+                sibling_order: SiblingOrder::Fifo,
+            },
+            SimulatorProfile {
+                name: "pc-2state-lifo".into(),
+                init: Logic::Zero,
+                sibling_order: SiblingOrder::Lifo,
+            },
+        ]
+    }
+
+    fn config(&self) -> SimConfig {
+        SimConfig { init: self.init, sibling_order: self.sibling_order, ..SimConfig::default() }
+    }
+}
+
+/// A divergence between two profiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Profile that passed / was taken as reference.
+    pub reference: String,
+    /// Profile that disagreed.
+    pub other: String,
+    /// How many expectations disagreed between the runs.
+    pub differing_checks: usize,
+}
+
+/// Report from [`cross_sim_check`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Per-profile testbench results, in profile order.
+    pub runs: Vec<(String, TestbenchReport)>,
+    /// Divergences between the reference (first) profile and the others.
+    pub divergences: Vec<Divergence>,
+}
+
+impl DiffReport {
+    /// True when every profile produced identical check outcomes.
+    pub fn consistent(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Run `tb` on `nl` under every profile and compare the check outcomes.
+///
+/// Two profiles "agree" when exactly the same expectations pass and fail.
+/// (Comparing outcomes rather than full waveforms mirrors practice: the
+/// sign-off criterion is the regression result, not trace identity.)
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] from any run.
+pub fn cross_sim_check(
+    nl: &Netlist,
+    tb: &Testbench,
+    profiles: &[SimulatorProfile],
+) -> Result<DiffReport, SimError> {
+    let mut runs: Vec<(String, TestbenchReport)> = Vec::new();
+    for p in profiles {
+        let report = tb.clone().with_config(p.config()).run(nl)?;
+        runs.push((p.name.clone(), report));
+    }
+    let mut divergences = Vec::new();
+    if let Some((ref_name, ref_report)) = runs.first().cloned() {
+        for (name, report) in runs.iter().skip(1) {
+            let differing = diff_count(&ref_report, report);
+            if differing > 0 {
+                divergences.push(Divergence {
+                    reference: ref_name.clone(),
+                    other: name.clone(),
+                    differing_checks: differing,
+                });
+            }
+        }
+    }
+    Ok(DiffReport { runs, divergences })
+}
+
+fn diff_count(a: &TestbenchReport, b: &TestbenchReport) -> usize {
+    use std::collections::HashSet;
+    let fa: HashSet<(u64, String)> = a
+        .failures
+        .iter()
+        .map(|f| (f.expectation.time_ps, f.expectation.port.clone()))
+        .collect();
+    let fb: HashSet<(u64, String)> = b
+        .failures
+        .iter()
+        .map(|f| (f.expectation.time_ps, f.expectation.port.clone()))
+        .collect();
+    fa.symmetric_difference(&fb).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camsoc_netlist::builder::NetlistBuilder;
+    use camsoc_netlist::cell::CellFunction;
+
+    /// A properly reset design behaves identically under all profiles.
+    #[test]
+    fn reset_design_is_consistent() {
+        let mut b = NetlistBuilder::new("ok");
+        let clk = b.input("clk");
+        let rn = b.input("rstn");
+        let d = b.fresh_net();
+        let q = b.dffr_feedback(d, rn, clk);
+        b.gate_into(CellFunction::Inv, &[q], d); // toggler with reset
+        b.output("q", q);
+        let nl = b.finish();
+
+        let mut tb = Testbench::new();
+        tb.add_clock("clk", 10_000);
+        tb.drive(0, "rstn", Logic::Zero);
+        tb.drive(2_000, "rstn", Logic::One);
+        // edges at 5k,15k,25k → q = 1 after first edge, 0 after second...
+        tb.expect(9_000, "q", Logic::One);
+        tb.expect(19_000, "q", Logic::Zero);
+        tb.expect(29_000, "q", Logic::One);
+
+        let report = cross_sim_check(&nl, &tb, &SimulatorProfile::matrix()).unwrap();
+        assert!(report.consistent(), "{:?}", report.divergences);
+        assert!(report.runs.iter().all(|(_, r)| r.passed()));
+    }
+
+    /// A flop with no reset diverges between 4-state and 2-state
+    /// initialisation — the classic vendor-simulator mismatch.
+    #[test]
+    fn unreset_design_diverges() {
+        let mut b = NetlistBuilder::new("racy");
+        let clk = b.input("clk");
+        let d = b.fresh_net();
+        let q = b.dff_feedback(d, clk);
+        b.gate_into(CellFunction::Inv, &[q], d); // toggler, never reset
+        b.output("q", q);
+        let nl = b.finish();
+
+        let mut tb = Testbench::new();
+        tb.add_clock("clk", 10_000);
+        // In a 2-state simulator q starts 0 and toggles deterministically;
+        // in a 4-state simulator q stays X forever.
+        tb.expect(9_000, "q", Logic::One);
+        tb.expect(19_000, "q", Logic::Zero);
+
+        let report = cross_sim_check(&nl, &tb, &SimulatorProfile::matrix()).unwrap();
+        assert!(!report.consistent());
+        // the 2-state profiles pass, the 4-state ones fail
+        let pass_count = report.runs.iter().filter(|(_, r)| r.passed()).count();
+        assert_eq!(pass_count, 2, "{:?}", report.runs.iter().map(|(n, r)| (n.clone(), r.passed())).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn profile_matrix_covers_both_axes() {
+        let m = SimulatorProfile::matrix();
+        assert_eq!(m.len(), 4);
+        assert!(m.iter().any(|p| p.init == Logic::X && p.sibling_order == SiblingOrder::Fifo));
+        assert!(m.iter().any(|p| p.init == Logic::Zero && p.sibling_order == SiblingOrder::Lifo));
+    }
+}

@@ -1,0 +1,809 @@
+//! The event-driven simulation engine.
+//!
+//! Classic selective-trace simulation: net-value change events live on a
+//! time-ordered heap; processing an event re-evaluates the fanout gates
+//! and schedules their output changes after the gate delay. Flip-flops
+//! are edge-sensitive on their clock pin (with async-reset and scan-mux
+//! semantics), latches are level-sensitive, and memory macros call a
+//! pluggable [`MacroModel`].
+//!
+//! Two knobs exist purely to model *simulator disagreement* (the paper's
+//! ModelSim vs NC-Verilog twist): the initial net value
+//! ([`SimConfig::init`]) and the processing order of simultaneous events
+//! ([`SimConfig::sibling_order`]). A well-behaved netlist produces the
+//! same waveforms under any setting; a netlist with races or reset holes
+//! does not — see [`crate::diff`].
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+use camsoc_netlist::cell::CellFunction;
+use camsoc_netlist::graph::{InstanceId, NetId, Netlist, PortDir};
+
+use crate::logic::{eval4, Logic};
+
+/// Errors from the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A named port was not found.
+    UnknownPort(String),
+    /// Attempted to drive a non-input port.
+    NotAnInput(String),
+    /// The event budget was exhausted (combinational oscillation or a
+    /// runaway feedback loop).
+    Unstable {
+        /// Simulation time at which the budget ran out (ps).
+        time_ps: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownPort(p) => write!(f, "unknown port `{p}`"),
+            SimError::NotAnInput(p) => write!(f, "port `{p}` is not an input"),
+            SimError::Unstable { time_ps } => {
+                write!(f, "event budget exhausted at {time_ps} ps (oscillation?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Processing order of events scheduled for the same timestamp.
+///
+/// Real simulators make different (legal) choices here; racy designs
+/// diverge under them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SiblingOrder {
+    /// First-scheduled, first-processed.
+    #[default]
+    Fifo,
+    /// Last-scheduled, first-processed.
+    Lifo,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Value every net starts at (`X` models a 4-state simulator,
+    /// `Zero` models a 2-state or zero-initialising one).
+    pub init: Logic,
+    /// Order of simultaneous events.
+    pub sibling_order: SiblingOrder,
+    /// Base gate delay in picoseconds.
+    pub unit_delay_ps: u64,
+    /// Clock-to-Q / macro output delay in picoseconds.
+    pub seq_delay_ps: u64,
+    /// Scale gate delay by the cell's intrinsic-delay weight.
+    pub weighted_delays: bool,
+    /// Maximum events processed per `run_until` call before declaring
+    /// the netlist unstable.
+    pub max_events: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            init: Logic::X,
+            sibling_order: SiblingOrder::Fifo,
+            unit_delay_ps: 100,
+            seq_delay_ps: 350,
+            weighted_delays: false,
+            max_events: 50_000_000,
+        }
+    }
+}
+
+/// Behavioural model for a memory macro.
+///
+/// Called whenever any of the macro's input nets changes; returns the new
+/// output-pin values (length must match the macro's output count).
+pub trait MacroModel {
+    /// Compute output values from the current input values at `time_ps`.
+    fn update(&mut self, inputs: &[Logic], time_ps: u64) -> Vec<Logic>;
+}
+
+/// A macro model that holds all outputs at a constant value
+/// (the default is all-`X`, matching an unmodelled hard block).
+#[derive(Debug, Clone)]
+pub struct ConstMacroModel {
+    /// Output values returned on every update.
+    pub outputs: Vec<Logic>,
+}
+
+impl MacroModel for ConstMacroModel {
+    fn update(&mut self, _inputs: &[Logic], _time_ps: u64) -> Vec<Logic> {
+        self.outputs.clone()
+    }
+}
+
+/// A word-wide synchronous SRAM model with the camsoc macro pin
+/// convention: inputs = `[ce, we, addr..., din...]`, outputs = `dout...`.
+/// Reads are combinational on address (simplified); writes occur when
+/// `ce & we` on any input change.
+#[derive(Debug, Clone)]
+pub struct SramModel {
+    words: usize,
+    bits: usize,
+    data: Vec<Option<u64>>,
+}
+
+impl SramModel {
+    /// Create an SRAM model of the given geometry (bits ≤ 64).
+    pub fn new(words: usize, bits: usize) -> Self {
+        assert!(bits <= 64, "SramModel supports up to 64-bit words");
+        SramModel { words, bits, data: vec![None; words] }
+    }
+
+    fn decode(&self, inputs: &[Logic]) -> (Option<bool>, Option<bool>, Option<usize>, Option<u64>) {
+        let abits = self.words.next_power_of_two().trailing_zeros() as usize;
+        let ce = inputs.first().copied().unwrap_or(Logic::X).to_bool();
+        let we = inputs.get(1).copied().unwrap_or(Logic::X).to_bool();
+        let mut addr = 0usize;
+        let mut addr_known = true;
+        for i in 0..abits {
+            match inputs.get(2 + i).copied().unwrap_or(Logic::X).to_bool() {
+                Some(b) => addr |= (b as usize) << i,
+                None => addr_known = false,
+            }
+        }
+        let mut din = 0u64;
+        let mut din_known = true;
+        for i in 0..self.bits {
+            match inputs.get(2 + abits + i).copied().unwrap_or(Logic::X).to_bool() {
+                Some(b) => din |= (b as u64) << i,
+                None => din_known = false,
+            }
+        }
+        (
+            ce,
+            we,
+            if addr_known && addr < self.words { Some(addr) } else { None },
+            if din_known { Some(din) } else { None },
+        )
+    }
+}
+
+impl MacroModel for SramModel {
+    fn update(&mut self, inputs: &[Logic], _time_ps: u64) -> Vec<Logic> {
+        let (ce, we, addr, din) = self.decode(inputs);
+        if ce == Some(true) && we == Some(true) {
+            if let Some(a) = addr {
+                self.data[a] = din;
+            }
+        }
+        match (ce, addr) {
+            (Some(true), Some(a)) => match self.data[a] {
+                Some(word) => (0..self.bits)
+                    .map(|i| Logic::from_bool((word >> i) & 1 == 1))
+                    .collect(),
+                None => vec![Logic::X; self.bits],
+            },
+            _ => vec![Logic::X; self.bits],
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: u64,
+    seq: u64,
+    net: u32,
+    value_tag: u8,
+}
+
+fn tag(v: Logic) -> u8 {
+    match v {
+        Logic::Zero => 0,
+        Logic::One => 1,
+        Logic::X => 2,
+        Logic::Z => 3,
+    }
+}
+fn untag(t: u8) -> Logic {
+    match t {
+        0 => Logic::Zero,
+        1 => Logic::One,
+        2 => Logic::X,
+        _ => Logic::Z,
+    }
+}
+
+/// The event-driven simulator.
+///
+/// # Example
+///
+/// ```
+/// use camsoc_netlist::builder::NetlistBuilder;
+/// use camsoc_netlist::cell::CellFunction;
+/// use camsoc_sim::{Logic, SimConfig, Simulator};
+///
+/// # fn main() -> Result<(), camsoc_sim::SimError> {
+/// let mut b = NetlistBuilder::new("inv");
+/// let a = b.input("a");
+/// let y = b.gate_auto(CellFunction::Inv, &[a]);
+/// b.output("y", y);
+/// let nl = b.finish();
+///
+/// let mut sim = Simulator::new(&nl, SimConfig::default());
+/// sim.poke("a", Logic::Zero)?;
+/// sim.run_until(1_000)?;
+/// assert_eq!(sim.peek("y").unwrap(), Logic::One);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulator<'a> {
+    nl: &'a Netlist,
+    cfg: SimConfig,
+    values: Vec<Logic>,
+    fanout: Vec<Vec<(InstanceId, usize)>>,
+    macro_fanin: HashMap<NetId, Vec<usize>>, // net -> macro indices listening
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    time: u64,
+    toggles: Vec<u64>,
+    macro_models: Vec<Box<dyn MacroModel>>,
+    /// Most recently scheduled (future) value per net; prevents stale
+    /// in-flight events from sticking when a later evaluation returns
+    /// to the current value.
+    pending: Vec<Logic>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create a simulator over a netlist. All nets start at
+    /// [`SimConfig::init`]; tie cells and constant cones settle once the
+    /// first `run_until` executes. Macros default to all-`X` models —
+    /// replace them with [`Simulator::set_macro_model`].
+    pub fn new(nl: &'a Netlist, cfg: SimConfig) -> Self {
+        let values = vec![cfg.init; nl.num_nets()];
+        let fanout = nl.fanout_map();
+        let mut macro_fanin: HashMap<NetId, Vec<usize>> = HashMap::new();
+        let mut macro_models: Vec<Box<dyn MacroModel>> = Vec::new();
+        for (idx, (_, m)) in nl.macros().enumerate() {
+            for &net in &m.inputs {
+                macro_fanin.entry(net).or_default().push(idx);
+            }
+            macro_models.push(Box::new(ConstMacroModel {
+                outputs: vec![Logic::X; m.outputs.len()],
+            }));
+        }
+        let toggles = vec![0u64; nl.num_nets()];
+        let pending = values.clone();
+        let mut sim = Simulator {
+            nl,
+            cfg,
+            values,
+            fanout,
+            macro_fanin,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            time: 0,
+            toggles,
+            macro_models,
+            pending,
+        };
+        // Seed: evaluate every combinational gate once so constants and
+        // init-value implications propagate.
+        for (id, inst) in nl.instances() {
+            if !inst.function().is_sequential() {
+                sim.eval_and_schedule(id);
+            }
+        }
+        sim
+    }
+
+    /// Replace the behavioural model of the macro at `index`
+    /// (iteration order of [`Netlist::macros`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_macro_model(&mut self, index: usize, model: Box<dyn MacroModel>) {
+        self.macro_models[index] = model;
+    }
+
+    /// Current simulation time in picoseconds.
+    pub fn time_ps(&self) -> u64 {
+        self.time
+    }
+
+    /// Current value of a net.
+    pub fn value(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+
+    /// Current value of a named port's net.
+    pub fn peek(&self, port: &str) -> Option<Logic> {
+        let pid = self.nl.find_port(port)?;
+        Some(self.values[self.nl.port(pid).net.index()])
+    }
+
+    /// Drive an input port at the current time.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownPort`] / [`SimError::NotAnInput`].
+    pub fn poke(&mut self, port: &str, value: Logic) -> Result<(), SimError> {
+        self.poke_at(port, value, self.time)
+    }
+
+    /// Schedule an input-port change at an absolute time ≥ now.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownPort`] / [`SimError::NotAnInput`].
+    pub fn poke_at(&mut self, port: &str, value: Logic, time_ps: u64) -> Result<(), SimError> {
+        let pid = self
+            .nl
+            .find_port(port)
+            .ok_or_else(|| SimError::UnknownPort(port.to_string()))?;
+        let p = self.nl.port(pid);
+        if p.dir != PortDir::Input {
+            return Err(SimError::NotAnInput(port.to_string()));
+        }
+        self.schedule(p.net, value, time_ps.max(self.time));
+        Ok(())
+    }
+
+    /// Toggle counts per net (transitions observed since construction).
+    pub fn toggles(&self) -> &[u64] {
+        &self.toggles
+    }
+
+    /// Fraction of nets that toggled at least once.
+    pub fn toggle_coverage(&self) -> f64 {
+        if self.toggles.is_empty() {
+            return 0.0;
+        }
+        let hit = self.toggles.iter().filter(|&&t| t > 0).count();
+        hit as f64 / self.toggles.len() as f64
+    }
+
+    fn schedule(&mut self, net: NetId, value: Logic, time: u64) {
+        if self.pending[net.index()] == value {
+            return;
+        }
+        self.pending[net.index()] = value;
+        let seq = match self.cfg.sibling_order {
+            SiblingOrder::Fifo => self.seq,
+            SiblingOrder::Lifo => u64::MAX - self.seq,
+        };
+        self.seq += 1;
+        self.heap.push(Reverse(Event { time, seq, net: net.0, value_tag: tag(value) }));
+    }
+
+    fn gate_delay(&self, id: InstanceId) -> u64 {
+        let inst = self.nl.instance(id);
+        if self.cfg.weighted_delays {
+            let w = crate::engine::intrinsic_weight(inst.function());
+            ((self.cfg.unit_delay_ps as f64) * w).round().max(1.0) as u64
+        } else {
+            self.cfg.unit_delay_ps
+        }
+    }
+
+    fn eval_and_schedule(&mut self, id: InstanceId) {
+        let inst = self.nl.instance(id);
+        let mut ins = [Logic::X; 4];
+        for (k, &n) in inst.inputs.iter().enumerate() {
+            ins[k] = self.values[n.index()];
+        }
+        let new = eval4(inst.function(), &ins[..inst.inputs.len().max(1).min(4)]);
+        let delay = self.gate_delay(id);
+        self.schedule(inst.output, new, self.time + delay);
+    }
+
+    fn flop_sample(&self, inst_id: InstanceId) -> Logic {
+        let inst = self.nl.instance(inst_id);
+        let v = |net: NetId| self.values[net.index()];
+        match inst.function() {
+            CellFunction::Dff => v(inst.inputs[0]),
+            CellFunction::Dffr => match v(inst.inputs[1]).to_bool() {
+                Some(false) => Logic::Zero,
+                Some(true) => v(inst.inputs[0]),
+                None => Logic::X,
+            },
+            CellFunction::Sdff => {
+                // [d, si, se]
+                match v(inst.inputs[2]).to_bool() {
+                    Some(true) => v(inst.inputs[1]),
+                    Some(false) => v(inst.inputs[0]),
+                    None => Logic::X,
+                }
+            }
+            CellFunction::Sdffr => {
+                // [d, rn, si, se]
+                match v(inst.inputs[1]).to_bool() {
+                    Some(false) => Logic::Zero,
+                    _ => match v(inst.inputs[3]).to_bool() {
+                        Some(true) => v(inst.inputs[2]),
+                        Some(false) => v(inst.inputs[0]),
+                        None => Logic::X,
+                    },
+                }
+            }
+            _ => Logic::X,
+        }
+    }
+
+    /// Run until `time_ps` (inclusive of events at that time).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Unstable`] if the per-call event budget is exhausted.
+    pub fn run_until(&mut self, time_ps: u64) -> Result<(), SimError> {
+        let mut budget = self.cfg.max_events;
+        while let Some(&Reverse(ev)) = self.heap.peek() {
+            if ev.time > time_ps {
+                break;
+            }
+            if budget == 0 {
+                return Err(SimError::Unstable { time_ps: self.time });
+            }
+            budget -= 1;
+            let Reverse(ev) = self.heap.pop().unwrap();
+            self.time = ev.time;
+            let net = NetId(ev.net);
+            let new = untag(ev.value_tag);
+            let old = self.values[net.index()];
+            if old == new {
+                continue;
+            }
+            self.toggles[net.index()] += 1;
+            self.values[net.index()] = new;
+
+            // React: gates, flops, latches in the fanout.
+            let sinks = self.fanout[net.index()].clone();
+            for (inst_id, pin) in sinks {
+                let f = self.nl.instance(inst_id).function();
+                if pin == usize::MAX {
+                    // clock pin
+                    let rising = old == Logic::Zero && new == Logic::One;
+                    let glitchy = new.is_unknown() || (old.is_unknown() && new == Logic::One);
+                    if rising {
+                        let q = self.flop_sample(inst_id);
+                        let out = self.nl.instance(inst_id).output;
+                        self.schedule(out, q, self.time + self.cfg.seq_delay_ps);
+                    } else if glitchy {
+                        let out = self.nl.instance(inst_id).output;
+                        self.schedule(out, Logic::X, self.time + self.cfg.seq_delay_ps);
+                    }
+                } else if f.is_flop() {
+                    // async-reset pin reacts immediately; data pins wait
+                    // for the clock.
+                    let rn_pin = match f {
+                        CellFunction::Dffr | CellFunction::Sdffr => Some(1),
+                        _ => None,
+                    };
+                    if rn_pin == Some(pin) {
+                        let out = self.nl.instance(inst_id).output;
+                        match new.to_bool() {
+                            Some(false) => {
+                                self.schedule(out, Logic::Zero, self.time + self.cfg.seq_delay_ps)
+                            }
+                            Some(true) => {}
+                            None => {
+                                self.schedule(out, Logic::X, self.time + self.cfg.seq_delay_ps)
+                            }
+                        }
+                    }
+                } else if f == CellFunction::Latch {
+                    // [d, en]: transparent while en == 1
+                    let inst = self.nl.instance(inst_id);
+                    let en = self.values[inst.inputs[1].index()];
+                    let d = self.values[inst.inputs[0].index()];
+                    match en.to_bool() {
+                        Some(true) => {
+                            self.schedule(inst.output, d, self.time + self.cfg.seq_delay_ps)
+                        }
+                        Some(false) => {} // holds
+                        None => {
+                            self.schedule(inst.output, Logic::X, self.time + self.cfg.seq_delay_ps)
+                        }
+                    }
+                } else {
+                    self.eval_and_schedule(inst_id);
+                }
+            }
+            // Macros listening on this net.
+            if let Some(macro_idxs) = self.macro_fanin.get(&net).cloned() {
+                for mi in macro_idxs {
+                    let m = self
+                        .nl
+                        .macros()
+                        .nth(mi)
+                        .map(|(_, m)| m)
+                        .expect("macro index valid");
+                    let ins: Vec<Logic> =
+                        m.inputs.iter().map(|&n| self.values[n.index()]).collect();
+                    let outs = self.macro_models[mi].update(&ins, self.time);
+                    debug_assert_eq!(outs.len(), m.outputs.len());
+                    let targets: Vec<NetId> = m.outputs.clone();
+                    for (&net, val) in targets.iter().zip(outs) {
+                        self.schedule(net, val, self.time + self.cfg.seq_delay_ps);
+                    }
+                }
+            }
+        }
+        self.time = self.time.max(time_ps);
+        Ok(())
+    }
+
+    /// Read a bus of output ports named `stem[i]` as an integer
+    /// (`None` if any bit is unknown).
+    pub fn peek_bus(&self, stem: &str, width: usize) -> Option<u64> {
+        let mut out = 0u64;
+        for i in 0..width {
+            let v = self.peek(&format!("{stem}[{i}]"))?;
+            out |= (v.to_bool()? as u64) << i;
+        }
+        Some(out)
+    }
+
+    /// Drive a bus of input ports named `stem[i]` from an integer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::UnknownPort`] / [`SimError::NotAnInput`].
+    pub fn poke_bus(&mut self, stem: &str, width: usize, value: u64) -> Result<(), SimError> {
+        for i in 0..width {
+            self.poke(&format!("{stem}[{i}]"), Logic::from_bool((value >> i) & 1 == 1))?;
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn intrinsic_weight(f: CellFunction) -> f64 {
+    // Mirror of the tech model's relative weights, kept local so the
+    // simulator does not need a Technology instance.
+    match f {
+        CellFunction::Inv => 0.6,
+        CellFunction::Buf => 1.0,
+        CellFunction::Nand2 | CellFunction::Nor2 => 0.9,
+        CellFunction::Xor2 | CellFunction::Xnor2 => 1.8,
+        CellFunction::Mux2 => 1.7,
+        _ => 1.2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camsoc_netlist::builder::NetlistBuilder;
+    use camsoc_netlist::generate;
+
+    #[test]
+    fn inverter_settles() {
+        let mut b = NetlistBuilder::new("inv");
+        let a = b.input("a");
+        let y = b.gate_auto(CellFunction::Inv, &[a]);
+        b.output("y", y);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.poke("a", Logic::Zero).unwrap();
+        sim.run_until(1_000).unwrap();
+        assert_eq!(sim.peek("y").unwrap(), Logic::One);
+        sim.poke("a", Logic::One).unwrap();
+        sim.run_until(2_000).unwrap();
+        assert_eq!(sim.peek("y").unwrap(), Logic::Zero);
+    }
+
+    #[test]
+    fn x_propagates_until_driven() {
+        let mut b = NetlistBuilder::new("and");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.gate_auto(CellFunction::And2, &[a, c]);
+        b.output("y", y);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.run_until(500).unwrap();
+        assert_eq!(sim.peek("y").unwrap(), Logic::X);
+        // 0 dominates AND even with the other input X
+        sim.poke("a", Logic::Zero).unwrap();
+        sim.run_until(1_000).unwrap();
+        assert_eq!(sim.peek("y").unwrap(), Logic::Zero);
+    }
+
+    #[test]
+    fn tie_cells_settle_without_stimulus() {
+        let mut b = NetlistBuilder::new("tie");
+        let one = b.tie(true);
+        let y = b.gate_auto(CellFunction::Inv, &[one]);
+        b.output("y", y);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.run_until(1_000).unwrap();
+        assert_eq!(sim.peek("y").unwrap(), Logic::Zero);
+    }
+
+    #[test]
+    fn dff_samples_on_rising_edge_only() {
+        let mut b = NetlistBuilder::new("ff");
+        let clk = b.input("clk");
+        let d = b.input("d");
+        let q = b.dff_auto(d, clk);
+        b.output("q", q);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.poke("clk", Logic::Zero).unwrap();
+        sim.poke("d", Logic::One).unwrap();
+        sim.run_until(1_000).unwrap();
+        assert_eq!(sim.peek("q").unwrap(), Logic::X); // not clocked yet
+        sim.poke_at("clk", Logic::One, 2_000).unwrap();
+        sim.run_until(3_000).unwrap();
+        assert_eq!(sim.peek("q").unwrap(), Logic::One);
+        // falling edge does not sample
+        sim.poke_at("d", Logic::Zero, 4_000).unwrap();
+        sim.poke_at("clk", Logic::Zero, 5_000).unwrap();
+        sim.run_until(6_000).unwrap();
+        assert_eq!(sim.peek("q").unwrap(), Logic::One);
+        // next rising edge samples the new D
+        sim.poke_at("clk", Logic::One, 7_000).unwrap();
+        sim.run_until(8_000).unwrap();
+        assert_eq!(sim.peek("q").unwrap(), Logic::Zero);
+    }
+
+    #[test]
+    fn async_reset_clears_immediately() {
+        let mut b = NetlistBuilder::new("ffr");
+        let clk = b.input("clk");
+        let rn = b.input("rstn");
+        let d = b.input("d");
+        let q = b.dffr_auto(d, rn, clk);
+        b.output("q", q);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.poke("clk", Logic::Zero).unwrap();
+        sim.poke("d", Logic::One).unwrap();
+        sim.poke("rstn", Logic::Zero).unwrap();
+        sim.run_until(1_000).unwrap();
+        assert_eq!(sim.peek("q").unwrap(), Logic::Zero); // async clear, no clock
+        // release reset, clock in the 1
+        sim.poke_at("rstn", Logic::One, 2_000).unwrap();
+        sim.poke_at("clk", Logic::One, 3_000).unwrap();
+        sim.run_until(4_000).unwrap();
+        assert_eq!(sim.peek("q").unwrap(), Logic::One);
+        // reset overrides while data is high
+        sim.poke_at("rstn", Logic::Zero, 5_000).unwrap();
+        sim.run_until(6_000).unwrap();
+        assert_eq!(sim.peek("q").unwrap(), Logic::Zero);
+    }
+
+    #[test]
+    fn scan_flop_uses_si_when_se_high() {
+        use camsoc_netlist::cell::{Cell, Drive};
+        let mut nl = Netlist::new("scan");
+        let clk = nl.add_net("clk").unwrap();
+        nl.add_port("clk", PortDir::Input, clk).unwrap();
+        let d = nl.add_net("d").unwrap();
+        nl.add_port("d", PortDir::Input, d).unwrap();
+        let si = nl.add_net("si").unwrap();
+        nl.add_port("si", PortDir::Input, si).unwrap();
+        let se = nl.add_net("se").unwrap();
+        nl.add_port("se", PortDir::Input, se).unwrap();
+        let q = nl.add_net("q").unwrap();
+        nl.add_instance(
+            "u_sff",
+            Cell::new(CellFunction::Sdff, Drive::X1),
+            &[d, si, se],
+            q,
+            Some(clk),
+            "top",
+        )
+        .unwrap();
+        nl.add_port("q", PortDir::Output, q).unwrap();
+
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.poke("clk", Logic::Zero).unwrap();
+        sim.poke("d", Logic::Zero).unwrap();
+        sim.poke("si", Logic::One).unwrap();
+        sim.poke("se", Logic::One).unwrap();
+        sim.poke_at("clk", Logic::One, 1_000).unwrap();
+        sim.run_until(2_000).unwrap();
+        assert_eq!(sim.peek("q").unwrap(), Logic::One); // took SI
+        sim.poke_at("se", Logic::Zero, 3_000).unwrap();
+        sim.poke_at("clk", Logic::Zero, 4_000).unwrap();
+        sim.poke_at("clk", Logic::One, 5_000).unwrap();
+        sim.run_until(6_000).unwrap();
+        assert_eq!(sim.peek("q").unwrap(), Logic::Zero); // took D
+    }
+
+    #[test]
+    fn adder_computes_sum_through_events() {
+        let nl = generate::ripple_adder(8).unwrap();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.poke_bus("a", 8, 57).unwrap();
+        sim.poke_bus("b", 8, 66).unwrap();
+        sim.poke("cin", Logic::Zero).unwrap();
+        sim.run_until(100_000).unwrap();
+        assert_eq!(sim.peek_bus("sum", 8), Some(123));
+        assert_eq!(sim.peek("cout").unwrap(), Logic::Zero);
+        // overflow case
+        sim.poke_bus("a", 8, 200).unwrap();
+        sim.poke_bus("b", 8, 100).unwrap();
+        sim.run_until(200_000).unwrap();
+        assert_eq!(sim.peek_bus("sum", 8), Some((300u64) & 0xFF));
+        assert_eq!(sim.peek("cout").unwrap(), Logic::One);
+    }
+
+    #[test]
+    fn oscillator_detected_as_unstable() {
+        use camsoc_netlist::cell::{Cell, Drive};
+        // ring of 1 inverter (combinational loop) — topo order would
+        // reject it, but the event engine must also defend itself.
+        let mut nl = Netlist::new("ring");
+        let a = nl.add_net("a").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.add_instance("u0", Cell::new(CellFunction::Inv, Drive::X1), &[y], a, None, "top")
+            .unwrap();
+        nl.add_instance("u1", Cell::new(CellFunction::Buf, Drive::X1), &[a], y, None, "top")
+            .unwrap();
+        let cfg = SimConfig { init: Logic::Zero, max_events: 10_000, ..SimConfig::default() };
+        let mut sim = Simulator::new(&nl, cfg);
+        let r = sim.run_until(1_000_000_000);
+        assert!(matches!(r, Err(SimError::Unstable { .. })));
+    }
+
+    #[test]
+    fn sram_model_write_then_read() {
+        let mut m = SramModel::new(16, 8);
+        let abits = 4;
+        let mk = |ce: bool, we: bool, addr: u64, din: u64| -> Vec<Logic> {
+            let mut v = vec![Logic::from_bool(ce), Logic::from_bool(we)];
+            for i in 0..abits {
+                v.push(Logic::from_bool((addr >> i) & 1 == 1));
+            }
+            for i in 0..8 {
+                v.push(Logic::from_bool((din >> i) & 1 == 1));
+            }
+            v
+        };
+        // write 0xA5 @ 3
+        m.update(&mk(true, true, 3, 0xA5), 0);
+        // read back
+        let out = m.update(&mk(true, false, 3, 0), 10);
+        let val: u64 =
+            out.iter().enumerate().map(|(i, v)| (v.to_bool().unwrap() as u64) << i).sum();
+        assert_eq!(val, 0xA5);
+        // unwritten address reads X
+        let out = m.update(&mk(true, false, 7, 0), 20);
+        assert!(out.iter().all(|v| v.is_unknown()));
+        // disabled reads X
+        let out = m.update(&mk(false, false, 3, 0), 30);
+        assert!(out.iter().all(|v| v.is_unknown()));
+    }
+
+    #[test]
+    fn unknown_port_errors() {
+        let mut b = NetlistBuilder::new("p");
+        let a = b.input("a");
+        b.output("y", a);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        assert!(matches!(sim.poke("nope", Logic::One), Err(SimError::UnknownPort(_))));
+        assert!(matches!(sim.poke("y", Logic::One), Err(SimError::NotAnInput(_))));
+    }
+
+    #[test]
+    fn toggle_coverage_counts_activity() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let y = b.gate_auto(CellFunction::Inv, &[a]);
+        b.output("y", y);
+        let nl = b.finish();
+        let cfg = SimConfig { init: Logic::Zero, ..SimConfig::default() };
+        let mut sim = Simulator::new(&nl, cfg);
+        sim.poke_at("a", Logic::One, 100).unwrap();
+        sim.poke_at("a", Logic::Zero, 200).unwrap();
+        sim.run_until(1_000).unwrap();
+        assert!(sim.toggle_coverage() > 0.5);
+        let a_net = nl.find_net("a").unwrap();
+        assert!(sim.toggles()[a_net.index()] >= 2);
+    }
+
+    use camsoc_netlist::graph::{Netlist, PortDir};
+}

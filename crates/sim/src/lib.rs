@@ -1,0 +1,33 @@
+//! # camsoc-sim
+//!
+//! Event-driven 4-value gate-level logic simulation — the verification
+//! substrate of the camsoc flow.
+//!
+//! The paper's system verification ran on commercial simulators
+//! (NC-Verilog at the design house, PC ModelSim at the customer) plus
+//! hybrid emulation; this crate substitutes a self-contained event-driven
+//! simulator over the [`camsoc_netlist`] IR:
+//!
+//! * [`logic`] — 4-value logic (`0`, `1`, `X`, `Z`) with cell-function
+//!   evaluation tables.
+//! * [`engine`] — the event wheel: per-gate delays, flip-flop edge
+//!   semantics (including async reset and scan muxing), transparent
+//!   latches, pluggable memory-macro behaviour.
+//! * [`testbench`] — stimulus/checker campaigns with toggle coverage,
+//!   the unit the integration flow uses to model "developing test bench
+//!   as the project goes".
+//! * [`vcd`] — VCD waveform dumping.
+//! * [`diff`] — cross-simulator consistency runs: the same netlist and
+//!   stimulus under different simulator conventions (event ordering,
+//!   initialisation), reproducing the paper's ModelSim/NC-Verilog
+//!   sign-off mismatch hazard.
+
+pub mod diff;
+pub mod engine;
+pub mod logic;
+pub mod testbench;
+pub mod vcd;
+
+pub use engine::{SimConfig, SimError, Simulator};
+pub use logic::Logic;
+pub use testbench::{Testbench, TestbenchReport};

@@ -1,0 +1,244 @@
+//! Four-value logic (`0`, `1`, `X`, `Z`) and cell-function evaluation.
+//!
+//! `X` is the unknown value (uninitialised state, clock glitch, bus
+//! contention); `Z` is high impedance (an undriven net). Gates treat a
+//! `Z` input as `X` — the standard pessimistic convention.
+
+use camsoc_netlist::cell::CellFunction;
+use std::fmt;
+
+/// A 4-value logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown.
+    #[default]
+    X,
+    /// High impedance (undriven).
+    Z,
+}
+
+impl Logic {
+    /// Convert from a bool.
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// `Some(bool)` for 0/1, `None` for X/Z.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X | Logic::Z => None,
+        }
+    }
+
+    /// True for `X` or `Z`.
+    pub fn is_unknown(self) -> bool {
+        matches!(self, Logic::X | Logic::Z)
+    }
+
+    /// Z inputs degrade to X at gate inputs.
+    fn input(self) -> Logic {
+        if self == Logic::Z {
+            Logic::X
+        } else {
+            self
+        }
+    }
+
+    /// 4-value NOT.
+    pub fn not(self) -> Logic {
+        match self.input() {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// 4-value AND: 0 dominates.
+    pub fn and(self, other: Logic) -> Logic {
+        match (self.input(), other.input()) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// 4-value OR: 1 dominates.
+    pub fn or(self, other: Logic) -> Logic {
+        match (self.input(), other.input()) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// 4-value XOR: any unknown poisons.
+    pub fn xor(self, other: Logic) -> Logic {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => Logic::from_bool(a ^ b),
+            _ => Logic::X,
+        }
+    }
+
+    /// VCD / waveform character: `0`, `1`, `x`, `z`.
+    pub fn to_char(self) -> char {
+        match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Logic {
+        Logic::from_bool(b)
+    }
+}
+
+/// Evaluate a combinational cell function over 4-value inputs.
+///
+/// Sequential functions evaluate as data pass-through (the engine owns
+/// their state semantics); tie cells give their constants.
+///
+/// # Panics
+///
+/// Panics if `inputs` is shorter than the function's arity.
+pub fn eval4(f: CellFunction, inputs: &[Logic]) -> Logic {
+    use Logic::*;
+    match f {
+        CellFunction::Buf => inputs[0].input(),
+        CellFunction::Inv => inputs[0].not(),
+        CellFunction::And2 => inputs[0].and(inputs[1]),
+        CellFunction::And3 => inputs[0].and(inputs[1]).and(inputs[2]),
+        CellFunction::Nand2 => inputs[0].and(inputs[1]).not(),
+        CellFunction::Nand3 => inputs[0].and(inputs[1]).and(inputs[2]).not(),
+        CellFunction::Nand4 => inputs[0].and(inputs[1]).and(inputs[2]).and(inputs[3]).not(),
+        CellFunction::Or2 => inputs[0].or(inputs[1]),
+        CellFunction::Or3 => inputs[0].or(inputs[1]).or(inputs[2]),
+        CellFunction::Nor2 => inputs[0].or(inputs[1]).not(),
+        CellFunction::Nor3 => inputs[0].or(inputs[1]).or(inputs[2]).not(),
+        CellFunction::Xor2 => inputs[0].xor(inputs[1]),
+        CellFunction::Xnor2 => inputs[0].xor(inputs[1]).not(),
+        CellFunction::Mux2 => match inputs[2].to_bool() {
+            Some(false) => inputs[0].input(),
+            Some(true) => inputs[1].input(),
+            // X select: output known only if both data agree
+            None => {
+                if inputs[0].input() == inputs[1].input() && !inputs[0].is_unknown() {
+                    inputs[0].input()
+                } else {
+                    X
+                }
+            }
+        },
+        CellFunction::Aoi21 => inputs[0].and(inputs[1]).or(inputs[2]).not(),
+        CellFunction::Oai21 => inputs[0].or(inputs[1]).and(inputs[2]).not(),
+        CellFunction::Maj3 => {
+            let ab = inputs[0].and(inputs[1]);
+            let bc = inputs[1].and(inputs[2]);
+            let ac = inputs[0].and(inputs[2]);
+            ab.or(bc).or(ac)
+        }
+        CellFunction::Tie0 => Zero,
+        CellFunction::Tie1 => One,
+        CellFunction::Dff
+        | CellFunction::Dffr
+        | CellFunction::Sdff
+        | CellFunction::Sdffr
+        | CellFunction::Latch => inputs[0].input(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::*;
+
+    #[test]
+    fn basic_tables() {
+        assert_eq!(Zero.not(), One);
+        assert_eq!(One.not(), Zero);
+        assert_eq!(X.not(), X);
+        assert_eq!(Z.not(), X);
+
+        assert_eq!(Zero.and(X), Zero); // 0 dominates
+        assert_eq!(One.and(X), X);
+        assert_eq!(One.or(X), One); // 1 dominates
+        assert_eq!(Zero.or(X), X);
+        assert_eq!(One.xor(X), X);
+        assert_eq!(One.xor(Zero), One);
+    }
+
+    #[test]
+    fn z_degrades_to_x() {
+        assert_eq!(Z.and(One), X);
+        assert_eq!(Z.or(Zero), X);
+        assert_eq!(eval4(CellFunction::Buf, &[Z]), X);
+    }
+
+    #[test]
+    fn mux_x_select_agreement() {
+        // X select but both data are 1 → 1
+        assert_eq!(eval4(CellFunction::Mux2, &[One, One, X]), One);
+        assert_eq!(eval4(CellFunction::Mux2, &[Zero, One, X]), X);
+        assert_eq!(eval4(CellFunction::Mux2, &[Zero, One, Zero]), Zero);
+        assert_eq!(eval4(CellFunction::Mux2, &[Zero, One, One]), One);
+        assert_eq!(eval4(CellFunction::Mux2, &[X, X, X]), X);
+    }
+
+    #[test]
+    fn eval4_matches_binary_eval_on_known_values() {
+        // For all 2-value input combinations, eval4 must agree with the
+        // bit-parallel binary eval from the netlist crate.
+        for f in CellFunction::ALL {
+            if f.is_sequential() {
+                continue;
+            }
+            let n = f.num_inputs();
+            for bits in 0..(1u64 << n) {
+                let logic: Vec<Logic> =
+                    (0..n).map(|i| Logic::from_bool((bits >> i) & 1 == 1)).collect();
+                let words: Vec<u64> = (0..n).map(|i| !0u64 * ((bits >> i) & 1)).collect();
+                let got = eval4(f, &logic);
+                let want = Logic::from_bool(f.eval(&words) & 1 == 1);
+                assert_eq!(got, want, "{f} inputs {bits:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn maj3_with_unknowns_is_pessimistic_but_sound() {
+        // two zeros force 0 regardless of the third input
+        assert_eq!(eval4(CellFunction::Maj3, &[Zero, Zero, X]), Zero);
+        // two ones force 1
+        assert_eq!(eval4(CellFunction::Maj3, &[One, One, X]), One);
+        assert_eq!(eval4(CellFunction::Maj3, &[One, Zero, X]), X);
+    }
+
+    #[test]
+    fn display_and_char() {
+        assert_eq!(Zero.to_string(), "0");
+        assert_eq!(X.to_char(), 'x');
+        assert_eq!(Logic::from(true), One);
+        assert_eq!(One.to_bool(), Some(true));
+        assert_eq!(Z.to_bool(), None);
+        assert!(X.is_unknown() && Z.is_unknown() && !One.is_unknown());
+    }
+}

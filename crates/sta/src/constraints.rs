@@ -1,0 +1,118 @@
+//! Timing constraints: clocks and IO delays.
+
+use std::collections::HashMap;
+
+/// A clock definition on an input port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockDef {
+    /// Clock name (reporting only).
+    pub name: String,
+    /// Input port carrying the clock.
+    pub port: String,
+    /// Period in nanoseconds.
+    pub period_ns: f64,
+}
+
+/// The constraint set an analysis runs against.
+///
+/// # Example
+///
+/// ```
+/// use camsoc_sta::Constraints;
+/// let mut c = Constraints::single_clock("clk", 7.5);
+/// c.set_input_delay("din[0]", 1.2);
+/// c.set_output_delay("dout[0]", 1.0);
+/// assert_eq!(c.clocks.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Constraints {
+    /// Declared clocks.
+    pub clocks: Vec<ClockDef>,
+    /// External arrival at input ports (ns after clock edge).
+    pub input_delays_ns: HashMap<String, f64>,
+    /// External required margin at output ports (ns before next edge).
+    pub output_delays_ns: HashMap<String, f64>,
+    /// Default input delay for ports without an explicit entry.
+    pub default_input_delay_ns: f64,
+    /// Default output delay for ports without an explicit entry.
+    pub default_output_delay_ns: f64,
+}
+
+impl Constraints {
+    /// Constraints with a single clock and zero default IO delays.
+    pub fn single_clock(port: &str, period_ns: f64) -> Self {
+        Constraints {
+            clocks: vec![ClockDef {
+                name: port.to_string(),
+                port: port.to_string(),
+                period_ns,
+            }],
+            ..Constraints::default()
+        }
+    }
+
+    /// Add another clock.
+    pub fn add_clock(&mut self, name: &str, port: &str, period_ns: f64) {
+        self.clocks.push(ClockDef {
+            name: name.to_string(),
+            port: port.to_string(),
+            period_ns,
+        });
+    }
+
+    /// Set an input port's external arrival.
+    pub fn set_input_delay(&mut self, port: &str, delay_ns: f64) {
+        self.input_delays_ns.insert(port.to_string(), delay_ns);
+    }
+
+    /// Set an output port's external required margin.
+    pub fn set_output_delay(&mut self, port: &str, delay_ns: f64) {
+        self.output_delays_ns.insert(port.to_string(), delay_ns);
+    }
+
+    /// Effective input delay for a port.
+    pub fn input_delay(&self, port: &str) -> f64 {
+        *self.input_delays_ns.get(port).unwrap_or(&self.default_input_delay_ns)
+    }
+
+    /// Effective output delay for a port.
+    pub fn output_delay(&self, port: &str) -> f64 {
+        *self.output_delays_ns.get(port).unwrap_or(&self.default_output_delay_ns)
+    }
+
+    /// The tightest (minimum-period) clock, if any — used as the default
+    /// capture clock for unclocked endpoints.
+    pub fn fastest_clock(&self) -> Option<&ClockDef> {
+        self.clocks
+            .iter()
+            .min_by(|a, b| a.period_ns.partial_cmp(&b.period_ns).expect("finite period"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_clock_and_io_delays() {
+        let mut c = Constraints::single_clock("clk", 10.0);
+        assert_eq!(c.clocks[0].period_ns, 10.0);
+        assert_eq!(c.input_delay("x"), 0.0);
+        c.default_input_delay_ns = 0.5;
+        assert_eq!(c.input_delay("x"), 0.5);
+        c.set_input_delay("x", 2.0);
+        assert_eq!(c.input_delay("x"), 2.0);
+        c.set_output_delay("y", 1.5);
+        assert_eq!(c.output_delay("y"), 1.5);
+        assert_eq!(c.output_delay("z"), 0.0);
+    }
+
+    #[test]
+    fn fastest_clock_selects_min_period() {
+        let mut c = Constraints::single_clock("clk", 10.0);
+        c.add_clock("fast", "clk2", 4.0);
+        assert_eq!(c.fastest_clock().unwrap().name, "fast");
+        let empty = Constraints::default();
+        assert!(empty.fastest_clock().is_none());
+    }
+}

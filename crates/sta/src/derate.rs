@@ -1,0 +1,72 @@
+//! Process corners and on-chip-variation derating.
+//!
+//! The paper's sign-off era used best/worst corner analysis; its
+//! conclusion notes the move to "STA sign-off with in-die variation
+//! analysis". [`Corner`] carries a multiplicative derate pair: late
+//! (pessimistic-slow) factors for setup launch paths, early
+//! (pessimistic-fast) factors for hold launch paths.
+
+/// A timing corner: multiplicative delay derates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corner {
+    /// Corner name.
+    pub name: &'static str,
+    /// Factor applied to delays on late (setup-launch) paths.
+    pub late: f64,
+    /// Factor applied to delays on early (hold-launch) paths.
+    pub early: f64,
+}
+
+impl Corner {
+    /// Typical corner: no derating.
+    pub fn typical() -> Corner {
+        Corner { name: "typical", late: 1.0, early: 1.0 }
+    }
+
+    /// Worst-case sign-off corner (slow process, low voltage, high temp).
+    pub fn worst() -> Corner {
+        Corner { name: "worst", late: 1.30, early: 1.0 }
+    }
+
+    /// Best-case hold corner (fast process, high voltage, low temp).
+    pub fn best() -> Corner {
+        Corner { name: "best", late: 1.0, early: 0.72 }
+    }
+
+    /// On-chip-variation corner derived from a technology's delay sigma:
+    /// ±3σ spread applied both ways.
+    pub fn ocv(delay_sigma: f64) -> Corner {
+        Corner { name: "ocv", late: 1.0 + 3.0 * delay_sigma, early: (1.0 - 3.0 * delay_sigma).max(0.5) }
+    }
+}
+
+impl Default for Corner {
+    fn default() -> Self {
+        Corner::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_bracket_typical() {
+        let t = Corner::typical();
+        let w = Corner::worst();
+        let b = Corner::best();
+        assert_eq!(t.late, 1.0);
+        assert!(w.late > t.late);
+        assert!(b.early < t.early);
+    }
+
+    #[test]
+    fn ocv_spreads_with_sigma() {
+        let c = Corner::ocv(0.05);
+        assert!((c.late - 1.15).abs() < 1e-9);
+        assert!((c.early - 0.85).abs() < 1e-9);
+        // sigma so large the early clamp engages
+        let c = Corner::ocv(0.4);
+        assert_eq!(c.early, 0.5);
+    }
+}

@@ -1,0 +1,39 @@
+//! # camsoc-sta
+//!
+//! Graph-based static timing analysis over the [`camsoc_netlist`] IR.
+//!
+//! The paper's physical flow signs off with "timing-driven placement and
+//! routing, physical synthesis, formal verification and STA QoR check",
+//! and three of its ECOs exist purely to fix setup/hold violations. This
+//! crate supplies that STA: single-cycle setup and hold checks against
+//! declared clocks, arrival/required propagation over the combinational
+//! graph, slack/WNS/TNS reporting, critical-path extraction, and corner
+//! derating — with wire delays either estimated from fanout or injected
+//! per-net by the layout crate's extractor.
+//!
+//! # Example
+//!
+//! ```
+//! use camsoc_netlist::generate;
+//! use camsoc_netlist::tech::{Technology, TechnologyNode};
+//! use camsoc_sta::{Constraints, Sta};
+//!
+//! # fn main() -> Result<(), camsoc_sta::StaError> {
+//! let nl = generate::fsm(6, 3, 2, 7);
+//! let tech = Technology::node(TechnologyNode::Tsmc250);
+//! let constraints = Constraints::single_clock("clk", 7.5); // 133 MHz
+//! let report = Sta::new(&nl, &tech, constraints).analyze()?;
+//! assert!(report.setup.wns_ns > 0.0); // small FSM easily makes 133 MHz
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod constraints;
+pub mod derate;
+pub mod paths;
+
+pub use analysis::{Sta, StaError, TimingReport};
+pub use constraints::Constraints;
+pub use derate::Corner;
+pub use paths::{PathStep, TimingPath};

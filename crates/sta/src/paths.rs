@@ -1,0 +1,104 @@
+//! Timing-path representation and reporting.
+
+use std::fmt;
+
+/// One step along a timing path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    /// Instance traversed (`<launch>` / `<port>` for anchors).
+    pub instance: String,
+    /// Library cell name, empty for anchors.
+    pub cell: String,
+    /// Net the step drives.
+    pub net: String,
+    /// Incremental delay of this step (ns).
+    pub incr_ns: f64,
+    /// Cumulative arrival after this step (ns).
+    pub at_ns: f64,
+}
+
+/// A reported timing path (worst-slack first in report listings).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingPath {
+    /// Endpoint description (flop data pin or output port).
+    pub endpoint: String,
+    /// Startpoint description.
+    pub startpoint: String,
+    /// Arrival at the endpoint (ns).
+    pub arrival_ns: f64,
+    /// Required time at the endpoint (ns).
+    pub required_ns: f64,
+    /// Slack (required − arrival) in ns.
+    pub slack_ns: f64,
+    /// Steps from startpoint to endpoint.
+    pub steps: Vec<PathStep>,
+}
+
+impl TimingPath {
+    /// Number of logic levels on the path (excludes anchors).
+    pub fn levels(&self) -> usize {
+        self.steps.iter().filter(|s| !s.cell.is_empty()).count()
+    }
+}
+
+impl fmt::Display for TimingPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Startpoint: {}", self.startpoint)?;
+        writeln!(f, "Endpoint:   {}", self.endpoint)?;
+        writeln!(f, "{:<40} {:>10} {:>10}", "point", "incr", "path")?;
+        for s in &self.steps {
+            let label = if s.cell.is_empty() {
+                s.instance.clone()
+            } else {
+                format!("{} ({})", s.instance, s.cell)
+            };
+            writeln!(f, "{:<40} {:>10.3} {:>10.3}", label, s.incr_ns, s.at_ns)?;
+        }
+        writeln!(f, "data arrival time  {:>33.3}", self.arrival_ns)?;
+        writeln!(f, "data required time {:>33.3}", self.required_ns)?;
+        write!(
+            f,
+            "slack ({}) {:>30.3}",
+            if self.slack_ns >= 0.0 { "MET" } else { "VIOLATED" },
+            self.slack_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_reports_met_and_violated() {
+        let mut p = TimingPath {
+            endpoint: "u_ff/D".into(),
+            startpoint: "u_src/CK".into(),
+            arrival_ns: 6.0,
+            required_ns: 7.25,
+            slack_ns: 1.25,
+            steps: vec![
+                PathStep {
+                    instance: "<launch>".into(),
+                    cell: String::new(),
+                    net: "q0".into(),
+                    incr_ns: 0.35,
+                    at_ns: 0.35,
+                },
+                PathStep {
+                    instance: "u1".into(),
+                    cell: "NAND2X1".into(),
+                    net: "n1".into(),
+                    incr_ns: 0.2,
+                    at_ns: 0.55,
+                },
+            ],
+        };
+        let text = p.to_string();
+        assert!(text.contains("MET"));
+        assert!(text.contains("NAND2X1"));
+        assert_eq!(p.levels(), 1);
+        p.slack_ns = -0.5;
+        assert!(p.to_string().contains("VIOLATED"));
+    }
+}

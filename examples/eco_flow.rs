@@ -1,0 +1,91 @@
+//! Hands-on ECO session: take a design through the concrete edits the
+//! paper's team made — a combinational fix, a timing fix, a spec-change
+//! flop insertion, and the post-silicon spare-cell metal fix — with the
+//! formal equivalence verdict after each.
+//!
+//! ```text
+//! cargo run --release --example eco_flow
+//! ```
+
+use camsoc::netlist::cell::{CellFunction, Drive};
+use camsoc::netlist::eco::EcoSession;
+use camsoc::netlist::equiv::{check_equivalence, EquivOptions};
+use camsoc::flow::build_dsc;
+
+fn verdict(before: &camsoc::netlist::Netlist, after: &camsoc::netlist::Netlist) -> String {
+    match check_equivalence(before, after, &EquivOptions::default()) {
+        Ok(report) => format!("{:?}", report.verdict),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = build_dsc(0.02)?;
+    let golden = design.netlist;
+    println!(
+        "design: {} instances, {} spare cells available",
+        golden.num_instances(),
+        golden.spares().count()
+    );
+
+    // 1. timing ECO: buffer a heavily loaded net + upsize its driver
+    let mut eco = EcoSession::new(golden.clone());
+    let (gate, _) = eco
+        .netlist()
+        .instances()
+        .find(|(_, i)| !i.function().is_sequential() && !i.spare && !i.function().is_tie())
+        .expect("gate");
+    let out = eco.netlist().instance(gate).output;
+    eco.insert_buffer(out, Drive::X4)?;
+    let _ = eco.upsize(gate);
+    let (timed, log) = eco.finish();
+    println!();
+    println!("timing ECO ({} edits):", log.len());
+    for r in &log {
+        println!("  - {}", r.description);
+    }
+    println!("  formal: {} (must be Equivalent)", verdict(&golden, &timed));
+
+    // 2. functional ECO: swap a gate function
+    let mut eco = EcoSession::new(timed.clone());
+    let fanout = eco.netlist().fanout_counts();
+    let (gate, _) = eco
+        .netlist()
+        .instances()
+        .find(|(_, i)| {
+            i.function() == CellFunction::Nand2 && !i.spare && fanout[i.output.index()] > 0
+        })
+        .expect("nand gate");
+    eco.change_function(gate, CellFunction::Nor2)?;
+    let (fixed, log) = eco.finish();
+    println!();
+    println!("functional ECO:");
+    for r in &log {
+        println!("  - {}", r.description);
+    }
+    println!("  formal: {} (the checker must flag it)", verdict(&timed, &fixed));
+
+    // 3. post-silicon metal fix: wire a spare NAND2 into a path
+    let mut eco = EcoSession::new(fixed.clone());
+    let (sink, _) = eco
+        .netlist()
+        .instances()
+        .find(|(_, i)| i.function() == CellFunction::Nand2 && !i.spare)
+        .expect("sink");
+    let a = eco.netlist().instance(sink).inputs[0];
+    let b = eco.netlist().instance(sink).inputs[1];
+    let spare = eco.spare_fix(CellFunction::Nand2, &[a, b], sink, 0)?;
+    let (metal_fixed, log) = eco.finish();
+    println!();
+    println!("spare-cell metal fix (post-tapeout, metal masks only):");
+    for r in &log {
+        println!("  - {}", r.description);
+    }
+    println!(
+        "  spare {} consumed; {} spares remain",
+        metal_fixed.instance(spare).name,
+        metal_fixed.spares().count()
+    );
+    println!("  formal vs pre-fix: {}", verdict(&fixed, &metal_fixed));
+    Ok(())
+}

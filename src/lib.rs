@@ -1,0 +1,39 @@
+//! # camsoc
+//!
+//! Umbrella crate for the camsoc workspace: a Rust reproduction of
+//! *"Integration, Verification and Layout of a Complex Multimedia SOC"*
+//! (Chen, Lin & Lin, DATE 2005) — an SOC design-service flow taking a
+//! digital-still-camera controller from IP integration through
+//! verification, DFT, physical design, sign-off, packaging, yield ramp
+//! and process migration, with every hardware dependency substituted by
+//! a simulated equivalent.
+//!
+//! Each subsystem is re-exported under its own module name:
+//!
+//! | module | subsystem |
+//! |---|---|
+//! | [`netlist`] | gate-level IR, technology models, ECO, equivalence |
+//! | [`sim`] | event-driven 4-value logic simulation & testbenches |
+//! | [`jpeg`] | JPEG codec IP (encoder/decoder + HW pipeline model) |
+//! | [`mbist`] | memory BIST generation & March-test fault coverage |
+//! | [`dft`] | scan insertion, fault simulation, ATPG |
+//! | [`sta`] | static timing analysis |
+//! | [`layout`] | floorplan, placement, routing, CTS, DRC/LVS, GDSII |
+//! | [`pinassign`] | package pin assignment & substrate-layer estimation |
+//! | [`fab`] | yield, die cost, reliability, failure analysis |
+//! | [`flow`] | the integration/verification/sign-off flow (core) |
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-claim → experiment mapping.
+
+pub use camsoc_dft as dft;
+pub use camsoc_fab as fab;
+pub use camsoc_jpeg as jpeg;
+pub use camsoc_layout as layout;
+pub use camsoc_mbist as mbist;
+pub use camsoc_netlist as netlist;
+pub use camsoc_pinassign as pinassign;
+pub use camsoc_sim as sim;
+pub use camsoc_sta as sta;
+
+pub use camsoc_core as flow;

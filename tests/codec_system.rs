@@ -1,0 +1,81 @@
+//! Integration: the JPEG codec as the camera system uses it — burst
+//! capture, both implementation models on identical content, and the
+//! decoder against a foreign-ish stream layout.
+
+use camsoc::jpeg::jfif::{decode, encode, encode_with_stats, EncodeParams, Sampling};
+use camsoc::jpeg::pipeline::{estimate, PipelineConfig};
+use camsoc::jpeg::psnr::{psnr, test_image};
+use camsoc::jpeg::software::SoftwareCostModel;
+
+#[test]
+fn burst_capture_is_stable_across_frames() {
+    // a shot burst: every frame must encode/decode cleanly and quickly
+    let engine = PipelineConfig::default();
+    let sw = SoftwareCostModel::default();
+    for frame_no in 0..8 {
+        let img = test_image(160, 120, 1000 + frame_no);
+        let (bytes, stats) = encode_with_stats(
+            &img,
+            &EncodeParams { quality: 85, sampling: Sampling::S420 },
+        )
+        .expect("encode");
+        let back = decode(&bytes).expect("decode");
+        assert!(psnr(&img, &back) > 28.0, "frame {frame_no}");
+        let hw = estimate(&engine, img.pixels(), Sampling::S420, &stats);
+        let sw_est = sw.estimate(img.pixels(), &stats);
+        assert!(
+            sw_est.seconds > 10.0 * hw.seconds,
+            "frame {frame_no}: speedup collapsed to {:.1}x",
+            sw_est.seconds / hw.seconds
+        );
+    }
+}
+
+#[test]
+fn both_sampling_modes_cross_decode() {
+    // a 4:4:4 stream and a 4:2:0 stream of the same scene both decode to
+    // images close to the original and to each other
+    let img = test_image(96, 64, 7);
+    let full = decode(
+        &encode(&img, &EncodeParams { quality: 90, sampling: Sampling::S444 }).expect("e444"),
+    )
+    .expect("d444");
+    let sub = decode(
+        &encode(&img, &EncodeParams { quality: 90, sampling: Sampling::S420 }).expect("e420"),
+    )
+    .expect("d420");
+    assert!(psnr(&img, &full) > psnr(&img, &sub), "4:4:4 must beat 4:2:0 on fidelity");
+    assert!(psnr(&full, &sub) > 25.0, "the two decodes should agree closely");
+}
+
+#[test]
+fn encoded_stream_has_expected_marker_skeleton() {
+    let img = test_image(32, 32, 9);
+    let bytes = encode(&img, &EncodeParams::default()).expect("encode");
+    // SOI APP0 DQT SOF0 DHT SOS ... EOI in order
+    let find = |marker: u8, from: usize| -> Option<usize> {
+        (from..bytes.len() - 1).find(|&i| bytes[i] == 0xFF && bytes[i + 1] == marker)
+    };
+    let soi = find(0xD8, 0).expect("SOI");
+    let app0 = find(0xE0, soi).expect("APP0");
+    let dqt = find(0xDB, app0).expect("DQT");
+    let sof = find(0xC0, dqt).expect("SOF0");
+    let dht = find(0xC4, sof).expect("DHT");
+    let sos = find(0xDA, dht).expect("SOS");
+    assert!(soi < app0 && app0 < dqt && dqt < sof && sof < dht && dht < sos);
+    assert_eq!(&bytes[bytes.len() - 2..], &[0xFF, 0xD9]);
+    // JFIF identifier present
+    let jfif = b"JFIF\0";
+    assert!(bytes.windows(5).any(|w| w == jfif));
+}
+
+#[test]
+fn quality_sweep_shapes_match_the_paper_claim() {
+    // compression ratio at camera quality (85, 4:2:0) should be in the
+    // 8-25x band typical of DSC "fine" modes on photo-like content
+    let img = test_image(320, 240, 3);
+    let bytes =
+        encode(&img, &EncodeParams { quality: 85, sampling: Sampling::S420 }).expect("encode");
+    let ratio = img.data.len() as f64 / bytes.len() as f64;
+    assert!((4.0..40.0).contains(&ratio), "ratio {ratio}");
+}

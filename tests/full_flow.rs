@@ -1,0 +1,82 @@
+//! End-to-end integration: the DSC controller through the complete
+//! service flow, checked across crate boundaries.
+
+use camsoc::flow::build_dsc;
+use camsoc::flow::flow::{run_flow, FlowOptions};
+use camsoc::flow::signoff::SignoffReport;
+use camsoc::dft::atpg::AtpgConfig;
+use camsoc::layout::place::{PlacementConfig, PlacementMode};
+use camsoc::layout::ImplementOptions;
+use camsoc::netlist::stats::NetlistStats;
+use camsoc::netlist::tech::Technology;
+
+fn quick_options() -> FlowOptions {
+    FlowOptions {
+        atpg: AtpgConfig {
+            fault_sample: Some(400),
+            max_random_blocks: 16,
+            ..AtpgConfig::default()
+        },
+        layout: ImplementOptions {
+            placement: PlacementConfig {
+                mode: PlacementMode::Wirelength,
+                iterations: 40_000,
+                ..PlacementConfig::default()
+            },
+            ..ImplementOptions::default()
+        },
+        ..FlowOptions::default()
+    }
+}
+
+#[test]
+fn dsc_controller_reaches_signoff() {
+    let design = build_dsc(0.025).expect("integrate");
+    assert_eq!(design.memory_count(), 30);
+    let stats_before = NetlistStats::of(&design.netlist);
+
+    let result = run_flow(design.netlist, &quick_options()).expect("flow");
+
+    // scan added state and the DFT ports
+    assert!(result.netlist.find_port("scan_en").is_some());
+    let stats_after = NetlistStats::of(&result.netlist);
+    assert!(stats_after.flops >= stats_before.flops);
+
+    // tapeout gates
+    assert!(result.tapeout_ready(), "setup {:?} hold {:?} drc {:?} lvs {} equiv {:?}",
+        result.signoff_timing.setup,
+        result.signoff_timing.hold,
+        result.layout.drc.summary(),
+        result.lvs.clean(),
+        result.equivalence.verdict);
+
+    // the GDSII stream parses and contains all cells
+    let records = camsoc::layout::gdsii::verify(&result.gds).expect("gds well-formed");
+    assert!(records.values().sum::<usize>() > stats_after.instances);
+
+    // the report renders all gates green
+    let report = SignoffReport::assemble(&result, &Technology::default());
+    assert!(report.ready());
+    assert!(report.render().contains("TAPEOUT READY"));
+}
+
+#[test]
+fn flow_is_deterministic() {
+    let a = build_dsc(0.015).expect("dsc");
+    let b = build_dsc(0.015).expect("dsc");
+    let ra = run_flow(a.netlist, &quick_options()).expect("flow");
+    let rb = run_flow(b.netlist, &quick_options()).expect("flow");
+    assert_eq!(ra.scan.scan_flops, rb.scan.scan_flops);
+    assert_eq!(ra.atpg.detected, rb.atpg.detected);
+    assert_eq!(ra.gds, rb.gds);
+}
+
+#[test]
+fn faster_clock_is_harder_to_close() {
+    let design = build_dsc(0.015).expect("dsc");
+    let relaxed = run_flow(design.netlist.clone(), &quick_options()).expect("flow");
+    let mut options = quick_options();
+    options.clock_period_ns = 2.0; // 500 MHz in 0.25 µm: hopeless
+    let stressed = run_flow(design.netlist, &options).expect("flow");
+    assert!(stressed.signoff_timing.setup.wns_ns < relaxed.signoff_timing.setup.wns_ns);
+}
