@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Offline CI gate: tier-1 (release build + full test suite) plus a
+# zero-warning clippy sweep over every target. No network access is
+# required — the workspace has no external dependencies (see the note
+# in Cargo.toml about proptest/criterion).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: test suite =="
+cargo test -q
+
+echo "== clippy (all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

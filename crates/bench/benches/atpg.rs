@@ -1,8 +1,7 @@
-//! Criterion bench for E5: fault simulation and ATPG cost vs design
-//! size.
+//! Built-in timer bench for E5: fault simulation and ATPG cost vs
+//! design size. Run with `cargo bench --bench atpg`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use camsoc_bench::timer;
 use camsoc_dft::atpg::{Atpg, AtpgConfig};
 use camsoc_dft::faults::FaultList;
 use camsoc_dft::fsim::CombCircuit;
@@ -18,8 +17,8 @@ fn scanned_block(gates: usize) -> camsoc_netlist::graph::Netlist {
     insert_scan(nl, &ScanConfig::default()).expect("scan").0
 }
 
-fn bench_fault_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fault_sim_block");
+fn main() {
+    println!("== fault_sim_block (200 sampled faults, 64 patterns) ==");
     for gates in [500usize, 2_000] {
         let nl = scanned_block(gates);
         let cc = CombCircuit::new(&nl).expect("comb");
@@ -27,40 +26,27 @@ fn bench_fault_sim(c: &mut Criterion) {
         let mut rng = SplitMix64::new(1);
         let assign: Vec<u64> = (0..cc.sources.len()).map(|_| rng.next_u64()).collect();
         let good = cc.good_sim(&assign);
-        group.bench_with_input(BenchmarkId::from_parameter(gates), &gates, |b, _| {
-            b.iter(|| {
-                faults
-                    .faults
-                    .iter()
-                    .filter(|&&f| cc.detect_lanes(f, &good) != 0)
-                    .count()
-            })
+        timer::run(&format!("fault_sim_block/{gates}"), 1, 5, || {
+            faults
+                .faults
+                .iter()
+                .filter(|&&f| cc.detect_lanes(f, &good) != 0)
+                .count()
         });
     }
-    group.finish();
-}
 
-fn bench_atpg_end_to_end(c: &mut Criterion) {
+    println!("== atpg end-to-end ==");
     let nl = scanned_block(800);
-    c.bench_function("atpg_800_gates_sampled", |b| {
-        b.iter(|| {
-            Atpg::new(
-                &nl,
-                AtpgConfig {
-                    fault_sample: Some(150),
-                    max_random_blocks: 8,
-                    ..AtpgConfig::default()
-                },
-            )
-            .expect("atpg")
-            .run()
-        })
+    timer::run("atpg_800_gates_sampled", 1, 5, || {
+        Atpg::new(
+            &nl,
+            AtpgConfig {
+                fault_sample: Some(150),
+                max_random_blocks: 8,
+                ..AtpgConfig::default()
+            },
+        )
+        .expect("atpg")
+        .run()
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fault_sim, bench_atpg_end_to_end
-}
-criterion_main!(benches);

@@ -1,56 +1,32 @@
-//! Criterion bench for E1/E2: JPEG encode/decode throughput by frame
-//! size and quality.
+//! Built-in timer bench for E1/E2: JPEG encode/decode throughput by
+//! frame size and quality. Run with `cargo bench --bench jpeg`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use camsoc_bench::timer;
 use camsoc_jpeg::jfif::{decode, encode, EncodeParams, Sampling};
 use camsoc_jpeg::psnr::test_image;
 
-fn bench_encode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("jpeg_encode");
+fn main() {
+    println!("== jpeg_encode (q85, 4:2:0) ==");
     for (w, h) in [(64usize, 48usize), (160, 120), (320, 240)] {
         let img = test_image(w, h, 3);
-        group.throughput(Throughput::Elements((w * h) as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{w}x{h}")),
-            &img,
-            |b, img| {
-                b.iter(|| {
-                    encode(img, &EncodeParams { quality: 85, sampling: Sampling::S420 })
-                        .expect("encode")
-                })
-            },
-        );
+        let r = timer::run(&format!("jpeg_encode/{w}x{h}"), 2, 9, || {
+            encode(&img, &EncodeParams { quality: 85, sampling: Sampling::S420 }).expect("encode")
+        });
+        let mpix_s = (w * h) as f64 / r.median.as_secs_f64() / 1e6;
+        println!("    -> {mpix_s:.2} Mpixel/s");
     }
-    group.finish();
-}
 
-fn bench_decode(c: &mut Criterion) {
+    println!("== jpeg_decode ==");
     let img = test_image(160, 120, 4);
     let bytes =
         encode(&img, &EncodeParams { quality: 85, sampling: Sampling::S420 }).expect("encode");
-    c.bench_function("jpeg_decode_160x120", |b| {
-        b.iter(|| decode(&bytes).expect("decode"))
-    });
-}
+    timer::run("jpeg_decode/160x120", 2, 9, || decode(&bytes).expect("decode"));
 
-fn bench_quality_sweep(c: &mut Criterion) {
+    println!("== jpeg_quality (128x96) ==");
     let img = test_image(128, 96, 5);
-    let mut group = c.benchmark_group("jpeg_quality");
     for q in [25u8, 75, 95] {
-        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
-            b.iter(|| {
-                encode(&img, &EncodeParams { quality: q, sampling: Sampling::S420 })
-                    .expect("encode")
-            })
+        timer::run(&format!("jpeg_quality/q{q}"), 2, 9, || {
+            encode(&img, &EncodeParams { quality: q, sampling: Sampling::S420 }).expect("encode")
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_encode, bench_decode, bench_quality_sweep
-}
-criterion_main!(benches);

@@ -1,41 +1,26 @@
-//! Criterion bench for E4: March test cost vs memory size and
-//! algorithm.
+//! Built-in timer bench for E4: March test cost vs memory size and
+//! algorithm. Run with `cargo bench --bench mbist`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use camsoc_bench::timer;
 use camsoc_mbist::march::{run_march, MarchAlgorithm};
 use camsoc_mbist::memory::Sram;
 
-fn bench_march_by_size(c: &mut Criterion) {
-    let mut group = c.benchmark_group("march_c_minus");
+fn main() {
+    println!("== march_c_minus by size (x16) ==");
     for words in [256usize, 1_024, 4_096] {
-        group.throughput(Throughput::Elements(words as u64 * 10));
-        group.bench_with_input(BenchmarkId::from_parameter(words), &words, |b, &words| {
-            b.iter(|| {
-                let mut mem = Sram::new(words, 16);
-                run_march(&MarchAlgorithm::march_c_minus(), &mut mem)
-            })
+        let r = timer::run(&format!("march_c_minus/{words}"), 2, 9, || {
+            let mut mem = Sram::new(words, 16);
+            run_march(&MarchAlgorithm::march_c_minus(), &mut mem)
         });
+        let ops_s = (words * 10) as f64 / r.median.as_secs_f64() / 1e6;
+        println!("    -> {ops_s:.2} Mop/s");
     }
-    group.finish();
-}
 
-fn bench_march_by_algorithm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("march_algorithms_1k");
+    println!("== march algorithms on 1K x16 ==");
     for alg in MarchAlgorithm::standard_set() {
-        group.bench_with_input(BenchmarkId::from_parameter(alg.name), &alg, |b, alg| {
-            b.iter(|| {
-                let mut mem = Sram::new(1_024, 16);
-                run_march(alg, &mut mem)
-            })
+        timer::run(&format!("march_algorithms_1k/{}", alg.name), 2, 9, || {
+            let mut mem = Sram::new(1_024, 16);
+            run_march(&alg, &mut mem)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_march_by_size, bench_march_by_algorithm
-}
-criterion_main!(benches);

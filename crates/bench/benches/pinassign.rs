@@ -1,36 +1,25 @@
-//! Criterion bench for E8: pin-assignment optimisation cost.
+//! Built-in timer bench for E8: pin-assignment optimisation cost.
+//! Run with `cargo bench --bench pinassign`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use camsoc_bench::timer;
 use camsoc_pinassign::assign::{inversions, min_layers, optimize, OptimizeConfig, Problem};
 use camsoc_pinassign::package::Tfbga;
 
-fn bench_metrics(c: &mut Criterion) {
+fn main() {
+    println!("== crossing metrics on a 1000-pin permutation ==");
     let perm: Vec<usize> = (0..1_000).map(|i| (i * 613) % 1_000).collect();
-    c.bench_function("inversions_1000", |b| b.iter(|| inversions(&perm)));
-    c.bench_function("min_layers_1000", |b| b.iter(|| min_layers(&perm)));
-}
+    timer::run("inversions_1000", 2, 9, || inversions(&perm));
+    timer::run("min_layers_1000", 2, 9, || min_layers(&perm));
 
-fn bench_optimize(c: &mut Criterion) {
+    println!("== pin_optimize (TFBGA-256, 96 nets) ==");
     let package = Tfbga::tfbga256();
-    let mut group = c.benchmark_group("pin_optimize");
+    let problem = Problem::synthesize(&package, 96, 0.15, 8);
     for iters in [2_000usize, 10_000] {
-        let problem = Problem::synthesize(&package, 96, 0.15, 8);
-        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
-            b.iter(|| {
-                optimize(
-                    &problem,
-                    &OptimizeConfig { iterations: iters, ..OptimizeConfig::default() },
-                )
-            })
+        timer::run(&format!("pin_optimize/{iters}"), 1, 5, || {
+            optimize(
+                &problem,
+                &OptimizeConfig { iterations: iters, ..OptimizeConfig::default() },
+            )
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_metrics, bench_optimize
-}
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion bench for E6: placement annealing cost and routing.
+//! Built-in timer bench for E6: placement annealing cost and routing.
+//! Run with `cargo bench --bench place`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use camsoc_bench::timer;
 use camsoc_layout::floorplan::Floorplan;
 use camsoc_layout::place::{place, PlacementConfig, PlacementMode};
 use camsoc_layout::route::{route, RouteConfig};
@@ -9,8 +9,8 @@ use camsoc_netlist::generate::{ip_block, IpBlockParams};
 use camsoc_netlist::tech::Technology;
 use camsoc_sta::Constraints;
 
-fn bench_place(c: &mut Criterion) {
-    let mut group = c.benchmark_group("placement_sa");
+fn main() {
+    println!("== placement_sa (wirelength, 5000 iterations) ==");
     for gates in [500usize, 2_000] {
         let nl = ip_block(
             "blk",
@@ -20,26 +20,22 @@ fn bench_place(c: &mut Criterion) {
         let tech = Technology::default();
         let fp = Floorplan::generate(&nl, &tech).expect("floorplan");
         let constraints = Constraints::single_clock("clk", 7.5);
-        group.bench_with_input(BenchmarkId::from_parameter(gates), &gates, |b, _| {
-            b.iter(|| {
-                place(
-                    &nl,
-                    &tech,
-                    &fp,
-                    &constraints,
-                    &PlacementConfig {
-                        mode: PlacementMode::Wirelength,
-                        iterations: 5_000,
-                        ..PlacementConfig::default()
-                    },
-                )
-            })
+        timer::run(&format!("placement_sa/{gates}"), 1, 5, || {
+            place(
+                &nl,
+                &tech,
+                &fp,
+                &constraints,
+                &PlacementConfig {
+                    mode: PlacementMode::Wirelength,
+                    iterations: 5_000,
+                    ..PlacementConfig::default()
+                },
+            )
         });
     }
-    group.finish();
-}
 
-fn bench_route(c: &mut Criterion) {
+    println!("== global route ==");
     let nl = ip_block(
         "blk",
         &IpBlockParams { target_gates: 1_000, seed: 5, ..Default::default() },
@@ -58,14 +54,7 @@ fn bench_route(c: &mut Criterion) {
             ..PlacementConfig::default()
         },
     );
-    c.bench_function("global_route_1000_gates", |b| {
-        b.iter(|| route(&nl, &fp, &p, &RouteConfig::default()))
+    timer::run("global_route_1000_gates", 1, 5, || {
+        route(&nl, &fp, &p, &RouteConfig::default())
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_place, bench_route
-}
-criterion_main!(benches);

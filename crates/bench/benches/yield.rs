@@ -1,44 +1,30 @@
-//! Criterion bench for E9/E10: yield-ramp Monte Carlo and die-cost
-//! evaluation.
+//! Built-in timer bench for E9/E10: yield-ramp Monte Carlo and
+//! die-cost evaluation. Run with `cargo bench --bench yield`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use camsoc_bench::timer;
 use camsoc_fab::ramp::{RampConfig, RampSimulator};
 use camsoc_fab::DieCostModel;
 use camsoc_netlist::tech::{Technology, TechnologyNode};
 
-fn bench_ramp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("yield_ramp");
+fn main() {
+    println!("== yield_ramp Monte Carlo ==");
     for dies in [5_000usize, 40_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(dies), &dies, |b, &dies| {
-            b.iter(|| {
-                let mut sim = RampSimulator::new(RampConfig {
-                    dies_per_month: dies,
-                    ..RampConfig::default()
-                });
-                sim.run()
-            })
+        timer::run(&format!("yield_ramp/{dies}"), 1, 5, || {
+            let mut sim = RampSimulator::new(RampConfig {
+                dies_per_month: dies,
+                ..RampConfig::default()
+            });
+            sim.run()
         });
     }
-    group.finish();
-}
 
-fn bench_die_cost(c: &mut Criterion) {
+    println!("== die-cost migration sweep (0.25u -> 0.18u) ==");
     let t250 = Technology::node(TechnologyNode::Tsmc250);
     let t180 = Technology::node(TechnologyNode::Tsmc180);
     let model = DieCostModel::default();
-    c.bench_function("migration_sweep", |b| {
-        b.iter(|| {
-            (50..70)
-                .map(|a| model.migrate_area(a as f64, 0.75, &t250, &t180).2)
-                .sum::<f64>()
-        })
+    timer::run("migration_sweep", 2, 9, || {
+        (50..70)
+            .map(|a| model.migrate_area(a as f64, 0.75, &t250, &t180).2)
+            .sum::<f64>()
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_ramp, bench_die_cost
-}
-criterion_main!(benches);

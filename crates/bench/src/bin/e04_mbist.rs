@@ -35,7 +35,10 @@ fn main() {
 
     // coverage per algorithm (fault-injection measurement)
     println!();
-    println!("{:<10} {:>6} | {}", "algorithm", "ops/N", "coverage per fault class (120 trials each)");
+    println!(
+        "{:<10} {:>6} | coverage per fault class (120 trials each)",
+        "algorithm", "ops/N"
+    );
     rule(86);
     for alg in MarchAlgorithm::standard_set() {
         let cov = measure_coverage(&alg, 128, 8, 120, 0xE4);

@@ -1,0 +1,238 @@
+//! Serial-vs-parallel wall-time report for the four `camsoc-par` hot
+//! kernels: fault simulation (dft), multi-start placement (layout),
+//! wafer-lot yield ramp (fab) and equivalence checking (netlist).
+//!
+//! Emits `BENCH_par.json` in the current directory alongside a human
+//! table on stdout, and re-checks that every parallel run is
+//! bit-identical to serial. Speedups depend on the host: on a 1-core
+//! box the parallel rows are expected to be ~1x (thread overhead), so
+//! `host_threads` is recorded in the JSON for context.
+//!
+//! Run with `cargo run --release -p camsoc-bench --bin perf_report`.
+
+use camsoc_bench::timer;
+use camsoc_dft::faults::FaultList;
+use camsoc_dft::fsim::CombCircuit;
+use camsoc_dft::scan::{insert_scan, ScanConfig};
+use camsoc_fab::ramp::{RampConfig, RampSimulator};
+use camsoc_layout::floorplan::Floorplan;
+use camsoc_layout::place::{place, PlacementConfig, PlacementMode};
+use camsoc_netlist::equiv::{check_equivalence, EquivOptions};
+use camsoc_netlist::generate::{ip_block, IpBlockParams, SplitMix64};
+use camsoc_netlist::tech::Technology;
+use camsoc_par::Parallelism;
+use camsoc_sta::Constraints;
+
+const THREADS: [usize; 2] = [2, 4];
+
+struct ThreadRow {
+    threads: usize,
+    ms: f64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+struct KernelRow {
+    kernel: &'static str,
+    workload: String,
+    serial_ms: f64,
+    rows: Vec<ThreadRow>,
+}
+
+/// Time one kernel serially and at each thread count, checking the
+/// parallel result against serial with `same`.
+fn profile<R>(
+    kernel: &'static str,
+    workload: String,
+    warmup: usize,
+    samples: usize,
+    run: impl Fn(Parallelism) -> R,
+    same: impl Fn(&R, &R) -> bool,
+) -> KernelRow {
+    let reference = run(Parallelism::Serial);
+    let serial = timer::bench(&format!("{kernel}/serial"), warmup, samples, || {
+        run(Parallelism::Serial)
+    });
+    let mut rows = Vec::new();
+    for &t in &THREADS {
+        let out = run(Parallelism::Threads(t));
+        let bit_identical = same(&reference, &out);
+        let timed = timer::bench(&format!("{kernel}/t{t}"), warmup, samples, || {
+            run(Parallelism::Threads(t))
+        });
+        rows.push(ThreadRow {
+            threads: t,
+            ms: timed.median_ms(),
+            speedup: serial.median_ms() / timed.median_ms(),
+            bit_identical,
+        });
+    }
+    KernelRow { kernel, workload, serial_ms: serial.median_ms(), rows }
+}
+
+fn fsim_row() -> KernelRow {
+    let nl = ip_block(
+        "blk",
+        &IpBlockParams { target_gates: 2_000, seed: 9, ..Default::default() },
+    )
+    .expect("generate");
+    let nl = insert_scan(nl, &ScanConfig::default()).expect("scan").0;
+    let cc = CombCircuit::new(&nl).expect("comb");
+    let faults = FaultList::generate(&nl).sample(800);
+    let mut rng = SplitMix64::new(1);
+    let assign: Vec<u64> = (0..cc.sources.len()).map(|_| rng.next_u64()).collect();
+    let good = cc.good_sim(&assign);
+    profile(
+        "fsim",
+        "2000-gate scanned block, 800 faults x 64 patterns".into(),
+        1,
+        5,
+        move |par| cc.detect_all(&faults.faults, &good, par),
+        |a, b| a == b,
+    )
+}
+
+fn place_row() -> KernelRow {
+    let nl = ip_block(
+        "blk",
+        &IpBlockParams { target_gates: 800, seed: 4, ..Default::default() },
+    )
+    .expect("generate");
+    let tech = Technology::default();
+    let fp = Floorplan::generate(&nl, &tech).expect("floorplan");
+    let constraints = Constraints::single_clock("clk", 7.5);
+    profile(
+        "place",
+        "800-gate block, 4-start SA, 4000 iterations/chain".into(),
+        1,
+        5,
+        move |par| {
+            place(
+                &nl,
+                &tech,
+                &fp,
+                &constraints,
+                &PlacementConfig {
+                    mode: PlacementMode::Wirelength,
+                    iterations: 4_000,
+                    starts: 4,
+                    parallelism: par,
+                    ..PlacementConfig::default()
+                },
+            )
+        },
+        |a, b| {
+            a.x == b.x
+                && a.y == b.y
+                && a.row == b.row
+                && a.hpwl_um == b.hpwl_um
+                && a.accepted_moves == b.accepted_moves
+        },
+    )
+}
+
+fn ramp_row() -> KernelRow {
+    profile(
+        "ramp",
+        "40000 dies/month x 8 months, 2500-die lots".into(),
+        1,
+        5,
+        |par| {
+            let mut sim = RampSimulator::new(RampConfig {
+                dies_per_month: 40_000,
+                parallelism: par,
+                ..RampConfig::default()
+            });
+            sim.run()
+        },
+        |a, b| a == b,
+    )
+}
+
+fn equiv_row() -> KernelRow {
+    let a = ip_block(
+        "blk",
+        &IpBlockParams { target_gates: 1_500, seed: 7, ..Default::default() },
+    )
+    .expect("generate");
+    let b = a.clone();
+    profile(
+        "equiv",
+        "1500-gate block vs itself, 32 random rounds + BDD cones".into(),
+        1,
+        5,
+        move |par| {
+            check_equivalence(
+                &a,
+                &b,
+                &EquivOptions { parallelism: par, ..EquivOptions::default() },
+            )
+            .expect("equiv")
+        },
+        |a, b| a == b,
+    )
+}
+
+fn main() {
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("perf_report: camsoc-par serial vs parallel (host_threads = {host_threads})");
+    camsoc_bench::rule(72);
+
+    let kernels = [fsim_row(), place_row(), ramp_row(), equiv_row()];
+
+    println!(
+        "{:<8} {:>12} {:>10} {:>8} {:>10} {:>8}  identical",
+        "kernel", "serial ms", "2t ms", "x", "4t ms", "x"
+    );
+    for k in &kernels {
+        println!(
+            "{:<8} {:>12.2} {:>10.2} {:>8.2} {:>10.2} {:>8.2}  {}",
+            k.kernel,
+            k.serial_ms,
+            k.rows[0].ms,
+            k.rows[0].speedup,
+            k.rows[1].ms,
+            k.rows[1].speedup,
+            k.rows.iter().all(|r| r.bit_identical)
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"camsoc-par serial vs parallel hot kernels\",\n");
+    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    json.push_str("  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"kernel\": \"{}\",\n", k.kernel));
+        json.push_str(&format!("      \"workload\": \"{}\",\n", k.workload));
+        json.push_str(&format!("      \"serial_ms\": {:.3},\n", k.serial_ms));
+        json.push_str("      \"parallel\": [\n");
+        for (j, r) in k.rows.iter().enumerate() {
+            json.push_str(&format!(
+                "        {{\"threads\": {}, \"ms\": {:.3}, \"speedup\": {:.3}, \"bit_identical\": {}}}{}\n",
+                r.threads,
+                r.ms,
+                r.speedup,
+                r.bit_identical,
+                if j + 1 < k.rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("      ]\n");
+        json.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < kernels.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_par.json", &json).expect("write BENCH_par.json");
+    println!("\nwrote BENCH_par.json");
+
+    let all_identical = kernels.iter().all(|k| k.rows.iter().all(|r| r.bit_identical));
+    if !all_identical {
+        eprintln!("ERROR: a parallel run diverged from serial");
+        std::process::exit(1);
+    }
+}

@@ -1,12 +1,16 @@
 //! # camsoc-bench
 //!
 //! Experiment harnesses (one binary per paper claim, `e01`–`e13`) and
-//! Criterion benches. See `EXPERIMENTS.md` at the workspace root for
+//! micro-benchmarks driven by the built-in [`timer`] harness (warmup +
+//! median-of-N on the monotonic clock; no Criterion, so the workspace
+//! builds offline). See `EXPERIMENTS.md` at the workspace root for
 //! the claim → harness mapping and recorded results.
 //!
 //! The DSC design scale used by the heavier harnesses can be overridden
 //! with the `CAMSOC_SCALE` environment variable (1.0 = the full
 //! 240 K-gate chip; the default keeps harness runtimes in seconds).
+
+pub mod timer;
 
 /// Read the experiment design scale from `CAMSOC_SCALE` (default
 /// `default_scale`).

@@ -14,6 +14,7 @@ use camsoc_netlist::equiv::{check_equivalence, EquivOptions, EquivReport};
 use camsoc_netlist::graph::Netlist;
 use camsoc_netlist::tech::Technology;
 use camsoc_netlist::NetlistError;
+use camsoc_par::Parallelism;
 use camsoc_sta::{Constraints, Sta, StaError, TimingReport};
 
 /// Flow configuration.
@@ -35,6 +36,11 @@ pub struct FlowOptions {
     pub max_timing_fixes: usize,
     /// Equivalence-check options.
     pub equiv: EquivOptions,
+    /// One switch for the whole flow: propagated to every parallelized
+    /// stage (ATPG fault simulation, multi-start placement, equivalence
+    /// checking), overriding their per-stage settings. Results are
+    /// bit-identical for every value — only wall-clock time changes.
+    pub parallelism: Parallelism,
 }
 
 impl Default for FlowOptions {
@@ -48,6 +54,7 @@ impl Default for FlowOptions {
             layout: ImplementOptions::default(),
             max_timing_fixes: 4,
             equiv: EquivOptions::default(),
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -137,6 +144,15 @@ pub fn run_flow(netlist: Netlist, options: &FlowOptions) -> Result<FlowResult, F
     let constraints =
         Constraints::single_clock(&options.clock_port, options.clock_period_ns);
 
+    // thread the flow-level parallelism switch into every stage that has
+    // a parallel path
+    let atpg_options =
+        AtpgConfig { parallelism: options.parallelism, ..options.atpg.clone() };
+    let mut layout_options = options.layout.clone();
+    layout_options.placement.parallelism = options.parallelism;
+    let equiv_options =
+        EquivOptions { parallelism: options.parallelism, ..options.equiv.clone() };
+
     // 1. pre-layout STA
     let pre_layout_timing = Sta::new(&netlist, &options.tech, constraints.clone()).analyze()?;
 
@@ -144,10 +160,10 @@ pub fn run_flow(netlist: Netlist, options: &FlowOptions) -> Result<FlowResult, F
     let (scanned, scan_report) = insert_scan(netlist, &options.scan)?;
 
     // 3. ATPG
-    let atpg_result = Atpg::new(&scanned, options.atpg.clone())?.run();
+    let atpg_result = Atpg::new(&scanned, atpg_options)?.run();
 
     // 4. back end
-    let layout_result = implement(&scanned, &options.tech, &constraints, &options.layout)?;
+    let layout_result = implement(&scanned, &options.tech, &constraints, &layout_options)?;
 
     // 5. timing-fix ECO loop on the sign-off view: upsizing for setup,
     //    delay-buffer insertion for hold (the paper's "3 ECO changes to
@@ -218,7 +234,7 @@ pub fn run_flow(netlist: Netlist, options: &FlowOptions) -> Result<FlowResult, F
     let (final_netlist, _) = eco.finish();
 
     // 6. formal equivalence: fixes must preserve function
-    let equivalence = check_equivalence(&scanned, &final_netlist, &options.equiv)?;
+    let equivalence = check_equivalence(&scanned, &final_netlist, &equiv_options)?;
 
     // 7. LVS: final netlist vs the "extracted" database (identity here —
     //    extraction corruption is exercised in the LVS crate's own tests)

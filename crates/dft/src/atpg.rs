@@ -18,6 +18,7 @@ use camsoc_netlist::cell::CellFunction;
 use camsoc_netlist::generate::SplitMix64;
 use camsoc_netlist::graph::{NetDriver, NetId, Netlist};
 use camsoc_netlist::NetlistError;
+use camsoc_par::Parallelism;
 
 use crate::faults::{FaultList, StuckAtFault};
 use crate::fsim::CombCircuit;
@@ -118,6 +119,10 @@ pub struct AtpgConfig {
     pub podem_fault_cap: Option<usize>,
     /// Optional fault-universe sample size (`None` = full universe).
     pub fault_sample: Option<usize>,
+    /// Thread budget for fault simulation (the fault universe is
+    /// partitioned across threads; results merge deterministically, so
+    /// coverage and patterns are bit-identical to `Serial`).
+    pub parallelism: Parallelism,
 }
 
 impl Default for AtpgConfig {
@@ -129,6 +134,7 @@ impl Default for AtpgConfig {
             podem_backtrack_limit: 60,
             podem_fault_cap: None,
             fault_sample: None,
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -220,15 +226,21 @@ impl<'a> Atpg<'a> {
             let good = self.cc.good_sim(&assign);
             let mut lane_useful = 0u64;
             let before = undetected.len();
-            undetected.retain(|&f| {
-                let lanes = self.cc.detect_lanes(f, &good);
+            // fault universe partitioned across threads; the per-fault
+            // lanes are independent, and the drop + first-lane merge
+            // below walks them in fault order, so the surviving list and
+            // kept patterns are identical for every thread count
+            let lanes_all =
+                self.cc.detect_all(&undetected, &good, self.cfg.parallelism);
+            let mut survivors = Vec::with_capacity(undetected.len());
+            for (&f, &lanes) in undetected.iter().zip(&lanes_all) {
                 if lanes != 0 {
                     lane_useful |= lanes & lanes.wrapping_neg(); // first lane
-                    false
                 } else {
-                    true
+                    survivors.push(f);
                 }
-            });
+            }
+            undetected = survivors;
             let newly = before - undetected.len();
             random_detected += newly;
             if newly == 0 {
@@ -270,7 +282,15 @@ impl<'a> Atpg<'a> {
                             .collect();
                         let good = self.cc.good_sim(&assign);
                         let before = remaining.len();
-                        remaining.retain(|&f| self.cc.detect_lanes(f, &good) == 0);
+                        let lanes_all =
+                            self.cc.detect_all(&remaining, &good, self.cfg.parallelism);
+                        let mut survivors = Vec::with_capacity(remaining.len());
+                        for (&f, &lanes) in remaining.iter().zip(&lanes_all) {
+                            if lanes == 0 {
+                                survivors.push(f);
+                            }
+                        }
+                        remaining = survivors;
                         podem_detected += before - remaining.len();
                         patterns.push(pattern);
                         // do not advance i: swap_remove replaced position i
@@ -473,8 +493,8 @@ impl<'a> Atpg<'a> {
                 }
             }
             let out = inst.output.index();
-            good[out] = eval3(inst.function(), &gi[..inst.inputs.len().max(1).min(4)]);
-            let fv = eval3(inst.function(), &fi[..inst.inputs.len().max(1).min(4)]);
+            good[out] = eval3(inst.function(), &gi[..inst.inputs.len().clamp(1, 4)]);
+            let fv = eval3(inst.function(), &fi[..inst.inputs.len().clamp(1, 4)]);
             faulty[out] = match fault {
                 StuckAtFault::Net { net, stuck_one } if net.index() == out => {
                     if stuck_one {
@@ -585,18 +605,13 @@ impl<'a> Atpg<'a> {
                 .iter()
                 .copied()
                 .find(|&n| good[n.index()] == VX)?;
-            let (inverting, anding) = gate_class(f);
+            let (inverting, _anding) = gate_class(f);
             let next_want = match f {
                 CellFunction::Xor2 | CellFunction::Xnor2 | CellFunction::Mux2 => want,
                 CellFunction::Maj3 => want,
-                _ => {
-                    let out_want = want ^ inverting;
-                    if anding {
-                        out_want // AND-like: output 1 needs all inputs 1
-                    } else {
-                        out_want // OR-like: output 0 needs all inputs 0 — same literal
-                    }
-                }
+                // AND-like: output 1 needs all inputs 1; OR-like: output 0
+                // needs all inputs 0 — either way the same literal chases up
+                _ => want ^ inverting,
             };
             net = x_input;
             want = next_want;

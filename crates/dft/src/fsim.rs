@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use camsoc_netlist::graph::{InstanceId, NetId, Netlist};
 use camsoc_netlist::NetlistError;
+use camsoc_par::Parallelism;
 
 use crate::faults::StuckAtFault;
 
@@ -219,6 +220,22 @@ impl<'a> CombCircuit<'a> {
             }
         }
         detected
+    }
+
+    /// Fault-simulate a whole fault universe against one good-value
+    /// vector, partitioning the faults across threads.
+    ///
+    /// Returns the detecting lanes per fault, in `faults` order. Each
+    /// fault's cone propagation is independent of every other fault, so
+    /// the result is bit-identical to a serial loop over
+    /// [`CombCircuit::detect_lanes`] for any thread count.
+    pub fn detect_all(
+        &self,
+        faults: &[StuckAtFault],
+        good: &[u64],
+        parallelism: Parallelism,
+    ) -> Vec<u64> {
+        camsoc_par::map(parallelism, faults, |&f| self.detect_lanes(f, good))
     }
 }
 

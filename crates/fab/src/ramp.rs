@@ -17,6 +17,7 @@
 
 use camsoc_netlist::cell::Drive;
 use camsoc_netlist::generate::SplitMix64;
+use camsoc_par::Parallelism;
 
 use crate::defect::YieldModel;
 use crate::parametric::ParametricModel;
@@ -49,12 +50,19 @@ pub struct RampConfig {
     pub defect_halflife_months: f64,
     /// Dies probed per simulated month.
     pub dies_per_month: usize,
+    /// Dies per wafer lot: each month's Monte-Carlo population is split
+    /// into lots, and every lot draws from its own SplitMix64 stream
+    /// derived from the month seed — so the measured yield is a pure
+    /// function of the seed and the lot size, never of scheduling.
+    pub dies_per_lot: usize,
     /// Action schedule: (month index, action).
     pub schedule: Vec<(usize, RampAction)>,
     /// Months to simulate.
     pub months: usize,
     /// PRNG seed.
     pub seed: u64,
+    /// Thread budget for simulating the lots of a month concurrently.
+    pub parallelism: Parallelism,
 }
 
 impl Default for RampConfig {
@@ -65,6 +73,7 @@ impl Default for RampConfig {
             mature_defect_density: 0.1157,
             defect_halflife_months: 2.5,
             dies_per_month: 40_000,
+            dies_per_lot: 2_500,
             schedule: vec![
                 (1, RampAction::OptimizeProbeOverdrive),
                 (2, RampAction::OptimizeRelayWait),
@@ -73,6 +82,7 @@ impl Default for RampConfig {
             ],
             months: 8,
             seed: 0xFAB,
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -177,14 +187,22 @@ impl RampSimulator {
             let losses = self.current_losses(rng.next_u64());
             let survival: f64 = losses.iter().map(|(_, l)| 1.0 - l).product();
             let true_yield = defect_yield * survival;
-            // Monte-Carlo measurement over the month's dies
-            let mut good = 0usize;
+            // Monte-Carlo measurement over the month's dies, one
+            // independent SplitMix64 stream per wafer lot (streams are
+            // split the SplitMix way: lot state = base + k·golden-gamma)
             let n = self.config.dies_per_month;
-            for _ in 0..n {
-                if rng.chance(true_yield) {
-                    good += 1;
-                }
-            }
+            let lot_size = self.config.dies_per_lot.max(1);
+            let nlots = n.div_ceil(lot_size);
+            let month_base = rng.next_u64();
+            let lot_good = camsoc_par::map_range(self.config.parallelism, nlots, |lot| {
+                let mut lot_rng = SplitMix64::new(
+                    month_base
+                        .wrapping_add((lot as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15)),
+                );
+                let dies = lot_size.min(n - lot * lot_size);
+                (0..dies).filter(|_| lot_rng.chance(true_yield)).count()
+            });
+            let good: usize = lot_good.iter().sum();
             reports.push(MonthReport {
                 month,
                 measured_yield: good as f64 / n.max(1) as f64,
@@ -278,5 +296,26 @@ mod tests {
         let a = RampSimulator::new(RampConfig::default()).run();
         let b = RampSimulator::new(RampConfig::default()).run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_lots_match_serial_bitwise() {
+        for seed in [0xFABu64, 0x5EED] {
+            let serial = RampSimulator::new(RampConfig {
+                seed,
+                parallelism: Parallelism::Serial,
+                ..RampConfig::default()
+            })
+            .run();
+            for threads in [2usize, 4] {
+                let par = RampSimulator::new(RampConfig {
+                    seed,
+                    parallelism: Parallelism::Threads(threads),
+                    ..RampConfig::default()
+                })
+                .run();
+                assert_eq!(par, serial, "seed {seed:#x} threads {threads}");
+            }
+        }
     }
 }

@@ -29,7 +29,7 @@ impl BitWriter {
     pub fn put(&mut self, value: u32, n: u32) {
         assert!(n <= 24, "bit run too long");
         self.logical_bits += n as usize;
-        self.acc = (self.acc << n) | (value & ((1u32 << n) - 1).max(0));
+        self.acc = (self.acc << n) | (value & ((1u32 << n) - 1));
         self.nbits += n;
         while self.nbits >= 8 {
             let byte = ((self.acc >> (self.nbits - 8)) & 0xFF) as u8;

@@ -207,9 +207,9 @@ mod tests {
                 for b in (0..=255).step_by(43) {
                     let (y, cb, cr) = rgb_to_ycbcr(r as u8, g as u8, b as u8);
                     let (r2, g2, b2) = ycbcr_to_rgb(y, cb, cr);
-                    assert!((r as i32 - r2 as i32).abs() <= 2, "r {r} -> {r2}");
-                    assert!((g as i32 - g2 as i32).abs() <= 2, "g {g} -> {g2}");
-                    assert!((b as i32 - b2 as i32).abs() <= 2, "b {b} -> {b2}");
+                    assert!((r - r2 as i32).abs() <= 2, "r {r} -> {r2}");
+                    assert!((g - g2 as i32).abs() <= 2, "g {g} -> {g2}");
+                    assert!((b - b2 as i32).abs() <= 2, "b {b} -> {b2}");
                 }
             }
         }

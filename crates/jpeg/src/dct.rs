@@ -68,7 +68,7 @@ fn aan_scale(u: usize) -> f32 {
     // s[k] = 1 / (4 * scalefactor[k]) with scalefactor from the AAN paper
     const S: [f32; 8] = [
         0.353_553_39, // 1/(2√2)
-        0.254_897_79,
+        0.254_897_8,
         0.270_598_05,
         0.300_672_44,
         0.353_553_39,

@@ -385,13 +385,12 @@ pub fn decode(bytes: &[u8]) -> Result<Rgb, JpegError> {
                 }
                 sof = Some((width, height, comps));
             }
-            0xC1..=0xCF => {
-                // any other SOFn is beyond baseline sequential
-                if marker != DHT {
-                    return Err(JpegError::Unsupported(format!(
-                        "SOF marker 0x{marker:02X} (non-baseline)"
-                    )));
-                }
+            // any other SOFn is beyond baseline sequential (DHT = 0xC4 is
+            // already taken by its own arm above; the guard is defensive)
+            0xC1..=0xCF if marker != DHT => {
+                return Err(JpegError::Unsupported(format!(
+                    "SOF marker 0x{marker:02X} (non-baseline)"
+                )));
             }
             SOS => {
                 let (_, _, comps) =

@@ -6,12 +6,19 @@
 //! paths (from a pre-placement STA with estimated wires) carry extra
 //! weight, pulling the critical logic together — the mechanism behind
 //! the paper's "timing-driven placement".
+//!
+//! With [`PlacementConfig::starts`] > 1 the annealer runs that many
+//! independent chains from seeds derived from the configured seed and
+//! keeps the best final QoR (ties broken by lowest chain index), so the
+//! result is a pure function of the seed regardless of
+//! [`PlacementConfig::parallelism`].
 
 use std::collections::HashMap;
 
 use camsoc_netlist::generate::SplitMix64;
 use camsoc_netlist::graph::{InstanceId, NetId, Netlist};
 use camsoc_netlist::tech::Technology;
+use camsoc_par::Parallelism;
 use camsoc_sta::{Constraints, Sta};
 
 use crate::floorplan::Floorplan;
@@ -37,6 +44,12 @@ pub struct PlacementConfig {
     pub seed: u64,
     /// Weight multiplier applied to critical nets in timing mode.
     pub critical_weight: f64,
+    /// Independent annealing chains (multi-start); `0` and `1` both run
+    /// the single historical chain seeded directly with `seed`.
+    pub starts: usize,
+    /// Thread budget for running the chains concurrently. Has no effect
+    /// on the result, only on wall-clock time.
+    pub parallelism: Parallelism,
 }
 
 impl Default for PlacementConfig {
@@ -46,6 +59,8 @@ impl Default for PlacementConfig {
             iterations: 0, // auto
             seed: 0x9_1ACE,
             critical_weight: 8.0,
+            starts: 1,
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -222,13 +237,13 @@ pub fn place(
     let sites_per_row = ((n.div_ceil(nrows)) as f64 * 1.3).ceil() as usize + 2;
     let pitch = fp.core.w / sites_per_row as f64;
 
-    let mut slot_of = vec![(0usize, 0usize); n]; // (row, site)
-    let mut occupant: Vec<Vec<Option<InstanceId>>> =
+    let mut slot_of0 = vec![(0usize, 0usize); n]; // (row, site)
+    let mut occupant0: Vec<Vec<Option<InstanceId>>> =
         vec![vec![None; sites_per_row]; nrows];
     // fill rows sequentially: generator order is connectivity order, so
     // neighbours in the netlist start as neighbours on the die — a far
     // better seed than scattering them across rows
-    for i in 0..n {
+    for (i, slot) in slot_of0.iter_mut().enumerate() {
         let row = (i / sites_per_row).min(nrows - 1);
         let site = if row == nrows - 1 && i / sites_per_row >= nrows {
             // overflow of the last row cannot happen by construction
@@ -237,8 +252,8 @@ pub fn place(
         } else {
             i % sites_per_row
         };
-        slot_of[i] = (row, site);
-        occupant[row][site] = Some(InstanceId(i as u32));
+        *slot = (row, site);
+        occupant0[row][site] = Some(InstanceId(i as u32));
     }
 
     let coords = |slot: (usize, usize)| -> (f64, f64) {
@@ -249,23 +264,23 @@ pub fn place(
         )
     };
 
-    let mut x = vec![0.0; n];
-    let mut y = vec![0.0; n];
+    let mut x0 = vec![0.0; n];
+    let mut y0 = vec![0.0; n];
     for i in 0..n {
-        let (px, py) = coords(slot_of[i]);
-        x[i] = px;
-        y[i] = py;
+        let (px, py) = coords(slot_of0[i]);
+        x0[i] = px;
+        y0[i] = py;
     }
 
     // initial cost
-    let mut net_cost: Vec<f64> = vec![0.0; nl.num_nets()];
-    let mut total = 0.0;
+    let mut net_cost0: Vec<f64> = vec![0.0; nl.num_nets()];
+    let mut total0 = 0.0;
     for &net in &db.active {
-        let c = net_hpwl(&db, net, &x, &y);
-        net_cost[net.index()] = c;
-        total += c;
+        let c = net_hpwl(&db, net, &x0, &y0);
+        net_cost0[net.index()] = c;
+        total0 += c;
     }
-    let initial_hpwl = total;
+    let initial_hpwl = total0;
 
     // nets touching each instance
     let mut inst_nets: Vec<Vec<NetId>> = vec![Vec::new(); n];
@@ -280,79 +295,104 @@ pub fn place(
         inst_nets[id.index()] = nets;
     }
 
-    let mut rng = SplitMix64::new(config.seed);
-    let mut temperature = pitch * 40.0; // cost units are µm
-    let cooling = (0.01f64 / temperature.max(1e-9)).powf(1.0 / iterations as f64);
-    let mut accepted = 0usize;
+    // one annealing chain from the shared initial state
+    let anneal = |seed: u64| -> Placement {
+        let mut slot_of = slot_of0.clone();
+        let mut occupant = occupant0.clone();
+        let mut x = x0.clone();
+        let mut y = y0.clone();
+        let mut net_cost = net_cost0.clone();
+        let mut total = total0;
 
-    for _ in 0..iterations {
-        if n < 2 {
-            break;
-        }
-        let a = InstanceId(rng.below(n) as u32);
-        let target_row = rng.below(nrows);
-        let target_site = rng.below(sites_per_row);
-        let b = occupant[target_row][target_site];
-        if b == Some(a) {
-            continue;
-        }
-        // affected nets
-        let mut nets: Vec<NetId> = inst_nets[a.index()].clone();
-        if let Some(b) = b {
-            nets.extend(&inst_nets[b.index()]);
-            nets.sort_unstable();
-            nets.dedup();
-        }
-        let before: f64 = nets.iter().map(|&nid| net_cost[nid.index()]).sum();
-        // tentative move (swap or displace)
-        let old_a = slot_of[a.index()];
-        let (ax, ay) = (x[a.index()], y[a.index()]);
-        let (nx, ny) = coords((target_row, target_site));
-        x[a.index()] = nx;
-        y[a.index()] = ny;
-        if let Some(b) = b {
-            let (bx, by) = coords(old_a);
-            x[b.index()] = bx;
-            y[b.index()] = by;
-        }
-        let after: f64 = nets.iter().map(|&nid| net_hpwl(&db, nid, &x, &y)).sum();
-        let delta = after - before;
-        let accept = delta < 0.0
-            || rng.chance((-delta / temperature.max(1e-9)).exp().clamp(0.0, 1.0));
-        if accept {
-            accepted += 1;
-            total += delta;
-            for &nid in &nets {
-                net_cost[nid.index()] = net_hpwl(&db, nid, &x, &y);
+        let mut rng = SplitMix64::new(seed);
+        let mut temperature = pitch * 40.0; // cost units are µm
+        let cooling = (0.01f64 / temperature.max(1e-9)).powf(1.0 / iterations as f64);
+        let mut accepted = 0usize;
+
+        for _ in 0..iterations {
+            if n < 2 {
+                break;
             }
-            occupant[old_a.0][old_a.1] = b;
-            occupant[target_row][target_site] = Some(a);
-            slot_of[a.index()] = (target_row, target_site);
-            if let Some(b) = b {
-                slot_of[b.index()] = old_a;
+            let a = InstanceId(rng.below(n) as u32);
+            let target_row = rng.below(nrows);
+            let target_site = rng.below(sites_per_row);
+            let b = occupant[target_row][target_site];
+            if b == Some(a) {
+                continue;
             }
-        } else {
-            // revert coordinates
-            x[a.index()] = ax;
-            y[a.index()] = ay;
+            // affected nets
+            let mut nets: Vec<NetId> = inst_nets[a.index()].clone();
             if let Some(b) = b {
-                let (bx, by) = coords((target_row, target_site));
+                nets.extend(&inst_nets[b.index()]);
+                nets.sort_unstable();
+                nets.dedup();
+            }
+            let before: f64 = nets.iter().map(|&nid| net_cost[nid.index()]).sum();
+            // tentative move (swap or displace)
+            let old_a = slot_of[a.index()];
+            let (ax, ay) = (x[a.index()], y[a.index()]);
+            let (nx, ny) = coords((target_row, target_site));
+            x[a.index()] = nx;
+            y[a.index()] = ny;
+            if let Some(b) = b {
+                let (bx, by) = coords(old_a);
                 x[b.index()] = bx;
                 y[b.index()] = by;
             }
+            let after: f64 = nets.iter().map(|&nid| net_hpwl(&db, nid, &x, &y)).sum();
+            let delta = after - before;
+            let accept = delta < 0.0
+                || rng.chance((-delta / temperature.max(1e-9)).exp().clamp(0.0, 1.0));
+            if accept {
+                accepted += 1;
+                total += delta;
+                for &nid in &nets {
+                    net_cost[nid.index()] = net_hpwl(&db, nid, &x, &y);
+                }
+                occupant[old_a.0][old_a.1] = b;
+                occupant[target_row][target_site] = Some(a);
+                slot_of[a.index()] = (target_row, target_site);
+                if let Some(b) = b {
+                    slot_of[b.index()] = old_a;
+                }
+            } else {
+                // revert coordinates
+                x[a.index()] = ax;
+                y[a.index()] = ay;
+                if let Some(b) = b {
+                    let (bx, by) = coords((target_row, target_site));
+                    x[b.index()] = bx;
+                    y[b.index()] = by;
+                }
+            }
+            temperature *= cooling;
         }
-        temperature *= cooling;
-    }
 
-    let row = slot_of.iter().map(|&(r, _)| r).collect();
-    Placement {
-        x,
-        y,
-        row,
-        hpwl_um: total,
-        initial_hpwl_um: initial_hpwl,
-        accepted_moves: accepted,
+        let row = slot_of.iter().map(|&(r, _)| r).collect();
+        Placement {
+            x,
+            y,
+            row,
+            hpwl_um: total,
+            initial_hpwl_um: initial_hpwl,
+            accepted_moves: accepted,
+        }
+    };
+
+    let starts = config.starts.max(1);
+    if starts == 1 {
+        return anneal(config.seed);
     }
+    // multi-start: chain seeds derive from the configured seed, chains
+    // are fully independent, and the winner is chosen by (QoR, chain
+    // index) — a pure function of the seed for any thread count
+    let mut seeder = SplitMix64::new(config.seed);
+    let seeds: Vec<u64> = (0..starts).map(|_| seeder.next_u64()).collect();
+    let chains = camsoc_par::map(config.parallelism, &seeds, |&s| anneal(s));
+    chains
+        .into_iter()
+        .reduce(|best, cand| if cand.hpwl_um < best.hpwl_um { cand } else { best })
+        .expect("starts >= 1 chains")
 }
 
 #[cfg(test)]
@@ -423,6 +463,54 @@ mod tests {
         let b = place(&nl, &tech, &fp, &constraints, &cfg);
         assert_eq!(a.x, b.x);
         assert_eq!(a.hpwl_um, b.hpwl_um);
+    }
+
+    #[test]
+    fn multi_start_parallel_matches_serial_bitwise() {
+        let (nl, tech, fp, constraints) = setup(300);
+        let base = PlacementConfig {
+            iterations: 2_000,
+            starts: 3,
+            ..PlacementConfig::default()
+        };
+        let serial = place(&nl, &tech, &fp, &constraints, &base);
+        for threads in [2usize, 4] {
+            let cfg = PlacementConfig {
+                parallelism: Parallelism::Threads(threads),
+                ..base.clone()
+            };
+            let p = place(&nl, &tech, &fp, &constraints, &cfg);
+            assert_eq!(p.x, serial.x, "threads = {threads}");
+            assert_eq!(p.y, serial.y, "threads = {threads}");
+            assert_eq!(p.row, serial.row, "threads = {threads}");
+            assert_eq!(p.hpwl_um, serial.hpwl_um, "threads = {threads}");
+            assert_eq!(p.accepted_moves, serial.accepted_moves, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn multi_start_keeps_best_chain() {
+        let (nl, tech, fp, constraints) = setup(250);
+        let base = PlacementConfig {
+            iterations: 1_500,
+            starts: 4,
+            ..PlacementConfig::default()
+        };
+        let best = place(&nl, &tech, &fp, &constraints, &base);
+        // replay each chain individually: the winner must match the
+        // minimum-HPWL chain
+        let mut seeder = camsoc_netlist::generate::SplitMix64::new(base.seed);
+        let mut chain_hpwl = Vec::new();
+        for _ in 0..base.starts {
+            let cfg = PlacementConfig {
+                seed: seeder.next_u64(),
+                starts: 1,
+                ..base.clone()
+            };
+            chain_hpwl.push(place(&nl, &tech, &fp, &constraints, &cfg).hpwl_um);
+        }
+        let min = chain_hpwl.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert_eq!(best.hpwl_um, min, "chains: {chain_hpwl:?}");
     }
 
     #[test]

@@ -205,7 +205,7 @@ fn astar(
         }
         for (np, cost) in neighbors {
             let ng = g + cost;
-            if best.get(&np).map_or(true, |&b| ng < b) {
+            if best.get(&np).is_none_or(|&b| ng < b) {
                 best.insert(np, ng);
                 parent.insert(np, cur);
                 open.push(Node(ng + h(np), np));

@@ -31,7 +31,7 @@ impl Sram {
     ///
     /// Panics if `bits > 64` or either dimension is zero.
     pub fn new(words: usize, bits: usize) -> Self {
-        assert!(bits >= 1 && bits <= 64, "bits must be 1..=64");
+        assert!((1..=64).contains(&bits), "bits must be 1..=64");
         assert!(words >= 1, "words must be >= 1");
         let mask = if bits == 64 { !0u64 } else { (1u64 << bits) - 1 };
         let data = (0..words)

@@ -17,6 +17,8 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
+use camsoc_par::Parallelism;
+
 use crate::cell::CellFunction;
 use crate::error::NetlistError;
 use crate::generate::SplitMix64;
@@ -142,18 +144,16 @@ impl<'a> CombModel<'a> {
                 support.insert(si);
                 continue;
             }
-            match self.nl.net(net).driver {
-                Some(NetDriver::Instance(id)) => {
-                    let inst = self.nl.instance(id);
-                    if inst.function().is_sequential() {
-                        // its Q is a source; handled above via source_index
-                        continue;
-                    }
-                    for &i in &inst.inputs {
-                        stack.push(i);
-                    }
+            // ports/macros are sources; undriven → constant 0
+            if let Some(NetDriver::Instance(id)) = self.nl.net(net).driver {
+                let inst = self.nl.instance(id);
+                if inst.function().is_sequential() {
+                    // its Q is a source; handled above via source_index
+                    continue;
                 }
-                _ => {} // ports/macros are sources; undriven → constant 0
+                for &i in &inst.inputs {
+                    stack.push(i);
+                }
             }
         }
         let mut v: Vec<usize> = support.into_iter().collect();
@@ -401,11 +401,22 @@ pub struct EquivOptions {
     pub bdd_node_limit: usize,
     /// PRNG seed.
     pub seed: u64,
+    /// Thread budget: random-vector rounds and per-sink cone proofs are
+    /// partitioned across threads. The verdict, counter-example sink and
+    /// all report counters are bit-identical to `Serial` (the first
+    /// mismatch in round/sink order always wins).
+    pub parallelism: Parallelism,
 }
 
 impl Default for EquivOptions {
     fn default() -> Self {
-        EquivOptions { random_rounds: 32, max_support: 24, bdd_node_limit: 200_000, seed: 0xEC0 }
+        EquivOptions {
+            random_rounds: 32,
+            max_support: 24,
+            bdd_node_limit: 200_000,
+            seed: 0xEC0,
+            parallelism: Parallelism::Serial,
+        }
     }
 }
 
@@ -502,32 +513,44 @@ pub fn check_equivalence(
     let nsink = ma.sinks.len();
     let sink_keys: Vec<SinkKey> = ma.sinks.keys().cloned().collect();
 
-    // Phase 1: random simulation.
+    // Phase 1: random simulation. The per-round source assignments are
+    // drawn serially from the seed (so the stream is identical for every
+    // thread count), then the rounds — each a pure function of its
+    // assignment — are evaluated in parallel. The winning mismatch is
+    // always the lowest (round, sink) pair, exactly the serial early
+    // exit.
     let mut rng = SplitMix64::new(options.seed);
-    let mut vectors = 0usize;
-    for _ in 0..options.random_rounds {
-        let assign: Vec<u64> = (0..nsrc).map(|_| rng.next_u64()).collect();
-        let va = ma.eval(&assign);
-        let vb = mb.eval(&assign);
+    let assigns: Vec<Vec<u64>> = (0..options.random_rounds)
+        .map(|_| (0..nsrc).map(|_| rng.next_u64()).collect())
+        .collect();
+    let mismatch = camsoc_par::find_first(options.parallelism, assigns.len(), |round| {
+        let va = ma.eval(&assigns[round]);
+        let vb = mb.eval(&assigns[round]);
         let sa = ma.sink_values(&va);
         let sb = mb.sink_values(&vb);
-        vectors += 64;
-        for i in 0..nsink {
-            if sa[i] != sb[i] {
-                return Ok(EquivReport {
-                    verdict: EquivVerdict::NotEquivalent { sink: sink_keys[i].clone() },
-                    sinks_compared: nsink,
-                    cones_proven: 0,
-                    vectors_applied: vectors,
-                });
-            }
-        }
+        (0..nsink).find(|&i| sa[i] != sb[i])
+    });
+    if let Some((round, sink)) = mismatch {
+        return Ok(EquivReport {
+            verdict: EquivVerdict::NotEquivalent { sink: sink_keys[sink].clone() },
+            sinks_compared: nsink,
+            cones_proven: 0,
+            vectors_applied: 64 * (round + 1),
+        });
     }
+    let vectors = 64 * options.random_rounds;
 
-    // Phase 2: exact cone proofs for bounded-support cones.
-    let mut proven = 0usize;
-    let mut unproven = 0usize;
-    for key in &sink_keys {
+    // Phase 2: exact cone proofs for bounded-support cones, one
+    // independent BDD manager per sink so the proofs parallelize without
+    // sharing. Outcomes merge in sink order: the first mismatching sink
+    // wins and `cones_proven` counts only the sinks before it, matching
+    // the serial loop bit-for-bit.
+    enum ConeOutcome {
+        Proven,
+        Unproven,
+        Mismatch,
+    }
+    let outcomes = camsoc_par::map(options.parallelism, &sink_keys, |key| {
         let net_a = ma.sinks[key];
         let net_b = mb.sinks[key];
         let sup_a = ma.cone_support(net_a);
@@ -540,8 +563,7 @@ pub fn check_equivalence(
             s
         };
         if union.len() > options.max_support {
-            unproven += 1;
-            continue;
+            return ConeOutcome::Unproven;
         }
         let var_of_source: HashMap<usize, u32> =
             union.iter().enumerate().map(|(v, &s)| (s, v as u32)).collect();
@@ -552,17 +574,27 @@ pub fn check_equivalence(
         ) {
             (Ok(fa), Ok(fb)) => {
                 if fa != fb {
-                    return Ok(EquivReport {
-                        verdict: EquivVerdict::NotEquivalent { sink: key.clone() },
-                        sinks_compared: nsink,
-                        cones_proven: proven,
-                        vectors_applied: vectors,
-                    });
+                    ConeOutcome::Mismatch
+                } else {
+                    ConeOutcome::Proven
                 }
-                proven += 1;
             }
-            _ => {
-                unproven += 1;
+            _ => ConeOutcome::Unproven,
+        }
+    });
+    let mut proven = 0usize;
+    let mut unproven = 0usize;
+    for (key, outcome) in sink_keys.iter().zip(&outcomes) {
+        match outcome {
+            ConeOutcome::Proven => proven += 1,
+            ConeOutcome::Unproven => unproven += 1,
+            ConeOutcome::Mismatch => {
+                return Ok(EquivReport {
+                    verdict: EquivVerdict::NotEquivalent { sink: key.clone() },
+                    sinks_compared: nsink,
+                    cones_proven: proven,
+                    vectors_applied: vectors,
+                });
             }
         }
     }
@@ -849,6 +881,34 @@ mod tests {
             }
         }
         assert!(overflowed);
+    }
+
+    #[test]
+    fn parallel_report_matches_serial_bitwise() {
+        // one equivalent pair and one counter-example pair, both must
+        // produce identical reports (verdict + all counters) at any
+        // thread count
+        let pairs = [
+            (
+                two_gate(CellFunction::Nand2, CellFunction::Xor2),
+                two_gate(CellFunction::Nand2, CellFunction::Xor2),
+            ),
+            (
+                two_gate(CellFunction::Nand2, CellFunction::Xor2),
+                two_gate(CellFunction::Nor2, CellFunction::Xor2),
+            ),
+        ];
+        for (a, b) in &pairs {
+            let serial = check_equivalence(a, b, &EquivOptions::default()).unwrap();
+            for threads in [2usize, 4] {
+                let opts = EquivOptions {
+                    parallelism: Parallelism::Threads(threads),
+                    ..EquivOptions::default()
+                };
+                let par = check_equivalence(a, b, &opts).unwrap();
+                assert_eq!(par, serial, "threads = {threads}");
+            }
+        }
     }
 
     #[test]

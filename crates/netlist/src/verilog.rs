@@ -303,8 +303,9 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
     }
     let mut pending = Pending::default();
     let mut pending_spare = false;
-    let mut instance_records: Vec<(usize, String, String, Vec<(String, String)>, bool, String)> =
-        Vec::new();
+    // (line, cell, name, pin connections, spare attr, raw text)
+    type InstanceRecord = (usize, String, String, Vec<(String, String)>, bool, String);
+    let mut instance_records: Vec<InstanceRecord> = Vec::new();
 
     loop {
         let (line, tok) = match tokens.get(pos) {

@@ -221,11 +221,11 @@ pub fn naive_assignment(problem: &Problem) -> Assignment {
     }
     let mut ball_of_pad = vec![usize::MAX; n];
     let mut next = 0usize;
-    for pad in 0..n {
+    for (pad, slot) in ball_of_pad.iter_mut().enumerate() {
         if let Some(&b) = problem.locked.get(&pad) {
-            ball_of_pad[pad] = b;
+            *slot = b;
         } else {
-            ball_of_pad[pad] = shuffled[next];
+            *slot = shuffled[next];
             next += 1;
         }
     }
@@ -276,13 +276,13 @@ pub fn optimize(problem: &Problem, cfg: &OptimizeConfig) -> Assignment {
     let unlocked_total = n - problem.locked.len();
     let mut ball_of_pad = vec![usize::MAX; n];
     let mut next = 0usize;
-    for pad in 0..n {
+    for (pad, slot) in ball_of_pad.iter_mut().enumerate() {
         if let Some(&b) = problem.locked.get(&pad) {
-            ball_of_pad[pad] = b;
+            *slot = b;
         } else {
             // spread unlocked pads evenly over the free balls; injective
             // because free.len() >= unlocked_total
-            ball_of_pad[pad] = free[next * free.len() / unlocked_total.max(1)];
+            *slot = free[next * free.len() / unlocked_total.max(1)];
             next += 1;
         }
     }

@@ -391,7 +391,7 @@ impl<'a> Simulator<'a> {
         for (k, &n) in inst.inputs.iter().enumerate() {
             ins[k] = self.values[n.index()];
         }
-        let new = eval4(inst.function(), &ins[..inst.inputs.len().max(1).min(4)]);
+        let new = eval4(inst.function(), &ins[..inst.inputs.len().clamp(1, 4)]);
         let delay = self.gate_delay(id);
         self.schedule(inst.output, new, self.time + delay);
     }

@@ -6,6 +6,7 @@
 
 use camsoc_netlist::cell::CellFunction;
 use std::fmt;
+use std::ops::Not;
 
 /// A 4-value logic level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -51,15 +52,6 @@ impl Logic {
             Logic::X
         } else {
             self
-        }
-    }
-
-    /// 4-value NOT.
-    pub fn not(self) -> Logic {
-        match self.input() {
-            Logic::Zero => Logic::One,
-            Logic::One => Logic::Zero,
-            _ => Logic::X,
         }
     }
 
@@ -109,6 +101,19 @@ impl fmt::Display for Logic {
 impl From<bool> for Logic {
     fn from(b: bool) -> Logic {
         Logic::from_bool(b)
+    }
+}
+
+/// 4-value NOT (`!x` and `x.not()` both resolve here).
+impl std::ops::Not for Logic {
+    type Output = Logic;
+
+    fn not(self) -> Logic {
+        match self.input() {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            _ => Logic::X,
+        }
     }
 }
 

@@ -327,7 +327,7 @@ impl<'a> Sta<'a> {
                 setup.violations += 1;
                 setup.tns_ns += slack;
             }
-            if worst.as_ref().map_or(true, |(s, ..)| slack < *s) {
+            if worst.as_ref().is_none_or(|(s, ..)| slack < *s) {
                 worst = Some((slack, net, endpoint, required));
             }
         };

@@ -22,6 +22,7 @@
 //! | [`pinassign`] | package pin assignment & substrate-layer estimation |
 //! | [`fab`] | yield, die cost, reliability, failure analysis |
 //! | [`flow`] | the integration/verification/sign-off flow (core) |
+//! | [`par`] | deterministic parallel execution layer |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-claim → experiment mapping.
@@ -32,6 +33,7 @@ pub use camsoc_jpeg as jpeg;
 pub use camsoc_layout as layout;
 pub use camsoc_mbist as mbist;
 pub use camsoc_netlist as netlist;
+pub use camsoc_par as par;
 pub use camsoc_pinassign as pinassign;
 pub use camsoc_sim as sim;
 pub use camsoc_sta as sta;

@@ -1,0 +1,141 @@
+//! Integration: the parallel execution layer must be invisible in the
+//! results. Every hot kernel wired to `camsoc::par` — ATPG fault
+//! simulation, the yield-ramp Monte Carlo, equivalence checking and
+//! multi-start placement — is run serially and at 1/2/4 threads across
+//! two seeds, and the outputs must match bit for bit. Thread count may
+//! only change wall-clock time, never a number.
+
+use camsoc::dft::atpg::{Atpg, AtpgConfig};
+use camsoc::dft::scan::{insert_scan, ScanConfig};
+use camsoc::fab::ramp::{RampConfig, RampSimulator};
+use camsoc::layout::floorplan::Floorplan;
+use camsoc::layout::place::{place, PlacementConfig, PlacementMode};
+use camsoc::netlist::cell::CellFunction;
+use camsoc::netlist::eco::EcoSession;
+use camsoc::netlist::equiv::{check_equivalence, EquivOptions, EquivVerdict};
+use camsoc::netlist::generate::{ip_block, IpBlockParams};
+use camsoc::netlist::graph::Netlist;
+use camsoc::netlist::tech::Technology;
+use camsoc::par::Parallelism;
+use camsoc::sta::Constraints;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn scanned_block(gates: usize, seed: u64) -> Netlist {
+    let nl = ip_block(
+        "blk",
+        &IpBlockParams { target_gates: gates, seed, ..Default::default() },
+    )
+    .expect("generate");
+    insert_scan(nl, &ScanConfig::default()).expect("scan").0
+}
+
+#[test]
+fn atpg_coverage_is_thread_count_invariant() {
+    let nl = scanned_block(600, 9);
+    for seed in [3u64, 11] {
+        let cfg = AtpgConfig {
+            seed,
+            fault_sample: Some(250),
+            max_random_blocks: 6,
+            ..AtpgConfig::default()
+        };
+        let serial = Atpg::new(&nl, cfg.clone()).expect("atpg").run();
+        for t in THREADS {
+            let par_cfg =
+                AtpgConfig { parallelism: Parallelism::Threads(t), ..cfg.clone() };
+            let par = Atpg::new(&nl, par_cfg).expect("atpg").run();
+            assert_eq!(par.total_faults, serial.total_faults, "seed {seed} t{t}");
+            assert_eq!(par.detected, serial.detected, "seed {seed} t{t}");
+            assert_eq!(par.untestable, serial.untestable, "seed {seed} t{t}");
+            assert_eq!(par.aborted, serial.aborted, "seed {seed} t{t}");
+            assert_eq!(par.random_detected, serial.random_detected, "seed {seed} t{t}");
+            assert_eq!(par.podem_detected, serial.podem_detected, "seed {seed} t{t}");
+            assert_eq!(par.patterns, serial.patterns, "seed {seed} t{t}");
+        }
+    }
+}
+
+#[test]
+fn ramp_yield_curve_is_thread_count_invariant() {
+    for seed in [0xFAB5u64, 0x1DEA] {
+        let base = RampConfig { dies_per_month: 12_000, seed, ..RampConfig::default() };
+        let serial = RampSimulator::new(base.clone()).run();
+        for t in THREADS {
+            let cfg = RampConfig { parallelism: Parallelism::Threads(t), ..base.clone() };
+            let par = RampSimulator::new(cfg).run();
+            assert_eq!(par, serial, "seed {seed:#x} t{t}");
+        }
+    }
+}
+
+#[test]
+fn equiv_verdicts_are_thread_count_invariant() {
+    for seed in [7u64, 21] {
+        let golden = ip_block(
+            "blk",
+            &IpBlockParams { target_gates: 700, seed, ..Default::default() },
+        )
+        .expect("generate");
+
+        // a functionally mutated copy: flip the first non-spare NAND2
+        let mut eco = EcoSession::new(golden.clone());
+        let (victim, _) = eco
+            .netlist()
+            .instances()
+            .find(|(_, i)| i.function() == CellFunction::Nand2 && !i.spare)
+            .expect("nand2 to mutate");
+        eco.change_function(victim, CellFunction::Nor2).expect("mutate");
+        let (mutated, _) = eco.finish();
+
+        for (label, b) in [("identical", golden.clone()), ("mutated", mutated)] {
+            let serial =
+                check_equivalence(&golden, &b, &EquivOptions::default()).expect("equiv");
+            if label == "identical" {
+                assert_eq!(serial.verdict, EquivVerdict::Equivalent, "seed {seed}");
+            }
+            for t in THREADS {
+                let opts = EquivOptions {
+                    parallelism: Parallelism::Threads(t),
+                    ..EquivOptions::default()
+                };
+                let par = check_equivalence(&golden, &b, &opts).expect("equiv");
+                assert_eq!(par, serial, "{label} seed {seed} t{t}");
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_start_placement_is_thread_count_invariant() {
+    let tech = Technology::default();
+    let constraints = Constraints::single_clock("clk", 7.5);
+    for seed in [4u64, 17] {
+        let nl = ip_block(
+            "blk",
+            &IpBlockParams { target_gates: 400, seed, ..Default::default() },
+        )
+        .expect("generate");
+        let fp = Floorplan::generate(&nl, &tech).expect("floorplan");
+        let base = PlacementConfig {
+            mode: PlacementMode::Wirelength,
+            iterations: 1_500,
+            seed,
+            starts: 3,
+            ..PlacementConfig::default()
+        };
+        let serial = place(&nl, &tech, &fp, &constraints, &base);
+        for t in THREADS {
+            let cfg = PlacementConfig {
+                parallelism: Parallelism::Threads(t),
+                ..base.clone()
+            };
+            let par = place(&nl, &tech, &fp, &constraints, &cfg);
+            assert_eq!(par.x, serial.x, "seed {seed} t{t}");
+            assert_eq!(par.y, serial.y, "seed {seed} t{t}");
+            assert_eq!(par.row, serial.row, "seed {seed} t{t}");
+            assert_eq!(par.hpwl_um, serial.hpwl_um, "seed {seed} t{t}");
+            assert_eq!(par.accepted_moves, serial.accepted_moves, "seed {seed} t{t}");
+        }
+    }
+}

@@ -1,4 +1,9 @@
 //! Property tests on the physical/timing stack.
+//!
+//! Compiled only with `--features proptest` (which requires re-adding the
+//! `proptest` dev-dependency on a machine with registry access — see the
+//! note in the workspace `Cargo.toml`).
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 
