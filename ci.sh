@@ -15,4 +15,7 @@ cargo test -q
 echo "== clippy (all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== rustdoc (-D warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "CI OK"

@@ -32,6 +32,24 @@ fn main() {
         outcome.all_checks_ok()
     );
 
+    // incremental STA effort: the replay re-times only each change's
+    // fanout/fanin cone, bit-identically to a from-scratch analysis
+    println!();
+    println!(
+        "incremental STA: {} graph evals vs {} from scratch ({:.1}x fewer)",
+        outcome.incremental_gate_evals,
+        outcome.full_gate_evals,
+        outcome.sta_speedup()
+    );
+    if let Some(timing) = &outcome.final_timing {
+        println!(
+            "final timing after all {} changes: setup WNS {:+.3} ns, fmax {:.1} MHz",
+            outcome.log.len(),
+            timing.setup.wns_ns,
+            timing.fmax_mhz
+        );
+    }
+
     // pin-assignment version layer series
     let layers: Vec<usize> =
         outcome.log.iter().filter_map(|c| c.substrate_layers).collect();
@@ -54,6 +72,10 @@ fn main() {
         "  with full re-runs instead: {:.0} h -> fits: {}",
         estimate.total_full_rerun(),
         estimate.total_full_rerun() <= team.capacity_hours()
+    );
+    let measured: f64 = outcome.log.iter().map(|c| c.hours).sum();
+    println!(
+        "  measured from this replay (cone-scaled by incremental STA): {measured:.0} h"
     );
     println!();
     println!(

@@ -1,17 +1,21 @@
 //! Serial-vs-parallel wall-time report for the four `camsoc-par` hot
 //! kernels: fault simulation (dft), multi-start placement (layout),
-//! wafer-lot yield ramp (fab) and equivalence checking (netlist).
+//! wafer-lot yield ramp (fab) and equivalence checking (netlist), plus
+//! a full-vs-incremental comparison for the ECO-loop STA engine.
 //!
 //! Emits `BENCH_par.json` in the current directory alongside a human
 //! table on stdout, and re-checks that every parallel run is
-//! bit-identical to serial. Speedups depend on the host: on a 1-core
-//! box the parallel rows are expected to be ~1x (thread overhead), so
+//! bit-identical to serial (and the incremental STA report identical
+//! to from-scratch). Speedups depend on the host: on a 1-core box the
+//! parallel rows are expected to be ~1x (thread overhead), so
 //! `host_threads` is recorded in the JSON for context.
 //!
 //! Run with `cargo run --release -p camsoc-bench --bin perf_report`.
 
 use camsoc_bench::timer;
 use camsoc_dft::faults::FaultList;
+use camsoc_netlist::cell::Drive;
+use camsoc_netlist::eco::EcoSession;
 use camsoc_dft::fsim::CombCircuit;
 use camsoc_dft::scan::{insert_scan, ScanConfig};
 use camsoc_fab::ramp::{RampConfig, RampSimulator};
@@ -21,7 +25,7 @@ use camsoc_netlist::equiv::{check_equivalence, EquivOptions};
 use camsoc_netlist::generate::{ip_block, IpBlockParams, SplitMix64};
 use camsoc_netlist::tech::Technology;
 use camsoc_par::Parallelism;
-use camsoc_sta::Constraints;
+use camsoc_sta::{Constraints, Sta};
 
 const THREADS: [usize; 2] = [2, 4];
 
@@ -173,12 +177,81 @@ fn equiv_row() -> KernelRow {
     )
 }
 
+struct EcoStaRow {
+    workload: String,
+    full_ms: f64,
+    incremental_ms: f64,
+    speedup: f64,
+    evaluated: usize,
+    full_evaluated: usize,
+    bit_identical: bool,
+}
+
+/// Full-vs-incremental STA around one representative timing ECO
+/// (upsize a gate + buffer its output) on a generated block. The
+/// incremental sample clones the baselined engine each run so every
+/// iteration patches the same pre-edit state.
+fn eco_sta_row() -> EcoStaRow {
+    let nl = ip_block(
+        "blk",
+        &IpBlockParams { target_gates: 2_000, seed: 11, ..Default::default() },
+    )
+    .expect("generate");
+    let tech = Technology::default();
+    let constraints = Constraints::single_clock("clk", 7.5);
+    let (engine, _) = Sta::new(&nl, &tech, constraints.clone())
+        .into_incremental()
+        .expect("baseline");
+
+    let mut eco = EcoSession::new(nl);
+    let (gate, _) = eco
+        .netlist()
+        .instances()
+        .find(|(_, i)| !i.function().is_sequential() && !i.spare && !i.function().is_tie())
+        .expect("gate");
+    let out = eco.netlist().instance(gate).output;
+    eco.insert_buffer(out, Drive::X4).expect("buffer");
+    eco.upsize(gate).expect("upsize");
+    let delta = eco.take_delta();
+    let (edited, _) = eco.finish();
+
+    let full_report =
+        Sta::new(&edited, &tech, constraints.clone()).analyze().expect("sta");
+    let full = timer::bench("eco_sta/full", 1, 5, || {
+        Sta::new(&edited, &tech, constraints.clone()).analyze().expect("sta")
+    });
+    // clone untimed per sample so each update patches the same pre-edit
+    // baseline; only the update itself is on the clock
+    let mut last = None;
+    let mut times = Vec::new();
+    for _ in 0..6 {
+        let mut e = engine.clone();
+        let (t, report) =
+            timer::time_once(|| e.update(&edited, &tech, &delta).expect("update"));
+        times.push(t);
+        last = Some((report, *e.stats()));
+    }
+    times.sort_unstable();
+    let incremental_ms = times[times.len() / 2].as_secs_f64() * 1e3;
+    let (report, stats) = last.expect("at least one sample");
+    EcoStaRow {
+        workload: "2000-gate block, 1 timing ECO (upsize + X4 buffer)".into(),
+        full_ms: full.median_ms(),
+        incremental_ms,
+        speedup: full.median_ms() / incremental_ms,
+        evaluated: stats.evaluated,
+        full_evaluated: stats.full_evaluated,
+        bit_identical: report == full_report,
+    }
+}
+
 fn main() {
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("perf_report: camsoc-par serial vs parallel (host_threads = {host_threads})");
     camsoc_bench::rule(72);
 
     let kernels = [fsim_row(), place_row(), ramp_row(), equiv_row()];
+    let eco_sta = eco_sta_row();
 
     println!(
         "{:<8} {:>12} {:>10} {:>8} {:>10} {:>8}  identical",
@@ -196,6 +269,16 @@ fn main() {
             k.rows.iter().all(|r| r.bit_identical)
         );
     }
+    println!();
+    println!(
+        "eco_sta  full {:.2} ms vs incremental {:.2} ms ({:.2}x, {}/{} evals)  identical: {}",
+        eco_sta.full_ms,
+        eco_sta.incremental_ms,
+        eco_sta.speedup,
+        eco_sta.evaluated,
+        eco_sta.full_evaluated,
+        eco_sta.bit_identical
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -224,7 +307,25 @@ fn main() {
             if i + 1 < kernels.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"eco_sta\": {\n");
+    json.push_str(&format!("    \"workload\": \"{}\",\n", eco_sta.workload));
+    json.push_str(&format!("    \"full_ms\": {:.3},\n", eco_sta.full_ms));
+    json.push_str(&format!(
+        "    \"incremental_ms\": {:.3},\n",
+        eco_sta.incremental_ms
+    ));
+    json.push_str(&format!("    \"speedup\": {:.3},\n", eco_sta.speedup));
+    json.push_str(&format!("    \"evaluated\": {},\n", eco_sta.evaluated));
+    json.push_str(&format!(
+        "    \"full_evaluated\": {},\n",
+        eco_sta.full_evaluated
+    ));
+    json.push_str(&format!(
+        "    \"bit_identical\": {}\n",
+        eco_sta.bit_identical
+    ));
+    json.push_str("  }\n");
     json.push_str("}\n");
 
     std::fs::write("BENCH_par.json", &json).expect("write BENCH_par.json");
@@ -233,6 +334,10 @@ fn main() {
     let all_identical = kernels.iter().all(|k| k.rows.iter().all(|r| r.bit_identical));
     if !all_identical {
         eprintln!("ERROR: a parallel run diverged from serial");
+        std::process::exit(1);
+    }
+    if !eco_sta.bit_identical {
+        eprintln!("ERROR: incremental STA diverged from a from-scratch analysis");
         std::process::exit(1);
     }
 }

@@ -70,7 +70,7 @@ pub fn bench<R>(
     }
 }
 
-/// [`bench`] + a one-line aligned report on stdout.
+/// [`bench()`] + a one-line aligned report on stdout.
 pub fn run<R>(
     name: &str,
     warmup: usize,

@@ -4,6 +4,15 @@
 //! scan insertion → ATPG → floorplan/place/CTS/route/extract → sign-off
 //! STA with a timing-fix ECO loop (the "physical synthesis" role) →
 //! formal equivalence across the fixes → DRC/LVS → GDSII.
+//!
+//! The ECO loop's sign-off timing is maintained **incrementally**: the
+//! engine baselines one full analysis on the routed view, then each
+//! upsize/buffer fix re-times only its fanout/fanin cone via
+//! [`IncrementalSta`], bit-identically to a from-scratch run.
+//! [`FlowResult::sta_incremental_evals`] versus
+//! [`FlowResult::sta_full_evals`] records the saving;
+//! [`FlowOptions::sta_cone_fraction`] bounds the cone before the engine
+//! falls back to a full re-annotation.
 
 use camsoc_dft::atpg::{Atpg, AtpgConfig, AtpgResult};
 use camsoc_dft::scan::{insert_scan, ScanConfig, ScanReport};
@@ -15,7 +24,7 @@ use camsoc_netlist::graph::Netlist;
 use camsoc_netlist::tech::Technology;
 use camsoc_netlist::NetlistError;
 use camsoc_par::Parallelism;
-use camsoc_sta::{Constraints, Sta, StaError, TimingReport};
+use camsoc_sta::{Constraints, IncrementalSta, Sta, StaError, TimingReport, UpdateStats};
 
 /// Flow configuration.
 #[derive(Debug, Clone)]
@@ -34,6 +43,9 @@ pub struct FlowOptions {
     pub layout: ImplementOptions,
     /// Maximum timing-fix ECO iterations.
     pub max_timing_fixes: usize,
+    /// Dirty-cone fraction above which the ECO loop's incremental STA
+    /// falls back to a full re-analysis.
+    pub sta_cone_fraction: f64,
     /// Equivalence-check options.
     pub equiv: EquivOptions,
     /// One switch for the whole flow: propagated to every parallelized
@@ -53,6 +65,7 @@ impl Default for FlowOptions {
             atpg: AtpgConfig { fault_sample: Some(4_000), ..AtpgConfig::default() },
             layout: ImplementOptions::default(),
             max_timing_fixes: 4,
+            sta_cone_fraction: 0.75,
             equiv: EquivOptions::default(),
             parallelism: Parallelism::Serial,
         }
@@ -74,6 +87,10 @@ pub struct FlowResult {
     pub signoff_timing: TimingReport,
     /// Upsize/buffer ECOs applied by the timing-fix loop.
     pub timing_ecos: usize,
+    /// Graph evaluations the ECO loop's incremental STA performed.
+    pub sta_incremental_evals: usize,
+    /// Evaluations the same re-analyses would have cost from scratch.
+    pub sta_full_evals: usize,
     /// Formal equivalence of the post-fix netlist vs the scan netlist.
     pub equivalence: EquivReport,
     /// LVS of the final netlist vs the extracted view.
@@ -172,16 +189,36 @@ pub fn run_flow(netlist: Netlist, options: &FlowOptions) -> Result<FlowResult, F
     let mut signoff_timing = layout_result.timing.clone();
     let mut timing_ecos = 0usize;
     let mut wires = layout_result.wire_delays_ns.clone();
-    let rerun_sta =
-        |eco: &EcoSession, wires: &mut Vec<f64>| -> Result<TimingReport, StaError> {
-            // ECO-inserted nets get the short-wire estimate (they are
-            // placed next to their driver in a real flow)
-            wires.resize(eco.netlist().num_nets(), 0.01);
-            Sta::new(eco.netlist(), &options.tech, constraints.clone())
-                .with_wire_delays(wires.clone())
-                .with_clock_latency(layout_result.clock_tree.latency_ns.clone())
-                .analyze()
-        };
+    let mut sta_incremental_evals = 0usize;
+    let mut sta_full_evals = 0usize;
+    // Baseline the incremental engine on the pre-ECO sign-off view; each
+    // rerun in the fix loops then re-times only the edited cones. When
+    // sign-off is already clean, the loops never run and the baseline
+    // annotation is skipped entirely.
+    let mut engine: Option<IncrementalSta> = if signoff_timing.setup.clean()
+        && signoff_timing.hold.clean()
+    {
+        None
+    } else {
+        let (inc, _) = Sta::new(eco.netlist(), &options.tech, constraints.clone())
+            .with_wire_delays(wires.clone())
+            .with_clock_latency(layout_result.clock_tree.latency_ns.clone())
+            .into_incremental()?;
+        Some(inc.with_max_cone_fraction(options.sta_cone_fraction))
+    };
+    let rerun_sta = |eco: &mut EcoSession,
+                         wires: &mut Vec<f64>,
+                         engine: &mut Option<IncrementalSta>|
+     -> Result<(TimingReport, UpdateStats), StaError> {
+        // ECO-inserted nets get the short-wire estimate (they are
+        // placed next to their driver in a real flow)
+        wires.resize(eco.netlist().num_nets(), 0.01);
+        let delta = eco.take_delta();
+        let inc = engine.as_mut().expect("engine baselined before fix loops");
+        inc.set_wire_delays(wires.clone());
+        let report = inc.update(eco.netlist(), &options.tech, &delta)?;
+        Ok((report, *inc.stats()))
+    };
     let mut iterations = 0usize;
     while !signoff_timing.setup.clean() && iterations < options.max_timing_fixes {
         iterations += 1;
@@ -203,7 +240,10 @@ pub fn run_flow(netlist: Netlist, options: &FlowOptions) -> Result<FlowResult, F
         if !fixed_any {
             break;
         }
-        signoff_timing = rerun_sta(&eco, &mut wires)?;
+        let (report, stats) = rerun_sta(&mut eco, &mut wires, &mut engine)?;
+        signoff_timing = report;
+        sta_incremental_evals += stats.evaluated;
+        sta_full_evals += stats.full_evaluated;
     }
     let mut hold_rounds = 0usize;
     let max_hold_rounds = options.max_timing_fixes.max(6);
@@ -229,7 +269,10 @@ pub fn run_flow(netlist: Netlist, options: &FlowOptions) -> Result<FlowResult, F
         if !fixed_any {
             break;
         }
-        signoff_timing = rerun_sta(&eco, &mut wires)?;
+        let (report, stats) = rerun_sta(&mut eco, &mut wires, &mut engine)?;
+        signoff_timing = report;
+        sta_incremental_evals += stats.evaluated;
+        sta_full_evals += stats.full_evaluated;
     }
     let (final_netlist, _) = eco.finish();
 
@@ -282,6 +325,8 @@ pub fn run_flow(netlist: Netlist, options: &FlowOptions) -> Result<FlowResult, F
         layout: layout_result,
         signoff_timing,
         timing_ecos,
+        sta_incremental_evals,
+        sta_full_evals,
         equivalence,
         lvs,
         gds,
@@ -350,6 +395,14 @@ mod tests {
         assert!(result.equivalence.passed());
         // the loop actually did something
         assert!(result.timing_ecos > 0, "expected timing ECOs");
+        // ... and each rerun re-timed only the edited cones
+        assert!(result.sta_incremental_evals > 0, "expected incremental reruns");
+        assert!(
+            result.sta_incremental_evals < result.sta_full_evals,
+            "incremental STA should beat from-scratch evals ({} vs {})",
+            result.sta_incremental_evals,
+            result.sta_full_evals
+        );
     }
 
     #[test]

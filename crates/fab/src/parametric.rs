@@ -1,6 +1,6 @@
 //! Parametric yield: poly CD → Isat/Vth → speed/leakage windows.
 //!
-//! The paper "retarget[ed] Isat and Vth by optimizing poly CD in the
+//! The paper "retarget\[ed\] Isat and Vth by optimizing poly CD in the
 //! foundry according to results from corner lot splitting". The model:
 //! gate length (poly CD) varies lot-to-lot around a target; shorter
 //! channels raise saturation current (faster, leakier), longer ones the

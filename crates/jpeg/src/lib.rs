@@ -2,7 +2,7 @@
 //!
 //! Baseline JPEG codec — the multimedia IP at the heart of the paper's
 //! DSC controller ("a hardwired JPEG encoding and decoding engine",
-//! developed with a university lab, companion paper [1]).
+//! developed with a university lab, companion paper \[1\]).
 //!
 //! Two layers live here:
 //!

@@ -6,7 +6,7 @@
 //! The paper: "There are 30 embedded memory macros in the controller. We
 //! use an in-house memory BIST circuit generator to insert one common
 //! BIST controller, multiple sequencers, and 30 pattern generators."
-//! (The methodology is the companion paper [2], Cheng-Wen Wu's SoC
+//! (The methodology is the companion paper \[2\], Cheng-Wen Wu's SoC
 //! testing work.) This crate rebuilds that generator and the analysis
 //! around it:
 //!

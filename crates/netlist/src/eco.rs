@@ -9,6 +9,8 @@
 //! preserves logical function — so the flow can re-run formal equivalence
 //! and STA with the right expectations after every change.
 
+use std::collections::BTreeSet;
+
 use crate::cell::{Cell, CellFunction, Drive};
 use crate::error::NetlistError;
 use crate::graph::{InstanceId, NetId, Netlist};
@@ -52,6 +54,37 @@ impl EcoKind {
     }
 }
 
+/// The set of nets and instances touched by ECO edits — the "patch
+/// description" an incremental analysis consumes to know which cones to
+/// recompute. Ordered sets so iteration (and hence any downstream
+/// floating-point accumulation) is deterministic.
+///
+/// Every [`EcoSession`] operation adds the instances whose connectivity,
+/// drive or function it changed, plus every net whose driver, load set
+/// or delay could have moved — a conservative superset of the true
+/// frontier.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EditDelta {
+    /// Nets whose driver, load set or delay may have changed.
+    pub nets: BTreeSet<NetId>,
+    /// Instances whose connectivity, drive or function changed (includes
+    /// newly created instances).
+    pub instances: BTreeSet<InstanceId>,
+}
+
+impl EditDelta {
+    /// True when no edits have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty() && self.instances.is_empty()
+    }
+
+    /// Fold another delta into this one.
+    pub fn merge(&mut self, other: &EditDelta) {
+        self.nets.extend(other.nets.iter().copied());
+        self.instances.extend(other.instances.iter().copied());
+    }
+}
+
 /// One recorded ECO edit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EcoRecord {
@@ -88,12 +121,13 @@ pub struct EcoRecord {
 pub struct EcoSession {
     nl: Netlist,
     records: Vec<EcoRecord>,
+    delta: EditDelta,
 }
 
 impl EcoSession {
     /// Start an ECO session on a netlist.
     pub fn new(nl: Netlist) -> Self {
-        EcoSession { nl, records: Vec::new() }
+        EcoSession { nl, records: Vec::new(), delta: EditDelta::default() }
     }
 
     /// The netlist in its current state.
@@ -104,6 +138,19 @@ impl EcoSession {
     /// The audit trail so far.
     pub fn records(&self) -> &[EcoRecord] {
         &self.records
+    }
+
+    /// Nets and instances touched since the session started (or since
+    /// the last [`EcoSession::take_delta`]).
+    pub fn delta(&self) -> &EditDelta {
+        &self.delta
+    }
+
+    /// Drain the accumulated edit delta, resetting it to empty — call
+    /// after handing the delta to an incremental analysis so the next
+    /// call only reports subsequent edits.
+    pub fn take_delta(&mut self) -> EditDelta {
+        std::mem::take(&mut self.delta)
     }
 
     /// Finish the session, returning the edited netlist and the trail.
@@ -123,6 +170,10 @@ impl EcoSession {
     /// [`NetlistError::BadPinIndex`] if the pin does not exist.
     pub fn rewire(&mut self, inst: InstanceId, pin: usize, net: NetId) -> Result<(), NetlistError> {
         let old = self.nl.rewire_input(inst, pin, net)?;
+        self.delta.instances.insert(inst);
+        self.delta.nets.insert(old);
+        self.delta.nets.insert(net);
+        self.delta.nets.insert(self.nl.instance(inst).output);
         self.records.push(EcoRecord {
             kind: EcoKind::Rewire,
             description: format!(
@@ -167,6 +218,10 @@ impl EcoSession {
                     None,
                     block,
                 )?;
+                self.delta.instances.insert(driver);
+                self.delta.instances.insert(id);
+                self.delta.nets.insert(mid);
+                self.delta.nets.insert(net);
                 self.records.push(EcoRecord {
                     kind: EcoKind::InsertBuffer,
                     description: format!(
@@ -205,7 +260,11 @@ impl EcoSession {
                     .collect();
                 for (sid, pin) in sinks {
                     self.nl.rewire_input(sid, pin, mid)?;
+                    self.delta.instances.insert(sid);
                 }
+                self.delta.instances.insert(id);
+                self.delta.nets.insert(mid);
+                self.delta.nets.insert(net);
                 self.records.push(EcoRecord {
                     kind: EcoKind::InsertBuffer,
                     description: format!(
@@ -251,6 +310,11 @@ impl EcoSession {
             block,
         )?;
         self.nl.rewire_input(inst, pin, out)?;
+        self.delta.instances.insert(id);
+        self.delta.instances.insert(inst);
+        self.delta.nets.insert(src);
+        self.delta.nets.insert(out);
+        self.delta.nets.insert(self.nl.instance(inst).output);
         self.records.push(EcoRecord {
             kind: EcoKind::InsertInverter,
             description: format!("inverter inserted on {}.{pin}", self.nl.instance(inst).name),
@@ -278,6 +342,8 @@ impl EcoSession {
         })?;
         let name = i.name.clone();
         self.nl.instance_mut(inst).cell.drive = up;
+        self.delta.instances.insert(inst);
+        self.delta.nets.insert(self.nl.instance(inst).output);
         self.records.push(EcoRecord {
             kind: EcoKind::Upsize,
             description: format!("upsize {name} to {up}"),
@@ -305,6 +371,8 @@ impl EcoSession {
         })?;
         let name = i.name.clone();
         self.nl.instance_mut(inst).cell.drive = down;
+        self.delta.instances.insert(inst);
+        self.delta.nets.insert(self.nl.instance(inst).output);
         self.records.push(EcoRecord {
             kind: EcoKind::Downsize,
             description: format!("downsize {name} to {down}"),
@@ -342,6 +410,8 @@ impl EcoSession {
         let old = i.function();
         let drive = i.drive();
         self.nl.instance_mut(inst).cell = Cell::new(function, drive);
+        self.delta.instances.insert(inst);
+        self.delta.nets.insert(self.nl.instance(inst).output);
         self.records.push(EcoRecord {
             kind: EcoKind::ChangeFunction,
             description: format!("{name}: {old} -> {function}"),
@@ -381,9 +451,16 @@ impl EcoSession {
         for (pin, &net) in inputs.iter().enumerate() {
             self.nl.rewire_input(spare, pin, net)?;
         }
+        let old_sink_net = self.nl.instance(sink).inputs[sink_pin];
         let spare_out = self.nl.instance(spare).output;
         self.nl.rewire_input(sink, sink_pin, spare_out)?;
         self.nl.instance_mut(spare).spare = false;
+        self.delta.instances.insert(spare);
+        self.delta.instances.insert(sink);
+        self.delta.nets.extend(inputs.iter().copied());
+        self.delta.nets.insert(old_sink_net);
+        self.delta.nets.insert(spare_out);
+        self.delta.nets.insert(self.nl.instance(sink).output);
         self.records.push(EcoRecord {
             kind: EcoKind::SpareFix,
             description: format!(
@@ -428,6 +505,11 @@ impl EcoSession {
             Some(clk),
             block,
         )?;
+        self.delta.instances.insert(driver);
+        self.delta.instances.insert(id);
+        self.delta.nets.insert(mid);
+        self.delta.nets.insert(net);
+        self.delta.nets.insert(clk);
         self.records.push(EcoRecord {
             kind: EcoKind::AddFlop,
             description: format!("pipeline flop inserted on {}", self.nl.net(net).name),
@@ -579,6 +661,26 @@ mod tests {
         assert!(eco.spare_fix(CellFunction::Inv, &[a, b_net], g, 1).is_err());
         assert!(eco.records().iter().any(|r| r.kind == EcoKind::SpareFix));
         assert!(EcoKind::SpareFix.metal_only());
+    }
+
+    #[test]
+    fn delta_tracks_touched_nets_and_instances() {
+        let nl = small();
+        let g = nl.find_instance("u_g").unwrap();
+        let a = nl.find_net("a").unwrap();
+        let mut eco = EcoSession::new(nl);
+        assert!(eco.delta().is_empty());
+        eco.upsize(g).unwrap();
+        assert!(eco.delta().instances.contains(&g));
+        assert!(eco.delta().nets.contains(&eco.netlist().instance(g).output));
+        let first = eco.take_delta();
+        assert!(eco.delta().is_empty());
+        eco.rewire(g, 1, a).unwrap();
+        assert!(eco.delta().nets.contains(&a));
+        let mut merged = eco.take_delta();
+        merged.merge(&first);
+        assert!(merged.instances.contains(&g));
+        assert!(merged.nets.contains(&a));
     }
 
     #[test]

@@ -226,7 +226,7 @@ fn tokenize(text: &str) -> Result<Vec<(usize, Token)>, NetlistError> {
 }
 
 /// Parse a netlist from the structural-Verilog subset produced by
-/// [`write`].
+/// [`write()`].
 ///
 /// # Errors
 ///

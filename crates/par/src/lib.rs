@@ -19,6 +19,17 @@
 //! No `rayon`: the workspace builds with no external dependencies (see
 //! `DESIGN.md` §4), and scoped threads borrow the netlist directly
 //! without `Arc`.
+//!
+//! # Example
+//!
+//! ```
+//! use camsoc_par::{map_range, Parallelism};
+//!
+//! // same inputs, same outputs — regardless of the thread count
+//! let serial = map_range(Parallelism::Serial, 1_000, |i| i * i);
+//! let threaded = map_range(Parallelism::Threads(4), 1_000, |i| i * i);
+//! assert_eq!(serial, threaded);
+//! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -6,6 +6,20 @@
 //! pins (setup against the capture clock period), macro input pins and
 //! primary outputs. Max arrivals feed setup checks, min arrivals feed
 //! hold checks; both are derated by the active [`Corner`].
+//!
+//! The analysis is split into two phases so the incremental engine in
+//! [`crate::incremental`] can reuse them:
+//!
+//! 1. [`Sta::annotate`] — the expensive graph pass. Propagates max/min
+//!    arrivals forward in levelized (topological) order and setup
+//!    required times backward, producing an [`Annotation`] with per-net
+//!    timing state and an evaluation counter.
+//! 2. [`Sta::report_from`] — the cheap summarization. Walks every
+//!    endpoint, accumulates WNS/TNS, and backtraces the critical path.
+//!    It performs no delay evaluation, so re-running it after a partial
+//!    re-annotation is bit-identical to a from-scratch analysis.
+//!
+//! [`Sta::analyze`] is simply `annotate` followed by `report_from`.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -22,6 +36,9 @@ use crate::paths::{PathStep, TimingPath};
 /// Estimated routed length per fanout load (mm) when no extracted wire
 /// delays are supplied.
 pub const EST_WIRE_MM_PER_FANOUT: f64 = 0.03;
+
+pub(crate) const NEG: f64 = f64::NEG_INFINITY;
+pub(crate) const POS: f64 = f64::INFINITY;
 
 /// Errors from timing analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,18 +115,91 @@ impl TimingReport {
     }
 }
 
+/// Per-net timing state produced by [`Sta::annotate`] — the levelized
+/// arrival/required annotation an incremental update keeps alive between
+/// edits.
+///
+/// All per-net vectors are indexed by [`NetId`]. Sentinel values mark
+/// untimed nets: `-inf` max arrival / `+inf` min arrival for constant
+/// cones, `+inf` required time for nets with no downstream constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotation {
+    /// Latest (setup) arrival per net; `-inf` when untimed.
+    pub(crate) at_max: Vec<f64>,
+    /// Earliest (hold) arrival per net; `+inf` when untimed.
+    pub(crate) at_min: Vec<f64>,
+    /// Setup required time per net from the backward pass; `+inf` when
+    /// the net reaches no constrained endpoint.
+    pub(crate) req_max: Vec<f64>,
+    /// Critical-path predecessor per net: the driving instance and the
+    /// input net that dominated the max arrival.
+    pub(crate) pred: Vec<Option<(InstanceId, NetId)>>,
+    /// Launch-point label per net (set only at timing startpoints).
+    pub(crate) start_label: Vec<Option<String>>,
+    /// Levelized evaluation order of the combinational instances.
+    pub(crate) order: Vec<InstanceId>,
+    /// Capture-clock period per flip-flop.
+    pub(crate) flop_clock: HashMap<InstanceId, f64>,
+    /// Fallback clock period for endpoints without a traced clock.
+    pub(crate) default_period: f64,
+    /// Graph evaluations performed to produce this annotation (forward
+    /// gate evaluations plus backward required-time evaluations).
+    pub(crate) evaluated: usize,
+}
+
+impl Annotation {
+    /// Latest (setup) arrival at `net`, if the net is timed.
+    pub fn arrival_max(&self, net: NetId) -> Option<f64> {
+        let v = self.at_max[net.index()];
+        (v != NEG).then_some(v)
+    }
+
+    /// Earliest (hold) arrival at `net`, if the net is timed.
+    pub fn arrival_min(&self, net: NetId) -> Option<f64> {
+        let v = self.at_min[net.index()];
+        (v != POS).then_some(v)
+    }
+
+    /// Setup required time at `net`, if any constrained endpoint is
+    /// reachable downstream.
+    pub fn required_max(&self, net: NetId) -> Option<f64> {
+        let v = self.req_max[net.index()];
+        (v != POS).then_some(v)
+    }
+
+    /// Per-net setup slack: required − arrival. `None` when the net is
+    /// untimed or unconstrained.
+    pub fn setup_slack(&self, net: NetId) -> Option<f64> {
+        Some(self.required_max(net)? - self.arrival_max(net)?)
+    }
+
+    /// The levelized (topological) order the combinational instances
+    /// were evaluated in.
+    pub fn topo_order(&self) -> &[InstanceId] {
+        &self.order
+    }
+
+    /// Graph evaluations (forward gate + backward required-time) that
+    /// produced this annotation.
+    pub fn evaluated(&self) -> usize {
+        self.evaluated
+    }
+}
+
 /// The analyzer. Build with [`Sta::new`], optionally refine with
 /// [`Sta::with_corner`], [`Sta::with_wire_delays`],
-/// [`Sta::with_clock_latency`], then call [`Sta::analyze`].
+/// [`Sta::with_clock_latency`], then call [`Sta::analyze`] — or
+/// [`Sta::into_incremental`] to keep the annotation alive for
+/// incremental ECO updates.
 pub struct Sta<'a> {
-    nl: &'a Netlist,
-    tech: &'a Technology,
-    constraints: Constraints,
-    corner: Corner,
+    pub(crate) nl: &'a Netlist,
+    pub(crate) tech: &'a Technology,
+    pub(crate) constraints: Constraints,
+    pub(crate) corner: Corner,
     /// Per-net wire delay (ns) from extraction; `None` → fanout estimate.
-    wire_delays_ns: Option<Vec<f64>>,
+    pub(crate) wire_delays_ns: Option<Vec<f64>>,
     /// Per-flop clock network latency (ns) from CTS, by instance id.
-    clock_latency_ns: HashMap<InstanceId, f64>,
+    pub(crate) clock_latency_ns: HashMap<InstanceId, f64>,
 }
 
 impl<'a> Sta<'a> {
@@ -148,7 +238,7 @@ impl<'a> Sta<'a> {
         self
     }
 
-    fn wire_delay(&self, net: NetId, fanout: usize) -> f64 {
+    pub(crate) fn wire_delay(&self, net: NetId, fanout: usize) -> f64 {
         match &self.wire_delays_ns {
             Some(v) => v[net.index()],
             None => {
@@ -157,15 +247,37 @@ impl<'a> Sta<'a> {
         }
     }
 
-    /// Trace a clock net back through buffers/inverters to a declared
-    /// clock; returns the clock definition if found.
-    fn trace_clock(&self, mut net: NetId) -> Option<&ClockDef> {
-        let port_clock: HashMap<NetId, &ClockDef> = self
-            .constraints
+    /// Stage delay of `inst` driving its output net under the late
+    /// (setup-launch) derate: cell delay plus wire delay.
+    pub(crate) fn late_delay(&self, id: InstanceId, fanout_out: usize) -> f64 {
+        let inst = self.nl.instance(id);
+        self.tech.cell_delay_ns(inst.cell, fanout_out) * self.corner.late
+            + self.wire_delay(inst.output, fanout_out) * self.corner.late
+    }
+
+    /// Stage delay of `inst` under the early (hold-launch) derate.
+    pub(crate) fn early_delay(&self, id: InstanceId, fanout_out: usize) -> f64 {
+        let inst = self.nl.instance(id);
+        self.tech.cell_delay_ns(inst.cell, fanout_out) * self.corner.early
+            + self.wire_delay(inst.output, fanout_out) * self.corner.early
+    }
+
+    /// Map from clock-port net to clock definition.
+    pub(crate) fn port_clock_map(&self) -> HashMap<NetId, &ClockDef> {
+        self.constraints
             .clocks
             .iter()
             .filter_map(|c| self.nl.find_port(&c.port).map(|p| (self.nl.port(p).net, c)))
-            .collect();
+            .collect()
+    }
+
+    /// Trace a clock net back through buffers/inverters to a declared
+    /// clock; returns the clock definition if found.
+    pub(crate) fn trace_clock_with<'c>(
+        &self,
+        port_clock: &HashMap<NetId, &'c ClockDef>,
+        mut net: NetId,
+    ) -> Option<&'c ClockDef> {
         for _ in 0..10_000 {
             if let Some(c) = port_clock.get(&net) {
                 return Some(c);
@@ -184,131 +296,342 @@ impl<'a> Sta<'a> {
         None
     }
 
-    /// Run the analysis.
+    /// The IO reference latency: after CTS, the mean insertion latency
+    /// shifts both the launch (external) and capture (internal) clocks,
+    /// so it is added to input arrivals — otherwise every IO-to-flop
+    /// path shows a bogus hold violation equal to the insertion delay.
+    ///
+    /// Summed in instance-id order so the floating-point result is
+    /// reproducible regardless of the `HashMap`'s internal layout (an
+    /// incremental update must re-derive the exact same value).
+    pub(crate) fn io_reference_ns(&self) -> f64 {
+        if self.clock_latency_ns.is_empty() {
+            return 0.0;
+        }
+        let mut ids: Vec<InstanceId> = self.clock_latency_ns.keys().copied().collect();
+        ids.sort_unstable();
+        ids.iter().map(|id| self.clock_latency_ns[id]).sum::<f64>()
+            / self.clock_latency_ns.len() as f64
+    }
+
+    /// Nets bound to declared clock ports (not data launch points).
+    pub(crate) fn clock_port_nets(&self) -> Vec<NetId> {
+        self.constraints
+            .clocks
+            .iter()
+            .filter_map(|c| self.nl.find_port(&c.port).map(|p| self.nl.port(p).net))
+            .collect()
+    }
+
+    /// Resolve the capture-clock period of every flip-flop.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::NoClock`] / [`StaError::UnclockedFlop`].
+    pub(crate) fn flop_clock_map(&self) -> Result<HashMap<InstanceId, f64>, StaError> {
+        let has_flops = self.nl.flops().next().is_some();
+        if has_flops && self.constraints.clocks.is_empty() {
+            return Err(StaError::NoClock);
+        }
+        let port_clock = self.port_clock_map();
+        let mut flop_clock = HashMap::new();
+        for (id, inst) in self.nl.flops() {
+            let clk_net = inst
+                .clock
+                .ok_or_else(|| StaError::UnclockedFlop(inst.name.clone()))?;
+            let clock = self
+                .trace_clock_with(&port_clock, clk_net)
+                .ok_or_else(|| StaError::UnclockedFlop(inst.name.clone()))?;
+            flop_clock.insert(id, clock.period_ns);
+        }
+        Ok(flop_clock)
+    }
+
+    /// Re-seed the launch-point state of `net` from its driver. Nets
+    /// that are not timing startpoints (gate outputs, clock ports,
+    /// latch outputs, undriven nets) are reset to the untimed state.
+    ///
+    /// Exactly mirrors the seeding loop in [`Sta::annotate`] so an
+    /// incremental re-seed is bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn seed_net(
+        &self,
+        net: NetId,
+        clock_ports: &[NetId],
+        io_reference_ns: f64,
+        at_max: &mut [f64],
+        at_min: &mut [f64],
+        pred: &mut [Option<(InstanceId, NetId)>],
+        start_label: &mut [Option<String>],
+    ) {
+        let i = net.index();
+        at_max[i] = NEG;
+        at_min[i] = POS;
+        pred[i] = None;
+        start_label[i] = None;
+        match self.nl.net(net).driver {
+            Some(NetDriver::Port(p)) => {
+                if clock_ports.contains(&net) {
+                    return; // the clock itself is not a data launch
+                }
+                let port = self.nl.port(p);
+                let d = self.constraints.input_delay(&port.name) + io_reference_ns;
+                at_max[i] = d;
+                at_min[i] = d;
+                start_label[i] = Some(format!("input port {}", port.name));
+            }
+            Some(NetDriver::Instance(id)) => {
+                let inst = self.nl.instance(id);
+                if !inst.function().is_flop() {
+                    return; // combinational/latch outputs are not seeds
+                }
+                let lat = *self.clock_latency_ns.get(&id).unwrap_or(&0.0);
+                at_max[i] = lat + self.tech.clk_to_q_ns * self.corner.late;
+                at_min[i] = lat + self.tech.clk_to_q_ns * self.corner.early;
+                start_label[i] = Some(format!("flop {}/CK", inst.name));
+            }
+            Some(NetDriver::Macro(m, _)) => {
+                // memories launch later than flops: 2× clk-to-Q access
+                let name = &self.nl.macro_inst(m).name;
+                at_max[i] = io_reference_ns + 2.0 * self.tech.clk_to_q_ns * self.corner.late;
+                at_min[i] = io_reference_ns + 2.0 * self.tech.clk_to_q_ns * self.corner.early;
+                start_label[i] = Some(format!("macro {name}/CK"));
+            }
+            None => {}
+        }
+    }
+
+    /// Evaluate one combinational gate: recompute the max/min arrival
+    /// and critical predecessor of its output net from its inputs.
+    /// Returns `false` (no evaluation) for tie cells.
+    pub(crate) fn eval_forward(
+        &self,
+        id: InstanceId,
+        fanout: &[usize],
+        at_max: &mut [f64],
+        at_min: &mut [f64],
+        pred: &mut [Option<(InstanceId, NetId)>],
+    ) -> bool {
+        let inst = self.nl.instance(id);
+        if inst.function().is_tie() {
+            return false; // constants do not launch timing
+        }
+        let out = inst.output;
+        let o = out.index();
+        at_max[o] = NEG;
+        at_min[o] = POS;
+        pred[o] = None;
+        let cell_late = self.late_delay(id, fanout[o]);
+        let cell_early = self.early_delay(id, fanout[o]);
+        let mut best_max = NEG;
+        let mut best_net = None;
+        let mut best_min = POS;
+        for &i in &inst.inputs {
+            if at_max[i.index()] > best_max {
+                best_max = at_max[i.index()];
+                best_net = Some(i);
+            }
+            best_min = best_min.min(at_min[i.index()]);
+        }
+        if best_max > NEG {
+            let v = best_max + cell_late;
+            if v > at_max[o] {
+                at_max[o] = v;
+                pred[o] = Some((id, best_net.expect("max input")));
+            }
+        }
+        if best_min < POS {
+            at_min[o] = at_min[o].min(best_min + cell_early);
+        }
+        true
+    }
+
+    /// Setup required time imposed directly at each net by the
+    /// endpoints that read it (flop data pins, macro inputs, output
+    /// ports); `+inf` where a net feeds no endpoint.
+    pub(crate) fn endpoint_required(
+        &self,
+        flop_clock: &HashMap<InstanceId, f64>,
+        default_period: f64,
+    ) -> Vec<f64> {
+        let mut req = vec![POS; self.nl.num_nets()];
+        for (id, inst) in self.nl.flops() {
+            let period = flop_clock.get(&id).copied().unwrap_or(default_period);
+            let lat = *self.clock_latency_ns.get(&id).unwrap_or(&0.0);
+            let required = period + lat - self.tech.setup_ns;
+            for &net in &inst.inputs {
+                let i = net.index();
+                req[i] = req[i].min(required);
+            }
+        }
+        for (_, m) in self.nl.macros() {
+            let required = default_period - 2.0 * self.tech.setup_ns;
+            for &net in &m.inputs {
+                let i = net.index();
+                req[i] = req[i].min(required);
+            }
+        }
+        for (_, p) in self.nl.output_ports() {
+            let required = default_period - self.constraints.output_delay(&p.name);
+            let i = p.net.index();
+            req[i] = req[i].min(required);
+        }
+        req
+    }
+
+    /// Recompute the setup required time of `net`: the minimum of its
+    /// direct endpoint constraint and, for each combinational reader,
+    /// the reader's output required time minus the reader's stage
+    /// delay. Readers are folded in fanout-map order so the result is
+    /// bit-reproducible regardless of which cone triggered the
+    /// recomputation.
+    pub(crate) fn eval_required(
+        &self,
+        net: NetId,
+        fanout_map: &[Vec<(InstanceId, usize)>],
+        fanout: &[usize],
+        endpoint_req: &[f64],
+        req_max: &[f64],
+    ) -> f64 {
+        let mut req = endpoint_req[net.index()];
+        for &(reader, pin) in &fanout_map[net.index()] {
+            if pin == usize::MAX {
+                continue; // clock pin
+            }
+            let inst = self.nl.instance(reader);
+            if inst.function().is_sequential() || inst.function().is_tie() {
+                continue; // flop data pins are endpoints, not propagation
+            }
+            let out = inst.output.index();
+            if req_max[out] == POS {
+                continue;
+            }
+            req = req.min(req_max[out] - self.late_delay(reader, fanout[out]));
+        }
+        req
+    }
+
+    /// Run the full annotation pass: levelize, seed launch points,
+    /// propagate arrivals forward and setup required times backward.
     ///
     /// # Errors
     ///
     /// [`StaError::NoClock`] for sequential designs without clocks,
     /// [`StaError::UnclockedFlop`] for unreachable clock pins,
     /// [`StaError::CombinationalCycle`] for loops.
-    pub fn analyze(&self) -> Result<TimingReport, StaError> {
+    pub fn annotate(&self) -> Result<Annotation, StaError> {
         let order = self.nl.combinational_topo_order().map_err(|e| match e {
             NetlistError::CombinationalCycle { net } => StaError::CombinationalCycle(net),
             other => StaError::CombinationalCycle(other.to_string()),
         })?;
         let fanout = self.nl.fanout_counts();
-
-        let has_flops = self.nl.flops().next().is_some();
-        if has_flops && self.constraints.clocks.is_empty() {
-            return Err(StaError::NoClock);
-        }
-
-        // Flop → clock mapping.
-        let mut flop_clock: HashMap<InstanceId, f64> = HashMap::new();
-        for (id, inst) in self.nl.flops() {
-            let clk_net = inst
-                .clock
-                .ok_or_else(|| StaError::UnclockedFlop(inst.name.clone()))?;
-            let clock = self
-                .trace_clock(clk_net)
-                .ok_or_else(|| StaError::UnclockedFlop(inst.name.clone()))?;
-            flop_clock.insert(id, clock.period_ns);
-        }
+        let flop_clock = self.flop_clock_map()?;
         let default_period = self
             .constraints
             .fastest_clock()
             .map(|c| c.period_ns)
-            .unwrap_or(f64::INFINITY);
+            .unwrap_or(POS);
 
-        const NEG: f64 = f64::NEG_INFINITY;
-        const POS: f64 = f64::INFINITY;
         let n = self.nl.num_nets();
         let mut at_max = vec![NEG; n];
         let mut at_min = vec![POS; n];
-        // predecessor for backtrace: (instance driving the net, input net
-        // that dominated the max arrival)
         let mut pred: Vec<Option<(InstanceId, NetId)>> = vec![None; n];
         let mut start_label: Vec<Option<String>> = vec![None; n];
 
-        // Launch points. IO arrivals are referenced to the clock as seen
-        // on chip: after CTS, the mean insertion latency shifts both the
-        // launch (external) and capture (internal) clocks, so it is added
-        // to input arrivals — otherwise every IO-to-flop path shows a
-        // bogus hold violation equal to the insertion delay.
-        let io_reference_ns = if self.clock_latency_ns.is_empty() {
-            0.0
-        } else {
-            self.clock_latency_ns.values().sum::<f64>() / self.clock_latency_ns.len() as f64
-        };
-        let clock_ports: Vec<NetId> = self
-            .constraints
-            .clocks
-            .iter()
-            .filter_map(|c| self.nl.find_port(&c.port).map(|p| self.nl.port(p).net))
-            .collect();
+        // Launch points.
+        let io_reference_ns = self.io_reference_ns();
+        let clock_ports = self.clock_port_nets();
         for (_, port) in self.nl.input_ports() {
-            if clock_ports.contains(&port.net) {
-                continue; // the clock itself is not a data launch
-            }
-            let d = self.constraints.input_delay(&port.name) + io_reference_ns;
-            at_max[port.net.index()] = d;
-            at_min[port.net.index()] = d;
-            start_label[port.net.index()] = Some(format!("input port {}", port.name));
+            self.seed_net(
+                port.net,
+                &clock_ports,
+                io_reference_ns,
+                &mut at_max,
+                &mut at_min,
+                &mut pred,
+                &mut start_label,
+            );
         }
-        for (id, inst) in self.nl.flops() {
-            let lat = *self.clock_latency_ns.get(&id).unwrap_or(&0.0);
-            let q = inst.output.index();
-            at_max[q] = lat + self.tech.clk_to_q_ns * self.corner.late;
-            at_min[q] = lat + self.tech.clk_to_q_ns * self.corner.early;
-            start_label[q] = Some(format!("flop {}/CK", inst.name));
+        for (id, _) in self.nl.flops() {
+            let q = self.nl.instance(id).output;
+            self.seed_net(
+                q,
+                &clock_ports,
+                io_reference_ns,
+                &mut at_max,
+                &mut at_min,
+                &mut pred,
+                &mut start_label,
+            );
         }
         for (_, m) in self.nl.macros() {
             for &out in &m.outputs {
-                // memories launch later than flops: 2× clk-to-Q access
-                at_max[out.index()] =
-                    io_reference_ns + 2.0 * self.tech.clk_to_q_ns * self.corner.late;
-                at_min[out.index()] =
-                    io_reference_ns + 2.0 * self.tech.clk_to_q_ns * self.corner.early;
-                start_label[out.index()] = Some(format!("macro {}/CK", m.name));
+                self.seed_net(
+                    out,
+                    &clock_ports,
+                    io_reference_ns,
+                    &mut at_max,
+                    &mut at_min,
+                    &mut pred,
+                    &mut start_label,
+                );
             }
         }
 
-        // Propagate through combinational gates.
-        for id in order {
-            let inst = self.nl.instance(id);
-            if inst.function().is_tie() {
-                continue; // constants do not launch timing
-            }
-            let out = inst.output;
-            let cell_late = self.tech.cell_delay_ns(inst.cell, fanout[out.index()])
-                * self.corner.late
-                + self.wire_delay(out, fanout[out.index()]) * self.corner.late;
-            let cell_early = self.tech.cell_delay_ns(inst.cell, fanout[out.index()])
-                * self.corner.early
-                + self.wire_delay(out, fanout[out.index()]) * self.corner.early;
-            let mut best_max = NEG;
-            let mut best_net = None;
-            let mut best_min = POS;
-            for &i in &inst.inputs {
-                if at_max[i.index()] > best_max {
-                    best_max = at_max[i.index()];
-                    best_net = Some(i);
-                }
-                best_min = best_min.min(at_min[i.index()]);
-            }
-            if best_max > NEG {
-                let v = best_max + cell_late;
-                if v > at_max[out.index()] {
-                    at_max[out.index()] = v;
-                    pred[out.index()] = Some((id, best_net.expect("max input")));
-                }
-            }
-            if best_min < POS {
-                at_min[out.index()] = at_min[out.index()].min(best_min + cell_early);
+        // Forward: propagate arrivals through combinational gates.
+        let mut evaluated = 0usize;
+        for &id in &order {
+            if self.eval_forward(id, &fanout, &mut at_max, &mut at_min, &mut pred) {
+                evaluated += 1;
             }
         }
 
-        // Checks.
+        // Backward: propagate setup required times against the same
+        // levelization. A gate's output is finalized before its input
+        // drivers are visited, so each net is evaluated exactly once.
+        let fanout_map = self.nl.fanout_map();
+        let endpoint_req = self.endpoint_required(&flop_clock, default_period);
+        let mut req_max = vec![POS; n];
+        let mut req_done = vec![false; n];
+        for &id in order.iter().rev() {
+            let out = self.nl.instance(id).output;
+            req_max[out.index()] =
+                self.eval_required(out, &fanout_map, &fanout, &endpoint_req, &req_max);
+            req_done[out.index()] = true;
+            evaluated += 1;
+        }
+        for i in 0..n {
+            if !req_done[i] {
+                let net = NetId(i as u32);
+                req_max[i] =
+                    self.eval_required(net, &fanout_map, &fanout, &endpoint_req, &req_max);
+                evaluated += 1;
+            }
+        }
+
+        Ok(Annotation {
+            at_max,
+            at_min,
+            req_max,
+            pred,
+            start_label,
+            order,
+            flop_clock,
+            default_period,
+            evaluated,
+        })
+    }
+
+    /// Summarize an annotation into a [`TimingReport`]: walk every
+    /// endpoint, accumulate setup/hold WNS/TNS, and backtrace the
+    /// critical path. Pure bookkeeping — no delay model evaluation —
+    /// and deterministic in endpoint order, so full and incremental
+    /// annotations summarize bit-identically.
+    pub fn report_from(&self, ann: &Annotation) -> TimingReport {
+        let at_max = &ann.at_max;
+        let at_min = &ann.at_min;
+        let default_period = ann.default_period;
+
         let mut setup = CheckSummary { wns_ns: POS, tns_ns: 0.0, violations: 0, endpoints: 0 };
         let mut hold = CheckSummary { wns_ns: POS, tns_ns: 0.0, violations: 0, endpoints: 0 };
         let mut worst: Option<(f64, NetId, String, f64)> = None; // slack, net, endpoint, required
@@ -334,7 +657,7 @@ impl<'a> Sta<'a> {
 
         // Flop data pins.
         for (id, inst) in self.nl.flops() {
-            let period = flop_clock.get(&id).copied().unwrap_or(default_period);
+            let period = ann.flop_clock.get(&id).copied().unwrap_or(default_period);
             let lat = *self.clock_latency_ns.get(&id).unwrap_or(&0.0);
             for (pin, &net) in inst.inputs.iter().enumerate() {
                 let required = period + lat - self.tech.setup_ns;
@@ -382,7 +705,6 @@ impl<'a> Sta<'a> {
                     hold.tns_ns += slack;
                     hold_violations.push((self.nl.net(net).name.clone(), slack));
                 }
-                let _ = id;
             }
         }
         hold_violations
@@ -399,7 +721,7 @@ impl<'a> Sta<'a> {
 
         // Critical path backtrace.
         let critical_path = worst.map(|(slack, net, endpoint, required)| {
-            self.backtrace(net, endpoint, slack, required, &at_max, &pred, &start_label, &fanout)
+            self.backtrace(net, endpoint, slack, required, at_max, &ann.pred, &ann.start_label)
         });
         let critical_levels = critical_path.as_ref().map_or(0, |p| p.levels());
 
@@ -414,7 +736,7 @@ impl<'a> Sta<'a> {
             POS
         };
 
-        Ok(TimingReport {
+        TimingReport {
             setup,
             hold,
             hold_violations,
@@ -422,7 +744,19 @@ impl<'a> Sta<'a> {
             fmax_mhz,
             corner_name: self.corner.name,
             critical_levels,
-        })
+        }
+    }
+
+    /// Run the analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::NoClock`] for sequential designs without clocks,
+    /// [`StaError::UnclockedFlop`] for unreachable clock pins,
+    /// [`StaError::CombinationalCycle`] for loops.
+    pub fn analyze(&self) -> Result<TimingReport, StaError> {
+        let ann = self.annotate()?;
+        Ok(self.report_from(&ann))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -435,7 +769,6 @@ impl<'a> Sta<'a> {
         at_max: &[f64],
         pred: &[Option<(InstanceId, NetId)>],
         start_label: &[Option<String>],
-        _fanout: &[usize],
     ) -> TimingPath {
         let mut rev: Vec<PathStep> = Vec::new();
         let mut net = endpoint_net;
@@ -672,5 +1005,50 @@ mod tests {
         // endpoints include the ram input pin and the flop D pins
         assert!(r.setup.endpoints >= 3);
         assert!(r.setup.clean());
+    }
+
+    #[test]
+    fn annotation_exposes_per_net_slack() {
+        let nl = inv_pipeline(10);
+        let t = tech();
+        let sta = Sta::new(&nl, &t, Constraints::single_clock("clk", 7.5));
+        let ann = sta.annotate().unwrap();
+        let report = sta.report_from(&ann);
+        // the critical path endpoint's per-net slack matches the report
+        let path = report.critical_path.as_ref().unwrap();
+        let end_net = nl.find_net(&path.steps.last().unwrap().net).unwrap();
+        let slack = ann.setup_slack(end_net).unwrap();
+        assert!(
+            (slack - path.slack_ns).abs() < 1e-12,
+            "per-net slack {slack} vs path {}",
+            path.slack_ns
+        );
+        // topo order covers the whole chain, front to back
+        assert_eq!(ann.topo_order().len(), 10);
+        // arrivals increase and required times increase walking the chain
+        let ats: Vec<f64> = ann
+            .topo_order()
+            .iter()
+            .map(|&id| ann.arrival_max(nl.instance(id).output).unwrap())
+            .collect();
+        assert!(ats.windows(2).all(|w| w[1] > w[0]), "{ats:?}");
+        let reqs: Vec<f64> = ann
+            .topo_order()
+            .iter()
+            .map(|&id| ann.required_max(nl.instance(id).output).unwrap())
+            .collect();
+        assert!(reqs.windows(2).all(|w| w[1] > w[0]), "{reqs:?}");
+        // evaluations: 10 forward + one required eval per net
+        assert_eq!(ann.evaluated(), 10 + nl.num_nets());
+    }
+
+    #[test]
+    fn analyze_equals_annotate_plus_report() {
+        let nl = generate::fsm(8, 4, 4, 7);
+        let t = tech();
+        let sta = Sta::new(&nl, &t, Constraints::single_clock("clk", 7.5));
+        let direct = sta.analyze().unwrap();
+        let ann = sta.annotate().unwrap();
+        assert_eq!(direct, sta.report_from(&ann));
     }
 }

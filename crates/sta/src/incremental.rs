@@ -1,0 +1,656 @@
+//! Incremental timing update for ECO loops.
+//!
+//! A full [`Sta::analyze`](crate::Sta::analyze) walks every gate of the
+//! netlist. After a localized ECO edit — a rewire, a buffer insertion,
+//! a resize — almost all of that work reproduces numbers that cannot
+//! have moved: arrivals only change in the *forward fanout cone* of the
+//! edit frontier, and required times only change in the *backward fanin
+//! cone*. [`IncrementalSta`] keeps the levelized [`Annotation`] from a
+//! baseline analysis alive, takes the [`EditDelta`] an
+//! [`EcoSession`](camsoc_netlist::eco::EcoSession) accumulates, and
+//! re-evaluates only those two cones.
+//!
+//! The update is **bit-identical** to a from-scratch analysis: it reuses
+//! the exact per-gate evaluation routines of the full pass, re-seeds
+//! launch points through the same code path, folds fanout lists in the
+//! same order, and re-derives order-sensitive scalars (like the IO
+//! reference latency) deterministically. `TimingReport` equality —
+//! including WNS/TNS floats and critical-path backtraces — is asserted
+//! across the whole 29-change paper ECO history in
+//! `tests/sta_incremental.rs`.
+//!
+//! When an edit's cones grow past a configurable fraction of the graph
+//! (default 0.75), the engine falls back to a full re-annotation — at
+//! that size the cone bookkeeping costs more than it saves.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use camsoc_netlist::eco::EditDelta;
+use camsoc_netlist::graph::{InstanceId, NetDriver, NetId, Netlist};
+use camsoc_netlist::tech::Technology;
+
+use crate::analysis::{Annotation, Sta, StaError, TimingReport, NEG, POS};
+use crate::constraints::Constraints;
+use crate::derate::Corner;
+
+/// Cost accounting for one [`IncrementalSta::update`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateStats {
+    /// Graph evaluations this update performed (forward gate
+    /// evaluations plus backward required-time evaluations).
+    pub evaluated: usize,
+    /// Evaluations a from-scratch [`Sta::annotate`](crate::Sta) of the
+    /// current netlist would perform.
+    pub full_evaluated: usize,
+    /// `evaluated / full_evaluated` — the dirty-cone fraction.
+    pub cone_fraction: f64,
+    /// True when the cone exceeded the threshold and the engine fell
+    /// back to a full re-annotation.
+    pub used_full: bool,
+}
+
+/// Incremental timing engine: a baseline annotation plus the machinery
+/// to patch it after netlist edits.
+///
+/// Build one from a configured analyzer via
+/// [`Sta::into_incremental`], then call [`IncrementalSta::update`]
+/// with the netlist's current state and the accumulated edit delta
+/// after each ECO.
+///
+/// # Example
+///
+/// ```
+/// use camsoc_netlist::builder::NetlistBuilder;
+/// use camsoc_netlist::cell::CellFunction;
+/// use camsoc_netlist::eco::EcoSession;
+/// use camsoc_netlist::tech::Technology;
+/// use camsoc_sta::{Constraints, IncrementalSta, Sta};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("d");
+/// let clk = b.input("clk");
+/// let din = b.input("din");
+/// let mut net = b.dff("u_src", din, clk);
+/// for _ in 0..8 {
+///     net = b.gate_auto(CellFunction::Inv, &[net]);
+/// }
+/// let q = b.dff("u_dst", net, clk);
+/// b.output("dout", q);
+///
+/// let tech = Technology::default();
+/// let constraints = Constraints::single_clock("clk", 7.5);
+/// let mut eco = EcoSession::new(b.finish());
+///
+/// // Baseline: one full analysis, annotation kept alive.
+/// let sta = Sta::new(eco.netlist(), &tech, constraints.clone());
+/// let (mut inc, baseline) = sta.into_incremental()?;
+///
+/// // Edit: upsize one inverter, then patch the timing.
+/// let victim = inc.annotation().topo_order()[4];
+/// eco.upsize(victim)?;
+/// let delta = eco.take_delta();
+/// let report = inc.update(eco.netlist(), &tech, &delta)?;
+///
+/// // Bit-identical to a from-scratch analysis, at a fraction of the work.
+/// let full = Sta::new(eco.netlist(), &tech, constraints).analyze()?;
+/// assert_eq!(report, full);
+/// assert!(inc.stats().evaluated < inc.stats().full_evaluated);
+/// assert!(report.fmax_mhz >= baseline.fmax_mhz);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct IncrementalSta {
+    constraints: Constraints,
+    corner: Corner,
+    clock_latency_ns: HashMap<InstanceId, f64>,
+    wire_delays_ns: Option<Vec<f64>>,
+    max_cone_fraction: f64,
+    ann: Annotation,
+    fanout_counts: Vec<usize>,
+    endpoint_req: Vec<f64>,
+    num_instances: usize,
+    /// Nets whose wire delay changed via [`IncrementalSta::set_wire_delays`],
+    /// pending the next update.
+    pending_dirty_nets: BTreeSet<NetId>,
+    stats: UpdateStats,
+}
+
+impl<'a> Sta<'a> {
+    /// Run the baseline analysis and keep the annotation alive for
+    /// incremental updates. Consumes the analyzer (the engine carries
+    /// owned copies of its configuration so it outlives the netlist
+    /// borrow); returns the engine together with the baseline report.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sta::analyze`].
+    pub fn into_incremental(self) -> Result<(IncrementalSta, TimingReport), StaError> {
+        let ann = self.annotate()?;
+        let report = self.report_from(&ann);
+        let endpoint_req = self.endpoint_required(&ann.flop_clock, ann.default_period);
+        let full = ann.evaluated();
+        let inc = IncrementalSta {
+            constraints: self.constraints.clone(),
+            corner: self.corner,
+            clock_latency_ns: self.clock_latency_ns.clone(),
+            wire_delays_ns: self.wire_delays_ns.clone(),
+            max_cone_fraction: 0.75,
+            ann,
+            fanout_counts: self.nl.fanout_counts(),
+            endpoint_req,
+            num_instances: self.nl.num_instances(),
+            pending_dirty_nets: BTreeSet::new(),
+            stats: UpdateStats {
+                evaluated: full,
+                full_evaluated: full,
+                cone_fraction: 1.0,
+                used_full: true,
+            },
+        };
+        Ok((inc, report))
+    }
+}
+
+impl IncrementalSta {
+    /// Set the cone fraction above which an update falls back to a full
+    /// re-annotation (default 0.75). `1.0` disables the fallback.
+    pub fn with_max_cone_fraction(mut self, fraction: f64) -> Self {
+        self.max_cone_fraction = fraction;
+        self
+    }
+
+    /// The live annotation (current arrivals/required times).
+    pub fn annotation(&self) -> &Annotation {
+        &self.ann
+    }
+
+    /// Cost accounting for the most recent update (the baseline counts
+    /// as a full evaluation).
+    pub fn stats(&self) -> &UpdateStats {
+        &self.stats
+    }
+
+    /// Replace the extracted wire delays (e.g. after re-routing new ECO
+    /// nets). Nets whose delay changed are marked dirty and re-timed on
+    /// the next [`IncrementalSta::update`]. The vector must cover every
+    /// net of the netlist passed to that update.
+    pub fn set_wire_delays(&mut self, delays_ns: Vec<f64>) {
+        if let Some(old) = &self.wire_delays_ns {
+            let common = old.len().min(delays_ns.len());
+            for i in 0..common {
+                if old[i] != delays_ns[i] {
+                    self.pending_dirty_nets.insert(NetId(i as u32));
+                }
+            }
+            // nets beyond either length are new — the delta covers them
+        } else {
+            // switching from estimated to extracted wires re-times everything
+            for i in 0..delays_ns.len() {
+                self.pending_dirty_nets.insert(NetId(i as u32));
+            }
+        }
+        self.wire_delays_ns = Some(delays_ns);
+    }
+
+    /// Patch the annotation after netlist edits and return the timing
+    /// report — bit-identical to `Sta::analyze` on the same netlist.
+    ///
+    /// `delta` is the touched-net/instance set from
+    /// [`EcoSession::take_delta`](camsoc_netlist::eco::EcoSession::take_delta)
+    /// (plus anything queued by [`IncrementalSta::set_wire_delays`]).
+    /// Arrivals are recomputed over the forward fanout cone of the
+    /// frontier, required times over the backward fanin cone; if the
+    /// combined cone exceeds the configured fraction of the graph the
+    /// engine runs a full re-annotation instead.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sta::analyze`] (the edit may have introduced a
+    /// combinational cycle or an unclocked flop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if extracted wire delays are in use and their length does
+    /// not match the netlist — call
+    /// [`IncrementalSta::set_wire_delays`] first when nets were added.
+    pub fn update(
+        &mut self,
+        nl: &Netlist,
+        tech: &Technology,
+        delta: &EditDelta,
+    ) -> Result<TimingReport, StaError> {
+        if let Some(w) = &self.wire_delays_ns {
+            assert_eq!(w.len(), nl.num_nets(), "wire delay vector length");
+        }
+        let sta = Sta {
+            nl,
+            tech,
+            constraints: self.constraints.clone(),
+            corner: self.corner,
+            wire_delays_ns: self.wire_delays_ns.clone(),
+            clock_latency_ns: self.clock_latency_ns.clone(),
+        };
+
+        let n = nl.num_nets();
+        let old_n = self.ann.at_max.len();
+        self.ann.at_max.resize(n, NEG);
+        self.ann.at_min.resize(n, POS);
+        self.ann.req_max.resize(n, POS);
+        self.ann.pred.resize(n, None);
+        self.ann.start_label.resize(n, None);
+
+        // Re-derive clocking: edits can add flops or retarget clock pins.
+        self.ann.flop_clock = sta.flop_clock_map()?;
+        // Re-levelize: appended gates may precede existing readers, and
+        // the edit may have closed a combinational loop. Integer-only
+        // bookkeeping — not counted as timing evaluation.
+        self.ann.order = nl.combinational_topo_order().map_err(|e| match e {
+            camsoc_netlist::NetlistError::CombinationalCycle { net } => {
+                StaError::CombinationalCycle(net)
+            }
+            other => StaError::CombinationalCycle(other.to_string()),
+        })?;
+
+        let new_fanout = nl.fanout_counts();
+        let fanout_map = nl.fanout_map();
+        let new_endpoint_req = sta.endpoint_required(&self.ann.flop_clock, self.ann.default_period);
+
+        // ---- Collect the edit frontier -------------------------------
+        let mut dirty_gates: BTreeSet<InstanceId> = BTreeSet::new();
+        let mut reseed_nets: BTreeSet<NetId> = BTreeSet::new();
+        let mut bseeds: BTreeSet<NetId> = BTreeSet::new();
+
+        let classify_net = |net: NetId,
+                                dirty_gates: &mut BTreeSet<InstanceId>,
+                                reseed_nets: &mut BTreeSet<NetId>| {
+            match nl.net(net).driver {
+                Some(NetDriver::Instance(id)) if !nl.instance(id).function().is_sequential() => {
+                    dirty_gates.insert(id);
+                }
+                _ => {
+                    // launch points (ports, flops, macros), latch
+                    // outputs and undriven nets are re-seeded
+                    reseed_nets.insert(net);
+                }
+            }
+        };
+
+        // Edited instances: combinational gates re-evaluate; sequential
+        // outputs re-seed.
+        for &id in &delta.instances {
+            let inst = nl.instance(id);
+            if inst.function().is_sequential() {
+                reseed_nets.insert(inst.output);
+            } else {
+                dirty_gates.insert(id);
+            }
+        }
+        // Edited nets and wire-delay changes: dirty the driver.
+        for &net in delta.nets.iter().chain(self.pending_dirty_nets.iter()) {
+            if net.index() >= n {
+                continue; // defensive: stale id from a dropped edit
+            }
+            classify_net(net, &mut dirty_gates, &mut reseed_nets);
+            bseeds.insert(net);
+        }
+        self.pending_dirty_nets.clear();
+        // Fanout-count diffs catch indirect load changes (cell delay and
+        // estimated wire delay both scale with fanout).
+        for (i, &count) in new_fanout.iter().enumerate() {
+            let old = if i < old_n { self.fanout_counts[i] } else { usize::MAX };
+            if count != old {
+                let net = NetId(i as u32);
+                classify_net(net, &mut dirty_gates, &mut reseed_nets);
+                bseeds.insert(net);
+            }
+        }
+        // Direct endpoint-constraint changes (new flop D pins, retimed
+        // capture clocks) seed the backward pass.
+        for (i, &req) in new_endpoint_req.iter().enumerate() {
+            let old = if i < old_n { self.endpoint_req[i] } else { POS };
+            if req != old {
+                bseeds.insert(NetId(i as u32));
+            }
+        }
+        // A gate with a changed delay shifts the required time of its
+        // input nets.
+        for &id in &dirty_gates {
+            bseeds.extend(nl.instance(id).inputs.iter().copied());
+        }
+        bseeds.extend(reseed_nets.iter().copied());
+
+        // ---- Forward cone: gates whose arrival can move --------------
+        let num_inst = nl.num_instances();
+        let mut in_fcone = vec![false; num_inst];
+        let mut queue: VecDeque<InstanceId> = VecDeque::new();
+        for &id in &dirty_gates {
+            if !in_fcone[id.index()] {
+                in_fcone[id.index()] = true;
+                queue.push_back(id);
+            }
+        }
+        let enqueue_readers =
+            |net: NetId, in_fcone: &mut Vec<bool>, queue: &mut VecDeque<InstanceId>| {
+                for &(reader, pin) in &fanout_map[net.index()] {
+                    if pin == usize::MAX {
+                        continue; // clock pin: launch times don't follow data
+                    }
+                    if nl.instance(reader).function().is_sequential() {
+                        continue; // D-pin arrival doesn't move the Q launch
+                    }
+                    if !in_fcone[reader.index()] {
+                        in_fcone[reader.index()] = true;
+                        queue.push_back(reader);
+                    }
+                }
+            };
+        for &net in &reseed_nets {
+            enqueue_readers(net, &mut in_fcone, &mut queue);
+        }
+        while let Some(id) = queue.pop_front() {
+            enqueue_readers(nl.instance(id).output, &mut in_fcone, &mut queue);
+        }
+
+        // ---- Backward cone: nets whose required time can move --------
+        let mut in_bcone = vec![false; n];
+        let mut bqueue: VecDeque<NetId> = VecDeque::new();
+        for &net in &bseeds {
+            if !in_bcone[net.index()] {
+                in_bcone[net.index()] = true;
+                bqueue.push_back(net);
+            }
+        }
+        while let Some(net) = bqueue.pop_front() {
+            if let Some(NetDriver::Instance(id)) = nl.net(net).driver {
+                let inst = nl.instance(id);
+                if inst.function().is_sequential() {
+                    continue; // required times stop at launch points
+                }
+                for &input in &inst.inputs {
+                    if !in_bcone[input.index()] {
+                        in_bcone[input.index()] = true;
+                        bqueue.push_back(input);
+                    }
+                }
+            }
+        }
+
+        // ---- Fallback decision ---------------------------------------
+        let fwd_evals = self
+            .ann
+            .order
+            .iter()
+            .filter(|id| in_fcone[id.index()] && !nl.instance(**id).function().is_tie())
+            .count();
+        let bwd_evals = in_bcone.iter().filter(|&&b| b).count();
+        let full_fwd = self
+            .ann
+            .order
+            .iter()
+            .filter(|id| !nl.instance(**id).function().is_tie())
+            .count();
+        let full_evaluated = full_fwd + n;
+        let evaluated = fwd_evals + bwd_evals;
+        let cone_fraction = if full_evaluated > 0 {
+            evaluated as f64 / full_evaluated as f64
+        } else {
+            0.0
+        };
+
+        if cone_fraction > self.max_cone_fraction {
+            let ann = sta.annotate()?;
+            let report = sta.report_from(&ann);
+            self.endpoint_req = new_endpoint_req;
+            self.fanout_counts = new_fanout;
+            self.num_instances = num_inst;
+            self.ann = ann;
+            self.stats = UpdateStats {
+                evaluated: self.ann.evaluated(),
+                full_evaluated,
+                cone_fraction,
+                used_full: true,
+            };
+            return Ok(report);
+        }
+
+        // ---- Re-seed launch points -----------------------------------
+        let io_reference_ns = sta.io_reference_ns();
+        let clock_ports = sta.clock_port_nets();
+        for &net in &reseed_nets {
+            sta.seed_net(
+                net,
+                &clock_ports,
+                io_reference_ns,
+                &mut self.ann.at_max,
+                &mut self.ann.at_min,
+                &mut self.ann.pred,
+                &mut self.ann.start_label,
+            );
+        }
+
+        // ---- Forward: re-evaluate the fanout cone in level order -----
+        for i in 0..self.ann.order.len() {
+            let id = self.ann.order[i];
+            if in_fcone[id.index()] {
+                sta.eval_forward(
+                    id,
+                    &new_fanout,
+                    &mut self.ann.at_max,
+                    &mut self.ann.at_min,
+                    &mut self.ann.pred,
+                );
+            }
+        }
+
+        // ---- Backward: re-evaluate the fanin cone against the level
+        // order, mirroring the full pass (gate outputs in reverse topo
+        // order, then source nets in index order) ----------------------
+        let mut gate_output = vec![false; n];
+        for &id in &self.ann.order {
+            gate_output[nl.instance(id).output.index()] = true;
+        }
+        for i in (0..self.ann.order.len()).rev() {
+            let out = nl.instance(self.ann.order[i]).output;
+            if in_bcone[out.index()] {
+                self.ann.req_max[out.index()] = sta.eval_required(
+                    out,
+                    &fanout_map,
+                    &new_fanout,
+                    &new_endpoint_req,
+                    &self.ann.req_max,
+                );
+            }
+        }
+        for i in 0..n {
+            if in_bcone[i] && !gate_output[i] {
+                let net = NetId(i as u32);
+                self.ann.req_max[i] = sta.eval_required(
+                    net,
+                    &fanout_map,
+                    &new_fanout,
+                    &new_endpoint_req,
+                    &self.ann.req_max,
+                );
+            }
+        }
+
+        self.ann.evaluated = evaluated;
+        self.endpoint_req = new_endpoint_req;
+        self.fanout_counts = new_fanout;
+        self.num_instances = num_inst;
+        self.stats = UpdateStats { evaluated, full_evaluated, cone_fraction, used_full: false };
+        Ok(sta.report_from(&self.ann))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camsoc_netlist::builder::NetlistBuilder;
+    use camsoc_netlist::cell::{CellFunction, Drive};
+    use camsoc_netlist::eco::EcoSession;
+    use camsoc_netlist::generate;
+    use camsoc_netlist::tech::TechnologyNode;
+
+    fn tech() -> Technology {
+        Technology::node(TechnologyNode::Tsmc250)
+    }
+
+    fn cons() -> Constraints {
+        Constraints::single_clock("clk", 7.5)
+    }
+
+    /// Two independent flop-to-flop chains sharing a clock: an edit on
+    /// one chain must not re-evaluate the other.
+    fn two_chains(k: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("tc");
+        let clk = b.input("clk");
+        for c in 0..2 {
+            let din = b.input(&format!("din{c}"));
+            let mut net = b.dff(&format!("u_src{c}"), din, clk);
+            for _ in 0..k {
+                net = b.gate_auto(CellFunction::Inv, &[net]);
+            }
+            let q = b.dff(&format!("u_dst{c}"), net, clk);
+            b.output(&format!("dout{c}"), q);
+        }
+        b.finish()
+    }
+
+    fn assert_matches_full(
+        inc: &IncrementalSta,
+        eco: &EcoSession,
+        t: &Technology,
+        report: &TimingReport,
+    ) {
+        let full = Sta::new(eco.netlist(), t, cons()).analyze().unwrap();
+        assert_eq!(*report, full, "incremental report diverged from full analysis");
+        // and the whole annotation, not just the summary
+        let full_ann = Sta::new(eco.netlist(), t, cons()).annotate().unwrap();
+        let mut patched = inc.annotation().clone();
+        patched.evaluated = full_ann.evaluated;
+        assert_eq!(patched, full_ann, "incremental annotation diverged");
+    }
+
+    #[test]
+    fn upsize_retimes_only_one_chain() {
+        let t = tech();
+        let mut eco = EcoSession::new(two_chains(20));
+        let sta = Sta::new(eco.netlist(), &t, cons());
+        let (mut inc, _) = sta.into_incremental().unwrap();
+
+        let victim = inc.annotation().topo_order()[5];
+        eco.upsize(victim).unwrap();
+        let delta = eco.take_delta();
+        let report = inc.update(eco.netlist(), &t, &delta).unwrap();
+        assert_matches_full(&inc, &eco, &t, &report);
+
+        let s = *inc.stats();
+        assert!(!s.used_full);
+        assert!(
+            s.evaluated < s.full_evaluated / 2,
+            "one-chain edit re-timed {} of {} evals",
+            s.evaluated,
+            s.full_evaluated
+        );
+    }
+
+    #[test]
+    fn every_eco_kind_stays_bit_identical() {
+        let t = tech();
+        let nl = generate::fsm(32, 8, 8, 0xA5);
+        let mut eco = EcoSession::new(nl);
+        let (inc, _) = Sta::new(eco.netlist(), &t, cons()).into_incremental().unwrap();
+        let mut inc = inc.with_max_cone_fraction(1.0);
+
+        // exercise every edit class the ECO session offers
+        let g0 = inc.annotation().topo_order()[0];
+        let g9 = inc.annotation().topo_order()[9];
+        let gmid = inc.annotation().topo_order()[40];
+        let some_net = eco.netlist().instance(gmid).output;
+
+        eco.upsize(g0).unwrap();
+        eco.upsize(g9).unwrap();
+        eco.downsize(g9).unwrap(); // default drive may already be minimum
+        eco.insert_buffer(some_net, Drive::X4).unwrap();
+        let delta = eco.take_delta();
+        let report = inc.update(eco.netlist(), &t, &delta).unwrap();
+        assert_matches_full(&inc, &eco, &t, &report);
+        assert!(inc.stats().evaluated < inc.stats().full_evaluated);
+
+        let g1 = inc.annotation().topo_order()[17];
+        eco.insert_inverter(g1, 0).unwrap();
+        let delta = eco.take_delta();
+        let report = inc.update(eco.netlist(), &t, &delta).unwrap();
+        assert_matches_full(&inc, &eco, &t, &report);
+    }
+
+    #[test]
+    fn fallback_runs_full_reannotation() {
+        let t = tech();
+        let mut eco = EcoSession::new(two_chains(10));
+        let (inc, _) = Sta::new(eco.netlist(), &t, cons()).into_incremental().unwrap();
+        let mut inc = inc.with_max_cone_fraction(0.0);
+        let victim = inc.annotation().topo_order()[0];
+        eco.upsize(victim).unwrap();
+        let delta = eco.take_delta();
+        let report = inc.update(eco.netlist(), &t, &delta).unwrap();
+        assert!(inc.stats().used_full);
+        let full = Sta::new(eco.netlist(), &t, cons()).analyze().unwrap();
+        assert_eq!(report, full);
+    }
+
+    #[test]
+    fn pipeline_flop_insertion_is_tracked() {
+        let t = tech();
+        let mut eco = EcoSession::new(two_chains(12));
+        let (inc, _) = Sta::new(eco.netlist(), &t, cons()).into_incremental().unwrap();
+        let mut inc = inc.with_max_cone_fraction(1.0);
+        // cut chain 0 in half with a pipeline flop (spec-change ECO)
+        let mid_gate = inc.annotation().topo_order()[6];
+        let cut = eco.netlist().instance(mid_gate).output;
+        let clk = eco.netlist().find_net("clk").unwrap();
+        eco.add_pipeline_flop(cut, clk).unwrap();
+        let delta = eco.take_delta();
+        let report = inc.update(eco.netlist(), &t, &delta).unwrap();
+        assert_matches_full(&inc, &eco, &t, &report);
+        assert!(report.setup.wns_ns > 0.0);
+    }
+
+    #[test]
+    fn wire_delay_changes_are_dirty_tracked() {
+        let t = tech();
+        let mut eco = EcoSession::new(two_chains(8));
+        let n = eco.netlist().num_nets();
+        let wires = vec![0.01; n];
+        let sta = Sta::new(eco.netlist(), &t, cons()).with_wire_delays(wires.clone());
+        let (inc, _) = sta.into_incremental().unwrap();
+        let mut inc = inc.with_max_cone_fraction(1.0);
+
+        // slow one net down without any netlist edit
+        let victim = eco.netlist().instance(inc.annotation().topo_order()[3]).output;
+        let mut wires2 = wires;
+        wires2[victim.index()] = 0.9;
+        inc.set_wire_delays(wires2.clone());
+        let report = inc.update(eco.netlist(), &t, &EditDelta::default()).unwrap();
+        let full = Sta::new(eco.netlist(), &t, cons())
+            .with_wire_delays(wires2)
+            .analyze()
+            .unwrap();
+        assert_eq!(report, full);
+        assert!(inc.stats().evaluated < inc.stats().full_evaluated);
+        let _ = eco.take_delta();
+    }
+
+    #[test]
+    fn empty_delta_is_nearly_free() {
+        let t = tech();
+        let eco = EcoSession::new(two_chains(10));
+        let (inc, baseline) = Sta::new(eco.netlist(), &t, cons()).into_incremental().unwrap();
+        let mut inc = inc.with_max_cone_fraction(1.0);
+        let report = inc.update(eco.netlist(), &t, &EditDelta::default()).unwrap();
+        assert_eq!(report, baseline);
+        assert_eq!(inc.stats().evaluated, 0);
+    }
+}

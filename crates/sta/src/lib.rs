@@ -11,6 +11,10 @@
 //! derating — with wire delays either estimated from fanout or injected
 //! per-net by the layout crate's extractor.
 //!
+//! For ECO loops, [`IncrementalSta`] (module [`incremental`]) keeps the
+//! per-net annotation from a baseline analysis alive and re-times only
+//! the fanout/fanin cones of each edit, bit-identically to a full pass.
+//!
 //! # Example
 //!
 //! ```
@@ -31,9 +35,11 @@
 pub mod analysis;
 pub mod constraints;
 pub mod derate;
+pub mod incremental;
 pub mod paths;
 
-pub use analysis::{Sta, StaError, TimingReport};
+pub use analysis::{Annotation, Sta, StaError, TimingReport};
+pub use incremental::{IncrementalSta, UpdateStats};
 pub use constraints::Constraints;
 pub use derate::Corner;
 pub use paths::{PathStep, TimingPath};
