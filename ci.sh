@@ -3,14 +3,23 @@
 # zero-warning clippy sweep over every target. No network access is
 # required — the workspace has no external dependencies (see the note
 # in Cargo.toml about proptest/criterion).
+#
+# The tier-1 stages are wall-clocked so fault-simulation / test-suite
+# perf regressions show up in the CI log itself.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+t0=$(date +%s)
 echo "== tier-1: release build =="
 cargo build --release
+t1=$(date +%s)
+echo "tier-1 build wall clock: $((t1 - t0)) s"
 
 echo "== tier-1: test suite =="
 cargo test -q
+t2=$(date +%s)
+echo "tier-1 test wall clock: $((t2 - t1)) s"
+echo "tier-1 total wall clock: $((t2 - t0)) s"
 
 echo "== clippy (all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -49,6 +49,7 @@ fn main() {
     println!("{:<28} {:>12}", "detected (PODEM)", result.podem_detected);
     println!("{:<28} {:>12}", "untestable (redundant)", result.untestable);
     println!("{:<28} {:>12}", "aborted", result.aborted);
+    println!("{:<28} {:>12}", "not attempted", result.not_attempted);
     println!("{:<28} {:>11.1}%", "fault coverage", result.fault_coverage() * 100.0);
     println!("{:<28} {:>11.1}%", "test coverage", result.test_coverage() * 100.0);
     println!("{:<28} {:>12}", "patterns", result.patterns.len());

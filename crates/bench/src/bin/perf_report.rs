@@ -16,7 +16,7 @@ use camsoc_bench::timer;
 use camsoc_dft::faults::FaultList;
 use camsoc_netlist::cell::Drive;
 use camsoc_netlist::eco::EcoSession;
-use camsoc_dft::fsim::CombCircuit;
+use camsoc_dft::fsim::{CombCircuit, FsimCounters, FsimMode};
 use camsoc_dft::scan::{insert_scan, ScanConfig};
 use camsoc_fab::ramp::{RampConfig, RampSimulator};
 use camsoc_layout::floorplan::Floorplan;
@@ -177,6 +177,63 @@ fn equiv_row() -> KernelRow {
     )
 }
 
+struct FsimCacheRow {
+    workload: String,
+    uncached_ms: f64,
+    cached_ms: f64,
+    speedup: f64,
+    uncached_evals: usize,
+    cached_evals: usize,
+    early_exits: usize,
+    bit_identical: bool,
+}
+
+/// Cached (cone-index + epoch scratch) vs uncached (per-fault
+/// worklist) fault-simulation engines on the same workload as the
+/// `fsim` thread row. Both run serially so the comparison isolates the
+/// propagation engine, not the thread pool.
+fn fsim_cache_row() -> FsimCacheRow {
+    let nl = ip_block(
+        "blk",
+        &IpBlockParams { target_gates: 2_000, seed: 9, ..Default::default() },
+    )
+    .expect("generate");
+    let nl = insert_scan(nl, &ScanConfig::default()).expect("scan").0;
+    let cc = CombCircuit::new(&nl).expect("comb");
+    let faults = FaultList::generate(&nl).sample(800);
+    let mut rng = SplitMix64::new(1);
+    let assign: Vec<u64> = (0..cc.sources.len()).map(|_| rng.next_u64()).collect();
+    let good = cc.good_sim(&assign);
+
+    let run = |mode: FsimMode, counters: &FsimCounters| {
+        cc.detect_all_mode(&faults.faults, &good, Parallelism::Serial, mode, counters)
+    };
+    let uncached_counters = FsimCounters::default();
+    let reference = run(FsimMode::Uncached, &uncached_counters);
+    let before = uncached_counters.snapshot();
+    let cached_counters = FsimCounters::default();
+    let lanes = run(FsimMode::Cached, &cached_counters);
+    let cached_before = cached_counters.snapshot();
+    let bit_identical = lanes == reference;
+
+    let uncached = timer::bench("fsim_cache/uncached", 1, 5, || {
+        run(FsimMode::Uncached, &uncached_counters)
+    });
+    let cached = timer::bench("fsim_cache/cached", 1, 5, || {
+        run(FsimMode::Cached, &cached_counters)
+    });
+    FsimCacheRow {
+        workload: "2000-gate scanned block, 800 faults x 64 patterns, serial".into(),
+        uncached_ms: uncached.median_ms(),
+        cached_ms: cached.median_ms(),
+        speedup: uncached.median_ms() / cached.median_ms(),
+        uncached_evals: before.gate_evals,
+        cached_evals: cached_before.gate_evals,
+        early_exits: cached_before.early_exits,
+        bit_identical,
+    }
+}
+
 struct EcoStaRow {
     workload: String,
     full_ms: f64,
@@ -251,6 +308,7 @@ fn main() {
     camsoc_bench::rule(72);
 
     let kernels = [fsim_row(), place_row(), ramp_row(), equiv_row()];
+    let fsim_cache = fsim_cache_row();
     let eco_sta = eco_sta_row();
 
     println!(
@@ -270,6 +328,16 @@ fn main() {
         );
     }
     println!();
+    println!(
+        "fsim     uncached {:.2} ms vs cached {:.2} ms ({:.2}x, {} -> {} evals, {} early exits)  identical: {}",
+        fsim_cache.uncached_ms,
+        fsim_cache.cached_ms,
+        fsim_cache.speedup,
+        fsim_cache.uncached_evals,
+        fsim_cache.cached_evals,
+        fsim_cache.early_exits,
+        fsim_cache.bit_identical
+    );
     println!(
         "eco_sta  full {:.2} ms vs incremental {:.2} ms ({:.2}x, {}/{} evals)  identical: {}",
         eco_sta.full_ms,
@@ -308,6 +376,22 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"fsim\": {\n");
+    json.push_str(&format!("    \"workload\": \"{}\",\n", fsim_cache.workload));
+    json.push_str(&format!("    \"uncached_ms\": {:.3},\n", fsim_cache.uncached_ms));
+    json.push_str(&format!("    \"cached_ms\": {:.3},\n", fsim_cache.cached_ms));
+    json.push_str(&format!("    \"speedup\": {:.3},\n", fsim_cache.speedup));
+    json.push_str(&format!(
+        "    \"uncached_evals\": {},\n",
+        fsim_cache.uncached_evals
+    ));
+    json.push_str(&format!("    \"cached_evals\": {},\n", fsim_cache.cached_evals));
+    json.push_str(&format!("    \"early_exits\": {},\n", fsim_cache.early_exits));
+    json.push_str(&format!(
+        "    \"bit_identical\": {}\n",
+        fsim_cache.bit_identical
+    ));
+    json.push_str("  },\n");
     json.push_str("  \"eco_sta\": {\n");
     json.push_str(&format!("    \"workload\": \"{}\",\n", eco_sta.workload));
     json.push_str(&format!("    \"full_ms\": {:.3},\n", eco_sta.full_ms));
@@ -334,6 +418,10 @@ fn main() {
     let all_identical = kernels.iter().all(|k| k.rows.iter().all(|r| r.bit_identical));
     if !all_identical {
         eprintln!("ERROR: a parallel run diverged from serial");
+        std::process::exit(1);
+    }
+    if !fsim_cache.bit_identical {
+        eprintln!("ERROR: cached fault simulation diverged from the uncached engine");
         std::process::exit(1);
     }
     if !eco_sta.bit_identical {

@@ -15,6 +15,7 @@
 //! falls back to a full re-annotation.
 
 use camsoc_dft::atpg::{Atpg, AtpgConfig, AtpgResult};
+use camsoc_dft::fsim::FsimMode;
 use camsoc_dft::scan::{insert_scan, ScanConfig, ScanReport};
 use camsoc_layout::lvs::{compare as lvs_compare, LvsReport};
 use camsoc_layout::{gdsii, implement, ImplementOptions, LayoutError, LayoutResult};
@@ -53,6 +54,11 @@ pub struct FlowOptions {
     /// checking), overriding their per-stage settings. Results are
     /// bit-identical for every value — only wall-clock time changes.
     pub parallelism: Parallelism,
+    /// Fault-simulation engine for the ATPG stage, overriding the
+    /// per-stage setting: cone-cached (default) or the uncached
+    /// reference. Like `parallelism`, results are bit-identical for
+    /// either value — only wall-clock time changes.
+    pub fsim_mode: FsimMode,
 }
 
 impl Default for FlowOptions {
@@ -68,6 +74,7 @@ impl Default for FlowOptions {
             sta_cone_fraction: 0.75,
             equiv: EquivOptions::default(),
             parallelism: Parallelism::Serial,
+            fsim_mode: FsimMode::Cached,
         }
     }
 }
@@ -163,8 +170,11 @@ pub fn run_flow(netlist: Netlist, options: &FlowOptions) -> Result<FlowResult, F
 
     // thread the flow-level parallelism switch into every stage that has
     // a parallel path
-    let atpg_options =
-        AtpgConfig { parallelism: options.parallelism, ..options.atpg.clone() };
+    let atpg_options = AtpgConfig {
+        parallelism: options.parallelism,
+        fsim_mode: options.fsim_mode,
+        ..options.atpg.clone()
+    };
     let mut layout_options = options.layout.clone();
     layout_options.placement.parallelism = options.parallelism;
     let equiv_options =

@@ -83,10 +83,13 @@ impl SignoffReport {
                 // would bounce the netlist back
                 passed: result.atpg.fault_coverage() > 0.75,
                 detail: format!(
-                    "{:.1} % fault coverage, {} chains, {} patterns",
+                    "{:.1} % fault coverage, {} chains, {} patterns, \
+                     {} aborted / {} not attempted",
                     result.atpg.fault_coverage() * 100.0,
                     result.scan.chains.len(),
-                    result.atpg.patterns.len()
+                    result.atpg.patterns.len(),
+                    result.atpg.aborted,
+                    result.atpg.not_attempted
                 ),
             },
             SignoffItem {

@@ -14,14 +14,14 @@
 //!    exhausts are *untestable* (redundant); faults that hit the
 //!    backtrack budget are *aborted*.
 
-use camsoc_netlist::cell::CellFunction;
+use camsoc_netlist::cell::{CellFunction, MAX_CELL_INPUTS};
 use camsoc_netlist::generate::SplitMix64;
 use camsoc_netlist::graph::{NetDriver, NetId, Netlist};
 use camsoc_netlist::NetlistError;
 use camsoc_par::Parallelism;
 
 use crate::faults::{FaultList, StuckAtFault};
-use crate::fsim::CombCircuit;
+use crate::fsim::{CombCircuit, FsimCounters, FsimMode, FsimStats};
 
 /// 3-valued logic for the PODEM engine: 0, 1, unknown.
 const V0: u8 = 0;
@@ -123,6 +123,9 @@ pub struct AtpgConfig {
     /// partitioned across threads; results merge deterministically, so
     /// coverage and patterns are bit-identical to `Serial`).
     pub parallelism: Parallelism,
+    /// Fault-simulation engine: cone-cached (default) or the uncached
+    /// reference. Results are bit-identical; only speed differs.
+    pub fsim_mode: FsimMode,
 }
 
 impl Default for AtpgConfig {
@@ -135,6 +138,7 @@ impl Default for AtpgConfig {
             podem_fault_cap: None,
             fault_sample: None,
             parallelism: Parallelism::Serial,
+            fsim_mode: FsimMode::Cached,
         }
     }
 }
@@ -143,6 +147,9 @@ impl Default for AtpgConfig {
 pub type Pattern = Vec<bool>;
 
 /// Outcome of an ATPG run.
+///
+/// Every fault lands in exactly one bucket:
+/// `total_faults == detected + untestable + aborted + not_attempted`.
 #[derive(Debug, Clone)]
 pub struct AtpgResult {
     /// Faults in the (possibly sampled) target list.
@@ -151,14 +158,22 @@ pub struct AtpgResult {
     pub detected: usize,
     /// Faults proven untestable (redundant logic).
     pub untestable: usize,
-    /// Faults abandoned at the backtrack budget.
+    /// Faults whose PODEM search actually ran and hit the backtrack
+    /// budget (and were not later caught by fault dropping).
     pub aborted: usize,
+    /// Faults PODEM never attempted: left over when `podem_fault_cap`
+    /// was reached, or all random-phase survivors when
+    /// `podem_backtrack_limit == 0` disables the deterministic phase.
+    pub not_attempted: usize,
     /// Kept test patterns.
     pub patterns: Vec<Pattern>,
     /// Detections contributed by the random phase.
     pub random_detected: usize,
     /// Detections contributed by the deterministic phase.
     pub podem_detected: usize,
+    /// Fault-simulation work counters (gate evals, early exits,
+    /// container allocations) summed over both phases.
+    pub fsim_stats: FsimStats,
 }
 
 impl AtpgResult {
@@ -212,6 +227,7 @@ impl<'a> Atpg<'a> {
     pub fn run(&self) -> AtpgResult {
         let mut rng = SplitMix64::new(self.cfg.seed);
         let nsrc = self.cc.sources.len();
+        let counters = FsimCounters::default();
         let mut undetected: Vec<StuckAtFault> = self.faults.faults.clone();
         let mut patterns: Vec<Pattern> = Vec::new();
         let mut random_detected = 0usize;
@@ -230,8 +246,13 @@ impl<'a> Atpg<'a> {
             // lanes are independent, and the drop + first-lane merge
             // below walks them in fault order, so the surviving list and
             // kept patterns are identical for every thread count
-            let lanes_all =
-                self.cc.detect_all(&undetected, &good, self.cfg.parallelism);
+            let lanes_all = self.cc.detect_all_mode(
+                &undetected,
+                &good,
+                self.cfg.parallelism,
+                self.cfg.fsim_mode,
+                &counters,
+            );
             let mut survivors = Vec::with_capacity(undetected.len());
             for (&f, &lanes) in undetected.iter().zip(&lanes_all) {
                 if lanes != 0 {
@@ -260,9 +281,15 @@ impl<'a> Atpg<'a> {
         // ---- deterministic phase ----
         let mut untestable = 0usize;
         let mut podem_detected = 0usize;
+        let mut aborted = 0usize;
+        let not_attempted;
         if self.cfg.podem_backtrack_limit > 0 && !undetected.is_empty() {
             let cap = self.cfg.podem_fault_cap.unwrap_or(undetected.len());
             let mut remaining = std::mem::take(&mut undetected);
+            // lockstep with `remaining`: has this fault's PODEM search
+            // already aborted? (such a fault can still be rescued later
+            // by fault dropping, so the flag travels with the fault)
+            let mut was_aborted = vec![false; remaining.len()];
             let mut i = 0usize;
             let mut attempted = 0usize;
             while i < remaining.len() {
@@ -275,6 +302,7 @@ impl<'a> Atpg<'a> {
                     PodemOutcome::Test(pattern) => {
                         podem_detected += 1;
                         remaining.swap_remove(i);
+                        was_aborted.swap_remove(i);
                         // fault-drop the rest with this pattern
                         let assign: Vec<u64> = pattern
                             .iter()
@@ -282,48 +310,59 @@ impl<'a> Atpg<'a> {
                             .collect();
                         let good = self.cc.good_sim(&assign);
                         let before = remaining.len();
-                        let lanes_all =
-                            self.cc.detect_all(&remaining, &good, self.cfg.parallelism);
+                        let lanes_all = self.cc.detect_all_mode(
+                            &remaining,
+                            &good,
+                            self.cfg.parallelism,
+                            self.cfg.fsim_mode,
+                            &counters,
+                        );
                         let mut survivors = Vec::with_capacity(remaining.len());
-                        for (&f, &lanes) in remaining.iter().zip(&lanes_all) {
+                        let mut survivor_flags = Vec::with_capacity(remaining.len());
+                        for ((&f, &flag), &lanes) in
+                            remaining.iter().zip(&was_aborted).zip(&lanes_all)
+                        {
                             if lanes == 0 {
                                 survivors.push(f);
+                                survivor_flags.push(flag);
                             }
                         }
                         remaining = survivors;
+                        was_aborted = survivor_flags;
                         podem_detected += before - remaining.len();
                         patterns.push(pattern);
                         // do not advance i: swap_remove replaced position i
-                        if i >= remaining.len() {
-                            break;
-                        }
                     }
                     PodemOutcome::Untestable => {
                         untestable += 1;
                         remaining.swap_remove(i);
-                        if i >= remaining.len() {
-                            break;
-                        }
+                        was_aborted.swap_remove(i);
                     }
                     PodemOutcome::Aborted => {
+                        was_aborted[i] = true;
                         i += 1;
                     }
                 }
             }
-            undetected = remaining;
+            aborted = was_aborted.iter().filter(|&&b| b).count();
+            not_attempted = remaining.len() - aborted;
+        } else {
+            not_attempted = undetected.len();
         }
-        let _ = undetected;
 
         let total = self.faults.len();
         let detected = random_detected + podem_detected;
+        debug_assert_eq!(total, detected + untestable + aborted + not_attempted);
         AtpgResult {
             total_faults: total,
             detected,
             untestable,
-            aborted: total - detected - untestable,
+            aborted,
+            not_attempted,
             patterns,
             random_detected,
             podem_detected,
+            fsim_stats: counters.snapshot(),
         }
     }
 
@@ -481,8 +520,8 @@ impl<'a> Atpg<'a> {
         }
         for &id in cone {
             let inst = self.cc.nl.instance(id);
-            let mut gi = [VX; 4];
-            let mut fi = [VX; 4];
+            let mut gi = [VX; MAX_CELL_INPUTS];
+            let mut fi = [VX; MAX_CELL_INPUTS];
             for (k, &nid) in inst.inputs.iter().enumerate() {
                 gi[k] = good[nid.index()];
                 fi[k] = faulty[nid.index()];
@@ -493,8 +532,9 @@ impl<'a> Atpg<'a> {
                 }
             }
             let out = inst.output.index();
-            good[out] = eval3(inst.function(), &gi[..inst.inputs.len().clamp(1, 4)]);
-            let fv = eval3(inst.function(), &fi[..inst.inputs.len().clamp(1, 4)]);
+            let nin = inst.inputs.len().clamp(1, MAX_CELL_INPUTS);
+            good[out] = eval3(inst.function(), &gi[..nin]);
+            let fv = eval3(inst.function(), &fi[..nin]);
             faulty[out] = match fault {
                 StuckAtFault::Net { net, stuck_one } if net.index() == out => {
                     if stuck_one {
@@ -774,12 +814,83 @@ mod tests {
             detected: 0,
             untestable: 0,
             aborted: 0,
+            not_attempted: 0,
             patterns: vec![],
             random_detected: 0,
             podem_detected: 0,
+            fsim_stats: FsimStats::default(),
         };
         assert_eq!(r.fault_coverage(), 1.0);
         assert_eq!(r.test_coverage(), 1.0);
+    }
+
+    #[test]
+    fn disabled_podem_reports_not_attempted_not_aborted() {
+        // one tiny random block leaves survivors; with the deterministic
+        // phase disabled none of them was ever attempted, so none may be
+        // reported as "aborted"
+        let nl = generate::fsm(8, 4, 4, 5);
+        let cfg = AtpgConfig {
+            max_random_blocks: 1,
+            stall_blocks: 1,
+            podem_backtrack_limit: 0,
+            ..AtpgConfig::default()
+        };
+        let r = Atpg::new(&nl, cfg).unwrap().run();
+        assert!(r.detected < r.total_faults, "need survivors for this test");
+        assert_eq!(r.aborted, 0);
+        assert_eq!(
+            r.not_attempted,
+            r.total_faults - r.detected - r.untestable
+        );
+        assert_eq!(
+            r.total_faults,
+            r.detected + r.untestable + r.aborted + r.not_attempted
+        );
+    }
+
+    #[test]
+    fn fault_cap_leftovers_are_not_attempted() {
+        let nl = generate::fsm(8, 4, 4, 5);
+        let cfg = AtpgConfig {
+            max_random_blocks: 1,
+            stall_blocks: 1,
+            podem_fault_cap: Some(1),
+            ..AtpgConfig::default()
+        };
+        let r = Atpg::new(&nl, cfg).unwrap().run();
+        // at most one fault was attempted, so at most one can be aborted
+        assert!(r.aborted <= 1, "aborted = {}", r.aborted);
+        assert_eq!(
+            r.total_faults,
+            r.detected + r.untestable + r.aborted + r.not_attempted
+        );
+    }
+
+    #[test]
+    fn atpg_counts_fsim_work() {
+        let nl = generate::ripple_adder(8).unwrap();
+        let cached = Atpg::new(&nl, AtpgConfig::default()).unwrap().run();
+        let uncached = Atpg::new(
+            &nl,
+            AtpgConfig { fsim_mode: FsimMode::Uncached, ..AtpgConfig::default() },
+        )
+        .unwrap()
+        .run();
+        assert_eq!(cached.detected, uncached.detected);
+        assert_eq!(cached.patterns, uncached.patterns);
+        assert!(cached.fsim_stats.faults_simulated > 0);
+        assert_eq!(
+            cached.fsim_stats.faults_simulated,
+            uncached.fsim_stats.faults_simulated
+        );
+        assert!(
+            cached.fsim_stats.gate_evals < uncached.fsim_stats.gate_evals,
+            "cached {} evals vs uncached {}",
+            cached.fsim_stats.gate_evals,
+            uncached.fsim_stats.gate_evals
+        );
+        assert!(cached.fsim_stats.allocations < uncached.fsim_stats.allocations);
     }
 
     #[test]

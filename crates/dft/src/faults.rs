@@ -86,13 +86,17 @@ impl FaultList {
     /// Deterministically sample `n` faults (evenly strided) — used to
     /// estimate coverage on designs whose full universe would be slow to
     /// simulate exhaustively.
+    ///
+    /// The stride is pure integer arithmetic (`i * len / n`), so unlike
+    /// a floating-point stride it can never skip or duplicate an index
+    /// through rounding near the tail of a large universe: for `n < len`
+    /// the sampled indices are strictly increasing and `< len`.
     pub fn sample(&self, n: usize) -> FaultList {
         if n == 0 || n >= self.faults.len() {
             return self.clone();
         }
-        let stride = self.faults.len() as f64 / n as f64;
-        let faults =
-            (0..n).map(|i| self.faults[(i as f64 * stride) as usize]).collect();
+        let len = self.faults.len();
+        let faults = (0..n).map(|i| self.faults[i * len / n]).collect();
         FaultList { faults }
     }
 
@@ -144,6 +148,29 @@ mod tests {
         assert_eq!(fl.sample(0).len(), fl.len());
         assert_eq!(fl.sample(fl.len() + 10).len(), fl.len());
         assert!(!fl.is_empty());
+    }
+
+    #[test]
+    fn sampled_indices_are_strictly_increasing_and_in_range() {
+        // a universe of distinct indices makes stride skips/duplicates
+        // visible as out-of-order or repeated pin values
+        let universe: Vec<StuckAtFault> = (0..100_003)
+            .map(|i| StuckAtFault::Pin { inst: InstanceId(0), pin: i, stuck_one: false })
+            .collect();
+        let fl = FaultList { faults: universe };
+        for n in [1usize, 2, 3, 7, 64, 999, 4_000, 99_991, 100_002] {
+            let s = fl.sample(n);
+            assert_eq!(s.len(), n, "sample size for n = {n}");
+            let mut last: Option<usize> = None;
+            for f in &s.faults {
+                let StuckAtFault::Pin { pin, .. } = *f else { unreachable!() };
+                assert!(pin < fl.len(), "index {pin} out of range");
+                if let Some(prev) = last {
+                    assert!(pin > prev, "indices not strictly increasing at {pin}");
+                }
+                last = Some(pin);
+            }
+        }
     }
 
     #[test]

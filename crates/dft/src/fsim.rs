@@ -7,14 +7,217 @@
 //! patterns ride in each `u64` lane; each fault is propagated only
 //! through its fanout cone, in level order, against the good-circuit
 //! values.
+//!
+//! Two propagation engines share the same event-driven semantics and
+//! produce bit-identical detection lanes:
+//!
+//! * [`FsimMode::Uncached`] — the historical reference: a fresh
+//!   `HashMap` overlay, `HashSet` queue-guard and `BinaryHeap` event
+//!   queue are allocated per fault.
+//! * [`FsimMode::Cached`] — the production path: a [`ConeIndex`] built
+//!   once per circuit stores every net's fanout cone in level order
+//!   (faults sharing a stem share the cone), and a reusable
+//!   epoch-stamped [`FsimScratch`] replaces all per-fault containers, so
+//!   steady-state fault simulation performs **zero heap allocation**.
+//!   Walking the precomputed level-ordered cone and evaluating only
+//!   stamped (event-reached) gates visits exactly the gates the heap
+//!   would pop; two sound early exits (all excited lanes detected, no
+//!   pending events left) make the cached path evaluate *fewer* gates.
+//!
+//! [`FsimCounters`] / [`FsimStats`] record gate evaluations, early exits
+//! and container allocations for both engines, mirroring the STA
+//! engine's `UpdateStats`.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
+use camsoc_netlist::cell::MAX_CELL_INPUTS;
 use camsoc_netlist::graph::{InstanceId, NetId, Netlist};
 use camsoc_netlist::NetlistError;
 use camsoc_par::Parallelism;
 
 use crate::faults::StuckAtFault;
+
+/// Which propagation engine [`CombCircuit::detect_all_mode`] uses.
+///
+/// Both engines return bit-identical detection lanes for every fault,
+/// pattern block and thread count; only wall-clock time and the
+/// [`FsimStats`] counters differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsimMode {
+    /// Shared cone index + reusable epoch-stamped scratch (the default).
+    #[default]
+    Cached,
+    /// Per-fault `HashMap`/`HashSet`/`BinaryHeap` reference engine.
+    Uncached,
+}
+
+/// Work counters for one or more fault-simulation calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FsimStats {
+    /// Faults propagated (excited or not).
+    pub faults_simulated: usize,
+    /// Gate evaluations performed (including pin-fault seed evals).
+    pub gate_evals: usize,
+    /// Faults whose cached propagation stopped early because every
+    /// excited lane was already detected (cached engine only).
+    pub early_exits: usize,
+    /// Heap containers allocated: three per fault for the uncached
+    /// engine (overlay map, queue guard, event heap), three per
+    /// [`FsimScratch`] for the cached engine — one scratch per worker,
+    /// so steady-state cached simulation allocates nothing.
+    pub allocations: usize,
+}
+
+impl FsimStats {
+    /// Component-wise difference (`self` must dominate `earlier`).
+    pub fn since(&self, earlier: &FsimStats) -> FsimStats {
+        FsimStats {
+            faults_simulated: self.faults_simulated - earlier.faults_simulated,
+            gate_evals: self.gate_evals - earlier.gate_evals,
+            early_exits: self.early_exits - earlier.early_exits,
+            allocations: self.allocations - earlier.allocations,
+        }
+    }
+}
+
+/// Thread-safe accumulator for [`FsimStats`] across parallel workers.
+///
+/// Totals are sums of per-fault counts, so they are bit-identical for
+/// every thread count (addition commutes); only `allocations` depends on
+/// the worker count (one scratch per worker in cached mode).
+#[derive(Debug, Default)]
+pub struct FsimCounters {
+    faults_simulated: AtomicUsize,
+    gate_evals: AtomicUsize,
+    early_exits: AtomicUsize,
+    allocations: AtomicUsize,
+}
+
+impl FsimCounters {
+    /// Fold one stats delta into the totals.
+    pub fn add(&self, delta: FsimStats) {
+        self.faults_simulated.fetch_add(delta.faults_simulated, Ordering::Relaxed);
+        self.gate_evals.fetch_add(delta.gate_evals, Ordering::Relaxed);
+        self.early_exits.fetch_add(delta.early_exits, Ordering::Relaxed);
+        self.allocations.fetch_add(delta.allocations, Ordering::Relaxed);
+    }
+
+    /// Snapshot the totals.
+    pub fn snapshot(&self) -> FsimStats {
+        FsimStats {
+            faults_simulated: self.faults_simulated.load(Ordering::Relaxed),
+            gate_evals: self.gate_evals.load(Ordering::Relaxed),
+            early_exits: self.early_exits.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-net static fanout cones, CSR-packed in level order.
+///
+/// `cone(net)` lists every combinational gate transitively reachable
+/// from `net`, sorted by `(logic level, instance id)` — the exact order
+/// the reference engine's event heap pops gates, so a linear walk that
+/// skips unstamped gates reproduces heap-driven propagation. One cone
+/// serves the net's SA0/SA1 stem faults *and* every branch (input-pin)
+/// fault on the net: a branch fault's propagation region is a subset of
+/// its stem's cone, and unstamped gates cost a scan step, not an eval.
+pub struct ConeIndex {
+    /// Per-net start offset into `items` (`num_nets + 1` entries).
+    start: Vec<usize>,
+    /// Concatenated cone instance ids.
+    items: Vec<u32>,
+}
+
+impl ConeIndex {
+    fn build(cc: &CombCircuit<'_>) -> ConeIndex {
+        let num_nets = cc.nl.num_nets();
+        let mut start = Vec::with_capacity(num_nets + 1);
+        let mut items: Vec<u32> = Vec::new();
+        let mut stamp = vec![0u32; cc.nl.num_instances()];
+        let mut stack: Vec<NetId> = Vec::new();
+        for n in 0..num_nets {
+            start.push(items.len());
+            let epoch = n as u32 + 1;
+            let begin = items.len();
+            stack.push(NetId(n as u32));
+            while let Some(net) = stack.pop() {
+                for &g in &cc.comb_fanout[net.index()] {
+                    if stamp[g.index()] != epoch {
+                        stamp[g.index()] = epoch;
+                        items.push(g.0);
+                        stack.push(cc.nl.instance(g).output);
+                    }
+                }
+            }
+            items[begin..].sort_unstable_by_key(|&raw| (cc.level[raw as usize], raw));
+        }
+        start.push(items.len());
+        ConeIndex { start, items }
+    }
+
+    /// The level-ordered fanout cone of `net`.
+    pub fn cone(&self, net: NetId) -> &[u32] {
+        &self.items[self.start[net.index()]..self.start[net.index() + 1]]
+    }
+
+    /// Total stored cone entries (memory diagnostics).
+    pub fn total_entries(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Reusable, allocation-free propagation scratch for the cached engine.
+///
+/// Holds a faulty-value overlay and epoch stamps for nets and gates; a
+/// per-fault epoch bump invalidates the previous fault's state in O(1),
+/// so simulating a fault touches no allocator. One scratch per
+/// `camsoc_par` worker (see [`camsoc_par::map_with`]).
+pub struct FsimScratch {
+    /// Faulty net values, valid where `net_epoch` matches.
+    value: Vec<u64>,
+    /// Per-net epoch stamp: overlay entry valid for the current fault.
+    net_epoch: Vec<u32>,
+    /// Per-gate epoch stamp: gate has a pending event this fault.
+    gate_epoch: Vec<u32>,
+    /// Current fault's epoch.
+    epoch: u32,
+    /// Counters accumulated across all faults simulated with this
+    /// scratch; read them via [`FsimScratch::stats`].
+    stats: FsimStats,
+}
+
+impl FsimScratch {
+    /// Allocate a scratch sized for `cc` (the only allocations the
+    /// cached engine ever performs).
+    pub fn for_circuit(cc: &CombCircuit<'_>) -> FsimScratch {
+        FsimScratch {
+            value: vec![0; cc.nl.num_nets()],
+            net_epoch: vec![0; cc.nl.num_nets()],
+            gate_epoch: vec![0; cc.nl.num_instances()],
+            epoch: 0,
+            stats: FsimStats { allocations: 3, ..FsimStats::default() },
+        }
+    }
+
+    /// Counters accumulated by this scratch so far.
+    pub fn stats(&self) -> FsimStats {
+        self.stats
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            // one reset every 2^32 faults keeps stamps sound
+            self.net_epoch.fill(0);
+            self.gate_epoch.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+}
 
 /// The combinational full-scan view of a netlist, prepared for fast
 /// repeated simulation.
@@ -35,6 +238,8 @@ pub struct CombCircuit<'a> {
     pub level: Vec<usize>,
     /// Per-net: index into `sources` if the net is a source.
     pub source_index: HashMap<NetId, usize>,
+    /// Lazily-built per-net fanout cone index (shared, thread-safe).
+    cones: OnceLock<ConeIndex>,
 }
 
 impl<'a> CombCircuit<'a> {
@@ -52,7 +257,13 @@ impl<'a> CombCircuit<'a> {
         for (_, p) in nl.input_ports() {
             sources.push(p.net);
         }
-        for (_, inst) in nl.instances() {
+        for (id, inst) in nl.instances() {
+            debug_assert!(
+                inst.inputs.len() <= MAX_CELL_INPUTS,
+                "instance {:?} has {} inputs; fixed eval buffers hold {MAX_CELL_INPUTS}",
+                id,
+                inst.inputs.len()
+            );
             if inst.function().is_sequential() {
                 sources.push(inst.output);
                 for &n in &inst.inputs {
@@ -99,7 +310,13 @@ impl<'a> CombCircuit<'a> {
             comb_fanout,
             level,
             source_index,
+            cones: OnceLock::new(),
         })
+    }
+
+    /// The shared cone index, built on first use (thread-safe).
+    pub fn cones(&self) -> &ConeIndex {
+        self.cones.get_or_init(|| ConeIndex::build(self))
     }
 
     /// Simulate the good circuit for one 64-pattern block.
@@ -114,7 +331,7 @@ impl<'a> CombCircuit<'a> {
         }
         for &id in &self.order {
             let inst = self.nl.instance(id);
-            let mut ins = [0u64; 4];
+            let mut ins = [0u64; MAX_CELL_INPUTS];
             for (k, &n) in inst.inputs.iter().enumerate() {
                 ins[k] = values[n.index()];
             }
@@ -125,7 +342,16 @@ impl<'a> CombCircuit<'a> {
 
     /// Fault-simulate one fault against a good-value vector; returns the
     /// lanes (bitmask) in which the fault is detected at any sink.
+    ///
+    /// This is the uncached reference engine (fresh containers per
+    /// fault). [`CombCircuit::detect_lanes_cached`] is bit-identical.
     pub fn detect_lanes(&self, fault: StuckAtFault, good: &[u64]) -> u64 {
+        self.detect_lanes_counted(fault, good).0
+    }
+
+    /// Reference engine with an eval count, for cached-vs-uncached
+    /// accounting. Returns `(detected lanes, gate evaluations)`.
+    fn detect_lanes_counted(&self, fault: StuckAtFault, good: &[u64]) -> (u64, usize) {
         // Overlay of faulty values for nets that differ from good.
         let mut overlay: HashMap<NetId, u64> = HashMap::new();
         // Seed the frontier.
@@ -134,6 +360,7 @@ impl<'a> CombCircuit<'a> {
         let mut queued: std::collections::HashSet<InstanceId> =
             std::collections::HashSet::new();
         let mut detected = 0u64;
+        let mut evals = 0usize;
 
         let seed_net = |net: NetId,
                         value: u64,
@@ -165,14 +392,15 @@ impl<'a> CombCircuit<'a> {
                 // Re-evaluate only this gate with the pin forced.
                 let instance = self.nl.instance(inst);
                 if instance.function().is_sequential() {
-                    return 0;
+                    return (0, 0);
                 }
                 let forced = if stuck_one { !0u64 } else { 0u64 };
-                let mut ins = [0u64; 4];
+                let mut ins = [0u64; MAX_CELL_INPUTS];
                 for (k, &n) in instance.inputs.iter().enumerate() {
                     ins[k] = good[n.index()];
                 }
                 ins[pin] = forced;
+                evals += 1;
                 let out = instance.function().eval(&ins[..instance.inputs.len()]);
                 seed_net(
                     instance.output,
@@ -196,10 +424,11 @@ impl<'a> CombCircuit<'a> {
                     continue;
                 }
             }
-            let mut ins = [0u64; 4];
+            let mut ins = [0u64; MAX_CELL_INPUTS];
             for (k, &n) in inst.inputs.iter().enumerate() {
                 ins[k] = *overlay.get(&n).unwrap_or(&good[n.index()]);
             }
+            evals += 1;
             let out = inst.function().eval(&ins[..inst.inputs.len()]);
             let prev = *overlay.get(&inst.output).unwrap_or(&good[inst.output.index()]);
             if out != prev {
@@ -219,23 +448,182 @@ impl<'a> CombCircuit<'a> {
                 }
             }
         }
+        (detected, evals)
+    }
+
+    /// Cached-engine fault simulation: walk the stem's precomputed cone
+    /// in level order, evaluating only gates reached by an event.
+    ///
+    /// Bit-identical to [`CombCircuit::detect_lanes`] for every fault
+    /// and pattern block: the cone order matches the reference heap's
+    /// pop order, each gate is evaluated at most once after all its
+    /// fanin writes (levelisation), and the two early exits are sound —
+    /// a lane can only ever be detected if the fault is excited in it
+    /// (`detected ⊆ excited`), so propagation past `detected == excited`
+    /// cannot add lanes, and an empty event set cannot create one.
+    pub fn detect_lanes_cached(
+        &self,
+        fault: StuckAtFault,
+        good: &[u64],
+        scratch: &mut FsimScratch,
+    ) -> u64 {
+        scratch.stats.faults_simulated += 1;
+        let epoch = scratch.next_epoch();
+        let mut detected = 0u64;
+        let mut pending = 0usize;
+
+        // Seed: resolve the cone stem and the first faulty net value.
+        let (stem, seed_net, seed_val) = match fault {
+            StuckAtFault::Net { net, stuck_one } => {
+                (net, net, if stuck_one { !0u64 } else { 0u64 })
+            }
+            StuckAtFault::Pin { inst, pin, stuck_one } => {
+                let instance = self.nl.instance(inst);
+                if instance.function().is_sequential() {
+                    return 0;
+                }
+                let forced = if stuck_one { !0u64 } else { 0u64 };
+                let mut ins = [0u64; MAX_CELL_INPUTS];
+                for (k, &n) in instance.inputs.iter().enumerate() {
+                    ins[k] = good[n.index()];
+                }
+                ins[pin] = forced;
+                scratch.stats.gate_evals += 1;
+                let out = instance.function().eval(&ins[..instance.inputs.len()]);
+                // branch faults share their stem net's cone
+                (instance.inputs[pin], instance.output, out)
+            }
+        };
+        let excited = seed_val ^ good[seed_net.index()];
+        if excited == 0 {
+            return 0;
+        }
+        scratch.value[seed_net.index()] = seed_val;
+        scratch.net_epoch[seed_net.index()] = epoch;
+        if self.is_sink[seed_net.index()] {
+            detected |= excited;
+        }
+        for &g in &self.comb_fanout[seed_net.index()] {
+            if scratch.gate_epoch[g.index()] != epoch {
+                scratch.gate_epoch[g.index()] = epoch;
+                pending += 1;
+            }
+        }
+        if pending == 0 {
+            return detected;
+        }
+        if detected == excited {
+            scratch.stats.early_exits += 1;
+            return detected;
+        }
+
+        for &raw in self.cones().cone(stem) {
+            let gi = raw as usize;
+            if scratch.gate_epoch[gi] != epoch {
+                continue; // no event reached this cone gate
+            }
+            pending -= 1;
+            let inst = self.nl.instance(InstanceId(raw));
+            let mut ins = [0u64; MAX_CELL_INPUTS];
+            for (k, &n) in inst.inputs.iter().enumerate() {
+                let ni = n.index();
+                ins[k] = if scratch.net_epoch[ni] == epoch {
+                    scratch.value[ni]
+                } else {
+                    good[ni]
+                };
+            }
+            scratch.stats.gate_evals += 1;
+            let out = inst.function().eval(&ins[..inst.inputs.len()]);
+            let oi = inst.output.index();
+            // each net is written at most once per fault (its single
+            // driver evaluates once), so prev is always the good value
+            let diff = out ^ good[oi];
+            if diff != 0 {
+                scratch.value[oi] = out;
+                scratch.net_epoch[oi] = epoch;
+                if self.is_sink[oi] {
+                    detected |= diff;
+                    if detected == excited {
+                        scratch.stats.early_exits += 1;
+                        break;
+                    }
+                }
+                for &g in &self.comb_fanout[oi] {
+                    if scratch.gate_epoch[g.index()] != epoch {
+                        scratch.gate_epoch[g.index()] = epoch;
+                        pending += 1;
+                    }
+                }
+            }
+            if pending == 0 {
+                break; // no events left anywhere ahead in the cone
+            }
+        }
         detected
     }
 
     /// Fault-simulate a whole fault universe against one good-value
     /// vector, partitioning the faults across threads.
     ///
-    /// Returns the detecting lanes per fault, in `faults` order. Each
-    /// fault's cone propagation is independent of every other fault, so
-    /// the result is bit-identical to a serial loop over
-    /// [`CombCircuit::detect_lanes`] for any thread count.
+    /// Uses the cached engine (the production default). Returns the
+    /// detecting lanes per fault, in `faults` order. Each fault's cone
+    /// propagation is independent of every other fault, so the result is
+    /// bit-identical to a serial loop over [`CombCircuit::detect_lanes`]
+    /// for any thread count and either [`FsimMode`].
     pub fn detect_all(
         &self,
         faults: &[StuckAtFault],
         good: &[u64],
         parallelism: Parallelism,
     ) -> Vec<u64> {
-        camsoc_par::map(parallelism, faults, |&f| self.detect_lanes(f, good))
+        self.detect_all_mode(faults, good, parallelism, FsimMode::Cached, &FsimCounters::default())
+    }
+
+    /// [`CombCircuit::detect_all`] with an explicit engine choice and a
+    /// counter accumulator.
+    pub fn detect_all_mode(
+        &self,
+        faults: &[StuckAtFault],
+        good: &[u64],
+        parallelism: Parallelism,
+        mode: FsimMode,
+        counters: &FsimCounters,
+    ) -> Vec<u64> {
+        match mode {
+            FsimMode::Uncached => camsoc_par::map(parallelism, faults, |&f| {
+                let (lanes, evals) = self.detect_lanes_counted(f, good);
+                counters.add(FsimStats {
+                    faults_simulated: 1,
+                    gate_evals: evals,
+                    early_exits: 0,
+                    // overlay map + queue guard + event heap, per fault
+                    allocations: 3,
+                });
+                lanes
+            }),
+            FsimMode::Cached => {
+                // build the cone index before entering the worker pool
+                let _ = self.cones();
+                camsoc_par::map_with(
+                    parallelism,
+                    faults,
+                    || {
+                        let scratch = FsimScratch::for_circuit(self);
+                        counters.add(scratch.stats());
+                        scratch
+                    },
+                    |scratch, &f| {
+                        let before = scratch.stats();
+                        let lanes = self.detect_lanes_cached(f, good, scratch);
+                        let mut delta = scratch.stats().since(&before);
+                        delta.allocations = 0; // already counted at creation
+                        counters.add(delta);
+                        lanes
+                    },
+                )
+            }
+        }
     }
 }
 
@@ -403,5 +791,116 @@ mod tests {
             "random block detected {detected}/{}",
             fl.len()
         );
+    }
+
+    #[test]
+    fn cone_index_is_level_ordered_and_complete() {
+        let nl = generate::ripple_adder(6).unwrap();
+        let cc = CombCircuit::new(&nl).unwrap();
+        let cones = cc.cones();
+        for n in 0..nl.num_nets() {
+            let net = NetId(n as u32);
+            let cone = cones.cone(net);
+            // level-ordered, no duplicates
+            for w in cone.windows(2) {
+                assert!(
+                    (cc.level[w[0] as usize], w[0]) < (cc.level[w[1] as usize], w[1]),
+                    "cone of net {n} not strictly (level, id) ordered"
+                );
+            }
+            // direct fanout is always in the cone
+            for g in &cc.comb_fanout[net.index()] {
+                assert!(cone.contains(&g.0), "direct fanout missing from cone");
+            }
+        }
+        assert!(cones.total_entries() > 0);
+    }
+
+    #[test]
+    fn cached_lanes_match_reference_on_every_fault() {
+        for nl in [
+            generate::ripple_adder(8).unwrap(),
+            generate::fsm(6, 3, 3, 5),
+        ] {
+            let cc = CombCircuit::new(&nl).unwrap();
+            let fl = crate::faults::FaultList::generate(&nl);
+            let mut scratch = FsimScratch::for_circuit(&cc);
+            let mut rng = camsoc_netlist::generate::SplitMix64::new(7);
+            for _ in 0..3 {
+                let assign: Vec<u64> =
+                    (0..cc.sources.len()).map(|_| rng.next_u64()).collect();
+                let good = cc.good_sim(&assign);
+                for &f in &fl.faults {
+                    let reference = cc.detect_lanes(f, &good);
+                    let cached = cc.detect_lanes_cached(f, &good, &mut scratch);
+                    assert_eq!(cached, reference, "{}", f.describe(&nl));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_engine_counts_fewer_or_equal_evals_and_no_allocs() {
+        let nl = generate::ripple_adder(16).unwrap();
+        let cc = CombCircuit::new(&nl).unwrap();
+        let fl = crate::faults::FaultList::generate(&nl);
+        let mut rng = camsoc_netlist::generate::SplitMix64::new(3);
+        let assign: Vec<u64> = (0..cc.sources.len()).map(|_| rng.next_u64()).collect();
+        let good = cc.good_sim(&assign);
+
+        let uncached = FsimCounters::default();
+        let a = cc.detect_all_mode(
+            &fl.faults,
+            &good,
+            Parallelism::Serial,
+            FsimMode::Uncached,
+            &uncached,
+        );
+        let cached = FsimCounters::default();
+        let b = cc.detect_all_mode(
+            &fl.faults,
+            &good,
+            Parallelism::Serial,
+            FsimMode::Cached,
+            &cached,
+        );
+        assert_eq!(a, b);
+        let (u, c) = (uncached.snapshot(), cached.snapshot());
+        assert_eq!(u.faults_simulated, fl.len());
+        assert_eq!(c.faults_simulated, fl.len());
+        assert!(
+            c.gate_evals < u.gate_evals,
+            "cached {} evals vs uncached {}",
+            c.gate_evals,
+            u.gate_evals
+        );
+        assert!(c.early_exits > 0);
+        // one scratch (3 vectors) total vs 3 containers per fault
+        assert_eq!(c.allocations, 3);
+        assert_eq!(u.allocations, 3 * fl.len());
+    }
+
+    #[test]
+    fn detect_all_is_mode_and_thread_invariant() {
+        let nl = generate::fsm(8, 4, 4, 11);
+        let cc = CombCircuit::new(&nl).unwrap();
+        let fl = crate::faults::FaultList::generate(&nl);
+        let mut rng = camsoc_netlist::generate::SplitMix64::new(21);
+        let assign: Vec<u64> = (0..cc.sources.len()).map(|_| rng.next_u64()).collect();
+        let good = cc.good_sim(&assign);
+        let reference = cc.detect_all_mode(
+            &fl.faults,
+            &good,
+            Parallelism::Serial,
+            FsimMode::Uncached,
+            &FsimCounters::default(),
+        );
+        for par in [Parallelism::Serial, Parallelism::Threads(2), Parallelism::Threads(4)] {
+            for mode in [FsimMode::Cached, FsimMode::Uncached] {
+                let got =
+                    cc.detect_all_mode(&fl.faults, &good, par, mode, &FsimCounters::default());
+                assert_eq!(got, reference, "{par:?} {mode:?}");
+            }
+        }
     }
 }

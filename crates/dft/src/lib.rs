@@ -13,7 +13,9 @@
 //!   and fanout branches.
 //! * [`fsim`] — a 64-pattern-parallel fault simulator using the
 //!   full-scan combinational model (flop Q pins are pseudo-inputs, flop
-//!   D pins pseudo-outputs).
+//!   D pins pseudo-outputs), with a shared per-net cone index and an
+//!   allocation-free epoch-stamped scratch on the default
+//!   [`fsim::FsimMode::Cached`] path.
 //! * [`atpg`] — random-pattern generation with fault dropping followed
 //!   by a PODEM-style deterministic phase for the stubborn faults.
 //! * [`vectors`] — scan-vector accounting: load/unload cycles and tester
@@ -43,4 +45,5 @@ pub mod vectors;
 
 pub use atpg::{Atpg, AtpgConfig, AtpgResult};
 pub use faults::{FaultList, StuckAtFault};
+pub use fsim::{CombCircuit, FsimMode, FsimStats};
 pub use scan::{insert_scan, ScanConfig, ScanReport};

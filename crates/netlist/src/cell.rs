@@ -67,6 +67,14 @@ pub enum CellFunction {
     Latch,
 }
 
+/// Maximum number of input pins of any library cell.
+///
+/// Fixed-size evaluation buffers (the fault simulator's lane buffers,
+/// the ATPG engine's 3-valued input arrays) are sized from this constant
+/// so a future wider cell grows them at compile time instead of silently
+/// indexing out of bounds at run time.
+pub const MAX_CELL_INPUTS: usize = 4;
+
 impl CellFunction {
     /// All functions, in a stable order (useful for histograms).
     pub const ALL: [CellFunction; 24] = [
@@ -515,6 +523,17 @@ mod tests {
                 f.num_inputs(),
                 f.input_pin_names().len(),
                 "pin-name mismatch for {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_cell_fits_the_fixed_eval_buffers() {
+        for f in CellFunction::ALL {
+            assert!(
+                f.num_inputs() <= MAX_CELL_INPUTS,
+                "{f} has {} inputs but MAX_CELL_INPUTS is {MAX_CELL_INPUTS}",
+                f.num_inputs()
             );
         }
     }

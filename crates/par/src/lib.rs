@@ -83,9 +83,33 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    map_range_with(par, n, || (), |(), i| f(i))
+}
+
+/// Map `f` over `0..n` with per-worker scratch state, returning results
+/// in index order.
+///
+/// `init` builds one scratch value per worker (exactly one for the
+/// serial path), handed to every `f` call that worker makes. This is the
+/// allocation-hoisting primitive for kernels whose per-item work wants
+/// reusable buffers: the scratch is created once per worker, not once
+/// per item. `f`'s *result* must not depend on the scratch's history —
+/// which items previously used a given scratch is a scheduling accident
+/// — or the input-order determinism guarantee is void; counters and
+/// epoch-stamped overlays are fine, carried values are not.
+pub fn map_range_with<S, R, I, F>(par: Parallelism, n: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
     let workers = par.threads().min(n);
     if workers <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
     }
     let chunk = (n / (workers * CHUNKS_PER_WORKER)).max(MIN_CHUNK);
     let nchunks = n.div_ceil(chunk);
@@ -93,15 +117,18 @@ where
     let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(nchunks));
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let c = next.fetch_add(1, Ordering::Relaxed);
-                if c >= nchunks {
-                    break;
+            s.spawn(|| {
+                let mut scratch = init();
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= nchunks {
+                        break;
+                    }
+                    let start = c * chunk;
+                    let end = (start + chunk).min(n);
+                    let out: Vec<R> = (start..end).map(|i| f(&mut scratch, i)).collect();
+                    done.lock().expect("no poisoned worker").push((c, out));
                 }
-                let start = c * chunk;
-                let end = (start + chunk).min(n);
-                let out: Vec<R> = (start..end).map(&f).collect();
-                done.lock().expect("no poisoned worker").push((c, out));
             });
         }
     });
@@ -109,6 +136,19 @@ where
     parts.sort_unstable_by_key(|&(c, _)| c);
     debug_assert_eq!(parts.len(), nchunks);
     parts.into_iter().flat_map(|(_, out)| out).collect()
+}
+
+/// Map `f` over a slice with per-worker scratch state, in input order.
+///
+/// See [`map_range_with`] for the scratch contract.
+pub fn map_with<T, S, R, I, F>(par: Parallelism, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    map_range_with(par, items.len(), init, |scratch, i| f(scratch, &items[i]))
 }
 
 /// Map `f` over a slice, returning results in input order.
@@ -227,6 +267,51 @@ mod tests {
             });
             assert_eq!(out, serial, "n = {n}");
         }
+    }
+
+    #[test]
+    fn map_with_reuses_scratch_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        // scratch creations are counted: serial must build exactly one,
+        // threaded at most one per worker — never one per item
+        for (par, max_scratches) in
+            [(Parallelism::Serial, 1), (Parallelism::Threads(3), 3)]
+        {
+            let created = AtomicUsize::new(0);
+            let items: Vec<u64> = (0..400).collect();
+            let out = map_with(
+                par,
+                &items,
+                || {
+                    created.fetch_add(1, Ordering::Relaxed);
+                    vec![0u64; 16] // a reusable buffer
+                },
+                |buf, &x| {
+                    buf[(x % 16) as usize] = x;
+                    x * 2
+                },
+            );
+            assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+            let n = created.load(Ordering::Relaxed);
+            assert!(
+                (1..=max_scratches).contains(&n),
+                "{n} scratches for {par:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_range_with_matches_serial_in_order() {
+        let serial = map_range_with(Parallelism::Serial, 777, || 0u8, |_, i| i * 5);
+        for threads in [2, 4, 7] {
+            let par =
+                map_range_with(Parallelism::Threads(threads), 777, || 0u8, |_, i| i * 5);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+        assert_eq!(
+            map_range_with(Parallelism::Threads(4), 0, || 0u8, |_, i| i),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]

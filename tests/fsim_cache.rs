@@ -1,0 +1,126 @@
+//! Integration: the cone-cached fault-simulation engine must be
+//! invisible in the results. For every fault, seed and thread count the
+//! cached path (per-net cone index + epoch-stamped scratch) must return
+//! exactly the detection lanes of the uncached reference engine, and an
+//! ATPG run switched between the two `FsimMode`s must produce the same
+//! `AtpgResult` field for field — only the work counters (and wall
+//! clock) may differ, and those must show the cache doing *less* work.
+
+use camsoc::dft::atpg::{Atpg, AtpgConfig, AtpgResult};
+use camsoc::dft::faults::FaultList;
+use camsoc::dft::fsim::{CombCircuit, FsimCounters, FsimMode};
+use camsoc::dft::scan::{insert_scan, ScanConfig};
+use camsoc::flow::build_dsc;
+use camsoc::netlist::generate::{ripple_adder, SplitMix64};
+use camsoc::netlist::graph::Netlist;
+use camsoc::par::Parallelism;
+
+const PAR: [Parallelism; 3] =
+    [Parallelism::Serial, Parallelism::Threads(2), Parallelism::Threads(4)];
+
+fn scanned_dsc() -> Netlist {
+    let design = build_dsc(0.02).expect("dsc");
+    insert_scan(design.netlist, &ScanConfig::default()).expect("scan").0
+}
+
+fn assert_same_result(a: &AtpgResult, b: &AtpgResult, ctx: &str) {
+    assert_eq!(a.total_faults, b.total_faults, "{ctx}: total_faults");
+    assert_eq!(a.detected, b.detected, "{ctx}: detected");
+    assert_eq!(a.untestable, b.untestable, "{ctx}: untestable");
+    assert_eq!(a.aborted, b.aborted, "{ctx}: aborted");
+    assert_eq!(a.not_attempted, b.not_attempted, "{ctx}: not_attempted");
+    assert_eq!(a.random_detected, b.random_detected, "{ctx}: random_detected");
+    assert_eq!(a.podem_detected, b.podem_detected, "{ctx}: podem_detected");
+    assert_eq!(a.patterns, b.patterns, "{ctx}: patterns");
+}
+
+#[test]
+fn detect_all_lanes_are_mode_invariant_on_the_dsc_block() {
+    let nl = scanned_dsc();
+    let cc = CombCircuit::new(&nl).expect("comb");
+    let faults = FaultList::generate(&nl).sample(400);
+    for seed in [1u64, 0xD5C] {
+        let mut rng = SplitMix64::new(seed);
+        let assign: Vec<u64> = (0..cc.sources.len()).map(|_| rng.next_u64()).collect();
+        let good = cc.good_sim(&assign);
+        let reference = cc.detect_all_mode(
+            &faults.faults,
+            &good,
+            Parallelism::Serial,
+            FsimMode::Uncached,
+            &FsimCounters::default(),
+        );
+        for par in PAR {
+            for mode in [FsimMode::Cached, FsimMode::Uncached] {
+                let lanes = cc.detect_all_mode(
+                    &faults.faults,
+                    &good,
+                    par,
+                    mode,
+                    &FsimCounters::default(),
+                );
+                assert_eq!(lanes, reference, "seed {seed} {par:?} {mode:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn atpg_result_is_mode_invariant_and_the_cache_does_less_work() {
+    let designs: [(&str, Netlist); 2] =
+        [("dsc", scanned_dsc()), ("ripple_adder", {
+            let nl = ripple_adder(16).expect("adder");
+            insert_scan(nl, &ScanConfig::default()).expect("scan").0
+        })];
+    for (name, nl) in &designs {
+        for seed in [3u64, 11] {
+            let cfg = AtpgConfig {
+                seed,
+                fault_sample: Some(250),
+                max_random_blocks: 6,
+                ..AtpgConfig::default()
+            };
+            let uncached = Atpg::new(
+                nl,
+                AtpgConfig { fsim_mode: FsimMode::Uncached, ..cfg.clone() },
+            )
+            .expect("atpg")
+            .run();
+            for par in PAR {
+                let cached = Atpg::new(
+                    nl,
+                    AtpgConfig {
+                        fsim_mode: FsimMode::Cached,
+                        parallelism: par,
+                        ..cfg.clone()
+                    },
+                )
+                .expect("atpg")
+                .run();
+                let ctx = format!("{name} seed {seed} {par:?}");
+                assert_same_result(&cached, &uncached, &ctx);
+                assert_eq!(
+                    cached.fsim_stats.faults_simulated,
+                    uncached.fsim_stats.faults_simulated,
+                    "{ctx}: faults_simulated"
+                );
+                assert!(
+                    cached.fsim_stats.gate_evals < uncached.fsim_stats.gate_evals,
+                    "{ctx}: cached evals {} !< uncached {}",
+                    cached.fsim_stats.gate_evals,
+                    uncached.fsim_stats.gate_evals
+                );
+                assert!(
+                    cached.fsim_stats.early_exits > 0,
+                    "{ctx}: no early exits recorded"
+                );
+                assert!(
+                    cached.fsim_stats.allocations < uncached.fsim_stats.allocations,
+                    "{ctx}: cached allocations {} !< uncached {}",
+                    cached.fsim_stats.allocations,
+                    uncached.fsim_stats.allocations
+                );
+            }
+        }
+    }
+}

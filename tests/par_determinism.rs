@@ -49,9 +49,17 @@ fn atpg_coverage_is_thread_count_invariant() {
             assert_eq!(par.detected, serial.detected, "seed {seed} t{t}");
             assert_eq!(par.untestable, serial.untestable, "seed {seed} t{t}");
             assert_eq!(par.aborted, serial.aborted, "seed {seed} t{t}");
+            assert_eq!(par.not_attempted, serial.not_attempted, "seed {seed} t{t}");
             assert_eq!(par.random_detected, serial.random_detected, "seed {seed} t{t}");
             assert_eq!(par.podem_detected, serial.podem_detected, "seed {seed} t{t}");
             assert_eq!(par.patterns, serial.patterns, "seed {seed} t{t}");
+            // fsim work is deterministic too: the same faults are
+            // simulated against the same pattern blocks at any t
+            assert_eq!(
+                par.fsim_stats.gate_evals,
+                serial.fsim_stats.gate_evals,
+                "seed {seed} t{t}"
+            );
         }
     }
 }
