@@ -21,6 +21,15 @@ t2=$(date +%s)
 echo "tier-1 test wall clock: $((t2 - t1)) s"
 echo "tier-1 total wall clock: $((t2 - t0)) s"
 
+# Fast standalone re-run of the supervisor's fault-injection matrix
+# (every stage x every fault kind must recover or fail typed). Already
+# covered by the suite above; kept as its own target so a resilience
+# regression is named in the CI log.
+echo "== resilience: fault-injection smoke =="
+cargo test -q --release --test resilience fault_injection_matrix
+t3=$(date +%s)
+echo "fault-injection smoke wall clock: $((t3 - t2)) s"
+
 echo "== clippy (all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

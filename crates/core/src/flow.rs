@@ -1,9 +1,31 @@
-//! The Netlist→GDSII flow engine.
+//! The Netlist→GDSII flow engine, run by a resilient supervisor.
 //!
 //! The paper's silicon phase in one call: validate → pre-layout STA →
 //! scan insertion → ATPG → floorplan/place/CTS/route/extract → sign-off
 //! STA with a timing-fix ECO loop (the "physical synthesis" role) →
 //! formal equivalence across the fixes → DRC/LVS → GDSII.
+//!
+//! Since the flow supervisor rebuild, the flow is a sequence of named
+//! [`StageId`]s driven by [`FlowSupervisor`]:
+//!
+//! * every stage runs under `catch_unwind`, so a panicking kernel
+//!   surfaces as [`FlowError::StagePanic`] instead of tearing down the
+//!   caller (a batch service keeps serving its other jobs);
+//! * each stage's output is checked against [`QualityGates`] (ATPG
+//!   coverage floor, routing-overflow cap, equivalence verdict, …) and
+//!   on a gate failure the stage is retried with a deterministic
+//!   effort escalation — more SA starts for placement, extra rip-up
+//!   rounds and congestion penalty for routing, a raised backtrack
+//!   budget for ATPG, a bigger BDD budget for equivalence — up to a
+//!   [`RetryPolicy`] budget;
+//! * every attempt is recorded in a [`FlowTrace`] surfaced on
+//!   [`FlowResult::trace`] and carried by [`FlowError::Exhausted`];
+//! * completed stage outputs live in a [`FlowCheckpoint`], so a failed
+//!   run resumes from the last good stage via
+//!   [`FlowSupervisor::resume`] without redoing earlier work;
+//! * a seeded [`FaultInjector`] (no-op in production) deterministically
+//!   forces stage failures, panics and degraded outputs so the
+//!   recovery paths are themselves testable.
 //!
 //! The ECO loop's sign-off timing is maintained **incrementally**: the
 //! engine baselines one full analysis on the routed view, then each
@@ -14,18 +36,26 @@
 //! [`FlowOptions::sta_cone_fraction`] bounds the cone before the engine
 //! falls back to a full re-annotation.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
 use camsoc_dft::atpg::{Atpg, AtpgConfig, AtpgResult};
 use camsoc_dft::fsim::FsimMode;
 use camsoc_dft::scan::{insert_scan, ScanConfig, ScanReport};
 use camsoc_layout::lvs::{compare as lvs_compare, LvsReport};
 use camsoc_layout::{gdsii, implement, ImplementOptions, LayoutError, LayoutResult};
 use camsoc_netlist::eco::EcoSession;
-use camsoc_netlist::equiv::{check_equivalence, EquivOptions, EquivReport};
+use camsoc_netlist::equiv::{check_equivalence, EquivOptions, EquivReport, EquivVerdict};
 use camsoc_netlist::graph::Netlist;
 use camsoc_netlist::tech::Technology;
 use camsoc_netlist::NetlistError;
 use camsoc_par::Parallelism;
 use camsoc_sta::{Constraints, IncrementalSta, Sta, StaError, TimingReport, UpdateStats};
+
+use crate::resilience::{
+    AttemptOutcome, FaultInjector, FaultKind, FlowTrace, QualityGates, RetryPolicy,
+    StageAttempt, StageId,
+};
 
 /// Flow configuration.
 #[derive(Debug, Clone)]
@@ -106,6 +136,9 @@ pub struct FlowResult {
     pub gds: Vec<u8>,
     /// The final netlist (scanned + timing fixes).
     pub netlist: Netlist,
+    /// Attempt-by-attempt supervision record (one successful attempt
+    /// per stage on a clean run).
+    pub trace: FlowTrace,
 }
 
 impl FlowResult {
@@ -128,6 +161,46 @@ pub enum FlowError {
     Sta(StaError),
     /// Back-end problem.
     Layout(LayoutError),
+    /// A stage panicked; the payload was contained by the supervisor.
+    StagePanic {
+        /// Stage that panicked.
+        stage: StageId,
+        /// Rendered panic payload.
+        payload: String,
+    },
+    /// A [`FaultInjector`] forced this stage to fail (test-only by
+    /// construction — the production injector never fires).
+    Injected {
+        /// Stage the fault fired on.
+        stage: StageId,
+    },
+    /// A quality gate rejected the stage's output.
+    Gate {
+        /// Stage whose output was rejected.
+        stage: StageId,
+        /// Human-readable gate verdict.
+        reason: String,
+    },
+    /// A stage was started without its prerequisite product (a drained
+    /// or hand-built checkpoint).
+    MissingInput {
+        /// Stage that could not start.
+        stage: StageId,
+        /// The missing product.
+        what: &'static str,
+    },
+    /// A stage kept failing until the retry budget ran out. Carries
+    /// the full supervision trace and the last attempt's error.
+    Exhausted {
+        /// Stage that exhausted its budget.
+        stage: StageId,
+        /// Attempts made.
+        attempts: usize,
+        /// The final attempt's error.
+        last: Box<FlowError>,
+        /// Full attempt-by-attempt record of the run so far.
+        trace: Box<FlowTrace>,
+    },
 }
 
 impl std::fmt::Display for FlowError {
@@ -136,11 +209,36 @@ impl std::fmt::Display for FlowError {
             FlowError::Netlist(e) => write!(f, "netlist: {e}"),
             FlowError::Sta(e) => write!(f, "sta: {e}"),
             FlowError::Layout(e) => write!(f, "layout: {e}"),
+            FlowError::StagePanic { stage, payload } => {
+                write!(f, "stage {stage} panicked: {payload}")
+            }
+            FlowError::Injected { stage } => {
+                write!(f, "stage {stage}: injected fault")
+            }
+            FlowError::Gate { stage, reason } => {
+                write!(f, "stage {stage} gate failed: {reason}")
+            }
+            FlowError::MissingInput { stage, what } => {
+                write!(f, "stage {stage} cannot start: missing {what}")
+            }
+            FlowError::Exhausted { stage, attempts, last, .. } => {
+                write!(f, "stage {stage} exhausted {attempts} attempts; last: {last}")
+            }
         }
     }
 }
 
-impl std::error::Error for FlowError {}
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Netlist(e) => Some(e),
+            FlowError::Sta(e) => Some(e),
+            FlowError::Layout(e) => Some(e),
+            FlowError::Exhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl From<NetlistError> for FlowError {
     fn from(e: NetlistError) -> Self {
@@ -158,47 +256,630 @@ impl From<LayoutError> for FlowError {
     }
 }
 
-/// Run the full flow on a netlist.
-///
-/// # Errors
-///
-/// [`FlowError`] from any stage.
-pub fn run_flow(netlist: Netlist, options: &FlowOptions) -> Result<FlowResult, FlowError> {
-    netlist.validate()?;
-    let constraints =
-        Constraints::single_clock(&options.clock_port, options.clock_period_ns);
+impl FlowError {
+    /// True for failures worth retrying with the same recipe: contained
+    /// panics and injected faults. Typed domain errors (bad netlist, no
+    /// clock, infeasible floorplan) are deterministic — retrying them
+    /// re-derives the same error, so the supervisor fails fast instead.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FlowError::StagePanic { .. } | FlowError::Injected { .. })
+    }
+}
 
-    // thread the flow-level parallelism switch into every stage that has
-    // a parallel path
-    let atpg_options = AtpgConfig {
+/// Output of the timing-fix ECO loop stage.
+#[derive(Debug)]
+struct TimingFixOutcome {
+    netlist: Netlist,
+    signoff_timing: TimingReport,
+    timing_ecos: usize,
+    sta_incremental_evals: usize,
+    sta_full_evals: usize,
+}
+
+/// One stage's committed product.
+#[allow(clippy::large_enum_variant)] // transient: moved straight into FlowState
+#[derive(Debug)]
+enum StageOutput {
+    Validated,
+    PreSta(TimingReport),
+    Scan { netlist: Netlist, report: ScanReport },
+    Atpg(AtpgResult),
+    Layout(LayoutResult),
+    TimingFix(TimingFixOutcome),
+    Equiv(EquivReport),
+    Lvs(LvsReport),
+    StreamOut(Vec<u8>),
+}
+
+/// All intermediate products of a run, one slot per completed stage.
+#[derive(Debug, Default)]
+struct FlowState {
+    input: Option<Netlist>,
+    validated: bool,
+    pre_layout_timing: Option<TimingReport>,
+    scanned: Option<Netlist>,
+    scan: Option<ScanReport>,
+    atpg: Option<AtpgResult>,
+    layout: Option<LayoutResult>,
+    fix: Option<TimingFixOutcome>,
+    equivalence: Option<EquivReport>,
+    lvs: Option<LvsReport>,
+    gds: Option<Vec<u8>>,
+}
+
+/// In-memory checkpoint of a (possibly partial) flow run: the products
+/// of every completed stage plus the supervision trace.
+///
+/// Create one with [`FlowCheckpoint::new`], drive it with
+/// [`FlowSupervisor::resume`]. If the run fails, the checkpoint keeps
+/// every stage completed so far; a later `resume` (possibly with
+/// different options, gates or budget) continues from the last good
+/// stage without redoing earlier work. A **successful** run drains the
+/// checkpoint into its [`FlowResult`]; the checkpoint is then spent.
+#[derive(Debug, Default)]
+pub struct FlowCheckpoint {
+    state: FlowState,
+    trace: FlowTrace,
+}
+
+impl FlowCheckpoint {
+    /// Start a checkpoint from an unprocessed netlist.
+    pub fn new(netlist: Netlist) -> Self {
+        FlowCheckpoint {
+            state: FlowState { input: Some(netlist), ..FlowState::default() },
+            trace: FlowTrace::default(),
+        }
+    }
+
+    /// Whether a stage's product is present.
+    pub fn is_complete(&self, stage: StageId) -> bool {
+        let s = &self.state;
+        match stage {
+            StageId::Validate => s.validated,
+            StageId::PreSta => s.pre_layout_timing.is_some(),
+            StageId::Scan => s.scanned.is_some() && s.scan.is_some(),
+            StageId::Atpg => s.atpg.is_some(),
+            StageId::Layout => s.layout.is_some(),
+            StageId::TimingFix => s.fix.is_some(),
+            StageId::Equiv => s.equivalence.is_some(),
+            StageId::Lvs => s.lvs.is_some(),
+            StageId::StreamOut => s.gds.is_some(),
+        }
+    }
+
+    /// Stages whose products are present, in execution order.
+    pub fn completed_stages(&self) -> Vec<StageId> {
+        StageId::ALL.into_iter().filter(|&s| self.is_complete(s)).collect()
+    }
+
+    /// The supervision trace accumulated so far (spans resumes).
+    pub fn trace(&self) -> &FlowTrace {
+        &self.trace
+    }
+
+    fn commit(&mut self, stage: StageId, output: StageOutput) {
+        let s = &mut self.state;
+        match (stage, output) {
+            (StageId::Validate, StageOutput::Validated) => s.validated = true,
+            (StageId::PreSta, StageOutput::PreSta(t)) => s.pre_layout_timing = Some(t),
+            (StageId::Scan, StageOutput::Scan { netlist, report }) => {
+                s.scanned = Some(netlist);
+                s.scan = Some(report);
+            }
+            (StageId::Atpg, StageOutput::Atpg(r)) => s.atpg = Some(r),
+            (StageId::Layout, StageOutput::Layout(l)) => s.layout = Some(l),
+            (StageId::TimingFix, StageOutput::TimingFix(fx)) => s.fix = Some(fx),
+            (StageId::Equiv, StageOutput::Equiv(r)) => s.equivalence = Some(r),
+            (StageId::Lvs, StageOutput::Lvs(r)) => s.lvs = Some(r),
+            (StageId::StreamOut, StageOutput::StreamOut(g)) => s.gds = Some(g),
+            // execute_stage returns the matching variant for its stage
+            _ => unreachable!("stage/output mismatch"),
+        }
+    }
+
+    fn take_result(&mut self) -> Result<FlowResult, FlowError> {
+        fn take<T>(
+            slot: &mut Option<T>,
+            stage: StageId,
+            what: &'static str,
+        ) -> Result<T, FlowError> {
+            slot.take().ok_or(FlowError::MissingInput { stage, what })
+        }
+        let s = &mut self.state;
+        let fix = take(&mut s.fix, StageId::TimingFix, "timing-fix outcome")?;
+        let result = FlowResult {
+            pre_layout_timing: take(
+                &mut s.pre_layout_timing,
+                StageId::PreSta,
+                "pre-layout timing",
+            )?,
+            scan: take(&mut s.scan, StageId::Scan, "scan report")?,
+            atpg: take(&mut s.atpg, StageId::Atpg, "atpg result")?,
+            layout: take(&mut s.layout, StageId::Layout, "layout result")?,
+            signoff_timing: fix.signoff_timing,
+            timing_ecos: fix.timing_ecos,
+            sta_incremental_evals: fix.sta_incremental_evals,
+            sta_full_evals: fix.sta_full_evals,
+            equivalence: take(&mut s.equivalence, StageId::Equiv, "equivalence report")?,
+            lvs: take(&mut s.lvs, StageId::Lvs, "lvs report")?,
+            gds: take(&mut s.gds, StageId::StreamOut, "gds stream")?,
+            netlist: fix.netlist,
+            trace: std::mem::take(&mut self.trace),
+        };
+        // fully spend the checkpoint: retaining the input would let a
+        // second resume silently re-run the flow from scratch
+        self.state = FlowState::default();
+        Ok(result)
+    }
+}
+
+/// Staged, supervised execution of the Netlist→GDSII flow.
+///
+/// Wraps every stage in `catch_unwind`, checks [`QualityGates`] on each
+/// output, retries failures under a [`RetryPolicy`] with deterministic
+/// effort escalation, records everything in a [`FlowTrace`], and keeps
+/// a [`FlowCheckpoint`] so failed runs resume from the last good stage.
+///
+/// ```
+/// use camsoc_core::flow::{FlowOptions, FlowSupervisor};
+/// use camsoc_netlist::generate::{self, IpBlockParams};
+///
+/// let nl = generate::ip_block(
+///     "blk",
+///     &IpBlockParams { target_gates: 200, seed: 1, ..Default::default() },
+/// )
+/// .unwrap();
+/// let result = FlowSupervisor::new(FlowOptions::default()).run(nl).unwrap();
+/// assert!(result.tapeout_ready());
+/// // one successful attempt per stage, nothing retried
+/// assert_eq!(result.trace.attempts.len(), 9);
+/// assert_eq!(result.trace.retries(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlowSupervisor {
+    options: FlowOptions,
+    policy: RetryPolicy,
+    gates: QualityGates,
+    injector: FaultInjector,
+}
+
+impl FlowSupervisor {
+    /// Supervisor with the default retry policy, gates and no fault
+    /// injection.
+    pub fn new(options: FlowOptions) -> Self {
+        FlowSupervisor {
+            options,
+            policy: RetryPolicy::default(),
+            gates: QualityGates::default(),
+            injector: FaultInjector::none(),
+        }
+    }
+
+    /// Replace the retry/escalation budget.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the per-stage quality gates.
+    pub fn with_gates(mut self, gates: QualityGates) -> Self {
+        self.gates = gates;
+        self
+    }
+
+    /// Arm a fault injector (testing only; the default injector never
+    /// fires).
+    pub fn with_injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = injector;
+        self
+    }
+
+    /// Run the full flow from scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError`] once a stage fails beyond recovery. For a
+    /// resumable run, use [`FlowSupervisor::resume`] with your own
+    /// [`FlowCheckpoint`] — `run` discards the checkpoint on failure.
+    pub fn run(&self, netlist: Netlist) -> Result<FlowResult, FlowError> {
+        let mut checkpoint = FlowCheckpoint::new(netlist);
+        self.resume(&mut checkpoint)
+    }
+
+    /// Drive every stage the checkpoint has not yet completed. Fresh
+    /// checkpoints run the whole flow; partial ones (from a failed
+    /// earlier run) continue from the last good stage without redoing
+    /// earlier work.
+    ///
+    /// On success the checkpoint's products are drained into the
+    /// returned [`FlowResult`] (the checkpoint is then spent). On
+    /// failure the checkpoint keeps everything completed so far and can
+    /// be resumed again.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError`] once a stage fails beyond recovery: immediately
+    /// for deterministic domain errors (see [`FlowError::is_transient`])
+    /// or as [`FlowError::Exhausted`] when the retry budget runs out.
+    pub fn resume(&self, checkpoint: &mut FlowCheckpoint) -> Result<FlowResult, FlowError> {
+        checkpoint.trace.resumed = !checkpoint.completed_stages().is_empty();
+        for stage in StageId::ALL {
+            if checkpoint.is_complete(stage) {
+                continue;
+            }
+            self.run_stage(stage, checkpoint)?;
+        }
+        checkpoint.take_result()
+    }
+
+    fn run_stage(
+        &self,
+        stage: StageId,
+        checkpoint: &mut FlowCheckpoint,
+    ) -> Result<(), FlowError> {
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut effort = 0u32;
+        let mut last: Option<FlowError> = None;
+        for attempt in 0..max_attempts {
+            let escalations = escalation_notes(stage, effort);
+            let started = Instant::now();
+            let outcome = self.attempt_stage(stage, &checkpoint.state, attempt, effort);
+            let duration = started.elapsed();
+            let mut record = |outcome: AttemptOutcome| {
+                checkpoint.trace.attempts.push(StageAttempt {
+                    stage,
+                    attempt,
+                    effort,
+                    escalations: escalations.clone(),
+                    duration,
+                    outcome,
+                });
+            };
+            match outcome {
+                Ok(output) => match check_gates(&output, &self.gates) {
+                    Ok(()) => {
+                        record(AttemptOutcome::Success);
+                        checkpoint.commit(stage, output);
+                        return Ok(());
+                    }
+                    Err(reason) => {
+                        record(AttemptOutcome::GateFailed { reason: reason.clone() });
+                        last = Some(gate_error(stage, &output, reason));
+                        // quality shortfall: escalate effort for the retry
+                        effort = (effort + 1).min(self.policy.max_effort);
+                    }
+                },
+                Err(e) => {
+                    if let FlowError::StagePanic { payload, .. } = &e {
+                        record(AttemptOutcome::Panicked { payload: payload.clone() });
+                    } else {
+                        record(AttemptOutcome::Error { message: e.to_string() });
+                    }
+                    if !e.is_transient() {
+                        // deterministic domain error: retrying re-derives it
+                        return Err(e);
+                    }
+                    // transient: retry the same recipe (bit-identical on
+                    // recovery), no escalation
+                    last = Some(e);
+                }
+            }
+        }
+        Err(FlowError::Exhausted {
+            stage,
+            attempts: max_attempts,
+            last: Box::new(last.unwrap_or(FlowError::Gate {
+                stage,
+                reason: "no attempt ran".to_string(),
+            })),
+            trace: Box::new(checkpoint.trace.clone()),
+        })
+    }
+
+    fn attempt_stage(
+        &self,
+        stage: StageId,
+        state: &FlowState,
+        attempt: usize,
+        effort: u32,
+    ) -> Result<StageOutput, FlowError> {
+        let fault = self.injector.fault_for(stage, attempt);
+        match fault {
+            Some(FaultKind::Error) => return Err(FlowError::Injected { stage }),
+            // stages without a gated output degrade into a hard error
+            Some(FaultKind::Degrade)
+                if matches!(stage, StageId::Validate | StageId::PreSta) =>
+            {
+                return Err(FlowError::Injected { stage });
+            }
+            _ => {}
+        }
+        let panic_payload = matches!(fault, Some(FaultKind::Panic))
+            .then(|| self.injector.payload(stage, attempt));
+        // Contain panics: state is only read inside, and the output is
+        // discarded on unwind, so no partially-mutated product escapes.
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(p) = &panic_payload {
+                panic!("{p}");
+            }
+            execute_stage(stage, state, &self.options, effort)
+        }));
+        match unwound {
+            Ok(Ok(mut output)) => {
+                if matches!(fault, Some(FaultKind::Degrade)) {
+                    degrade_output(stage, &mut output);
+                }
+                Ok(output)
+            }
+            Ok(Err(e)) => Err(e),
+            Err(payload) => {
+                Err(FlowError::StagePanic { stage, payload: panic_message(payload) })
+            }
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn require<'a, T>(
+    slot: &'a Option<T>,
+    stage: StageId,
+    what: &'static str,
+) -> Result<&'a T, FlowError> {
+    slot.as_ref().ok_or(FlowError::MissingInput { stage, what })
+}
+
+/// Human-readable knob changes an effort level applies (empty at the
+/// base level and for stages without effort knobs).
+fn escalation_notes(stage: StageId, effort: u32) -> Vec<String> {
+    if effort == 0 {
+        return Vec::new();
+    }
+    match stage {
+        StageId::Atpg => vec![
+            format!("podem backtrack x{}", 1u64 << effort.min(16)),
+            format!("+{} random blocks", 32 * effort),
+            format!("+{} stall tolerance", 2 * effort),
+        ],
+        StageId::Layout => vec![
+            format!("+{effort} placement starts"),
+            format!("+{} reroute rounds", 4 * effort),
+            format!("congestion penalty x{:.1}", 1.0 + 0.5 * f64::from(effort)),
+        ],
+        StageId::TimingFix => vec![format!("+{} fix iterations", 2 * effort)],
+        StageId::Equiv => vec![
+            format!("+{} random rounds", 16 * effort),
+            format!("+{} BDD support", 4 * effort),
+            format!("BDD nodes x{}", 1u64 << effort.min(16)),
+        ],
+        _ => Vec::new(),
+    }
+}
+
+/// The per-stage quality gates (a disabled gate always passes). The
+/// output variant identifies the stage, so matching on the output alone
+/// is enough.
+fn check_gates(output: &StageOutput, gates: &QualityGates) -> Result<(), String> {
+    let failure = match output {
+        StageOutput::Scan { report, .. } => match gates.min_scan_flops {
+            Some(min) if report.scan_flops < min => {
+                Some(format!("{} scan flops < floor {min}", report.scan_flops))
+            }
+            _ => None,
+        },
+        StageOutput::Atpg(r) => match gates.min_fault_coverage {
+            Some(floor) if r.fault_coverage() < floor => Some(format!(
+                "fault coverage {:.3} < floor {floor:.3}",
+                r.fault_coverage()
+            )),
+            _ => None,
+        },
+        StageOutput::Layout(l) => match gates.max_route_overflow {
+            Some(cap) if l.routing.total_overflow > cap => Some(format!(
+                "routing overflow {} tracks ({} nets) > cap {cap}",
+                l.routing.total_overflow, l.routing.unrouted_nets
+            )),
+            _ => None,
+        },
+        StageOutput::TimingFix(fx)
+            if gates.require_timing_closure && !fx.signoff_timing.clean() =>
+        {
+            Some(format!(
+                "timing not closed: setup WNS {:+.3} ns ({} viol), hold WNS {:+.3} ns ({} viol)",
+                fx.signoff_timing.setup.wns_ns,
+                fx.signoff_timing.setup.violations,
+                fx.signoff_timing.hold.wns_ns,
+                fx.signoff_timing.hold.violations
+            ))
+        }
+        StageOutput::Equiv(r) if gates.require_equivalence && !r.passed() => {
+            Some(format!("equivalence verdict {:?}", r.verdict))
+        }
+        StageOutput::Lvs(r) if gates.require_lvs_clean && !r.clean() => {
+            Some(format!("{} LVS mismatches", r.mismatches.len()))
+        }
+        StageOutput::StreamOut(gds) if gates.require_gds => {
+            if gds.is_empty() {
+                Some("empty GDSII stream".to_string())
+            } else if let Err(e) = gdsii::verify(gds) {
+                Some(format!("malformed GDSII stream: {e}"))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    };
+    match failure {
+        Some(reason) => Err(reason),
+        None => Ok(()),
+    }
+}
+
+/// The typed error a gate failure becomes once the budget is exhausted.
+fn gate_error(stage: StageId, output: &StageOutput, reason: String) -> FlowError {
+    if let (StageId::Layout, StageOutput::Layout(l)) = (stage, output) {
+        return FlowError::Layout(LayoutError::Routing {
+            total_overflow: l.routing.total_overflow,
+            unrouted: l.routing.unrouted_nets,
+        });
+    }
+    FlowError::Gate { stage, reason }
+}
+
+/// Corrupt a stage's output so its gate rejects it (fault injection
+/// only).
+fn degrade_output(stage: StageId, output: &mut StageOutput) {
+    match (stage, output) {
+        (StageId::Scan, StageOutput::Scan { report, .. }) => {
+            report.scan_flops = 0;
+            report.chains.clear();
+        }
+        (StageId::Atpg, StageOutput::Atpg(r)) => {
+            r.detected = 0;
+            r.random_detected = 0;
+            r.podem_detected = 0;
+            r.patterns.clear();
+        }
+        (StageId::Layout, StageOutput::Layout(l)) => {
+            l.routing.total_overflow += 1_000;
+            l.routing.overflowed_edges += 1;
+            l.routing.unrouted_nets += 17;
+        }
+        (StageId::TimingFix, StageOutput::TimingFix(fx)) => {
+            fx.signoff_timing.setup.wns_ns = -1.0;
+            fx.signoff_timing.setup.tns_ns = -1.0;
+            fx.signoff_timing.setup.violations = 1;
+        }
+        (StageId::Equiv, StageOutput::Equiv(r)) => {
+            r.verdict = EquivVerdict::InterfaceMismatch {
+                detail: "injected degradation".to_string(),
+            };
+        }
+        (StageId::Lvs, StageOutput::Lvs(r)) => {
+            r.mismatches.push(camsoc_layout::lvs::LvsMismatch::InstanceOnlyIn {
+                side: "layout",
+                name: "injected_degradation".to_string(),
+            });
+        }
+        (StageId::StreamOut, StageOutput::StreamOut(gds)) => gds.clear(),
+        _ => {}
+    }
+}
+
+fn atpg_config(options: &FlowOptions, effort: u32) -> AtpgConfig {
+    AtpgConfig {
         parallelism: options.parallelism,
         fsim_mode: options.fsim_mode,
         ..options.atpg.clone()
-    };
-    let mut layout_options = options.layout.clone();
-    layout_options.placement.parallelism = options.parallelism;
-    let equiv_options =
-        EquivOptions { parallelism: options.parallelism, ..options.equiv.clone() };
+    }
+    .escalated(effort)
+}
 
-    // 1. pre-layout STA
-    let pre_layout_timing = Sta::new(&netlist, &options.tech, constraints.clone()).analyze()?;
+fn layout_config(options: &FlowOptions, effort: u32) -> ImplementOptions {
+    let mut layout = options.layout.clone();
+    layout.placement.parallelism = options.parallelism;
+    layout.escalated(effort)
+}
 
-    // 2. scan insertion
-    let (scanned, scan_report) = insert_scan(netlist, &options.scan)?;
+fn equiv_config(options: &FlowOptions, effort: u32) -> EquivOptions {
+    EquivOptions { parallelism: options.parallelism, ..options.equiv.clone() }
+        .escalated(effort)
+}
 
-    // 3. ATPG
-    let atpg_result = Atpg::new(&scanned, atpg_options)?.run();
+/// Run one stage against the current state. Pure with respect to
+/// `state`: outputs are returned, never written in place, so a panicked
+/// or rejected attempt leaves no partial product behind.
+fn execute_stage(
+    stage: StageId,
+    state: &FlowState,
+    options: &FlowOptions,
+    effort: u32,
+) -> Result<StageOutput, FlowError> {
+    let constraints =
+        Constraints::single_clock(&options.clock_port, options.clock_period_ns);
+    match stage {
+        StageId::Validate => {
+            require(&state.input, stage, "input netlist")?.validate()?;
+            Ok(StageOutput::Validated)
+        }
+        StageId::PreSta => {
+            let nl = require(&state.input, stage, "input netlist")?;
+            let report = Sta::new(nl, &options.tech, constraints).analyze()?;
+            Ok(StageOutput::PreSta(report))
+        }
+        StageId::Scan => {
+            let nl = require(&state.input, stage, "input netlist")?;
+            let (scanned, report) = insert_scan(nl.clone(), &options.scan)?;
+            Ok(StageOutput::Scan { netlist: scanned, report })
+        }
+        StageId::Atpg => {
+            let scanned = require(&state.scanned, stage, "scanned netlist")?;
+            let result = Atpg::new(scanned, atpg_config(options, effort))?.run();
+            Ok(StageOutput::Atpg(result))
+        }
+        StageId::Layout => {
+            let scanned = require(&state.scanned, stage, "scanned netlist")?;
+            let result = implement(
+                scanned,
+                &options.tech,
+                &constraints,
+                &layout_config(options, effort),
+            )?;
+            Ok(StageOutput::Layout(result))
+        }
+        StageId::TimingFix => {
+            let scanned = require(&state.scanned, stage, "scanned netlist")?;
+            let layout = require(&state.layout, stage, "layout result")?;
+            let outcome = stage_timing_fix(scanned, layout, options, effort)?;
+            Ok(StageOutput::TimingFix(outcome))
+        }
+        StageId::Equiv => {
+            let scanned = require(&state.scanned, stage, "scanned netlist")?;
+            let fix = require(&state.fix, stage, "timing-fix outcome")?;
+            let report =
+                check_equivalence(scanned, &fix.netlist, &equiv_config(options, effort))?;
+            Ok(StageOutput::Equiv(report))
+        }
+        StageId::Lvs => {
+            // final netlist vs the "extracted" database (identity here —
+            // extraction corruption is exercised in the LVS crate's own
+            // tests)
+            let fix = require(&state.fix, stage, "timing-fix outcome")?;
+            Ok(StageOutput::Lvs(lvs_compare(&fix.netlist, &fix.netlist.clone())))
+        }
+        StageId::StreamOut => {
+            let fix = require(&state.fix, stage, "timing-fix outcome")?;
+            let layout = require(&state.layout, stage, "layout result")?;
+            Ok(StageOutput::StreamOut(stream_out(&fix.netlist, layout)))
+        }
+    }
+}
 
-    // 4. back end
-    let layout_result = implement(&scanned, &options.tech, &constraints, &layout_options)?;
-
-    // 5. timing-fix ECO loop on the sign-off view: upsizing for setup,
-    //    delay-buffer insertion for hold (the paper's "3 ECO changes to
-    //    fix setup/hold time violation")
+/// The timing-fix ECO loop on the sign-off view: upsizing for setup,
+/// delay-buffer insertion for hold (the paper's "3 ECO changes to fix
+/// setup/hold time violation"). Timing is re-derived incrementally per
+/// fix round. Effort escalation widens the iteration budget.
+fn stage_timing_fix(
+    scanned: &Netlist,
+    layout: &LayoutResult,
+    options: &FlowOptions,
+    effort: u32,
+) -> Result<TimingFixOutcome, FlowError> {
+    let constraints =
+        Constraints::single_clock(&options.clock_port, options.clock_period_ns);
+    let max_timing_fixes = options.max_timing_fixes + 2 * effort as usize;
     let mut eco = EcoSession::new(scanned.clone());
-    let mut signoff_timing = layout_result.timing.clone();
+    let mut signoff_timing = layout.timing.clone();
     let mut timing_ecos = 0usize;
-    let mut wires = layout_result.wire_delays_ns.clone();
+    let mut wires = layout.wire_delays_ns.clone();
     let mut sta_incremental_evals = 0usize;
     let mut sta_full_evals = 0usize;
     // Baseline the incremental engine on the pre-ECO sign-off view; each
@@ -212,7 +893,7 @@ pub fn run_flow(netlist: Netlist, options: &FlowOptions) -> Result<FlowResult, F
     } else {
         let (inc, _) = Sta::new(eco.netlist(), &options.tech, constraints.clone())
             .with_wire_delays(wires.clone())
-            .with_clock_latency(layout_result.clock_tree.latency_ns.clone())
+            .with_clock_latency(layout.clock_tree.latency_ns.clone())
             .into_incremental()?;
         Some(inc.with_max_cone_fraction(options.sta_cone_fraction))
     };
@@ -224,13 +905,26 @@ pub fn run_flow(netlist: Netlist, options: &FlowOptions) -> Result<FlowResult, F
         // placed next to their driver in a real flow)
         wires.resize(eco.netlist().num_nets(), 0.01);
         let delta = eco.take_delta();
-        let inc = engine.as_mut().expect("engine baselined before fix loops");
+        let inc = match engine {
+            Some(inc) => inc,
+            None => {
+                // graceful fallback: the loops engaged without a
+                // baseline (clean pre-ECO timing) — baseline now; the
+                // fresh annotation already reflects the edits in
+                // `delta`, and re-timing their cones is idempotent
+                let (inc, _) = Sta::new(eco.netlist(), &options.tech, constraints.clone())
+                    .with_wire_delays(wires.clone())
+                    .with_clock_latency(layout.clock_tree.latency_ns.clone())
+                    .into_incremental()?;
+                engine.insert(inc.with_max_cone_fraction(options.sta_cone_fraction))
+            }
+        };
         inc.set_wire_delays(wires.clone());
         let report = inc.update(eco.netlist(), &options.tech, &delta)?;
         Ok((report, *inc.stats()))
     };
     let mut iterations = 0usize;
-    while !signoff_timing.setup.clean() && iterations < options.max_timing_fixes {
+    while !signoff_timing.setup.clean() && iterations < max_timing_fixes {
         iterations += 1;
         let Some(path) = signoff_timing.critical_path.clone() else {
             break;
@@ -256,23 +950,24 @@ pub fn run_flow(netlist: Netlist, options: &FlowOptions) -> Result<FlowResult, F
         sta_full_evals += stats.full_evaluated;
     }
     let mut hold_rounds = 0usize;
-    let max_hold_rounds = options.max_timing_fixes.max(6);
+    let max_hold_rounds = max_timing_fixes.max(6);
     while !signoff_timing.hold.clean() && hold_rounds < max_hold_rounds {
         hold_rounds += 1;
         let mut fixed_any = false;
         for (net_name, _) in signoff_timing.hold_violations.clone() {
+            // two delay buffers per violating endpoint; either insertion
+            // counts as progress, and a net renamed/absorbed by the
+            // first insertion simply skips the second
             if let Some(net) = eco.netlist().find_net(&net_name) {
-                // two delay buffers per violating endpoint
                 if eco.insert_buffer(net, camsoc_netlist::cell::Drive::X1).is_ok() {
                     timing_ecos += 1;
                     fixed_any = true;
                 }
-                let net2 = eco
-                    .netlist()
-                    .find_net(&net_name)
-                    .expect("net persists");
-                if eco.insert_buffer(net2, camsoc_netlist::cell::Drive::X1).is_ok() {
-                    timing_ecos += 1;
+                if let Some(net2) = eco.netlist().find_net(&net_name) {
+                    if eco.insert_buffer(net2, camsoc_netlist::cell::Drive::X1).is_ok() {
+                        timing_ecos += 1;
+                        fixed_any = true;
+                    }
                 }
             }
         }
@@ -284,64 +979,81 @@ pub fn run_flow(netlist: Netlist, options: &FlowOptions) -> Result<FlowResult, F
         sta_incremental_evals += stats.evaluated;
         sta_full_evals += stats.full_evaluated;
     }
-    let (final_netlist, _) = eco.finish();
+    let (netlist, _) = eco.finish();
+    Ok(TimingFixOutcome {
+        netlist,
+        signoff_timing,
+        timing_ecos,
+        sta_incremental_evals,
+        sta_full_evals,
+    })
+}
 
-    // 6. formal equivalence: fixes must preserve function
-    let equivalence = check_equivalence(&scanned, &final_netlist, &equiv_options)?;
-
-    // 7. LVS: final netlist vs the "extracted" database (identity here —
-    //    extraction corruption is exercised in the LVS crate's own tests)
-    let lvs = lvs_compare(&final_netlist, &final_netlist.clone());
-
-    // 8. GDSII — ECO cells were added after placement; a real flow
-    //    legalises them next to their drivers, which is what the
-    //    incremental placement below does before streaming out.
-    let mut final_placement = layout_result.placement.clone();
+/// ECO cells were added after placement; a real flow legalises them
+/// next to their drivers, which is what the incremental placement here
+/// does before streaming out.
+fn stream_out(final_netlist: &Netlist, layout: &LayoutResult) -> Vec<u8> {
+    let mut final_placement = layout.placement.clone();
     for idx in final_placement.x.len()..final_netlist.num_instances() {
-        let inst =
-            final_netlist.instance(camsoc_netlist::graph::InstanceId(idx as u32));
+        let inst = final_netlist.instance(camsoc_netlist::graph::InstanceId(idx as u32));
         let anchor = inst
             .inputs
             .iter()
             .find_map(|&n| match final_netlist.net(n).driver {
                 Some(camsoc_netlist::graph::NetDriver::Instance(d))
-                    if d.index() < layout_result.placement.x.len() =>
+                    if d.index() < layout.placement.x.len() =>
                 {
                     Some((
-                        layout_result.placement.x[d.index()],
-                        layout_result.placement.y[d.index()],
-                        layout_result.placement.row[d.index()],
+                        layout.placement.x[d.index()],
+                        layout.placement.y[d.index()],
+                        layout.placement.row[d.index()],
                     ))
                 }
                 _ => None,
             })
             .unwrap_or((
-                layout_result.floorplan.core.w / 2.0,
-                layout_result.floorplan.core.h / 2.0,
+                layout.floorplan.core.w / 2.0,
+                layout.floorplan.core.h / 2.0,
                 0,
             ));
         // nudge each ECO cell so outlines do not coincide exactly
-        let nudge = (idx - layout_result.placement.x.len()) as f64 * 0.01 + 0.2;
-        final_placement.x.push((anchor.0 + nudge).min(layout_result.floorplan.core.w));
+        let nudge = (idx - layout.placement.x.len()) as f64 * 0.01 + 0.2;
+        final_placement.x.push((anchor.0 + nudge).min(layout.floorplan.core.w));
         final_placement.y.push(anchor.1);
         final_placement.row.push(anchor.2);
     }
-    let gds = gdsii::write(&final_netlist, &layout_result.floorplan, &final_placement);
+    gdsii::write(final_netlist, &layout.floorplan, &final_placement)
+}
 
-    Ok(FlowResult {
-        pre_layout_timing,
-        scan: scan_report,
-        atpg: atpg_result,
-        layout: layout_result,
-        signoff_timing,
-        timing_ecos,
-        sta_incremental_evals,
-        sta_full_evals,
-        equivalence,
-        lvs,
-        gds,
-        netlist: final_netlist,
-    })
+/// Run the full flow on a netlist under the default supervisor
+/// (default retry policy and quality gates, no fault injection).
+///
+/// # Errors
+///
+/// [`FlowError`] from any stage.
+pub fn run_flow(netlist: Netlist, options: &FlowOptions) -> Result<FlowResult, FlowError> {
+    FlowSupervisor::new(options.clone()).run(netlist)
+}
+
+/// The straight-line reference path: every stage once, in order, at
+/// base effort — no panic containment, no gates, no retries. This is
+/// the flow's pre-supervisor semantics, kept as the bit-identity
+/// reference for supervised runs (`tests/resilience.rs` asserts
+/// [`run_flow`] matches it exactly when nothing fails).
+///
+/// # Errors
+///
+/// [`FlowError`] from any stage.
+pub fn run_flow_unsupervised(
+    netlist: Netlist,
+    options: &FlowOptions,
+) -> Result<FlowResult, FlowError> {
+    let mut checkpoint = FlowCheckpoint::new(netlist);
+    for stage in StageId::ALL {
+        let output = execute_stage(stage, &checkpoint.state, options, 0)?;
+        checkpoint.commit(stage, output);
+    }
+    checkpoint.take_result()
 }
 
 #[cfg(test)]
@@ -390,6 +1102,10 @@ mod tests {
             result.signoff_timing.hold,
             result.layout.drc.summary()
         );
+        // a clean supervised run: one successful attempt per stage
+        assert_eq!(result.trace.attempts.len(), StageId::ALL.len());
+        assert_eq!(result.trace.retries(), 0);
+        assert!(result.trace.attempts.iter().all(|a| a.outcome.is_success()));
     }
 
     #[test]
@@ -432,9 +1148,123 @@ mod tests {
             "top",
         )
         .unwrap();
+        // a deterministic domain error is not retried: it surfaces
+        // directly, not wrapped in Exhausted
         assert!(matches!(
             run_flow(nl, &FlowOptions::default()),
             Err(FlowError::Netlist(_))
         ));
+    }
+
+    #[test]
+    fn tapeout_gates_fail_individually() {
+        let design = build_dsc(0.015).unwrap();
+        let mut result = run_flow(design.netlist, &quick_options()).unwrap();
+        assert!(result.tapeout_ready());
+
+        // setup timing
+        let clean_setup = result.signoff_timing.setup;
+        result.signoff_timing.setup.violations = 1;
+        result.signoff_timing.setup.wns_ns = -0.5;
+        assert!(!result.tapeout_ready(), "setup gate did not trip");
+        result.signoff_timing.setup = clean_setup;
+        assert!(result.tapeout_ready());
+
+        // hold timing
+        let clean_hold = result.signoff_timing.hold;
+        result.signoff_timing.hold.violations = 2;
+        result.signoff_timing.hold.wns_ns = -0.1;
+        assert!(!result.tapeout_ready(), "hold gate did not trip");
+        result.signoff_timing.hold = clean_hold;
+        assert!(result.tapeout_ready());
+
+        // drc
+        result.layout.drc.violations.push(
+            camsoc_layout::drc::DrcViolation::RoutingOverflow { edges: 3 },
+        );
+        assert!(!result.tapeout_ready(), "drc gate did not trip");
+        result.layout.drc.violations.clear();
+        assert!(result.tapeout_ready());
+
+        // lvs
+        result.lvs.mismatches.push(
+            camsoc_layout::lvs::LvsMismatch::InstanceOnlyIn {
+                side: "layout",
+                name: "ghost".to_string(),
+            },
+        );
+        assert!(!result.tapeout_ready(), "lvs gate did not trip");
+        result.lvs.mismatches.clear();
+        assert!(result.tapeout_ready());
+
+        // formal equivalence
+        let clean_verdict = result.equivalence.verdict.clone();
+        result.equivalence.verdict =
+            EquivVerdict::InterfaceMismatch { detail: "x".to_string() };
+        assert!(!result.tapeout_ready(), "equivalence gate did not trip");
+        result.equivalence.verdict = clean_verdict;
+        assert!(result.tapeout_ready());
+    }
+
+    #[test]
+    fn flow_error_display_and_from_round_trips() {
+        let e: FlowError = NetlistError::DuplicateName("n1".to_string()).into();
+        assert!(matches!(e, FlowError::Netlist(_)));
+        assert!(e.to_string().starts_with("netlist:"));
+
+        let e: FlowError = StaError::NoClock.into();
+        assert!(matches!(e, FlowError::Sta(_)));
+        assert!(e.to_string().starts_with("sta:"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(StaError::UnclockedFlop("u1".to_string()).to_string().contains("u1"));
+        assert!(StaError::CombinationalCycle("n9".to_string()).to_string().contains("n9"));
+
+        // an STA failure inside the back end wraps twice without losing
+        // the message
+        let e: FlowError = LayoutError::from(StaError::NoClock).into();
+        assert!(matches!(e, FlowError::Layout(LayoutError::Sta(_))));
+        assert!(e.to_string().contains("no clock"));
+
+        let e: FlowError =
+            LayoutError::Routing { total_overflow: 12, unrouted: 3 }.into();
+        assert!(matches!(e, FlowError::Layout(LayoutError::Routing { .. })));
+        let text = e.to_string();
+        assert!(text.contains("12"), "{text}");
+        assert!(text.contains("3"), "{text}");
+
+        let e = FlowError::StagePanic {
+            stage: StageId::Atpg,
+            payload: "boom".to_string(),
+        };
+        assert_eq!(e.to_string(), "stage atpg panicked: boom");
+        assert!(e.is_transient());
+
+        let e = FlowError::Injected { stage: StageId::Layout };
+        assert_eq!(e.to_string(), "stage layout: injected fault");
+        assert!(e.is_transient());
+
+        let e = FlowError::Gate { stage: StageId::Equiv, reason: "nope".to_string() };
+        assert_eq!(e.to_string(), "stage equiv gate failed: nope");
+        assert!(!e.is_transient());
+
+        let e = FlowError::MissingInput { stage: StageId::Scan, what: "input netlist" };
+        assert!(e.to_string().contains("missing input netlist"));
+
+        let inner = FlowError::Gate {
+            stage: StageId::StreamOut,
+            reason: "empty GDSII stream".to_string(),
+        };
+        let e = FlowError::Exhausted {
+            stage: StageId::StreamOut,
+            attempts: 3,
+            last: Box::new(inner),
+            trace: Box::new(FlowTrace::default()),
+        };
+        let text = e.to_string();
+        assert!(text.contains("stream-out"), "{text}");
+        assert!(text.contains("3 attempts"), "{text}");
+        assert!(text.contains("empty GDSII stream"), "{text}");
+        let source = std::error::Error::source(&e).expect("exhausted carries a source");
+        assert!(source.to_string().contains("gate failed"));
     }
 }

@@ -18,7 +18,11 @@
 //!   consistency.
 //! * [`flow`] — the Netlist→GDSII engine: scan insertion, ATPG,
 //!   place/CTS/route/extract, timing-fix ECO loop, formal equivalence,
-//!   DRC/LVS, GDSII.
+//!   DRC/LVS, GDSII — staged and supervised (retry, escalation,
+//!   checkpoint/resume) by [`flow::FlowSupervisor`].
+//! * [`resilience`] — the supervision primitives: stage identities,
+//!   retry/escalation policy, quality gates, attempt traces and the
+//!   deterministic fault injector.
 //! * [`eco`] — the change history: spec changes, combinational ECOs,
 //!   setup/hold fixes and pin-assignment versions, replayed with
 //!   incremental-vs-full cost accounting.
@@ -32,8 +36,13 @@ pub mod eco;
 pub mod flow;
 pub mod ip;
 pub mod project;
+pub mod resilience;
 pub mod signoff;
 pub mod verify;
 
 pub use dsc::{build_dsc, DscDesign};
-pub use flow::{run_flow, FlowOptions, FlowResult};
+pub use flow::{
+    run_flow, run_flow_unsupervised, FlowCheckpoint, FlowError, FlowOptions, FlowResult,
+    FlowSupervisor,
+};
+pub use resilience::{FaultInjector, FlowTrace, QualityGates, RetryPolicy, StageId};

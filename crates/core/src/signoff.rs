@@ -103,9 +103,12 @@ impl SignoffReport {
                     )
                 }),
                 detail: format!(
-                    "max utilisation {:.2}, {} overflowed edges",
+                    "max utilisation {:.2}, {} overflowed edges, {} tracks of \
+                     overflow, {} unrouted nets",
                     result.layout.routing.max_utilisation,
-                    result.layout.routing.overflowed_edges
+                    result.layout.routing.overflowed_edges,
+                    result.layout.routing.total_overflow,
+                    result.layout.routing.unrouted_nets
                 ),
             },
             SignoffItem {

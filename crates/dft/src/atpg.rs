@@ -143,6 +143,32 @@ impl Default for AtpgConfig {
     }
 }
 
+impl AtpgConfig {
+    /// Deterministic effort escalation for supervised retries: level 0
+    /// returns the config unchanged (bit-identical results); each level
+    /// doubles the PODEM backtrack budget, adds 32 random blocks,
+    /// tolerates two more stalled blocks before giving up on the random
+    /// phase (more fault-dropping opportunity), and scales any PODEM
+    /// fault cap. The escalated config is a pure function of
+    /// `(self, level)`.
+    pub fn escalated(&self, level: u32) -> AtpgConfig {
+        if level == 0 {
+            return self.clone();
+        }
+        AtpgConfig {
+            podem_backtrack_limit: self
+                .podem_backtrack_limit
+                .saturating_mul(1usize << level.min(16)),
+            max_random_blocks: self.max_random_blocks + 32 * level as usize,
+            stall_blocks: self.stall_blocks + 2 * level as usize,
+            podem_fault_cap: self
+                .podem_fault_cap
+                .map(|c| c.saturating_mul(1 + level as usize)),
+            ..self.clone()
+        }
+    }
+}
+
 /// One stored test pattern: a value per circuit source.
 pub type Pattern = Vec<bool>;
 

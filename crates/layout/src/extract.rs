@@ -85,6 +85,7 @@ mod tests {
             total_wirelength_um: 0.0,
             overflowed_edges: 0,
             total_overflow: 0,
+            unrouted_nets: 0,
             max_utilisation: 0.0,
         };
         let delays = wire_delays(&nl, &tech, &routing);

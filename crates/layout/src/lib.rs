@@ -50,6 +50,13 @@ pub struct ImplementOptions {
     pub routing: route::RouteConfig,
     /// Clock port name for CTS (must match a constraint clock).
     pub clock_port: String,
+    /// Hard-fail ceiling on residual routing overflow (tracks): when
+    /// set and the final [`route::RouteResult::total_overflow`] exceeds
+    /// it, [`implement`] returns [`LayoutError::Routing`] instead of
+    /// handing the congested result to sign-off. `None` (the default)
+    /// keeps the historical report-only behaviour — callers such as the
+    /// flow supervisor gate on the overflow figures themselves.
+    pub max_overflow: Option<u64>,
 }
 
 impl Default for ImplementOptions {
@@ -58,6 +65,23 @@ impl Default for ImplementOptions {
             placement: place::PlacementConfig::default(),
             routing: route::RouteConfig::default(),
             clock_port: "clk".to_string(),
+            max_overflow: None,
+        }
+    }
+}
+
+impl ImplementOptions {
+    /// Deterministic effort escalation for supervised retries: level 0
+    /// returns the options unchanged; higher levels escalate placement
+    /// (more annealing starts/moves) and routing (more rip-up rounds,
+    /// higher congestion penalty) together. See
+    /// [`place::PlacementConfig::escalated`] and
+    /// [`route::RouteConfig::escalated`].
+    pub fn escalated(&self, level: u32) -> ImplementOptions {
+        ImplementOptions {
+            placement: self.placement.escalated(level),
+            routing: self.routing.escalated(level),
+            ..self.clone()
         }
     }
 }
@@ -88,6 +112,14 @@ pub enum LayoutError {
     Floorplan(String),
     /// Timing analysis failed.
     Sta(camsoc_sta::StaError),
+    /// Routing left more overflow than the caller's hard ceiling
+    /// ([`ImplementOptions::max_overflow`]) allows.
+    Routing {
+        /// Residual overflow in tracks (Σ max(0, usage − capacity)).
+        total_overflow: u64,
+        /// Nets whose final path crosses an over-capacity edge.
+        unrouted: usize,
+    },
 }
 
 impl std::fmt::Display for LayoutError {
@@ -95,6 +127,11 @@ impl std::fmt::Display for LayoutError {
         match self {
             LayoutError::Floorplan(m) => write!(f, "floorplan: {m}"),
             LayoutError::Sta(e) => write!(f, "sta: {e}"),
+            LayoutError::Routing { total_overflow, unrouted } => write!(
+                f,
+                "routing: {total_overflow} tracks of residual overflow across \
+                 {unrouted} unrouted nets"
+            ),
         }
     }
 }
@@ -112,7 +149,8 @@ impl From<camsoc_sta::StaError> for LayoutError {
 ///
 /// # Errors
 ///
-/// [`LayoutError`] if floorplanning or timing analysis fails.
+/// [`LayoutError`] if floorplanning or timing analysis fails, or if
+/// residual routing overflow exceeds [`ImplementOptions::max_overflow`].
 pub fn implement(
     nl: &Netlist,
     tech: &Technology,
@@ -124,6 +162,14 @@ pub fn implement(
     let placement = place::place(nl, tech, &floorplan, constraints, &options.placement);
     let clock_tree = cts::synthesize(nl, tech, &floorplan, &placement, &options.clock_port);
     let routing = route::route(nl, &floorplan, &placement, &options.routing);
+    if let Some(cap) = options.max_overflow {
+        if routing.total_overflow > cap {
+            return Err(LayoutError::Routing {
+                total_overflow: routing.total_overflow,
+                unrouted: routing.unrouted_nets,
+            });
+        }
+    }
     let wire_delays_ns = extract::wire_delays(nl, tech, &routing);
     let drc = drc::check(nl, &floorplan, &placement, &routing);
     let timing = Sta::new(nl, tech, constraints.clone())

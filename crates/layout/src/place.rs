@@ -65,6 +65,28 @@ impl Default for PlacementConfig {
     }
 }
 
+impl PlacementConfig {
+    /// Deterministic effort escalation for supervised retries: level 0
+    /// returns the config unchanged (bit-identical results); each level
+    /// adds one independent annealing start and, when an explicit move
+    /// budget is set, 50 % more moves per level. The escalated config is
+    /// a pure function of `(self, level)`.
+    pub fn escalated(&self, level: u32) -> PlacementConfig {
+        if level == 0 {
+            return self.clone();
+        }
+        PlacementConfig {
+            starts: self.starts.max(1) + level as usize,
+            iterations: if self.iterations == 0 {
+                0 // auto budget already scales with the design
+            } else {
+                self.iterations + (self.iterations / 2).saturating_mul(level as usize)
+            },
+            ..self.clone()
+        }
+    }
+}
+
 /// A completed placement.
 #[derive(Debug, Clone)]
 pub struct Placement {

@@ -51,6 +51,23 @@ impl Default for RouteConfig {
     }
 }
 
+impl RouteConfig {
+    /// Deterministic effort escalation for supervised retries: level 0
+    /// returns the config unchanged (bit-identical results); each level
+    /// adds four rip-up/reroute rounds and 50 % more congestion penalty,
+    /// the two knobs that trade runtime for overflow.
+    pub fn escalated(&self, level: u32) -> RouteConfig {
+        if level == 0 {
+            return self.clone();
+        }
+        RouteConfig {
+            rounds: self.rounds + 4 * level as usize,
+            congestion_penalty: self.congestion_penalty * (1.0 + 0.5 * level as f64),
+            ..self.clone()
+        }
+    }
+}
+
 /// Result of global routing.
 #[derive(Debug, Clone)]
 pub struct RouteResult {
@@ -66,8 +83,19 @@ pub struct RouteResult {
     pub overflowed_edges: usize,
     /// Total overflow: Σ max(0, usage − capacity) over all edges.
     pub total_overflow: u64,
+    /// Routable nets whose final path still crosses an over-capacity
+    /// edge — the nets detailed routing could not complete without
+    /// intervention. 0 whenever `total_overflow` is 0.
+    pub unrouted_nets: usize,
     /// Maximum edge utilisation (usage / capacity).
     pub max_utilisation: f64,
+}
+
+impl RouteResult {
+    /// True when every routed net avoided over-capacity edges.
+    pub fn clean(&self) -> bool {
+        self.total_overflow == 0
+    }
 }
 
 #[derive(Clone)]
@@ -396,6 +424,18 @@ pub fn route(
             total_overflow += (u - capacity) as u64;
         }
     }
+    let unrouted_nets = if total_overflow == 0 {
+        0
+    } else {
+        routable
+            .iter()
+            .filter(|net| {
+                paths[net.index()]
+                    .as_ref()
+                    .is_some_and(|p| path_crosses_overflow(&grid, p, capacity))
+            })
+            .count()
+    };
     RouteResult {
         grid: (nx, ny),
         gcell_um: (gx, gy),
@@ -403,6 +443,7 @@ pub fn route(
         total_wirelength_um: total,
         overflowed_edges: overflow,
         total_overflow,
+        unrouted_nets,
         max_utilisation: max_util,
     }
 }
@@ -480,7 +521,32 @@ mod tests {
         let cfg = RouteConfig { edge_capacity: 10_000, ..RouteConfig::default() };
         let (_, r) = routed(300, &cfg);
         assert_eq!(r.overflowed_edges, 0);
+        assert_eq!(r.unrouted_nets, 0);
+        assert!(r.clean());
         assert!(r.max_utilisation < 1.0);
+    }
+
+    #[test]
+    fn overflow_surfaces_unrouted_nets() {
+        let tight = RouteConfig { edge_capacity: 4, rounds: 0, ..RouteConfig::default() };
+        let (_, r) = routed(600, &tight);
+        assert!(r.total_overflow > 0, "test needs congestion");
+        assert!(!r.clean());
+        assert!(r.unrouted_nets > 0, "overflow must name the nets stuck in it");
+    }
+
+    #[test]
+    fn escalation_is_identity_at_level_zero_and_monotonic() {
+        let base = RouteConfig::default();
+        let e0 = base.escalated(0);
+        assert_eq!(e0.rounds, base.rounds);
+        assert_eq!(e0.congestion_penalty, base.congestion_penalty);
+        let e1 = base.escalated(1);
+        let e2 = base.escalated(2);
+        assert!(e1.rounds > base.rounds);
+        assert!(e2.rounds > e1.rounds);
+        assert!(e1.congestion_penalty > base.congestion_penalty);
+        assert!(e2.congestion_penalty > e1.congestion_penalty);
     }
 
     #[test]

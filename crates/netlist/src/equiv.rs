@@ -420,6 +420,26 @@ impl Default for EquivOptions {
     }
 }
 
+impl EquivOptions {
+    /// Deterministic effort escalation for supervised retries: level 0
+    /// returns the options unchanged (bit-identical results); each
+    /// level adds 16 random-vector rounds, admits cones with 4 more
+    /// support variables into the exact BDD phase, and doubles the BDD
+    /// node budget. The escalated options are a pure function of
+    /// `(self, level)`.
+    pub fn escalated(&self, level: u32) -> EquivOptions {
+        if level == 0 {
+            return self.clone();
+        }
+        EquivOptions {
+            random_rounds: self.random_rounds + 16 * level as usize,
+            max_support: self.max_support + 4 * level as usize,
+            bdd_node_limit: self.bdd_node_limit.saturating_mul(1usize << level.min(16)),
+            ..self.clone()
+        }
+    }
+}
+
 /// Outcome of an equivalence check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EquivVerdict {

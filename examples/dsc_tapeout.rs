@@ -51,8 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("== phase 3: netlist -> GDSII ==");
+    println!("== phase 3: netlist -> GDSII (supervised) ==");
     let result = run_flow(design.netlist, &FlowOptions::default())?;
+    print!("{}", result.trace.render());
     let report = SignoffReport::assemble(&result, &Technology::default());
     print!("{}", report.render());
 
