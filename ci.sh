@@ -30,6 +30,18 @@ cargo test -q --release --test resilience fault_injection_matrix
 t3=$(date +%s)
 echo "fault-injection smoke wall clock: $((t3 - t2)) s"
 
+# O(cone) incremental-STA smoke: replay one (corner, seed) point of the
+# paper's ECO history. The test fails if any localized change falls back
+# to a full re-annotation, rebuilds the persistent structures instead of
+# patching them, or spends O(netlist) bookkeeping (order repair, fanout
+# patching, endpoint recomputes are each asserted well below netlist
+# size per change). Already in the suite above; named here so an
+# incremental-STA perf regression is called out in the CI log.
+echo "== eco_sta: O(cone) incremental-STA smoke =="
+cargo test -q --release --test sta_incremental replay_is_bit_identical_typical_corner_seed_a
+t4=$(date +%s)
+echo "eco_sta smoke wall clock: $((t4 - t3)) s"
+
 echo "== clippy (all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

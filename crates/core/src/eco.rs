@@ -116,6 +116,13 @@ pub struct StaEffort {
     pub cone_fraction: f64,
     /// The update fell back to a full re-annotation (cone too large).
     pub used_full: bool,
+    /// Derived-structure bookkeeping the update performed: levelization
+    /// slots reordered + fanout entries patched + endpoint requirements
+    /// recomputed. O(edit) on the journal path, O(netlist) on a rebuild.
+    pub bookkeeping_ops: usize,
+    /// The persistent engine structures were re-derived from scratch
+    /// instead of patched in place.
+    pub structures_rebuilt: bool,
     /// Setup WNS after the change (ns).
     pub wns_ns: f64,
 }
@@ -451,6 +458,10 @@ pub fn replay_history_with(
                     full_evals: s.full_evaluated,
                     cone_fraction: s.cone_fraction,
                     used_full: s.used_full,
+                    bookkeeping_ops: s.order_reordered
+                        + s.fanout_patched
+                        + s.endpoints_recomputed,
+                    structures_rebuilt: s.structures_rebuilt,
                     wns_ns: report.setup.wns_ns,
                 });
                 final_timing = Some(report);

@@ -222,6 +222,9 @@ impl ClassCoverage {
 
 /// Measure per-class coverage of `alg` on a `words × bits` memory by
 /// injecting `trials` random single faults per class.
+///
+/// Serial convenience wrapper over [`measure_coverage_par`]; the two
+/// agree bit for bit at any thread count.
 pub fn measure_coverage(
     alg: &MarchAlgorithm,
     words: usize,
@@ -229,19 +232,54 @@ pub fn measure_coverage(
     trials: usize,
     seed: u64,
 ) -> Vec<ClassCoverage> {
+    measure_coverage_par(alg, words, bits, trials, seed, camsoc_par::Parallelism::Serial)
+}
+
+/// [`measure_coverage`] with the fault-injection trials fanned out
+/// across worker threads.
+///
+/// Trial `t` of class `c` always draws from its own `SplitMix64`
+/// stream, split off `seed` by the golden-gamma increment at flat
+/// index `c * trials + t` — the same scheme `fab::ramp` uses for its
+/// per-lot streams — so which worker runs which trial cannot change a
+/// single draw. Each worker reuses one [`Sram`], [`Sram::reset`]
+/// between trials; thread count only changes wall-clock time.
+pub fn measure_coverage_par(
+    alg: &MarchAlgorithm,
+    words: usize,
+    bits: usize,
+    trials: usize,
+    seed: u64,
+    parallelism: camsoc_par::Parallelism,
+) -> Vec<ClassCoverage> {
     use crate::faults::MemoryFault;
-    let mut rng = camsoc_netlist::generate::SplitMix64::new(seed);
+    const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+    let jobs: Vec<(usize, &'static str)> = MemoryFault::CLASSES
+        .iter()
+        .flat_map(|&class| (0..trials).map(move |_| class))
+        .enumerate()
+        .collect();
+    let outcomes = camsoc_par::map_with(
+        parallelism,
+        &jobs,
+        || Sram::new(words, bits),
+        |mem, &(idx, class)| {
+            let mut rng = camsoc_netlist::generate::SplitMix64::new(
+                seed.wrapping_add((idx as u64 + 1).wrapping_mul(GAMMA)),
+            );
+            mem.reset();
+            mem.inject(MemoryFault::random_of_class(class, words, bits, &mut rng));
+            run_march(alg, mem).failed()
+        },
+    );
     MemoryFault::CLASSES
         .iter()
-        .map(|&class| {
-            let mut detected = 0;
-            for _ in 0..trials {
-                let mut mem = Sram::new(words, bits);
-                mem.inject(MemoryFault::random_of_class(class, words, bits, &mut rng));
-                if run_march(alg, &mut mem).failed() {
-                    detected += 1;
-                }
-            }
+        .enumerate()
+        .map(|(ci, &class)| {
+            let detected = outcomes[ci * trials..(ci + 1) * trials]
+                .iter()
+                .filter(|&&failed| failed)
+                .count();
             ClassCoverage { class, trials, detected }
         })
         .collect()
@@ -352,6 +390,23 @@ mod tests {
         assert!(x >= mats, "X {x} < MATS+ {mats}");
         // aggregate includes SOF (where C- is weak); still well above 0.8
         assert!(cm > 0.80, "March C- aggregate {cm}");
+    }
+
+    #[test]
+    fn coverage_is_thread_count_invariant() {
+        let alg = MarchAlgorithm::march_x();
+        let serial = measure_coverage(&alg, 32, 4, 24, 0xC0FE);
+        for t in [2usize, 4] {
+            let par = measure_coverage_par(
+                &alg,
+                32,
+                4,
+                24,
+                0xC0FE,
+                camsoc_par::Parallelism::Threads(t),
+            );
+            assert_eq!(par, serial, "t{t}");
+        }
     }
 
     #[test]

@@ -40,6 +40,26 @@ impl Sram {
         Sram { words, bits, data, faults: Vec::new(), last_read: 0, reads: 0, writes: 0 }
     }
 
+    /// Restore the device to its power-on state: the deterministic
+    /// alternating background, no injected faults, and zeroed
+    /// operation counters. Behaviourally identical to a fresh
+    /// [`Sram::new`] of the same geometry, without reallocating — the
+    /// Monte Carlo coverage loop reuses one device per worker.
+    pub fn reset(&mut self) {
+        let mask = self.mask();
+        for (a, word) in self.data.iter_mut().enumerate() {
+            *word = if a % 2 == 0 {
+                0xAAAA_AAAA_AAAA_AAAA & mask
+            } else {
+                0x5555_5555_5555_5555 & mask
+            };
+        }
+        self.faults.clear();
+        self.last_read = 0;
+        self.reads = 0;
+        self.writes = 0;
+    }
+
     /// Word count.
     pub fn words(&self) -> usize {
         self.words
@@ -348,6 +368,23 @@ mod tests {
         m.clear_faults();
         m.write(0, 0x00);
         assert_eq!(m.read(0), 0x00);
+    }
+
+    #[test]
+    fn reset_matches_fresh_device() {
+        let mut used = Sram::new(32, 8);
+        used.inject(MemoryFault::StuckAt { cell: 7, bit: 1, value: true });
+        used.write(7, 0x00);
+        used.write(12, 0x3C);
+        used.read(12);
+        used.reset();
+        let mut fresh = Sram::new(32, 8);
+        assert_eq!(used.fault_count(), 0);
+        assert_eq!(used.reads(), 0);
+        assert_eq!(used.writes(), 0);
+        for a in 0..32 {
+            assert_eq!(used.read(a), fresh.read(a), "cell {a} after reset");
+        }
     }
 
     #[test]

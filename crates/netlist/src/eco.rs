@@ -54,6 +54,61 @@ impl EcoKind {
     }
 }
 
+/// One connectivity-changing primitive, recorded in application order.
+///
+/// The journal lets an incremental consumer patch derived structures
+/// (fanout maps, levelization) in O(edit) instead of rebuilding them in
+/// O(netlist). Drive/function changes are deliberately absent: they do
+/// not move any pin, so no derived connectivity structure changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectivityEdit {
+    /// Input pin `pin` of `inst` moved from net `from` to net `to`.
+    RewireInput {
+        /// Instance whose pin moved.
+        inst: InstanceId,
+        /// Input pin index.
+        pin: usize,
+        /// Net the pin used to read.
+        from: NetId,
+        /// Net the pin reads now.
+        to: NetId,
+    },
+    /// The output of `inst` moved from net `from` to net `to`
+    /// (the loads of both nets are untouched).
+    MoveOutput {
+        /// Instance whose output moved.
+        inst: InstanceId,
+        /// Net it used to drive.
+        from: NetId,
+        /// Net it drives now.
+        to: NetId,
+    },
+    /// A new instance was appended. Its pin connections follow as
+    /// [`ConnectivityEdit::Connect`] entries (one per input, plus one
+    /// with `pin == usize::MAX` for a clock pin), so replay never has to
+    /// consult post-journal netlist state.
+    AddInstance {
+        /// The appended instance.
+        inst: InstanceId,
+    },
+    /// A pin of a newly added instance was connected to `net`.
+    /// `pin == usize::MAX` denotes the clock pin (the same convention
+    /// [`Netlist::fanout_map`] uses).
+    Connect {
+        /// The reading instance.
+        inst: InstanceId,
+        /// Input pin index, or `usize::MAX` for the clock pin.
+        pin: usize,
+        /// Net being read.
+        net: NetId,
+    },
+    /// A new net was appended (initially undriven and unread).
+    AddNet {
+        /// The appended net.
+        net: NetId,
+    },
+}
+
 /// The set of nets and instances touched by ECO edits — the "patch
 /// description" an incremental analysis consumes to know which cones to
 /// recompute. Ordered sets so iteration (and hence any downstream
@@ -62,7 +117,9 @@ impl EcoKind {
 /// Every [`EcoSession`] operation adds the instances whose connectivity,
 /// drive or function it changed, plus every net whose driver, load set
 /// or delay could have moved — a conservative superset of the true
-/// frontier.
+/// frontier. Connectivity-changing primitives additionally append to the
+/// `edits` journal in chronological order, which is what makes O(edit)
+/// patching of derived structures possible.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EditDelta {
     /// Nets whose driver, load set or delay may have changed.
@@ -70,18 +127,125 @@ pub struct EditDelta {
     /// Instances whose connectivity, drive or function changed (includes
     /// newly created instances).
     pub instances: BTreeSet<InstanceId>,
+    /// Chronological journal of connectivity-changing primitives.
+    pub edits: Vec<ConnectivityEdit>,
 }
 
 impl EditDelta {
     /// True when no edits have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.nets.is_empty() && self.instances.is_empty()
+        self.nets.is_empty() && self.instances.is_empty() && self.edits.is_empty()
     }
 
-    /// Fold another delta into this one.
+    /// Fold another delta into this one. `other` must describe edits made
+    /// *after* the edits already in `self`; the journal is concatenated
+    /// in that order, and replaying it against a baseline older than
+    /// `self` is only sound under that chronology.
     pub fn merge(&mut self, other: &EditDelta) {
         self.nets.extend(other.nets.iter().copied());
         self.instances.extend(other.instances.iter().copied());
+        self.edits.extend(other.edits.iter().copied());
+    }
+
+    /// Number of nets the journal appends.
+    pub fn added_nets(&self) -> usize {
+        self.edits.iter().filter(|e| matches!(e, ConnectivityEdit::AddNet { .. })).count()
+    }
+
+    /// Number of instances the journal appends.
+    pub fn added_instances(&self) -> usize {
+        self.edits.iter().filter(|e| matches!(e, ConnectivityEdit::AddInstance { .. })).count()
+    }
+
+    /// Patch a fanout count/map pair in place by replaying the journal.
+    ///
+    /// `counts` and `map` must be the [`Netlist::fanout_counts`] /
+    /// [`Netlist::fanout_map`] of the netlist *before* the journaled
+    /// edits; `nl` is the netlist *after* them. On success both are grown
+    /// and patched to match `nl` exactly (up to per-net entry order,
+    /// which no consumer depends on) and the number of patched map
+    /// entries is returned.
+    ///
+    /// Returns `None` when the journal does not explain the structures —
+    /// dimension mismatch, out-of-range id, or a rewire whose source
+    /// entry is missing (stale baseline, out-of-chronology merge). The
+    /// structures may then be partially patched and must be rebuilt from
+    /// scratch by the caller.
+    pub fn patch_fanout(
+        &self,
+        nl: &Netlist,
+        counts: &mut Vec<usize>,
+        map: &mut Vec<Vec<(InstanceId, usize)>>,
+    ) -> Option<usize> {
+        let old_n = counts.len();
+        if map.len() != old_n || old_n + self.added_nets() != nl.num_nets() {
+            return None;
+        }
+        let final_n = nl.num_nets();
+        let num_inst = nl.num_instances();
+        // Validate every id before mutating anything, so the common
+        // failure modes (stale delta, foreign netlist) reject cleanly
+        // without corrupting the caller's structures.
+        let mut next_net = old_n;
+        for e in &self.edits {
+            match *e {
+                ConnectivityEdit::AddNet { net } => {
+                    if net.index() != next_net {
+                        return None;
+                    }
+                    next_net += 1;
+                }
+                ConnectivityEdit::AddInstance { inst } => {
+                    if inst.index() >= num_inst {
+                        return None;
+                    }
+                }
+                ConnectivityEdit::Connect { inst, net, .. } => {
+                    if inst.index() >= num_inst || net.index() >= final_n {
+                        return None;
+                    }
+                }
+                ConnectivityEdit::RewireInput { inst, from, to, .. } => {
+                    if inst.index() >= num_inst || from.index() >= final_n || to.index() >= final_n
+                    {
+                        return None;
+                    }
+                }
+                ConnectivityEdit::MoveOutput { inst, from, to } => {
+                    if inst.index() >= num_inst || from.index() >= final_n || to.index() >= final_n
+                    {
+                        return None;
+                    }
+                }
+            }
+        }
+        counts.resize(final_n, 0);
+        map.resize(final_n, Vec::new());
+        let mut patched = 0usize;
+        for e in &self.edits {
+            match *e {
+                ConnectivityEdit::AddNet { .. } | ConnectivityEdit::AddInstance { .. } => {}
+                // `MoveOutput` changes a driver, not a load set.
+                ConnectivityEdit::MoveOutput { .. } => {}
+                ConnectivityEdit::Connect { inst, pin, net } => {
+                    counts[net.index()] += 1;
+                    map[net.index()].push((inst, pin));
+                    patched += 1;
+                }
+                ConnectivityEdit::RewireInput { inst, pin, from, to } => {
+                    let f = from.index();
+                    let slot = map[f].iter().position(|&e| e == (inst, pin))?;
+                    // Per-net entry order is semantically irrelevant (all
+                    // consumers min-fold or set-collect), so O(1) removal.
+                    map[f].swap_remove(slot);
+                    counts[f] -= 1;
+                    counts[to.index()] += 1;
+                    map[to.index()].push((inst, pin));
+                    patched += 2;
+                }
+            }
+        }
+        Some(patched)
     }
 }
 
@@ -174,6 +338,7 @@ impl EcoSession {
         self.delta.nets.insert(old);
         self.delta.nets.insert(net);
         self.delta.nets.insert(self.nl.instance(inst).output);
+        self.delta.edits.push(ConnectivityEdit::RewireInput { inst, pin, from: old, to: net });
         self.records.push(EcoRecord {
             kind: EcoKind::Rewire,
             description: format!(
@@ -205,9 +370,15 @@ impl EcoSession {
             Some(NetDriver::Instance(driver)) => {
                 let mid_name = self.nl.fresh_net_name("eco_buf_n");
                 let mid = self.nl.add_net(mid_name)?;
+                self.delta.edits.push(ConnectivityEdit::AddNet { net: mid });
                 // Move driver's output onto the fresh net; it leaves
                 // `net` undriven until the buffer takes over.
                 self.nl.move_output(driver, mid)?;
+                self.delta.edits.push(ConnectivityEdit::MoveOutput {
+                    inst: driver,
+                    from: net,
+                    to: mid,
+                });
                 let buf_name = self.nl.fresh_instance_name("u_eco_buf");
                 let block = self.nl.instance(driver).block.clone();
                 let id = self.nl.add_instance(
@@ -218,6 +389,8 @@ impl EcoSession {
                     None,
                     block,
                 )?;
+                self.delta.edits.push(ConnectivityEdit::AddInstance { inst: id });
+                self.delta.edits.push(ConnectivityEdit::Connect { inst: id, pin: 0, net: mid });
                 self.delta.instances.insert(driver);
                 self.delta.instances.insert(id);
                 self.delta.nets.insert(mid);
@@ -236,6 +409,7 @@ impl EcoSession {
                 // port/macro driven: buffer the sink side
                 let mid_name = self.nl.fresh_net_name("eco_buf_n");
                 let mid = self.nl.add_net(mid_name)?;
+                self.delta.edits.push(ConnectivityEdit::AddNet { net: mid });
                 let buf_name = self.nl.fresh_instance_name("u_eco_buf");
                 let id = self.nl.add_instance(
                     buf_name,
@@ -245,6 +419,8 @@ impl EcoSession {
                     None,
                     "top",
                 )?;
+                self.delta.edits.push(ConnectivityEdit::AddInstance { inst: id });
+                self.delta.edits.push(ConnectivityEdit::Connect { inst: id, pin: 0, net });
                 let sinks: Vec<(InstanceId, usize)> = self
                     .nl
                     .instances()
@@ -261,6 +437,12 @@ impl EcoSession {
                 for (sid, pin) in sinks {
                     self.nl.rewire_input(sid, pin, mid)?;
                     self.delta.instances.insert(sid);
+                    self.delta.edits.push(ConnectivityEdit::RewireInput {
+                        inst: sid,
+                        pin,
+                        from: net,
+                        to: mid,
+                    });
                 }
                 self.delta.instances.insert(id);
                 self.delta.nets.insert(mid);
@@ -299,6 +481,7 @@ impl EcoSession {
         let src = self.nl.instance(inst).inputs[pin];
         let out_name = self.nl.fresh_net_name("eco_inv_n");
         let out = self.nl.add_net(out_name)?;
+        self.delta.edits.push(ConnectivityEdit::AddNet { net: out });
         let inv_name = self.nl.fresh_instance_name("u_eco_inv");
         let block = self.nl.instance(inst).block.clone();
         let id = self.nl.add_instance(
@@ -309,7 +492,10 @@ impl EcoSession {
             None,
             block,
         )?;
+        self.delta.edits.push(ConnectivityEdit::AddInstance { inst: id });
+        self.delta.edits.push(ConnectivityEdit::Connect { inst: id, pin: 0, net: src });
         self.nl.rewire_input(inst, pin, out)?;
+        self.delta.edits.push(ConnectivityEdit::RewireInput { inst, pin, from: src, to: out });
         self.delta.instances.insert(id);
         self.delta.instances.insert(inst);
         self.delta.nets.insert(src);
@@ -449,11 +635,23 @@ impl EcoSession {
             .map(|(id, _)| id)
             .ok_or_else(|| NetlistError::NoSpareCell { function: function.name().to_string() })?;
         for (pin, &net) in inputs.iter().enumerate() {
-            self.nl.rewire_input(spare, pin, net)?;
+            let old = self.nl.rewire_input(spare, pin, net)?;
+            self.delta.edits.push(ConnectivityEdit::RewireInput {
+                inst: spare,
+                pin,
+                from: old,
+                to: net,
+            });
         }
         let old_sink_net = self.nl.instance(sink).inputs[sink_pin];
         let spare_out = self.nl.instance(spare).output;
         self.nl.rewire_input(sink, sink_pin, spare_out)?;
+        self.delta.edits.push(ConnectivityEdit::RewireInput {
+            inst: sink,
+            pin: sink_pin,
+            from: old_sink_net,
+            to: spare_out,
+        });
         self.nl.instance_mut(spare).spare = false;
         self.delta.instances.insert(spare);
         self.delta.instances.insert(sink);
@@ -494,7 +692,9 @@ impl EcoSession {
         };
         let mid_name = self.nl.fresh_net_name("eco_ff_n");
         let mid = self.nl.add_net(mid_name)?;
+        self.delta.edits.push(ConnectivityEdit::AddNet { net: mid });
         self.nl.move_output(driver, mid)?;
+        self.delta.edits.push(ConnectivityEdit::MoveOutput { inst: driver, from: net, to: mid });
         let ff_name = self.nl.fresh_instance_name("u_eco_ff");
         let block = self.nl.instance(driver).block.clone();
         let id = self.nl.add_instance(
@@ -505,6 +705,9 @@ impl EcoSession {
             Some(clk),
             block,
         )?;
+        self.delta.edits.push(ConnectivityEdit::AddInstance { inst: id });
+        self.delta.edits.push(ConnectivityEdit::Connect { inst: id, pin: 0, net: mid });
+        self.delta.edits.push(ConnectivityEdit::Connect { inst: id, pin: usize::MAX, net: clk });
         self.delta.instances.insert(driver);
         self.delta.instances.insert(id);
         self.delta.nets.insert(mid);
@@ -681,6 +884,43 @@ mod tests {
         merged.merge(&first);
         assert!(merged.instances.contains(&g));
         assert!(merged.nets.contains(&a));
+    }
+
+    #[test]
+    fn journal_patches_fanout_structures() {
+        // One of every journaled op, then replay the journal against the
+        // pre-edit fanout structures and require exact agreement with a
+        // from-scratch rebuild (entry order within a net is free).
+        let nl = small();
+        let g = nl.find_instance("u_g").unwrap();
+        let a = nl.find_net("a").unwrap();
+        let y = nl.instance(g).output;
+        let mut counts = nl.fanout_counts();
+        let mut map = nl.fanout_map();
+        let mut eco = EcoSession::new(nl);
+        eco.insert_inverter(g, 0).unwrap();
+        eco.insert_buffer(y, Drive::X4).unwrap();
+        eco.insert_buffer(a, Drive::X1).unwrap();
+        eco.rewire(g, 1, a).unwrap();
+        eco.spare_fix(CellFunction::Inv, &[a], g, 0).unwrap();
+        eco.add_pipeline_flop(y, a).unwrap();
+        let delta = eco.take_delta();
+        assert!(!delta.edits.is_empty());
+        let patched = delta.patch_fanout(eco.netlist(), &mut counts, &mut map).unwrap();
+        assert!(patched > 0);
+        assert_eq!(counts, eco.netlist().fanout_counts());
+        let mut fresh = eco.netlist().fanout_map();
+        for v in &mut fresh {
+            v.sort();
+        }
+        let mut sorted = map.clone();
+        for v in &mut sorted {
+            v.sort();
+        }
+        assert_eq!(sorted, fresh);
+        // Replaying the same journal a second time is a chronology
+        // violation; the dimension check rejects it without panicking.
+        assert!(delta.patch_fanout(eco.netlist(), &mut counts, &mut map).is_none());
     }
 
     #[test]

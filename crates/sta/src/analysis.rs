@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use camsoc_netlist::cell::CellFunction;
-use camsoc_netlist::graph::{InstanceId, NetDriver, NetId, Netlist};
+use camsoc_netlist::graph::{InstanceId, MacroId, NetDriver, NetId, Netlist, PortId};
 use camsoc_netlist::tech::Technology;
 use camsoc_netlist::NetlistError;
 
@@ -446,24 +446,13 @@ impl<'a> Sta<'a> {
         true
     }
 
-    /// Setup required time imposed directly at each net by the
-    /// endpoints that read it (flop data pins, macro inputs, output
-    /// ports); `+inf` where a net feeds no endpoint.
-    pub(crate) fn endpoint_required(
-        &self,
-        flop_clock: &HashMap<InstanceId, f64>,
-        default_period: f64,
-    ) -> Vec<f64> {
+    /// The flop-independent part of the endpoint requirement: macro
+    /// inputs and output ports. These never move under ECO edits (the
+    /// edit primitives cannot rewire macro pins or ports), so the
+    /// incremental engine computes this once and folds per-net flop
+    /// constraints on top.
+    pub(crate) fn static_endpoint_required(&self, default_period: f64) -> Vec<f64> {
         let mut req = vec![POS; self.nl.num_nets()];
-        for (id, inst) in self.nl.flops() {
-            let period = flop_clock.get(&id).copied().unwrap_or(default_period);
-            let lat = *self.clock_latency_ns.get(&id).unwrap_or(&0.0);
-            let required = period + lat - self.tech.setup_ns;
-            for &net in &inst.inputs {
-                let i = net.index();
-                req[i] = req[i].min(required);
-            }
-        }
         for (_, m) in self.nl.macros() {
             let required = default_period - 2.0 * self.tech.setup_ns;
             for &net in &m.inputs {
@@ -475,6 +464,58 @@ impl<'a> Sta<'a> {
             let required = default_period - self.constraints.output_delay(&p.name);
             let i = p.net.index();
             req[i] = req[i].min(required);
+        }
+        req
+    }
+
+    /// Setup required time imposed directly at each net by the
+    /// endpoints that read it (flop data pins, macro inputs, output
+    /// ports); `+inf` where a net feeds no endpoint.
+    pub(crate) fn endpoint_required(
+        &self,
+        flop_clock: &HashMap<InstanceId, f64>,
+        default_period: f64,
+    ) -> Vec<f64> {
+        // min-folding is selection over finite values, so folding the
+        // static part first is bit-identical to the historical
+        // flops-first order.
+        let mut req = self.static_endpoint_required(default_period);
+        for (id, inst) in self.nl.flops() {
+            let period = flop_clock.get(&id).copied().unwrap_or(default_period);
+            let lat = *self.clock_latency_ns.get(&id).unwrap_or(&0.0);
+            let required = period + lat - self.tech.setup_ns;
+            for &net in &inst.inputs {
+                let i = net.index();
+                req[i] = req[i].min(required);
+            }
+        }
+        req
+    }
+
+    /// Recompute the endpoint requirement of a single net from its
+    /// current flop readers (via the fanout map) on top of its static
+    /// macro/port constraint. Bit-identical to the `net` entry of
+    /// [`Sta::endpoint_required`].
+    pub(crate) fn endpoint_required_for(
+        &self,
+        net: NetId,
+        static_req: f64,
+        fanout_map: &[Vec<(InstanceId, usize)>],
+        flop_clock: &HashMap<InstanceId, f64>,
+        default_period: f64,
+    ) -> f64 {
+        let mut req = static_req;
+        for &(reader, pin) in &fanout_map[net.index()] {
+            if pin == usize::MAX {
+                continue; // clock pin: not a data endpoint
+            }
+            let inst = self.nl.instance(reader);
+            if !inst.function().is_flop() {
+                continue;
+            }
+            let period = flop_clock.get(&reader).copied().unwrap_or(default_period);
+            let lat = *self.clock_latency_ns.get(&reader).unwrap_or(&0.0);
+            req = req.min(period + lat - self.tech.setup_ns);
         }
         req
     }
@@ -634,9 +675,19 @@ impl<'a> Sta<'a> {
 
         let mut setup = CheckSummary { wns_ns: POS, tns_ns: 0.0, violations: 0, endpoints: 0 };
         let mut hold = CheckSummary { wns_ns: POS, tns_ns: 0.0, violations: 0, endpoints: 0 };
-        let mut worst: Option<(f64, NetId, String, f64)> = None; // slack, net, endpoint, required
 
-        let mut check_setup = |net: NetId, required: f64, endpoint: String| {
+        // Worst endpoint is tracked by key and formatted once at the
+        // end — a String per endpoint here would put an allocation on
+        // every report, which the incremental engine calls per edit.
+        #[derive(Clone, Copy)]
+        enum EndpointKey {
+            Flop(InstanceId, usize),
+            MacroPin(MacroId, usize),
+            Port(PortId),
+        }
+        let mut worst: Option<(f64, NetId, EndpointKey, f64)> = None; // slack, net, endpoint, required
+
+        let mut check_setup = |net: NetId, required: f64, endpoint: EndpointKey| {
             let at = at_max[net.index()];
             if at == NEG {
                 return; // constant cone — no timing
@@ -661,20 +712,20 @@ impl<'a> Sta<'a> {
             let lat = *self.clock_latency_ns.get(&id).unwrap_or(&0.0);
             for (pin, &net) in inst.inputs.iter().enumerate() {
                 let required = period + lat - self.tech.setup_ns;
-                check_setup(net, required, format!("{}/D{pin}", inst.name));
+                check_setup(net, required, EndpointKey::Flop(id, pin));
             }
         }
         // Macro input pins (memories need extra setup).
-        for (_, m) in self.nl.macros() {
+        for (mid, m) in self.nl.macros() {
             for (pin, &net) in m.inputs.iter().enumerate() {
                 let required = default_period - 2.0 * self.tech.setup_ns;
-                check_setup(net, required, format!("{}/I{pin}", m.name));
+                check_setup(net, required, EndpointKey::MacroPin(mid, pin));
             }
         }
         // Output ports.
-        for (_, p) in self.nl.output_ports() {
+        for (pid, p) in self.nl.output_ports() {
             let required = default_period - self.constraints.output_delay(&p.name);
-            check_setup(p.net, required, format!("output port {}", p.name));
+            check_setup(p.net, required, EndpointKey::Port(pid));
         }
 
         // Hold: flop *data-path* pins (D, and SI for scan flops) against
@@ -720,7 +771,18 @@ impl<'a> Sta<'a> {
         }
 
         // Critical path backtrace.
-        let critical_path = worst.map(|(slack, net, endpoint, required)| {
+        let critical_path = worst.map(|(slack, net, key, required)| {
+            let endpoint = match key {
+                EndpointKey::Flop(id, pin) => {
+                    format!("{}/D{pin}", self.nl.instance(id).name)
+                }
+                EndpointKey::MacroPin(id, pin) => {
+                    format!("{}/I{pin}", self.nl.macro_inst(id).name)
+                }
+                EndpointKey::Port(id) => {
+                    format!("output port {}", self.nl.port(id).name)
+                }
+            };
             self.backtrace(net, endpoint, slack, required, at_max, &ann.pred, &ann.start_label)
         });
         let critical_levels = critical_path.as_ref().map_or(0, |p| p.levels());

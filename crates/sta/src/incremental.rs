@@ -10,6 +10,31 @@
 //! [`EcoSession`](camsoc_netlist::eco::EcoSession) accumulates, and
 //! re-evaluates only those two cones.
 //!
+//! # Persistent derived structures
+//!
+//! Cone-limited *evaluation* is not enough to make an update O(cone):
+//! the derived structures the evaluation consults must also be patched
+//! rather than rebuilt. The engine keeps four of them alive across
+//! updates:
+//!
+//! - **Levelization** (`ann.order` plus an instance→position index):
+//!   new combinational instances append to the tail, and edges whose
+//!   endpoints ended up out of order are repaired with a
+//!   Pearce–Kelly-style local reorder confined to the affected region.
+//! - **Fanout counts and fanout map**: replayed in place from the
+//!   connectivity journal ([`EditDelta::patch_fanout`]) — O(edits), not
+//!   O(nets).
+//! - **Endpoint requirements**: the static macro/port part never moves
+//!   under ECO edits; per-net flop constraints are recomputed only for
+//!   nets whose flop readers or capture periods actually changed.
+//! - **Capture clocks** (`ann.flop_clock`): re-traced only for flops
+//!   whose clock tree intersects the edit.
+//!
+//! When a delta arrives without a journal that explains the netlist's
+//! current shape (e.g. a foreign delta source), the engine falls back
+//! to re-deriving the structures — still bit-identical, just O(netlist)
+//! bookkeeping — and [`UpdateStats::structures_rebuilt`] records it.
+//!
 //! The update is **bit-identical** to a from-scratch analysis: it reuses
 //! the exact per-gate evaluation routines of the full pass, re-seeds
 //! launch points through the same code path, folds fanout lists in the
@@ -23,9 +48,9 @@
 //! (default 0.75), the engine falls back to a full re-annotation — at
 //! that size the cone bookkeeping costs more than it saves.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap};
 
-use camsoc_netlist::eco::EditDelta;
+use camsoc_netlist::eco::{ConnectivityEdit, EditDelta};
 use camsoc_netlist::graph::{InstanceId, NetDriver, NetId, Netlist};
 use camsoc_netlist::tech::Technology;
 
@@ -42,11 +67,26 @@ pub struct UpdateStats {
     /// Evaluations a from-scratch [`Sta::annotate`](crate::Sta) of the
     /// current netlist would perform.
     pub full_evaluated: usize,
-    /// `evaluated / full_evaluated` — the dirty-cone fraction.
+    /// `evaluated / full_evaluated` — the dirty-cone fraction (`0.0`
+    /// when the combinational graph is empty).
     pub cone_fraction: f64,
     /// True when the cone exceeded the threshold and the engine fell
     /// back to a full re-annotation.
     pub used_full: bool,
+    /// Levelization slots reassigned by the incremental order repair
+    /// (including newly appended instances). Zero for edits that do not
+    /// change connectivity; O(affected region) otherwise.
+    pub order_reordered: usize,
+    /// Fanout map/count entries patched from the connectivity journal.
+    /// O(edits), independent of netlist size, on the journal path.
+    pub fanout_patched: usize,
+    /// Per-net endpoint requirements recomputed (nets whose flop
+    /// readers or capture periods changed).
+    pub endpoints_recomputed: usize,
+    /// True when the persistent derived structures (order, fanout,
+    /// endpoint requirements) were re-derived from scratch instead of
+    /// patched — the O(netlist) bookkeeping path.
+    pub structures_rebuilt: bool,
 }
 
 /// Incremental timing engine: a baseline annotation plus the machinery
@@ -95,6 +135,7 @@ pub struct UpdateStats {
 /// let full = Sta::new(eco.netlist(), &tech, constraints).analyze()?;
 /// assert_eq!(report, full);
 /// assert!(inc.stats().evaluated < inc.stats().full_evaluated);
+/// assert!(!inc.stats().structures_rebuilt); // patched, not rebuilt
 /// assert!(report.fmax_mhz >= baseline.fmax_mhz);
 /// # Ok(())
 /// # }
@@ -107,8 +148,29 @@ pub struct IncrementalSta {
     wire_delays_ns: Option<Vec<f64>>,
     max_cone_fraction: f64,
     ann: Annotation,
+    /// Live fanout structures, patched from the connectivity journal.
     fanout_counts: Vec<usize>,
+    fanout_map: Vec<Vec<(InstanceId, usize)>>,
+    /// Live per-net endpoint requirement and its flop-independent part.
     endpoint_req: Vec<f64>,
+    static_endpoint_req: Vec<f64>,
+    /// Instance → index in `ann.order` (`usize::MAX` for sequential
+    /// instances, which are not levelized).
+    pos: Vec<usize>,
+    /// Non-tie combinational instance count (the forward half of a full
+    /// evaluation), maintained incrementally.
+    nontie_comb: usize,
+    /// Per-engine scalars that a full analysis re-derives each run but
+    /// that cannot change between updates (constraints and clock-tree
+    /// latencies are fixed at construction).
+    io_reference_ns: f64,
+    clock_ports: Vec<NetId>,
+    /// Epoch-stamped scratch marks: `mark[i] == epoch` means "in the
+    /// current set". Bumping the epoch invalidates all marks in O(1),
+    /// so cone collection allocates nothing in steady state.
+    inst_mark: Vec<u32>,
+    net_mark: Vec<u32>,
+    epoch: u32,
     num_instances: usize,
     /// Nets whose wire delay changed via [`IncrementalSta::set_wire_delays`],
     /// pending the next update.
@@ -129,23 +191,47 @@ impl<'a> Sta<'a> {
         let ann = self.annotate()?;
         let report = self.report_from(&ann);
         let endpoint_req = self.endpoint_required(&ann.flop_clock, ann.default_period);
+        let static_endpoint_req = self.static_endpoint_required(ann.default_period);
         let full = ann.evaluated();
+        let num_instances = self.nl.num_instances();
+        let mut pos = vec![usize::MAX; num_instances];
+        for (i, &id) in ann.order.iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        let nontie_comb = ann
+            .order
+            .iter()
+            .filter(|id| !self.nl.instance(**id).function().is_tie())
+            .count();
         let inc = IncrementalSta {
             constraints: self.constraints.clone(),
             corner: self.corner,
             clock_latency_ns: self.clock_latency_ns.clone(),
             wire_delays_ns: self.wire_delays_ns.clone(),
             max_cone_fraction: 0.75,
-            ann,
             fanout_counts: self.nl.fanout_counts(),
+            fanout_map: self.nl.fanout_map(),
             endpoint_req,
-            num_instances: self.nl.num_instances(),
+            static_endpoint_req,
+            pos,
+            nontie_comb,
+            io_reference_ns: self.io_reference_ns(),
+            clock_ports: self.clock_port_nets(),
+            inst_mark: vec![0; num_instances],
+            net_mark: vec![0; self.nl.num_nets()],
+            epoch: 0,
+            ann,
+            num_instances,
             pending_dirty_nets: BTreeSet::new(),
             stats: UpdateStats {
                 evaluated: full,
                 full_evaluated: full,
                 cone_fraction: 1.0,
                 used_full: true,
+                order_reordered: 0,
+                fanout_patched: 0,
+                endpoints_recomputed: 0,
+                structures_rebuilt: true,
             },
         };
         Ok((inc, report))
@@ -204,6 +290,12 @@ impl IncrementalSta {
     /// combined cone exceeds the configured fraction of the graph the
     /// engine runs a full re-annotation instead.
     ///
+    /// When the delta carries a connectivity journal that explains the
+    /// netlist's current shape, all derived-structure bookkeeping is
+    /// O(edits + cone); otherwise the structures are re-derived
+    /// (bit-identical, but O(netlist) — see
+    /// [`UpdateStats::structures_rebuilt`]).
+    ///
     /// # Errors
     ///
     /// Same as [`Sta::analyze`] (the edit may have introduced a
@@ -223,47 +315,53 @@ impl IncrementalSta {
         if let Some(w) = &self.wire_delays_ns {
             assert_eq!(w.len(), nl.num_nets(), "wire delay vector length");
         }
+        // Loan the owned configuration to a borrowed analyzer instead of
+        // cloning it — per-update cost must not scale with the number of
+        // ports or clock-tree leaves.
         let sta = Sta {
             nl,
             tech,
-            constraints: self.constraints.clone(),
+            constraints: std::mem::take(&mut self.constraints),
             corner: self.corner,
-            wire_delays_ns: self.wire_delays_ns.clone(),
-            clock_latency_ns: self.clock_latency_ns.clone(),
+            wire_delays_ns: self.wire_delays_ns.take(),
+            clock_latency_ns: std::mem::take(&mut self.clock_latency_ns),
         };
+        let result = self.update_inner(&sta, delta);
+        let Sta { constraints, wire_delays_ns, clock_latency_ns, .. } = sta;
+        self.constraints = constraints;
+        self.wire_delays_ns = wire_delays_ns;
+        self.clock_latency_ns = clock_latency_ns;
+        result
+    }
 
+    fn update_inner(&mut self, sta: &Sta<'_>, delta: &EditDelta) -> Result<TimingReport, StaError> {
+        let nl = sta.nl;
         let n = nl.num_nets();
-        let old_n = self.ann.at_max.len();
+        let num_inst = nl.num_instances();
+        let old_n = self.fanout_counts.len();
+
+        // Grow per-net/per-instance state; new entries start untimed.
         self.ann.at_max.resize(n, NEG);
         self.ann.at_min.resize(n, POS);
         self.ann.req_max.resize(n, POS);
         self.ann.pred.resize(n, None);
         self.ann.start_label.resize(n, None);
+        self.inst_mark.resize(num_inst, 0);
+        self.net_mark.resize(n, 0);
+        self.pos.resize(num_inst, usize::MAX);
 
-        // Re-derive clocking: edits can add flops or retarget clock pins.
-        self.ann.flop_clock = sta.flop_clock_map()?;
-        // Re-levelize: appended gates may precede existing readers, and
-        // the edit may have closed a combinational loop. Integer-only
-        // bookkeeping — not counted as timing evaluation.
-        self.ann.order = nl.combinational_topo_order().map_err(|e| match e {
-            camsoc_netlist::NetlistError::CombinationalCycle { net } => {
-                StaError::CombinationalCycle(net)
-            }
-            other => StaError::CombinationalCycle(other.to_string()),
-        })?;
+        let mut order_reordered = 0usize;
+        let mut fanout_patched = 0usize;
+        let mut endpoints_recomputed = 0usize;
+        let mut structures_rebuilt = false;
 
-        let new_fanout = nl.fanout_counts();
-        let fanout_map = nl.fanout_map();
-        let new_endpoint_req = sta.endpoint_required(&self.ann.flop_clock, self.ann.default_period);
-
-        // ---- Collect the edit frontier -------------------------------
         let mut dirty_gates: BTreeSet<InstanceId> = BTreeSet::new();
         let mut reseed_nets: BTreeSet<NetId> = BTreeSet::new();
         let mut bseeds: BTreeSet<NetId> = BTreeSet::new();
 
         let classify_net = |net: NetId,
-                                dirty_gates: &mut BTreeSet<InstanceId>,
-                                reseed_nets: &mut BTreeSet<NetId>| {
+                            dirty_gates: &mut BTreeSet<InstanceId>,
+                            reseed_nets: &mut BTreeSet<NetId>| {
             match nl.net(net).driver {
                 Some(NetDriver::Instance(id)) if !nl.instance(id).function().is_sequential() => {
                     dirty_gates.insert(id);
@@ -276,6 +374,121 @@ impl IncrementalSta {
             }
         };
 
+        // The journal path is only sound when the journal explains the
+        // netlist's growth since our structures were last synced.
+        let dims_explained = old_n + delta.added_nets() == n
+            && self.num_instances + delta.added_instances() == num_inst;
+        let patched = dims_explained
+            && match delta.patch_fanout(nl, &mut self.fanout_counts, &mut self.fanout_map) {
+                Some(p) => {
+                    fanout_patched = p;
+                    true
+                }
+                None => {
+                    // The journal does not replay against our structures
+                    // (stale baseline, hand-built delta) and may have
+                    // left them half-patched — rebuild everything.
+                    let report = self.rebuild_full(sta)?;
+                    self.pending_dirty_nets.clear();
+                    self.stats = UpdateStats {
+                        evaluated: self.ann.evaluated,
+                        full_evaluated: self.ann.evaluated,
+                        cone_fraction: 1.0,
+                        used_full: true,
+                        order_reordered: self.ann.order.len(),
+                        fanout_patched: 0,
+                        endpoints_recomputed: n,
+                        structures_rebuilt: true,
+                    };
+                    return Ok(report);
+                }
+            };
+
+        if patched {
+            // ---- O(edits) bookkeeping from the connectivity journal --
+            self.endpoint_req.resize(n, POS);
+            self.static_endpoint_req.resize(n, POS);
+            // New combinational instances join the tail of the order;
+            // instances whose pins moved may now violate it.
+            let mut touched: BTreeSet<InstanceId> = BTreeSet::new();
+            for e in &delta.edits {
+                match *e {
+                    ConnectivityEdit::AddInstance { inst } => {
+                        let f = nl.instance(inst).function();
+                        if !f.is_sequential() {
+                            self.pos[inst.index()] = self.ann.order.len();
+                            self.ann.order.push(inst);
+                            if !f.is_tie() {
+                                self.nontie_comb += 1;
+                            }
+                            order_reordered += 1;
+                            touched.insert(inst);
+                        }
+                    }
+                    ConnectivityEdit::RewireInput { inst, from, to, .. } => {
+                        if self.pos[inst.index()] != usize::MAX {
+                            touched.insert(inst);
+                        }
+                        for net in [from, to] {
+                            classify_net(net, &mut dirty_gates, &mut reseed_nets);
+                            bseeds.insert(net);
+                        }
+                    }
+                    ConnectivityEdit::Connect { inst, net, .. } => {
+                        if self.pos[inst.index()] != usize::MAX {
+                            touched.insert(inst);
+                        }
+                        classify_net(net, &mut dirty_gates, &mut reseed_nets);
+                        bseeds.insert(net);
+                    }
+                    ConnectivityEdit::MoveOutput { inst, .. } => {
+                        if self.pos[inst.index()] != usize::MAX {
+                            touched.insert(inst);
+                        }
+                    }
+                    ConnectivityEdit::AddNet { .. } => {}
+                }
+            }
+            order_reordered += self.repair_order(nl, &touched)?;
+        } else {
+            // ---- Unexplained delta: legacy O(netlist) re-derivation --
+            // The old structures are untouched (the dims check rejects
+            // before any patching), so diffing against them is sound.
+            structures_rebuilt = true;
+            self.ann.flop_clock = sta.flop_clock_map()?;
+            self.rebuild_order_full(nl)?;
+            order_reordered = self.ann.order.len();
+            let new_fanout = nl.fanout_counts();
+            let new_map = nl.fanout_map();
+            let new_endpoint_req =
+                sta.endpoint_required(&self.ann.flop_clock, self.ann.default_period);
+            // Fanout-count diffs catch indirect load changes (cell delay
+            // and estimated wire delay both scale with fanout).
+            for (i, &count) in new_fanout.iter().enumerate() {
+                let old = if i < old_n { self.fanout_counts[i] } else { usize::MAX };
+                if count != old {
+                    let net = NetId(i as u32);
+                    classify_net(net, &mut dirty_gates, &mut reseed_nets);
+                    bseeds.insert(net);
+                }
+            }
+            // Direct endpoint-constraint changes (new flop D pins,
+            // retimed capture clocks) seed the backward pass.
+            for (i, &req) in new_endpoint_req.iter().enumerate() {
+                let old = if i < self.endpoint_req.len() { self.endpoint_req[i] } else { POS };
+                if req != old {
+                    bseeds.insert(NetId(i as u32));
+                }
+            }
+            fanout_patched = new_map.iter().map(Vec::len).sum();
+            endpoints_recomputed = n;
+            self.fanout_counts = new_fanout;
+            self.fanout_map = new_map;
+            self.endpoint_req = new_endpoint_req;
+            self.static_endpoint_req = sta.static_endpoint_required(self.ann.default_period);
+        }
+
+        // ---- Edit frontier shared by both paths ----------------------
         // Edited instances: combinational gates re-evaluate; sequential
         // outputs re-seed.
         for &id in &delta.instances {
@@ -295,24 +508,96 @@ impl IncrementalSta {
             bseeds.insert(net);
         }
         self.pending_dirty_nets.clear();
-        // Fanout-count diffs catch indirect load changes (cell delay and
-        // estimated wire delay both scale with fanout).
-        for (i, &count) in new_fanout.iter().enumerate() {
-            let old = if i < old_n { self.fanout_counts[i] } else { usize::MAX };
-            if count != old {
-                let net = NetId(i as u32);
-                classify_net(net, &mut dirty_gates, &mut reseed_nets);
-                bseeds.insert(net);
+
+        // ---- Forward cone: gates whose arrival can move --------------
+        let (mut fcone, fwd_evals) = self.collect_fcone(nl, &dirty_gates, &reseed_nets);
+
+        if patched {
+            // ---- Clock retrace confined to the affected subtree ------
+            // A flop's capture period can only change if its clock pin
+            // moved, or some net on its clock trace changed driver —
+            // and every changed clock-tree gate is in the forward cone.
+            let mut retrace: BTreeSet<InstanceId> = BTreeSet::new();
+            for e in &delta.edits {
+                match *e {
+                    ConnectivityEdit::AddInstance { inst }
+                        if nl.instance(inst).function().is_flop() =>
+                    {
+                        retrace.insert(inst);
+                    }
+                    ConnectivityEdit::MoveOutput { from, to, .. } => {
+                        self.clock_readers_into(nl, from, &mut retrace);
+                        self.clock_readers_into(nl, to, &mut retrace);
+                    }
+                    _ => {}
+                }
+            }
+            for &net in &delta.nets {
+                if net.index() < n {
+                    self.clock_readers_into(nl, net, &mut retrace);
+                }
+            }
+            for &id in &fcone {
+                self.clock_readers_into(nl, nl.instance(id).output, &mut retrace);
+            }
+            let mut period_changed: Vec<InstanceId> = Vec::new();
+            if !retrace.is_empty() {
+                if sta.constraints.clocks.is_empty() {
+                    return Err(StaError::NoClock);
+                }
+                let port_clock = sta.port_clock_map();
+                for &f in &retrace {
+                    let inst = nl.instance(f);
+                    let clk_net = inst
+                        .clock
+                        .ok_or_else(|| StaError::UnclockedFlop(inst.name.clone()))?;
+                    let clock = sta
+                        .trace_clock_with(&port_clock, clk_net)
+                        .ok_or_else(|| StaError::UnclockedFlop(inst.name.clone()))?;
+                    if self.ann.flop_clock.get(&f) != Some(&clock.period_ns) {
+                        self.ann.flop_clock.insert(f, clock.period_ns);
+                        period_changed.push(f);
+                    }
+                }
+            }
+
+            // ---- Endpoint requirements: recompute dirtied nets only --
+            let mut ep_dirty: BTreeSet<NetId> = BTreeSet::new();
+            for e in &delta.edits {
+                match *e {
+                    ConnectivityEdit::RewireInput { inst, from, to, .. }
+                        if nl.instance(inst).function().is_flop() =>
+                    {
+                        ep_dirty.insert(from);
+                        ep_dirty.insert(to);
+                    }
+                    ConnectivityEdit::Connect { inst, pin, net }
+                        if pin != usize::MAX && nl.instance(inst).function().is_flop() =>
+                    {
+                        ep_dirty.insert(net);
+                    }
+                    _ => {}
+                }
+            }
+            for &f in &period_changed {
+                ep_dirty.extend(nl.instance(f).inputs.iter().copied());
+            }
+            for &net in &ep_dirty {
+                endpoints_recomputed += 1;
+                let req = sta.endpoint_required_for(
+                    net,
+                    self.static_endpoint_req[net.index()],
+                    &self.fanout_map,
+                    &self.ann.flop_clock,
+                    self.ann.default_period,
+                );
+                if self.endpoint_req[net.index()] != req {
+                    self.endpoint_req[net.index()] = req;
+                    bseeds.insert(net);
+                }
             }
         }
-        // Direct endpoint-constraint changes (new flop D pins, retimed
-        // capture clocks) seed the backward pass.
-        for (i, &req) in new_endpoint_req.iter().enumerate() {
-            let old = if i < old_n { self.endpoint_req[i] } else { POS };
-            if req != old {
-                bseeds.insert(NetId(i as u32));
-            }
-        }
+
         // A gate with a changed delay shifts the required time of its
         // input nets.
         for &id in &dirty_gates {
@@ -320,78 +605,12 @@ impl IncrementalSta {
         }
         bseeds.extend(reseed_nets.iter().copied());
 
-        // ---- Forward cone: gates whose arrival can move --------------
-        let num_inst = nl.num_instances();
-        let mut in_fcone = vec![false; num_inst];
-        let mut queue: VecDeque<InstanceId> = VecDeque::new();
-        for &id in &dirty_gates {
-            if !in_fcone[id.index()] {
-                in_fcone[id.index()] = true;
-                queue.push_back(id);
-            }
-        }
-        let enqueue_readers =
-            |net: NetId, in_fcone: &mut Vec<bool>, queue: &mut VecDeque<InstanceId>| {
-                for &(reader, pin) in &fanout_map[net.index()] {
-                    if pin == usize::MAX {
-                        continue; // clock pin: launch times don't follow data
-                    }
-                    if nl.instance(reader).function().is_sequential() {
-                        continue; // D-pin arrival doesn't move the Q launch
-                    }
-                    if !in_fcone[reader.index()] {
-                        in_fcone[reader.index()] = true;
-                        queue.push_back(reader);
-                    }
-                }
-            };
-        for &net in &reseed_nets {
-            enqueue_readers(net, &mut in_fcone, &mut queue);
-        }
-        while let Some(id) = queue.pop_front() {
-            enqueue_readers(nl.instance(id).output, &mut in_fcone, &mut queue);
-        }
-
         // ---- Backward cone: nets whose required time can move --------
-        let mut in_bcone = vec![false; n];
-        let mut bqueue: VecDeque<NetId> = VecDeque::new();
-        for &net in &bseeds {
-            if !in_bcone[net.index()] {
-                in_bcone[net.index()] = true;
-                bqueue.push_back(net);
-            }
-        }
-        while let Some(net) = bqueue.pop_front() {
-            if let Some(NetDriver::Instance(id)) = nl.net(net).driver {
-                let inst = nl.instance(id);
-                if inst.function().is_sequential() {
-                    continue; // required times stop at launch points
-                }
-                for &input in &inst.inputs {
-                    if !in_bcone[input.index()] {
-                        in_bcone[input.index()] = true;
-                        bqueue.push_back(input);
-                    }
-                }
-            }
-        }
+        let bcone = self.collect_bcone(nl, &bseeds);
 
         // ---- Fallback decision ---------------------------------------
-        let fwd_evals = self
-            .ann
-            .order
-            .iter()
-            .filter(|id| in_fcone[id.index()] && !nl.instance(**id).function().is_tie())
-            .count();
-        let bwd_evals = in_bcone.iter().filter(|&&b| b).count();
-        let full_fwd = self
-            .ann
-            .order
-            .iter()
-            .filter(|id| !nl.instance(**id).function().is_tie())
-            .count();
-        let full_evaluated = full_fwd + n;
-        let evaluated = fwd_evals + bwd_evals;
+        let full_evaluated = self.nontie_comb + n;
+        let evaluated = fwd_evals + bcone.len();
         let cone_fraction = if full_evaluated > 0 {
             evaluated as f64 / full_evaluated as f64
         } else {
@@ -399,29 +618,26 @@ impl IncrementalSta {
         };
 
         if cone_fraction > self.max_cone_fraction {
-            let ann = sta.annotate()?;
-            let report = sta.report_from(&ann);
-            self.endpoint_req = new_endpoint_req;
-            self.fanout_counts = new_fanout;
-            self.num_instances = num_inst;
-            self.ann = ann;
+            let report = self.rebuild_full(sta)?;
             self.stats = UpdateStats {
-                evaluated: self.ann.evaluated(),
+                evaluated: self.ann.evaluated,
                 full_evaluated,
                 cone_fraction,
                 used_full: true,
+                order_reordered,
+                fanout_patched,
+                endpoints_recomputed,
+                structures_rebuilt: true,
             };
             return Ok(report);
         }
 
         // ---- Re-seed launch points -----------------------------------
-        let io_reference_ns = sta.io_reference_ns();
-        let clock_ports = sta.clock_port_nets();
         for &net in &reseed_nets {
             sta.seed_net(
                 net,
-                &clock_ports,
-                io_reference_ns,
+                &self.clock_ports,
+                self.io_reference_ns,
                 &mut self.ann.at_max,
                 &mut self.ann.at_min,
                 &mut self.ann.pred,
@@ -430,57 +646,404 @@ impl IncrementalSta {
         }
 
         // ---- Forward: re-evaluate the fanout cone in level order -----
-        for i in 0..self.ann.order.len() {
-            let id = self.ann.order[i];
-            if in_fcone[id.index()] {
-                sta.eval_forward(
-                    id,
-                    &new_fanout,
-                    &mut self.ann.at_max,
-                    &mut self.ann.at_min,
-                    &mut self.ann.pred,
-                );
-            }
+        fcone.sort_unstable_by_key(|id| self.pos[id.index()]);
+        for &id in &fcone {
+            sta.eval_forward(
+                id,
+                &self.fanout_counts,
+                &mut self.ann.at_max,
+                &mut self.ann.at_min,
+                &mut self.ann.pred,
+            );
         }
 
         // ---- Backward: re-evaluate the fanin cone against the level
         // order, mirroring the full pass (gate outputs in reverse topo
-        // order, then source nets in index order) ----------------------
-        let mut gate_output = vec![false; n];
-        for &id in &self.ann.order {
-            gate_output[nl.instance(id).output.index()] = true;
-        }
-        for i in (0..self.ann.order.len()).rev() {
-            let out = nl.instance(self.ann.order[i]).output;
-            if in_bcone[out.index()] {
-                self.ann.req_max[out.index()] = sta.eval_required(
-                    out,
-                    &fanout_map,
-                    &new_fanout,
-                    &new_endpoint_req,
-                    &self.ann.req_max,
-                );
+        // order, then source nets in index order). A reader's output
+        // net always has a later driver position than the net it reads,
+        // so descending position finalizes readers before drivers. ----
+        let mut gate_nets: Vec<(usize, NetId)> = Vec::new();
+        let mut source_nets: Vec<NetId> = Vec::new();
+        for &net in &bcone {
+            match nl.net(net).driver {
+                Some(NetDriver::Instance(d)) if self.pos[d.index()] != usize::MAX => {
+                    gate_nets.push((self.pos[d.index()], net));
+                }
+                _ => source_nets.push(net),
             }
         }
-        for i in 0..n {
-            if in_bcone[i] && !gate_output[i] {
-                let net = NetId(i as u32);
-                self.ann.req_max[i] = sta.eval_required(
-                    net,
-                    &fanout_map,
-                    &new_fanout,
-                    &new_endpoint_req,
-                    &self.ann.req_max,
-                );
-            }
+        gate_nets.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
+        source_nets.sort_unstable();
+        for &(_, net) in &gate_nets {
+            let req = sta.eval_required(
+                net,
+                &self.fanout_map,
+                &self.fanout_counts,
+                &self.endpoint_req,
+                &self.ann.req_max,
+            );
+            self.ann.req_max[net.index()] = req;
+        }
+        for &net in &source_nets {
+            let req = sta.eval_required(
+                net,
+                &self.fanout_map,
+                &self.fanout_counts,
+                &self.endpoint_req,
+                &self.ann.req_max,
+            );
+            self.ann.req_max[net.index()] = req;
         }
 
         self.ann.evaluated = evaluated;
-        self.endpoint_req = new_endpoint_req;
-        self.fanout_counts = new_fanout;
         self.num_instances = num_inst;
-        self.stats = UpdateStats { evaluated, full_evaluated, cone_fraction, used_full: false };
+        self.stats = UpdateStats {
+            evaluated,
+            full_evaluated,
+            cone_fraction,
+            used_full: false,
+            order_reordered,
+            fanout_patched,
+            endpoints_recomputed,
+            structures_rebuilt,
+        };
         Ok(sta.report_from(&self.ann))
+    }
+
+    /// Invalidate all scratch marks in O(1) and return the fresh epoch.
+    fn bump_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.inst_mark.fill(0);
+            self.net_mark.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Collect the forward fanout cone of the edit frontier: every
+    /// combinational gate whose arrival can move. Returns the members
+    /// and the non-tie count (the forward evaluation cost).
+    #[allow(clippy::needless_range_loop)]
+    fn collect_fcone(
+        &mut self,
+        nl: &Netlist,
+        dirty_gates: &BTreeSet<InstanceId>,
+        reseed_nets: &BTreeSet<NetId>,
+    ) -> (Vec<InstanceId>, usize) {
+        let mark = self.bump_epoch();
+        let mut members: Vec<InstanceId> = Vec::new();
+        let mut stack: Vec<InstanceId> = Vec::new();
+        let mut nontie = 0usize;
+        for &id in dirty_gates {
+            if self.inst_mark[id.index()] != mark {
+                self.inst_mark[id.index()] = mark;
+                if !nl.instance(id).function().is_tie() {
+                    nontie += 1;
+                }
+                members.push(id);
+                stack.push(id);
+            }
+        }
+        for &net in reseed_nets {
+            let ni = net.index();
+            for k in 0..self.fanout_map[ni].len() {
+                let (reader, pin) = self.fanout_map[ni][k];
+                if pin == usize::MAX {
+                    continue; // clock pin: launch times don't follow data
+                }
+                let f = nl.instance(reader).function();
+                if f.is_sequential() {
+                    continue; // D-pin arrival doesn't move the Q launch
+                }
+                if self.inst_mark[reader.index()] != mark {
+                    self.inst_mark[reader.index()] = mark;
+                    if !f.is_tie() {
+                        nontie += 1;
+                    }
+                    members.push(reader);
+                    stack.push(reader);
+                }
+            }
+        }
+        while let Some(id) = stack.pop() {
+            let ni = nl.instance(id).output.index();
+            for k in 0..self.fanout_map[ni].len() {
+                let (reader, pin) = self.fanout_map[ni][k];
+                if pin == usize::MAX {
+                    continue;
+                }
+                let f = nl.instance(reader).function();
+                if f.is_sequential() {
+                    continue;
+                }
+                if self.inst_mark[reader.index()] != mark {
+                    self.inst_mark[reader.index()] = mark;
+                    if !f.is_tie() {
+                        nontie += 1;
+                    }
+                    members.push(reader);
+                    stack.push(reader);
+                }
+            }
+        }
+        (members, nontie)
+    }
+
+    /// Collect the backward fanin cone of the seed nets: every net
+    /// whose required time can move. Required times stop at launch
+    /// points (sequential drivers).
+    fn collect_bcone(&mut self, nl: &Netlist, bseeds: &BTreeSet<NetId>) -> Vec<NetId> {
+        let mark = self.bump_epoch();
+        let mut members: Vec<NetId> = Vec::new();
+        let mut stack: Vec<NetId> = Vec::new();
+        for &net in bseeds {
+            if self.net_mark[net.index()] != mark {
+                self.net_mark[net.index()] = mark;
+                members.push(net);
+                stack.push(net);
+            }
+        }
+        while let Some(net) = stack.pop() {
+            if let Some(NetDriver::Instance(id)) = nl.net(net).driver {
+                let inst = nl.instance(id);
+                if inst.function().is_sequential() {
+                    continue;
+                }
+                for &input in &inst.inputs {
+                    if self.net_mark[input.index()] != mark {
+                        self.net_mark[input.index()] = mark;
+                        members.push(input);
+                        stack.push(input);
+                    }
+                }
+            }
+        }
+        members
+    }
+
+    /// Flops reading `net` through their clock pin.
+    fn clock_readers_into(&self, nl: &Netlist, net: NetId, out: &mut BTreeSet<InstanceId>) {
+        for &(reader, pin) in &self.fanout_map[net.index()] {
+            if pin == usize::MAX && nl.instance(reader).function().is_flop() {
+                out.insert(reader);
+            }
+        }
+    }
+
+    /// Restore the topological invariant after the journal changed
+    /// edges on `touched` instances, reordering only the affected
+    /// region (Pearce–Kelly). Returns the number of order slots
+    /// reassigned.
+    ///
+    /// Repairing one violated edge preserves every satisfied edge, so a
+    /// pass over the touched instances converges; a second pass
+    /// verifies. The pass cap is a safety valve for cycles that evade
+    /// local detection — the full Kahn rebuild then produces the
+    /// canonical cycle error.
+    fn repair_order(
+        &mut self,
+        nl: &Netlist,
+        touched: &BTreeSet<InstanceId>,
+    ) -> Result<usize, StaError> {
+        const MAX_PASSES: usize = 32;
+        let mut moved_total = 0usize;
+        for _ in 0..MAX_PASSES {
+            let mut clean = true;
+            for &t in touched {
+                if self.pos[t.index()] == usize::MAX {
+                    continue;
+                }
+                // in-edges: every driver must precede t
+                for pin in 0..nl.instance(t).inputs.len() {
+                    let inp = nl.instance(t).inputs[pin];
+                    if let Some(NetDriver::Instance(d)) = nl.net(inp).driver {
+                        if d == t {
+                            return Err(Self::order_error(nl)); // self-loop
+                        }
+                        let dp = self.pos[d.index()];
+                        if dp != usize::MAX && dp > self.pos[t.index()] {
+                            moved_total += self.repair_edge(nl, d, t)?;
+                            clean = false;
+                        }
+                    }
+                }
+                // out-edges: t must precede every combinational reader
+                let o = nl.instance(t).output.index();
+                for k in 0..self.fanout_map[o].len() {
+                    let (r, pin) = self.fanout_map[o][k];
+                    if pin == usize::MAX {
+                        continue;
+                    }
+                    if r == t {
+                        return Err(Self::order_error(nl)); // self-loop
+                    }
+                    let rp = self.pos[r.index()];
+                    if rp != usize::MAX && self.pos[t.index()] > rp {
+                        moved_total += self.repair_edge(nl, t, r)?;
+                        clean = false;
+                    }
+                }
+            }
+            if clean {
+                return Ok(moved_total);
+            }
+        }
+        // Did not converge — only possible with a cycle the local
+        // search missed. Kahn canonicalizes the error (or, defensively,
+        // the order).
+        self.rebuild_order_full(nl)?;
+        Ok(moved_total + self.ann.order.len())
+    }
+
+    /// Repair one violated edge `x -> y` (`pos[x] > pos[y]`): find the
+    /// forward region of `y` and the backward region of `x` inside the
+    /// affected position window, and reassign their slots so the
+    /// backward region precedes the forward region. Detects cycles that
+    /// pass through the window.
+    #[allow(clippy::needless_range_loop)]
+    fn repair_edge(
+        &mut self,
+        nl: &Netlist,
+        x: InstanceId,
+        y: InstanceId,
+    ) -> Result<usize, StaError> {
+        let ub = self.pos[x.index()];
+        let lb = self.pos[y.index()];
+        debug_assert!(lb < ub, "repair_edge called on a satisfied edge");
+
+        // Forward region: nodes reachable from y with pos < ub.
+        let fmark = self.bump_epoch();
+        let mut delta_f: Vec<InstanceId> = vec![y];
+        self.inst_mark[y.index()] = fmark;
+        let mut stack: Vec<InstanceId> = vec![y];
+        while let Some(u) = stack.pop() {
+            let o = nl.instance(u).output.index();
+            for k in 0..self.fanout_map[o].len() {
+                let (r, pin) = self.fanout_map[o][k];
+                if pin == usize::MAX {
+                    continue;
+                }
+                if r == x {
+                    return Err(Self::order_error(nl)); // y reaches x: cycle
+                }
+                let rp = self.pos[r.index()];
+                if rp == usize::MAX || rp >= ub {
+                    continue;
+                }
+                if self.inst_mark[r.index()] != fmark {
+                    self.inst_mark[r.index()] = fmark;
+                    delta_f.push(r);
+                    stack.push(r);
+                }
+            }
+        }
+
+        // Backward region: nodes reaching x with pos > lb.
+        let bmark = self.bump_epoch();
+        let mut delta_b: Vec<InstanceId> = vec![x];
+        self.inst_mark[x.index()] = bmark;
+        stack.push(x);
+        while let Some(u) = stack.pop() {
+            for pin in 0..nl.instance(u).inputs.len() {
+                let inp = nl.instance(u).inputs[pin];
+                if let Some(NetDriver::Instance(d)) = nl.net(inp).driver {
+                    let dp = self.pos[d.index()];
+                    if dp == usize::MAX || dp <= lb {
+                        continue;
+                    }
+                    if self.inst_mark[d.index()] == fmark {
+                        // backward region met the forward region: cycle
+                        return Err(Self::order_error(nl));
+                    }
+                    if self.inst_mark[d.index()] != bmark {
+                        self.inst_mark[d.index()] = bmark;
+                        delta_b.push(d);
+                        stack.push(d);
+                    }
+                }
+            }
+        }
+
+        // Reassign: the backward region (in old relative order) takes
+        // the smallest vacated slots, then the forward region. Nodes
+        // outside the two regions keep their positions, so every
+        // satisfied edge stays satisfied.
+        delta_b.sort_unstable_by_key(|u| self.pos[u.index()]);
+        delta_f.sort_unstable_by_key(|u| self.pos[u.index()]);
+        let mut slots: Vec<usize> =
+            delta_b.iter().chain(delta_f.iter()).map(|u| self.pos[u.index()]).collect();
+        slots.sort_unstable();
+        let moved = slots.len();
+        for (slot, &u) in slots.into_iter().zip(delta_b.iter().chain(delta_f.iter())) {
+            self.ann.order[slot] = u;
+            self.pos[u.index()] = slot;
+        }
+        Ok(moved)
+    }
+
+    /// Rebuild the order from scratch (Kahn), the position index, and
+    /// the non-tie count.
+    fn rebuild_order_full(&mut self, nl: &Netlist) -> Result<(), StaError> {
+        self.ann.order = nl.combinational_topo_order().map_err(|e| match e {
+            camsoc_netlist::NetlistError::CombinationalCycle { net } => {
+                StaError::CombinationalCycle(net)
+            }
+            other => StaError::CombinationalCycle(other.to_string()),
+        })?;
+        self.rebuild_pos(nl.num_instances());
+        self.nontie_comb = self
+            .ann
+            .order
+            .iter()
+            .filter(|id| !nl.instance(**id).function().is_tie())
+            .count();
+        Ok(())
+    }
+
+    fn rebuild_pos(&mut self, num_instances: usize) {
+        self.pos.clear();
+        self.pos.resize(num_instances, usize::MAX);
+        for (i, &id) in self.ann.order.iter().enumerate() {
+            self.pos[id.index()] = i;
+        }
+    }
+
+    /// The canonical error for a cycle discovered during order repair:
+    /// delegate to the full Kahn pass so incremental and from-scratch
+    /// analyses report the same net.
+    fn order_error(nl: &Netlist) -> StaError {
+        match nl.combinational_topo_order() {
+            Err(camsoc_netlist::NetlistError::CombinationalCycle { net }) => {
+                StaError::CombinationalCycle(net)
+            }
+            Err(other) => StaError::CombinationalCycle(other.to_string()),
+            Ok(_) => StaError::CombinationalCycle("edit closed a combinational loop".to_string()),
+        }
+    }
+
+    /// Full re-annotation plus re-derivation of every persistent
+    /// structure. The caller sets `stats`.
+    fn rebuild_full(&mut self, sta: &Sta<'_>) -> Result<TimingReport, StaError> {
+        let nl = sta.nl;
+        let ann = sta.annotate()?;
+        let report = sta.report_from(&ann);
+        self.endpoint_req = sta.endpoint_required(&ann.flop_clock, ann.default_period);
+        self.static_endpoint_req = sta.static_endpoint_required(ann.default_period);
+        self.fanout_counts = nl.fanout_counts();
+        self.fanout_map = nl.fanout_map();
+        self.ann = ann;
+        self.num_instances = nl.num_instances();
+        self.inst_mark.resize(nl.num_instances(), 0);
+        self.net_mark.resize(nl.num_nets(), 0);
+        self.rebuild_pos(nl.num_instances());
+        self.nontie_comb = self
+            .ann
+            .order
+            .iter()
+            .filter(|id| !nl.instance(**id).function().is_tie())
+            .count();
+        Ok(report)
     }
 }
 
@@ -518,6 +1081,33 @@ mod tests {
         b.finish()
     }
 
+    /// The incrementally maintained order must be a valid topological
+    /// order over exactly the instances a fresh Kahn pass levelizes.
+    fn assert_valid_topo(nl: &Netlist, order: &[InstanceId]) {
+        let fresh = nl.combinational_topo_order().unwrap();
+        assert_eq!(order.len(), fresh.len(), "incremental order length");
+        let incr: BTreeSet<InstanceId> = order.iter().copied().collect();
+        let kahn: BTreeSet<InstanceId> = fresh.iter().copied().collect();
+        assert_eq!(incr.len(), order.len(), "incremental order has duplicates");
+        assert_eq!(incr, kahn, "incremental order membership");
+        let mut pos = vec![usize::MAX; nl.num_instances()];
+        for (i, &id) in order.iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        for &id in order {
+            for &inp in &nl.instance(id).inputs {
+                if let Some(NetDriver::Instance(d)) = nl.net(inp).driver {
+                    if pos[d.index()] != usize::MAX {
+                        assert!(
+                            pos[d.index()] < pos[id.index()],
+                            "edge {d:?} -> {id:?} violates the incremental order"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     fn assert_matches_full(
         inc: &IncrementalSta,
         eco: &EcoSession,
@@ -526,10 +1116,14 @@ mod tests {
     ) {
         let full = Sta::new(eco.netlist(), t, cons()).analyze().unwrap();
         assert_eq!(*report, full, "incremental report diverged from full analysis");
-        // and the whole annotation, not just the summary
+        // The maintained order may be any valid levelization (timing is
+        // order-insensitive across valid orders) ...
+        assert_valid_topo(eco.netlist(), inc.annotation().topo_order());
+        // ... but every timing number must match bit for bit.
         let full_ann = Sta::new(eco.netlist(), t, cons()).annotate().unwrap();
         let mut patched = inc.annotation().clone();
         patched.evaluated = full_ann.evaluated;
+        patched.order = full_ann.order.clone();
         assert_eq!(patched, full_ann, "incremental annotation diverged");
     }
 
@@ -597,6 +1191,7 @@ mod tests {
         let delta = eco.take_delta();
         let report = inc.update(eco.netlist(), &t, &delta).unwrap();
         assert!(inc.stats().used_full);
+        assert!(inc.stats().structures_rebuilt);
         let full = Sta::new(eco.netlist(), &t, cons()).analyze().unwrap();
         assert_eq!(report, full);
     }
@@ -616,6 +1211,8 @@ mod tests {
         let report = inc.update(eco.netlist(), &t, &delta).unwrap();
         assert_matches_full(&inc, &eco, &t, &report);
         assert!(report.setup.wns_ns > 0.0);
+        // the new flop's capture clock was traced incrementally
+        assert!(!inc.stats().structures_rebuilt);
     }
 
     #[test]
@@ -652,5 +1249,117 @@ mod tests {
         let report = inc.update(eco.netlist(), &t, &EditDelta::default()).unwrap();
         assert_eq!(report, baseline);
         assert_eq!(inc.stats().evaluated, 0);
+        assert_eq!(inc.stats().order_reordered, 0);
+        assert_eq!(inc.stats().fanout_patched, 0);
+        assert_eq!(inc.stats().endpoints_recomputed, 0);
+        assert!(!inc.stats().structures_rebuilt);
+    }
+
+    #[test]
+    fn bookkeeping_counters_scale_with_cone() {
+        let t = tech();
+        let mut eco = EcoSession::new(two_chains(20));
+        let (mut inc, _) = Sta::new(eco.netlist(), &t, cons()).into_incremental().unwrap();
+
+        // A resize changes no connectivity: zero bookkeeping.
+        let victim = inc.annotation().topo_order()[5];
+        eco.upsize(victim).unwrap();
+        let delta = eco.take_delta();
+        let report = inc.update(eco.netlist(), &t, &delta).unwrap();
+        assert_matches_full(&inc, &eco, &t, &report);
+        let s = *inc.stats();
+        assert!(!s.structures_rebuilt);
+        assert_eq!(s.order_reordered, 0);
+        assert_eq!(s.fanout_patched, 0);
+        assert_eq!(s.endpoints_recomputed, 0);
+
+        // A buffer insertion is an O(1) connectivity change: counters
+        // stay far below netlist size.
+        let some_net = eco.netlist().instance(inc.annotation().topo_order()[10]).output;
+        eco.insert_buffer(some_net, Drive::X4).unwrap();
+        let delta = eco.take_delta();
+        let report = inc.update(eco.netlist(), &t, &delta).unwrap();
+        assert_matches_full(&inc, &eco, &t, &report);
+        let s = *inc.stats();
+        let nets = eco.netlist().num_nets();
+        assert!(!s.structures_rebuilt);
+        assert!(s.order_reordered >= 1 && s.order_reordered < nets / 2);
+        assert!(s.fanout_patched >= 1 && s.fanout_patched < nets / 2);
+        assert!(s.endpoints_recomputed < nets / 2);
+    }
+
+    #[test]
+    fn empty_combinational_graph_has_finite_cone_fraction() {
+        // A netlist with no gates and no nets: full_evaluated is zero
+        // and the fraction must guard the division, not emit NaN.
+        let t = tech();
+        let nl = NetlistBuilder::new("empty").finish();
+        let (mut inc, _) =
+            Sta::new(&nl, &t, Constraints::default()).into_incremental().unwrap();
+        let _ = inc.update(&nl, &t, &EditDelta::default()).unwrap();
+        let s = *inc.stats();
+        assert_eq!(s.full_evaluated, 0);
+        assert_eq!(s.cone_fraction, 0.0);
+        assert!(s.cone_fraction.is_finite());
+    }
+
+    #[test]
+    fn unreplayable_journal_rebuilds_structures() {
+        let t = tech();
+        let mut eco = EcoSession::new(two_chains(10));
+        let (mut inc, _) = Sta::new(eco.netlist(), &t, cons()).into_incremental().unwrap();
+
+        // A hand-built delta whose journal claims a rewire that never
+        // happened: dims look explained, but the replay cannot find the
+        // pin entry — the engine must detect it and rebuild.
+        let g = inc.annotation().topo_order()[2];
+        let from = eco.netlist().instance(g).output;
+        let to = eco.netlist().instance(g).inputs[0];
+        let mut delta = EditDelta::default();
+        delta.instances.insert(g);
+        delta.nets.insert(from);
+        delta.edits.push(ConnectivityEdit::RewireInput { inst: g, pin: 7, from, to });
+        let report = inc.update(eco.netlist(), &t, &delta).unwrap();
+        let full = Sta::new(eco.netlist(), &t, cons()).analyze().unwrap();
+        assert_eq!(report, full);
+        let s = *inc.stats();
+        assert!(s.used_full && s.structures_rebuilt);
+
+        // ... and keeps working incrementally afterwards.
+        let victim = inc.annotation().topo_order()[4];
+        eco.upsize(victim).unwrap();
+        let delta = eco.take_delta();
+        let report = inc.update(eco.netlist(), &t, &delta).unwrap();
+        assert_matches_full(&inc, &eco, &t, &report);
+        assert!(!inc.stats().structures_rebuilt);
+    }
+
+    #[test]
+    fn journalless_delta_takes_legacy_path() {
+        // A delta whose journal was stripped (a foreign delta source
+        // that only reports touched nets) no longer explains the
+        // netlist growth: the engine re-derives its structures but
+        // still patches timing over the cone, bit-identically.
+        let t = tech();
+        let mut eco = EcoSession::new(two_chains(10));
+        let (inc, _) = Sta::new(eco.netlist(), &t, cons()).into_incremental().unwrap();
+        let mut inc = inc.with_max_cone_fraction(1.0);
+        let net = eco.netlist().instance(inc.annotation().topo_order()[4]).output;
+        eco.insert_buffer(net, Drive::X4).unwrap();
+        let mut delta = eco.take_delta();
+        delta.edits.clear();
+        let report = inc.update(eco.netlist(), &t, &delta).unwrap();
+        assert_matches_full(&inc, &eco, &t, &report);
+        let s = *inc.stats();
+        assert!(s.structures_rebuilt && !s.used_full);
+        assert!(s.evaluated < s.full_evaluated);
+
+        // ... and the journal path resumes on the next edit.
+        let victim = inc.annotation().topo_order()[2];
+        eco.upsize(victim).unwrap();
+        let delta = eco.take_delta();
+        let report = inc.update(eco.netlist(), &t, &delta).unwrap();
+        assert_matches_full(&inc, &eco, &t, &report);
+        assert!(!inc.stats().structures_rebuilt);
     }
 }

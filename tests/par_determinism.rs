@@ -1,9 +1,10 @@
 //! Integration: the parallel execution layer must be invisible in the
 //! results. Every hot kernel wired to `camsoc::par` — ATPG fault
-//! simulation, the yield-ramp Monte Carlo, equivalence checking and
-//! multi-start placement — is run serially and at 1/2/4 threads across
-//! two seeds, and the outputs must match bit for bit. Thread count may
-//! only change wall-clock time, never a number.
+//! simulation, the yield-ramp Monte Carlo, equivalence checking,
+//! multi-start placement and the MBIST coverage Monte Carlo — is run
+//! serially and at 1/2/4 threads across two seeds, and the outputs
+//! must match bit for bit. Thread count may only change wall-clock
+//! time, never a number.
 
 use camsoc::dft::atpg::{Atpg, AtpgConfig};
 use camsoc::dft::scan::{insert_scan, ScanConfig};
@@ -16,6 +17,7 @@ use camsoc::netlist::equiv::{check_equivalence, EquivOptions, EquivVerdict};
 use camsoc::netlist::generate::{ip_block, IpBlockParams};
 use camsoc::netlist::graph::Netlist;
 use camsoc::netlist::tech::Technology;
+use camsoc::mbist::march::{measure_coverage, measure_coverage_par, MarchAlgorithm};
 use camsoc::par::Parallelism;
 use camsoc::sta::Constraints;
 
@@ -109,6 +111,30 @@ fn equiv_verdicts_are_thread_count_invariant() {
                 };
                 let par = check_equivalence(&golden, &b, &opts).expect("equiv");
                 assert_eq!(par, serial, "{label} seed {seed} t{t}");
+            }
+        }
+    }
+}
+
+#[test]
+fn mbist_coverage_is_thread_count_invariant() {
+    // every (class, trial) pair owns a golden-gamma-split RNG stream,
+    // so detection verdicts — not just the aggregate counts — are a
+    // pure function of the trial index regardless of which worker
+    // thread runs it
+    for seed in [0xB157u64, 0x5EED] {
+        for alg in [MarchAlgorithm::mats_plus(), MarchAlgorithm::march_c_minus()] {
+            let serial = measure_coverage(&alg, 64, 8, 48, seed);
+            for t in THREADS {
+                let par = measure_coverage_par(
+                    &alg,
+                    64,
+                    8,
+                    48,
+                    seed,
+                    Parallelism::Threads(t),
+                );
+                assert_eq!(par, serial, "{} seed {seed:#x} t{t}", alg.name);
             }
         }
     }

@@ -6,8 +6,38 @@
 
 use camsoc::flow::build_dsc;
 use camsoc::flow::eco::{apply_change, paper_change_history, ReplayContext};
+use camsoc::netlist::graph::{InstanceId, NetDriver, Netlist};
 use camsoc::netlist::tech::Technology;
 use camsoc::sta::{Constraints, Corner, Sta};
+
+/// The incrementally maintained levelization must stay a valid
+/// topological order over exactly the instances a fresh Kahn pass
+/// levelizes (any valid order times identically; the *membership and
+/// validity* are what the persistent structure must preserve).
+fn assert_valid_topo(nl: &Netlist, order: &[InstanceId], context: &str) {
+    let fresh = nl.combinational_topo_order().expect("acyclic");
+    assert_eq!(order.len(), fresh.len(), "{context}: order length");
+    let mut pos = vec![usize::MAX; nl.num_instances()];
+    for (i, &id) in order.iter().enumerate() {
+        assert_eq!(pos[id.index()], usize::MAX, "{context}: duplicate instance in order");
+        pos[id.index()] = i;
+    }
+    for &id in &fresh {
+        assert_ne!(pos[id.index()], usize::MAX, "{context}: instance missing from order");
+    }
+    for &id in order {
+        for &inp in &nl.instance(id).inputs {
+            if let Some(NetDriver::Instance(d)) = nl.net(inp).driver {
+                if pos[d.index()] != usize::MAX {
+                    assert!(
+                        pos[d.index()] < pos[id.index()],
+                        "{context}: edge violates incremental order"
+                    );
+                }
+            }
+        }
+    }
+}
 
 /// Replay the full history at one (corner, seed) point, diffing the
 /// incremental report against a from-scratch analysis after each
@@ -74,6 +104,13 @@ fn replay_and_diff(corner: Corner, seed: u64) {
         // ...then the whole report (hold checks, violation lists, fmax)
         assert_eq!(report, full, "change {i} ({:?}): report diverged", request.kind);
 
+        // the persistent levelization must remain a valid topo order
+        assert_valid_topo(
+            &current,
+            inc.annotation().topo_order(),
+            &format!("change {i} ({:?})", request.kind),
+        );
+
         let stats = inc.stats();
         assert!(!stats.used_full, "change {i}: fallback must stay disabled");
         assert!(
@@ -82,6 +119,36 @@ fn replay_and_diff(corner: Corner, seed: u64) {
             request.kind,
             stats.evaluated,
             stats.full_evaluated
+        );
+        // O(cone) bookkeeping: every localized change must patch the
+        // persistent structures, not rebuild them, and the patch work
+        // must stay well below netlist size.
+        let nets = current.num_nets();
+        assert!(
+            !stats.structures_rebuilt,
+            "change {i} ({:?}): derived structures were rebuilt, not patched",
+            request.kind
+        );
+        assert!(
+            stats.order_reordered < nets / 2,
+            "change {i} ({:?}): order repair reassigned {} slots ({} nets)",
+            request.kind,
+            stats.order_reordered,
+            nets
+        );
+        assert!(
+            stats.fanout_patched < nets / 2,
+            "change {i} ({:?}): fanout patching touched {} entries ({} nets)",
+            request.kind,
+            stats.fanout_patched,
+            nets
+        );
+        assert!(
+            stats.endpoints_recomputed < nets / 2,
+            "change {i} ({:?}): {} endpoint requirements recomputed ({} nets)",
+            request.kind,
+            stats.endpoints_recomputed,
+            nets
         );
         checked += 1;
     }
