@@ -42,6 +42,21 @@ cargo test -q --release --test sta_incremental replay_is_bit_identical_typical_c
 t4=$(date +%s)
 echo "eco_sta smoke wall clock: $((t4 - t3)) s"
 
+# Parallel-kernel smoke: the two kernels parallelized in the routing /
+# multi-corner-STA round must stay bit-identical to serial at 1/2/4
+# threads, and the full-flow two-corner sign-off must actually engage
+# the fan-out (`threads_used` assertions fail if either kernel silently
+# drops back to serial). Already in the suite above; named here so a
+# determinism or plumbing regression is called out in the CI log.
+echo "== par: route + multi-corner STA determinism smoke =="
+cargo test -q --release --test par_determinism -- \
+    routing_is_thread_count_invariant \
+    multi_corner_sta_is_thread_count_invariant
+cargo test -q --release --test full_flow \
+    two_corner_signoff_on_dsc_engages_parallel_kernels
+t5=$(date +%s)
+echo "par smoke wall clock: $((t5 - t4)) s"
+
 echo "== clippy (all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -50,7 +50,10 @@ use camsoc_netlist::graph::Netlist;
 use camsoc_netlist::tech::Technology;
 use camsoc_netlist::NetlistError;
 use camsoc_par::Parallelism;
-use camsoc_sta::{Constraints, IncrementalSta, Sta, StaError, TimingReport, UpdateStats};
+use camsoc_sta::{
+    multi_corner, Constraints, Corner, CornerSignoff, IncrementalSta, Sta, StaError,
+    TimingReport, UpdateStats,
+};
 
 use crate::resilience::{
     AttemptOutcome, FaultInjector, FaultKind, FlowTrace, QualityGates, RetryPolicy,
@@ -120,8 +123,12 @@ pub struct FlowResult {
     pub atpg: AtpgResult,
     /// Back-end result (placement, routing, CTS, DRC, sign-off timing).
     pub layout: LayoutResult,
-    /// Sign-off timing after the ECO loop.
+    /// Sign-off timing after the ECO loop (typical corner).
     pub signoff_timing: TimingReport,
+    /// Two-corner sign-off of the post-ECO netlist: setup at the slow
+    /// (worst) corner, hold at the fast (best) corner, both analyzed in
+    /// one [`multi_corner::signoff`] fan-out.
+    pub corner_signoff: CornerSignoff,
     /// Upsize/buffer ECOs applied by the timing-fix loop.
     pub timing_ecos: usize,
     /// Graph evaluations the ECO loop's incremental STA performed.
@@ -271,6 +278,7 @@ impl FlowError {
 struct TimingFixOutcome {
     netlist: Netlist,
     signoff_timing: TimingReport,
+    corner_signoff: CornerSignoff,
     timing_ecos: usize,
     sta_incremental_evals: usize,
     sta_full_evals: usize,
@@ -397,6 +405,7 @@ impl FlowCheckpoint {
             atpg: take(&mut s.atpg, StageId::Atpg, "atpg result")?,
             layout: take(&mut s.layout, StageId::Layout, "layout result")?,
             signoff_timing: fix.signoff_timing,
+            corner_signoff: fix.corner_signoff,
             timing_ecos: fix.timing_ecos,
             sta_incremental_evals: fix.sta_incremental_evals,
             sta_full_evals: fix.sta_full_evals,
@@ -786,6 +795,7 @@ fn atpg_config(options: &FlowOptions, effort: u32) -> AtpgConfig {
 fn layout_config(options: &FlowOptions, effort: u32) -> ImplementOptions {
     let mut layout = options.layout.clone();
     layout.placement.parallelism = options.parallelism;
+    layout.routing.parallelism = options.parallelism;
     layout.escalated(effort)
 }
 
@@ -979,10 +989,24 @@ fn stage_timing_fix(
         sta_incremental_evals += stats.evaluated;
         sta_full_evals += stats.full_evaluated;
     }
+    // Two-corner sign-off of the post-ECO netlist: setup where delays
+    // are slowest, hold where they are fastest, both corners analyzed
+    // concurrently over the flow's parallelism setting.
+    wires.resize(eco.netlist().num_nets(), 0.01);
+    let base = Sta::new(eco.netlist(), &options.tech, constraints.clone())
+        .with_wire_delays(wires.clone())
+        .with_clock_latency(layout.clock_tree.latency_ns.clone());
+    let corner_signoff = multi_corner::signoff(
+        &base,
+        Corner::worst(),
+        Corner::best(),
+        options.parallelism,
+    )?;
     let (netlist, _) = eco.finish();
     Ok(TimingFixOutcome {
         netlist,
         signoff_timing,
+        corner_signoff,
         timing_ecos,
         sta_incremental_evals,
         sta_full_evals,

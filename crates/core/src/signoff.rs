@@ -58,6 +58,17 @@ impl SignoffReport {
                 detail: format!("WNS {:+.3} ns", result.signoff_timing.hold.wns_ns),
             },
             SignoffItem {
+                name: "multi-corner timing",
+                passed: result.corner_signoff.clean(),
+                detail: format!(
+                    "setup@{} WNS {:+.3} ns, hold@{} WNS {:+.3} ns",
+                    result.corner_signoff.slow.corner_name,
+                    result.corner_signoff.slow.setup.wns_ns,
+                    result.corner_signoff.fast.corner_name,
+                    result.corner_signoff.fast.hold.wns_ns
+                ),
+            },
+            SignoffItem {
                 name: "drc",
                 passed: result.layout.drc.clean(),
                 detail: format!("{} violations", result.layout.drc.violations.len()),

@@ -87,6 +87,7 @@ mod tests {
             total_overflow: 0,
             unrouted_nets: 0,
             max_utilisation: 0.0,
+            threads_used: 1,
         };
         let delays = wire_delays(&nl, &tech, &routing);
         // any net with fanout gets at least the pin term

@@ -221,6 +221,20 @@ impl<'a> Sta<'a> {
         self
     }
 
+    /// A sibling analyzer at `corner` sharing this one's netlist, tech,
+    /// constraints, wire delays and clock latencies — the per-corner
+    /// worker [`crate::multi_corner`] fans out over.
+    pub(crate) fn at_corner(&self, corner: Corner) -> Sta<'a> {
+        Sta {
+            nl: self.nl,
+            tech: self.tech,
+            constraints: self.constraints.clone(),
+            corner,
+            wire_delays_ns: self.wire_delays_ns.clone(),
+            clock_latency_ns: self.clock_latency_ns.clone(),
+        }
+    }
+
     /// Use extracted per-net wire delays (ns, indexed by `NetId`).
     ///
     /// # Panics
@@ -561,12 +575,31 @@ impl<'a> Sta<'a> {
     /// [`StaError::UnclockedFlop`] for unreachable clock pins,
     /// [`StaError::CombinationalCycle`] for loops.
     pub fn annotate(&self) -> Result<Annotation, StaError> {
-        let order = self.nl.combinational_topo_order().map_err(|e| match e {
+        let order = self.levelize()?;
+        let flop_clock = self.flop_clock_map()?;
+        Ok(self.annotate_with(order, flop_clock))
+    }
+
+    /// Levelize the combinational graph — the corner-independent (and
+    /// fallible) half of [`Sta::annotate`], split out so a multi-corner
+    /// fan-out computes it once and shares it across corners.
+    pub(crate) fn levelize(&self) -> Result<Vec<InstanceId>, StaError> {
+        self.nl.combinational_topo_order().map_err(|e| match e {
             NetlistError::CombinationalCycle { net } => StaError::CombinationalCycle(net),
             other => StaError::CombinationalCycle(other.to_string()),
-        })?;
+        })
+    }
+
+    /// The annotation pass proper, against a precomputed levelization
+    /// and flop-clock map (both corner-independent). Infallible: every
+    /// error [`Sta::annotate`] can raise comes from deriving those two
+    /// inputs.
+    pub(crate) fn annotate_with(
+        &self,
+        order: Vec<InstanceId>,
+        flop_clock: HashMap<InstanceId, f64>,
+    ) -> Annotation {
         let fanout = self.nl.fanout_counts();
-        let flop_clock = self.flop_clock_map()?;
         let default_period = self
             .constraints
             .fastest_clock()
@@ -650,7 +683,7 @@ impl<'a> Sta<'a> {
             }
         }
 
-        Ok(Annotation {
+        Annotation {
             at_max,
             at_min,
             req_max,
@@ -660,7 +693,7 @@ impl<'a> Sta<'a> {
             flop_clock,
             default_period,
             evaluated,
-        })
+        }
     }
 
     /// Summarize an annotation into a [`TimingReport`]: walk every

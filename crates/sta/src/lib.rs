@@ -15,6 +15,11 @@
 //! per-net annotation from a baseline analysis alive and re-times only
 //! the fanout/fanin cones of each edit, bit-identically to a full pass.
 //!
+//! For sign-off, [`multi_corner`] fans N corner analyses over
+//! `camsoc-par` worker threads (sharing one levelization) and
+//! [`multi_corner::signoff`] folds the classic best/worst pair — setup
+//! at the slow corner, hold at the fast corner — into one verdict.
+//!
 //! # Example
 //!
 //! ```
@@ -36,10 +41,12 @@ pub mod analysis;
 pub mod constraints;
 pub mod derate;
 pub mod incremental;
+pub mod multi_corner;
 pub mod paths;
 
 pub use analysis::{Annotation, Sta, StaError, TimingReport};
 pub use incremental::{IncrementalSta, UpdateStats};
 pub use constraints::Constraints;
 pub use derate::Corner;
+pub use multi_corner::{analyze_corners, CornerSignoff};
 pub use paths::{PathStep, TimingPath};

@@ -54,10 +54,35 @@ fn dsc_controller_reaches_signoff() {
     let records = camsoc::layout::gdsii::verify(&result.gds).expect("gds well-formed");
     assert!(records.values().sum::<usize>() > stats_after.instances);
 
-    // the report renders all gates green
+    // the report renders all gates green — including the new
+    // multi-corner timing item driven by the two-corner sign-off
+    assert!(result.corner_signoff.clean(), "corner signoff {:?}", result.corner_signoff);
     let report = SignoffReport::assemble(&result, &Technology::default());
     assert!(report.ready());
     assert!(report.render().contains("TAPEOUT READY"));
+    assert!(report.render().contains("multi-corner timing"));
+}
+
+#[test]
+fn two_corner_signoff_on_dsc_engages_parallel_kernels() {
+    // a parallel flow run must actually fan out — `threads_used` on the
+    // routing result and the corner sign-off would expose a plumbing
+    // regression that silently dropped back to serial
+    let design = build_dsc(0.015).expect("dsc");
+    let mut options = quick_options();
+    options.parallelism = camsoc::par::Parallelism::Threads(2);
+    let result = run_flow(design.netlist, &options).expect("flow");
+    assert_eq!(result.layout.routing.threads_used, 2, "router fell back to serial");
+    assert_eq!(result.corner_signoff.threads_used, 2, "corner STA fell back to serial");
+    assert_eq!(result.corner_signoff.slow.corner_name, "worst");
+    assert_eq!(result.corner_signoff.fast.corner_name, "best");
+    assert!(result.corner_signoff.clean(), "corner signoff {:?}", result.corner_signoff);
+    assert!(
+        result.layout.routing.clean(),
+        "routing overflow: {} tracks on {} edges",
+        result.layout.routing.total_overflow,
+        result.layout.routing.overflowed_edges
+    );
 }
 
 #[test]

@@ -1,16 +1,17 @@
 //! Integration: the parallel execution layer must be invisible in the
 //! results. Every hot kernel wired to `camsoc::par` — ATPG fault
 //! simulation, the yield-ramp Monte Carlo, equivalence checking,
-//! multi-start placement and the MBIST coverage Monte Carlo — is run
-//! serially and at 1/2/4 threads across two seeds, and the outputs
-//! must match bit for bit. Thread count may only change wall-clock
-//! time, never a number.
+//! multi-start placement, the MBIST coverage Monte Carlo, negotiated
+//! routing and multi-corner STA — is run serially and at 1/2/4
+//! threads across two seeds, and the outputs must match bit for bit.
+//! Thread count may only change wall-clock time, never a number.
 
 use camsoc::dft::atpg::{Atpg, AtpgConfig};
 use camsoc::dft::scan::{insert_scan, ScanConfig};
 use camsoc::fab::ramp::{RampConfig, RampSimulator};
 use camsoc::layout::floorplan::Floorplan;
 use camsoc::layout::place::{place, PlacementConfig, PlacementMode};
+use camsoc::layout::route::{route, RouteConfig};
 use camsoc::netlist::cell::CellFunction;
 use camsoc::netlist::eco::EcoSession;
 use camsoc::netlist::equiv::{check_equivalence, EquivOptions, EquivVerdict};
@@ -19,7 +20,7 @@ use camsoc::netlist::graph::Netlist;
 use camsoc::netlist::tech::Technology;
 use camsoc::mbist::march::{measure_coverage, measure_coverage_par, MarchAlgorithm};
 use camsoc::par::Parallelism;
-use camsoc::sta::Constraints;
+use camsoc::sta::{multi_corner, Constraints, Corner, Sta};
 
 const THREADS: [usize; 3] = [1, 2, 4];
 
@@ -170,6 +171,79 @@ fn multi_start_placement_is_thread_count_invariant() {
             assert_eq!(par.row, serial.row, "seed {seed} t{t}");
             assert_eq!(par.hpwl_um, serial.hpwl_um, "seed {seed} t{t}");
             assert_eq!(par.accepted_moves, serial.accepted_moves, "seed {seed} t{t}");
+        }
+    }
+}
+
+#[test]
+fn routing_is_thread_count_invariant() {
+    // the batched-negotiation payload (geometry, overflow, wirelength)
+    // must be a pure function of the netlist — only `threads_used`,
+    // which records the requested fan-out, may differ
+    let tech = Technology::default();
+    let constraints = Constraints::single_clock("clk", 7.5);
+    for seed in [3u64, 12] {
+        let nl = ip_block(
+            "blk",
+            &IpBlockParams { target_gates: 350, seed, ..Default::default() },
+        )
+        .expect("generate");
+        let fp = Floorplan::generate(&nl, &tech).expect("floorplan");
+        let pcfg = PlacementConfig {
+            mode: PlacementMode::Wirelength,
+            iterations: 2_000,
+            ..PlacementConfig::default()
+        };
+        let pl = place(&nl, &tech, &fp, &constraints, &pcfg);
+        let base = RouteConfig { edge_capacity: 8, rounds: 2, ..RouteConfig::default() };
+        let serial = route(&nl, &fp, &pl, &base);
+        assert_eq!(serial.threads_used, 1, "seed {seed}");
+        for t in THREADS {
+            let cfg = RouteConfig {
+                parallelism: Parallelism::Threads(t),
+                ..base.clone()
+            };
+            let par = route(&nl, &fp, &pl, &cfg);
+            assert_eq!(par.net_length_um, serial.net_length_um, "seed {seed} t{t}");
+            assert_eq!(par.total_overflow, serial.total_overflow, "seed {seed} t{t}");
+            assert_eq!(
+                par.overflowed_edges, serial.overflowed_edges,
+                "seed {seed} t{t}"
+            );
+            assert_eq!(par.max_utilisation, serial.max_utilisation, "seed {seed} t{t}");
+            assert_eq!(
+                par.total_wirelength_um, serial.total_wirelength_um,
+                "seed {seed} t{t}"
+            );
+            assert_eq!(par.unrouted_nets, serial.unrouted_nets, "seed {seed} t{t}");
+            assert_eq!(par.threads_used, t, "seed {seed} t{t}");
+        }
+    }
+}
+
+#[test]
+fn multi_corner_sta_is_thread_count_invariant() {
+    let tech = Technology::default();
+    let corners =
+        [Corner::typical(), Corner::worst(), Corner::best(), Corner::ocv(0.04)];
+    for seed in [5u64, 23] {
+        let nl = ip_block(
+            "blk",
+            &IpBlockParams { target_gates: 500, seed, ..Default::default() },
+        )
+        .expect("generate");
+        let base = Sta::new(&nl, &tech, Constraints::single_clock("clk", 7.5));
+        let serial =
+            multi_corner::analyze_corners(&base, &corners, Parallelism::Serial)
+                .expect("sta");
+        for t in THREADS {
+            let par = multi_corner::analyze_corners(
+                &base,
+                &corners,
+                Parallelism::Threads(t),
+            )
+            .expect("sta");
+            assert_eq!(par, serial, "seed {seed} t{t}");
         }
     }
 }
