@@ -57,6 +57,59 @@ cargo test -q --release --test full_flow \
 t5=$(date +%s)
 echo "par smoke wall clock: $((t5 - t4)) s"
 
+# Compiled-netlist smoke: the SoA/CSR snapshot must mirror the graph
+# adjacency exactly, every ported traversal kernel (fsim / STA / equiv)
+# must stay bit-identical to its graph-walking reference engine, and a
+# journal-patched snapshot must equal a fresh compile across the full
+# paper ECO history. Already in the suite above; named here so a
+# compiled-core regression is called out in the CI log.
+echo "== compiled: SoA/CSR bit-identity smoke =="
+cargo test -q --release --test compiled_netlist -- \
+    csr_adjacency_matches_graph_adjacency \
+    sta_reports_on_compiled_core_match_graph_engine \
+    equiv_engines_agree_across_threads \
+    journal_patched_snapshot_matches_fresh_compile_across_eco_history
+t6=$(date +%s)
+echo "compiled smoke wall clock: $((t6 - t5)) s"
+
+# Docs smoke: the performance/architecture documentation must stay in
+# sync with the tree. Fails if any relative markdown link in README,
+# docs/ARCHITECTURE.md or docs/PERFORMANCE.md points at a missing file,
+# or if a backtick-quoted "key" named in docs/PERFORMANCE.md does not
+# appear in BENCH_par.json.
+echo "== docs: cross-link + BENCH schema smoke =="
+docs_fail=0
+for doc in README.md docs/ARCHITECTURE.md docs/PERFORMANCE.md; do
+    if [ ! -f "$doc" ]; then
+        echo "docs smoke: $doc is missing"
+        docs_fail=1
+        continue
+    fi
+    dir=$(dirname "$doc")
+    links=$(grep -oE '\]\([^)#]+' "$doc" | sed 's/^](//' \
+        | grep -vE '^(https?:|mailto:)' || true)
+    for link in $links; do
+        if [ ! -e "$dir/$link" ] && [ ! -e "$link" ]; then
+            echo "docs smoke: $doc links to missing file: $link"
+            docs_fail=1
+        fi
+    done
+done
+if [ -f docs/PERFORMANCE.md ] && [ -f BENCH_par.json ]; then
+    keys=$(grep -oE '`"[a-z_]+"`' docs/PERFORMANCE.md | tr -d '`' | sort -u || true)
+    for key in $keys; do
+        if ! grep -qF "$key" BENCH_par.json; then
+            echo "docs smoke: PERFORMANCE.md references $key, absent from BENCH_par.json"
+            docs_fail=1
+        fi
+    done
+else
+    echo "docs smoke: docs/PERFORMANCE.md or BENCH_par.json is missing"
+    docs_fail=1
+fi
+[ "$docs_fail" -eq 0 ]
+echo "docs smoke OK"
+
 echo "== clippy (all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -2,7 +2,8 @@
 //! kernels: fault simulation (dft), multi-start placement (layout),
 //! wafer-lot yield ramp (fab), equivalence checking (netlist),
 //! negotiated routing (layout) and multi-corner STA (sta), plus a
-//! full-vs-incremental comparison for the ECO-loop STA engine.
+//! full-vs-incremental comparison for the ECO-loop STA engine and a
+//! compiled-netlist (SoA/CSR) vs graph-walking traversal comparison.
 //!
 //! Emits `BENCH_par.json` in the current directory alongside a human
 //! table on stdout, and re-checks that every parallel run is
@@ -23,8 +24,9 @@ use camsoc_fab::ramp::{RampConfig, RampSimulator};
 use camsoc_layout::floorplan::Floorplan;
 use camsoc_layout::place::{place, PlacementConfig, PlacementMode};
 use camsoc_layout::route::{route, RouteConfig};
-use camsoc_netlist::equiv::{check_equivalence, EquivOptions};
+use camsoc_netlist::equiv::{check_equivalence, CombModel, EquivOptions};
 use camsoc_netlist::generate::{ip_block, IpBlockParams, SplitMix64};
+use camsoc_netlist::graph::NetId;
 use camsoc_netlist::tech::Technology;
 use camsoc_par::Parallelism;
 use camsoc_sta::{multi_corner, Constraints, Corner, Sta};
@@ -413,6 +415,57 @@ fn eco_sta_row() -> EcoStaRow {
     }
 }
 
+struct CompiledRow {
+    workload: String,
+    compile_ms: f64,
+    graph_ms: f64,
+    compiled_ms: f64,
+    speedup: f64,
+    cones_walked: usize,
+    bit_identical: bool,
+}
+
+/// Compiled-netlist (SoA/CSR arrays) vs graph-walking traversal on the
+/// cone-extraction microbenchmark: the transitive-fanin support of
+/// every sink of a combinational model, the inner loop of the exact
+/// equivalence phase. Both engines run serially in one thread, so the
+/// comparison isolates the data layout and is meaningful on any host
+/// (including the 1-thread box the other rows warn about). The one-off
+/// `Netlist::compile` cost is timed separately for context.
+fn compiled_row() -> CompiledRow {
+    let nl = ip_block(
+        "blk",
+        &IpBlockParams { target_gates: 2_000, seed: 9, ..Default::default() },
+    )
+    .expect("generate");
+    let model = CombModel::new(&nl).expect("comb model");
+    let sinks: Vec<NetId> = model.sinks.values().copied().collect();
+
+    let mut rng = SplitMix64::new(1);
+    let assign: Vec<u64> = (0..model.sources.len()).map(|_| rng.next_u64()).collect();
+    let bit_identical = sinks
+        .iter()
+        .all(|&s| model.cone_support(s) == model.cone_support_graph(s))
+        && model.eval(&assign) == model.eval_graph(&assign);
+
+    let compile = timer::bench("compiled/compile", 1, 5, || nl.compile().expect("compile"));
+    let graph = timer::bench("compiled/graph_walk", 1, 5, || {
+        sinks.iter().map(|&s| model.cone_support_graph(s).len()).sum::<usize>()
+    });
+    let compiled = timer::bench("compiled/soa_walk", 1, 5, || {
+        sinks.iter().map(|&s| model.cone_support(s).len()).sum::<usize>()
+    });
+    CompiledRow {
+        workload: "2000-gate block, transitive-fanin cone of every sink, serial".into(),
+        compile_ms: compile.median_ms(),
+        graph_ms: graph.median_ms(),
+        compiled_ms: compiled.median_ms(),
+        speedup: graph.median_ms() / compiled.median_ms(),
+        cones_walked: sinks.len(),
+        bit_identical,
+    }
+}
+
 fn main() {
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("perf_report: camsoc-par serial vs parallel (host_threads = {host_threads})");
@@ -436,6 +489,7 @@ fn main() {
     ];
     let fsim_cache = fsim_cache_row();
     let eco_sta = eco_sta_row();
+    let compiled = compiled_row();
 
     println!(
         "{:<8} {:>12} {:>10} {:>8} {:>10} {:>8}  identical",
@@ -480,6 +534,15 @@ fn main() {
         eco_sta.fanout_patched,
         eco_sta.endpoints_recomputed,
         eco_sta.structures_rebuilt
+    );
+    println!(
+        "compiled graph {:.2} ms vs SoA {:.2} ms ({:.2}x over {} cones; compile {:.2} ms)  identical: {}",
+        compiled.graph_ms,
+        compiled.compiled_ms,
+        compiled.speedup,
+        compiled.cones_walked,
+        compiled.compile_ms,
+        compiled.bit_identical
     );
 
     let mut json = String::new();
@@ -562,6 +625,18 @@ fn main() {
         "    \"bit_identical\": {}\n",
         eco_sta.bit_identical
     ));
+    json.push_str("  },\n");
+    json.push_str("  \"compiled\": {\n");
+    json.push_str(&format!("    \"workload\": \"{}\",\n", compiled.workload));
+    json.push_str(&format!("    \"compile_ms\": {:.3},\n", compiled.compile_ms));
+    json.push_str(&format!("    \"graph_ms\": {:.3},\n", compiled.graph_ms));
+    json.push_str(&format!("    \"compiled_ms\": {:.3},\n", compiled.compiled_ms));
+    json.push_str(&format!("    \"speedup\": {:.3},\n", compiled.speedup));
+    json.push_str(&format!("    \"cones_walked\": {},\n", compiled.cones_walked));
+    json.push_str(&format!(
+        "    \"bit_identical\": {}\n",
+        compiled.bit_identical
+    ));
     json.push_str("  }\n");
     json.push_str("}\n");
 
@@ -579,6 +654,19 @@ fn main() {
     }
     if !eco_sta.bit_identical {
         eprintln!("ERROR: incremental STA diverged from a from-scratch analysis");
+        std::process::exit(1);
+    }
+    if !compiled.bit_identical {
+        eprintln!("ERROR: compiled-netlist traversal diverged from the graph engine");
+        std::process::exit(1);
+    }
+    // serial engine-vs-engine: a pure data-layout comparison, so the
+    // floor holds regardless of how many hardware threads the host has
+    if compiled.speedup < 1.5 {
+        eprintln!(
+            "ERROR: compiled-netlist cone walk speedup {:.2}x below the 1.5x floor",
+            compiled.speedup
+        );
         std::process::exit(1);
     }
     // speedup floor only where the host can actually run 4 workers;

@@ -13,7 +13,8 @@
 //!
 //! * [`FsimMode::Uncached`] — the historical reference: a fresh
 //!   `HashMap` overlay, `HashSet` queue-guard and `BinaryHeap` event
-//!   queue are allocated per fault.
+//!   queue are allocated per fault, and gates are read through the
+//!   pointer-rich [`Netlist`] graph.
 //! * [`FsimMode::Cached`] — the production path: a [`ConeIndex`] built
 //!   once per circuit stores every net's fanout cone in level order
 //!   (faults sharing a stem share the cone), and a reusable
@@ -23,6 +24,10 @@
 //!   stamped (event-reached) gates visits exactly the gates the heap
 //!   would pop; two sound early exits (all excited lanes detected, no
 //!   pending events left) make the cached path evaluate *fewer* gates.
+//!   Gate reads go through the flat SoA/CSR arrays of an owned
+//!   [`CompiledNetlist`] (cell table, CSR fanin, output array) instead
+//!   of chasing `Instance` structs — cache lines carry only the fields
+//!   the inner loop touches.
 //!
 //! [`FsimCounters`] / [`FsimStats`] record gate evaluations, early exits
 //! and container allocations for both engines, mirroring the STA
@@ -33,6 +38,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use camsoc_netlist::cell::MAX_CELL_INPUTS;
+use camsoc_netlist::compiled::CompiledNetlist;
 use camsoc_netlist::graph::{InstanceId, NetId, Netlist};
 use camsoc_netlist::NetlistError;
 use camsoc_par::Parallelism;
@@ -133,10 +139,10 @@ pub struct ConeIndex {
 
 impl ConeIndex {
     fn build(cc: &CombCircuit<'_>) -> ConeIndex {
-        let num_nets = cc.nl.num_nets();
+        let num_nets = cc.compiled.num_nets();
         let mut start = Vec::with_capacity(num_nets + 1);
         let mut items: Vec<u32> = Vec::new();
-        let mut stamp = vec![0u32; cc.nl.num_instances()];
+        let mut stamp = vec![0u32; cc.compiled.num_instances()];
         let mut stack: Vec<NetId> = Vec::new();
         for n in 0..num_nets {
             start.push(items.len());
@@ -148,7 +154,7 @@ impl ConeIndex {
                     if stamp[g.index()] != epoch {
                         stamp[g.index()] = epoch;
                         items.push(g.0);
-                        stack.push(cc.nl.instance(g).output);
+                        stack.push(cc.compiled.output(g));
                     }
                 }
             }
@@ -224,7 +230,12 @@ impl FsimScratch {
 pub struct CombCircuit<'a> {
     /// The netlist.
     pub nl: &'a Netlist,
-    /// Topological order of combinational instances.
+    /// Flat SoA/CSR snapshot ([`Netlist::compile`]) the hot loops read
+    /// instead of chasing `Instance` structs through `nl`.
+    pub compiled: CompiledNetlist,
+    /// Topological order of combinational instances (the compiled
+    /// snapshot's `(level, id)`-sorted order — any valid topological
+    /// order produces identical simulation values).
     pub order: Vec<InstanceId>,
     /// Source nets (PIs, flop Qs, macro outputs), deterministic order.
     pub sources: Vec<NetId>,
@@ -249,8 +260,13 @@ impl<'a> CombCircuit<'a> {
     ///
     /// Propagates [`NetlistError::CombinationalCycle`].
     pub fn new(nl: &'a Netlist) -> Result<Self, NetlistError> {
-        let order = nl.combinational_topo_order()?;
-        let level = nl.logic_levels()?;
+        // one compile pass supplies the topological order and the logic
+        // levels (replacing separate Kahn + level derivations) plus the
+        // flat tables the simulation loops index
+        let compiled = nl.compile()?;
+        let order = compiled.topo_order().to_vec();
+        let level: Vec<usize> =
+            (0..nl.num_instances()).map(|i| compiled.level(InstanceId(i as u32))).collect();
         let mut sources = Vec::new();
         let mut sinks = Vec::new();
         let mut is_sink = vec![false; nl.num_nets()];
@@ -303,6 +319,7 @@ impl<'a> CombCircuit<'a> {
         let source_index = sources.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         Ok(CombCircuit {
             nl,
+            compiled,
             order,
             sources,
             sinks,
@@ -325,17 +342,18 @@ impl<'a> CombCircuit<'a> {
     /// for every net.
     pub fn good_sim(&self, assign: &[u64]) -> Vec<u64> {
         debug_assert_eq!(assign.len(), self.sources.len());
-        let mut values = vec![0u64; self.nl.num_nets()];
+        let mut values = vec![0u64; self.compiled.num_nets()];
         for (&net, &v) in self.sources.iter().zip(assign) {
             values[net.index()] = v;
         }
         for &id in &self.order {
-            let inst = self.nl.instance(id);
+            let fanin = self.compiled.fanin(id);
             let mut ins = [0u64; MAX_CELL_INPUTS];
-            for (k, &n) in inst.inputs.iter().enumerate() {
-                ins[k] = values[n.index()];
+            for (k, &n) in fanin.iter().enumerate() {
+                ins[k] = values[n as usize];
             }
-            values[inst.output.index()] = inst.function().eval(&ins[..inst.inputs.len()]);
+            values[self.compiled.output(id).index()] =
+                self.compiled.function(id).eval(&ins[..fanin.len()]);
         }
         values
     }
@@ -478,20 +496,20 @@ impl<'a> CombCircuit<'a> {
                 (net, net, if stuck_one { !0u64 } else { 0u64 })
             }
             StuckAtFault::Pin { inst, pin, stuck_one } => {
-                let instance = self.nl.instance(inst);
-                if instance.function().is_sequential() {
+                if self.compiled.is_sequential(inst) {
                     return 0;
                 }
+                let fanin = self.compiled.fanin(inst);
                 let forced = if stuck_one { !0u64 } else { 0u64 };
                 let mut ins = [0u64; MAX_CELL_INPUTS];
-                for (k, &n) in instance.inputs.iter().enumerate() {
-                    ins[k] = good[n.index()];
+                for (k, &n) in fanin.iter().enumerate() {
+                    ins[k] = good[n as usize];
                 }
                 ins[pin] = forced;
                 scratch.stats.gate_evals += 1;
-                let out = instance.function().eval(&ins[..instance.inputs.len()]);
+                let out = self.compiled.function(inst).eval(&ins[..fanin.len()]);
                 // branch faults share their stem net's cone
-                (instance.inputs[pin], instance.output, out)
+                (NetId(fanin[pin]), self.compiled.output(inst), out)
             }
         };
         let excited = seed_val ^ good[seed_net.index()];
@@ -523,10 +541,11 @@ impl<'a> CombCircuit<'a> {
                 continue; // no event reached this cone gate
             }
             pending -= 1;
-            let inst = self.nl.instance(InstanceId(raw));
+            let id = InstanceId(raw);
+            let fanin = self.compiled.fanin(id);
             let mut ins = [0u64; MAX_CELL_INPUTS];
-            for (k, &n) in inst.inputs.iter().enumerate() {
-                let ni = n.index();
+            for (k, &n) in fanin.iter().enumerate() {
+                let ni = n as usize;
                 ins[k] = if scratch.net_epoch[ni] == epoch {
                     scratch.value[ni]
                 } else {
@@ -534,8 +553,8 @@ impl<'a> CombCircuit<'a> {
                 };
             }
             scratch.stats.gate_evals += 1;
-            let out = inst.function().eval(&ins[..inst.inputs.len()]);
-            let oi = inst.output.index();
+            let out = self.compiled.function(id).eval(&ins[..fanin.len()]);
+            let oi = self.compiled.output(id).index();
             // each net is written at most once per fault (its single
             // driver evaluates once), so prev is always the good value
             let diff = out ^ good[oi];

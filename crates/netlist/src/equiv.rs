@@ -19,7 +19,8 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use camsoc_par::Parallelism;
 
-use crate::cell::CellFunction;
+use crate::cell::{CellFunction, MAX_CELL_INPUTS};
+use crate::compiled::CompiledNetlist;
 use crate::error::NetlistError;
 use crate::generate::SplitMix64;
 use crate::graph::{InstanceId, NetDriver, NetId, Netlist};
@@ -46,12 +47,30 @@ pub enum SinkKey {
     MacroIn(String, usize),
 }
 
-/// The combinational view of a netlist: sources, sinks and a topological
-/// evaluation order, ready for bit-parallel simulation.
+/// Which data structure the traversal phases of an equivalence check
+/// walk. Both engines are bit-identical by construction; the graph
+/// engine is kept as the pointer-chasing reference the compiled engine
+/// is validated against (and benchmarked against in `perf_report`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EquivEngine {
+    /// Walk the [`CompiledNetlist`] SoA/CSR snapshot (default).
+    #[default]
+    Compiled,
+    /// Walk the [`Netlist`] graph directly.
+    Graph,
+}
+
+/// The combinational view of a netlist: sources, sinks, a topological
+/// evaluation order and a compiled SoA snapshot, ready for bit-parallel
+/// simulation.
 #[derive(Debug)]
 pub struct CombModel<'a> {
     nl: &'a Netlist,
+    compiled: CompiledNetlist,
     order: Vec<InstanceId>,
+    /// Dense net → source-variable index (`u32::MAX` = not a source),
+    /// in [`CombModel::sources`] iteration order.
+    source_of_net: Vec<u32>,
     /// source key → net
     pub sources: BTreeMap<SourceKey, NetId>,
     /// sink key → net
@@ -65,7 +84,8 @@ impl<'a> CombModel<'a> {
     ///
     /// Propagates [`NetlistError::CombinationalCycle`].
     pub fn new(nl: &'a Netlist) -> Result<Self, NetlistError> {
-        let order = nl.combinational_topo_order()?;
+        let compiled = nl.compile()?;
+        let order = compiled.topo_order().to_vec();
         let mut sources = BTreeMap::new();
         let mut sinks = BTreeMap::new();
         for (_, port) in nl.input_ports() {
@@ -90,15 +110,51 @@ impl<'a> CombModel<'a> {
                 sinks.insert(SinkKey::MacroIn(m.name.clone(), pin), net);
             }
         }
-        Ok(CombModel { nl, order, sources, sinks })
+        let mut source_of_net = vec![u32::MAX; nl.num_nets()];
+        for (i, &net) in sources.values().enumerate() {
+            source_of_net[net.index()] = i as u32;
+        }
+        Ok(CombModel { nl, compiled, order, source_of_net, sources, sinks })
     }
 
-    /// Evaluate the combinational core bit-parallel.
+    /// Evaluate the combinational core bit-parallel, walking the
+    /// compiled SoA snapshot's flat arrays.
     ///
     /// `assign` gives a 64-lane value per source (in the iteration order
     /// of [`CombModel::sources`]). Returns one value per net; unassigned,
-    /// undriven nets evaluate to 0.
+    /// undriven nets evaluate to 0. Bit-identical to
+    /// [`CombModel::eval_graph`].
     pub fn eval(&self, assign: &[u64]) -> Vec<u64> {
+        debug_assert_eq!(assign.len(), self.sources.len());
+        let cn = &self.compiled;
+        let mut values = vec![0u64; cn.num_nets()];
+        for (value, (_, &net)) in assign.iter().zip(self.sources.iter()) {
+            values[net.index()] = *value;
+        }
+        for &id in &self.order {
+            let f = cn.function(id);
+            let out = match f {
+                CellFunction::Tie0 => 0,
+                CellFunction::Tie1 => !0u64,
+                _ => {
+                    let fanin = cn.fanin(id);
+                    let mut ins = [0u64; MAX_CELL_INPUTS];
+                    for (k, &n) in fanin.iter().enumerate() {
+                        ins[k] = values[n as usize];
+                    }
+                    f.eval(&ins[..fanin.len()])
+                }
+            };
+            values[cn.output(id).index()] = out;
+        }
+        values
+    }
+
+    /// The graph-walking reference evaluator: same contract and results
+    /// as [`CombModel::eval`], reading `Instance`/`Net` structs through
+    /// pointers instead of the compiled arrays. Kept as the engine the
+    /// compiled path is validated and benchmarked against.
+    pub fn eval_graph(&self, assign: &[u64]) -> Vec<u64> {
         debug_assert_eq!(assign.len(), self.sources.len());
         let mut values = vec![0u64; self.nl.num_nets()];
         for (value, (_, &net)) in assign.iter().zip(self.sources.iter()) {
@@ -111,7 +167,7 @@ impl<'a> CombModel<'a> {
                 CellFunction::Tie0 => 0,
                 CellFunction::Tie1 => !0u64,
                 _ => {
-                    let mut ins = [0u64; 4];
+                    let mut ins = [0u64; MAX_CELL_INPUTS];
                     for (k, &n) in inst.inputs.iter().enumerate() {
                         ins[k] = values[n.index()];
                     }
@@ -123,14 +179,60 @@ impl<'a> CombModel<'a> {
         values
     }
 
+    /// Dispatch [`CombModel::eval`] / [`CombModel::eval_graph`] on an
+    /// [`EquivEngine`] selector.
+    pub fn eval_with(&self, engine: EquivEngine, assign: &[u64]) -> Vec<u64> {
+        match engine {
+            EquivEngine::Compiled => self.eval(assign),
+            EquivEngine::Graph => self.eval_graph(assign),
+        }
+    }
+
     /// Sink values extracted from a full net-value vector, in
     /// [`CombModel::sinks`] iteration order.
     pub fn sink_values(&self, values: &[u64]) -> Vec<u64> {
         self.sinks.values().map(|&n| values[n.index()]).collect()
     }
 
-    /// Transitive-fanin support (as source indices) of a sink net.
+    /// Transitive-fanin support (as sorted source indices) of a sink
+    /// net, walking the compiled CSR fanin rows with a dense visited
+    /// bitmap and the precomputed net→source table — no hashing in the
+    /// loop. Bit-identical to [`CombModel::cone_support_graph`].
     pub fn cone_support(&self, sink_net: NetId) -> Vec<usize> {
+        let cn = &self.compiled;
+        let mut support = Vec::new();
+        let mut seen = vec![false; cn.num_nets()];
+        let mut stack = vec![sink_net];
+        while let Some(net) = stack.pop() {
+            let i = net.index();
+            if seen[i] {
+                continue;
+            }
+            seen[i] = true;
+            let si = self.source_of_net[i];
+            if si != u32::MAX {
+                support.push(si as usize);
+                continue;
+            }
+            // ports/macros are sources; undriven → constant 0
+            if let Some(id) = cn.driver_instance(net) {
+                if cn.is_sequential(id) {
+                    // its Q is a source; handled above via source_of_net
+                    continue;
+                }
+                for &input in cn.fanin(id) {
+                    stack.push(NetId(input));
+                }
+            }
+        }
+        support.sort_unstable();
+        support
+    }
+
+    /// The graph-walking reference for [`CombModel::cone_support`]:
+    /// per-call hash maps and a DFS through `Net`/`Instance` structs.
+    /// Same sorted result.
+    pub fn cone_support_graph(&self, sink_net: NetId) -> Vec<usize> {
         let source_index: HashMap<NetId, usize> =
             self.sources.values().enumerate().map(|(i, &n)| (n, i)).collect();
         let mut support = HashSet::new();
@@ -159,6 +261,15 @@ impl<'a> CombModel<'a> {
         let mut v: Vec<usize> = support.into_iter().collect();
         v.sort_unstable();
         v
+    }
+
+    /// Dispatch [`CombModel::cone_support`] /
+    /// [`CombModel::cone_support_graph`] on an [`EquivEngine`] selector.
+    pub fn cone_support_with(&self, engine: EquivEngine, sink_net: NetId) -> Vec<usize> {
+        match engine {
+            EquivEngine::Compiled => self.cone_support(sink_net),
+            EquivEngine::Graph => self.cone_support_graph(sink_net),
+        }
     }
 }
 
@@ -406,6 +517,10 @@ pub struct EquivOptions {
     /// all report counters are bit-identical to `Serial` (the first
     /// mismatch in round/sink order always wins).
     pub parallelism: Parallelism,
+    /// Traversal engine for simulation and cone extraction. Both
+    /// produce bit-identical reports; `Graph` exists as the reference
+    /// to validate/benchmark `Compiled` against.
+    pub engine: EquivEngine,
 }
 
 impl Default for EquivOptions {
@@ -416,6 +531,7 @@ impl Default for EquivOptions {
             bdd_node_limit: 200_000,
             seed: 0xEC0,
             parallelism: Parallelism::Serial,
+            engine: EquivEngine::Compiled,
         }
     }
 }
@@ -544,8 +660,8 @@ pub fn check_equivalence(
         .map(|_| (0..nsrc).map(|_| rng.next_u64()).collect())
         .collect();
     let mismatch = camsoc_par::find_first(options.parallelism, assigns.len(), |round| {
-        let va = ma.eval(&assigns[round]);
-        let vb = mb.eval(&assigns[round]);
+        let va = ma.eval_with(options.engine, &assigns[round]);
+        let vb = mb.eval_with(options.engine, &assigns[round]);
         let sa = ma.sink_values(&va);
         let sb = mb.sink_values(&vb);
         (0..nsink).find(|&i| sa[i] != sb[i])
@@ -573,8 +689,8 @@ pub fn check_equivalence(
     let outcomes = camsoc_par::map(options.parallelism, &sink_keys, |key| {
         let net_a = ma.sinks[key];
         let net_b = mb.sinks[key];
-        let sup_a = ma.cone_support(net_a);
-        let sup_b = mb.cone_support(net_b);
+        let sup_a = ma.cone_support_with(options.engine, net_a);
+        let sup_b = mb.cone_support_with(options.engine, net_b);
         // union support under same variable indices (source order shared)
         let union: Vec<usize> = {
             let mut s: Vec<usize> = sup_a.iter().chain(sup_b.iter()).copied().collect();

@@ -14,6 +14,13 @@
 //!   delay and cost coefficients.
 //! * [`graph`] — the flat gate-level netlist: instances, nets, ports and
 //!   memory macros, with topological utilities.
+//! * [`compiled`] — a cache-friendly structure-of-arrays snapshot
+//!   ([`Netlist::compile`](graph::Netlist::compile)): CSR fanin/fanout
+//!   adjacency, dense per-instance tables, precomputed logic levels and
+//!   interned names, kept coherent across ECOs by replaying the
+//!   [`eco::EditDelta`] journal — what the traversal-heavy kernels
+//!   (fault simulation, STA, equivalence cones) walk instead of the
+//!   pointer-rich graph.
 //! * [`builder`] — ergonomic construction of netlists.
 //! * [`generate`] — procedural generators for realistic logic structure
 //!   (adders, multipliers, register files, FSMs, random cones) used to
@@ -48,6 +55,7 @@
 
 pub mod builder;
 pub mod cell;
+pub mod compiled;
 pub mod eco;
 pub mod equiv;
 pub mod error;
@@ -60,6 +68,7 @@ pub mod verilog;
 
 pub use builder::NetlistBuilder;
 pub use cell::{CellFunction, Drive};
+pub use compiled::CompiledNetlist;
 pub use error::NetlistError;
 pub use graph::{InstanceId, MacroId, NetId, Netlist, PortDir, PortId};
 pub use tech::{Technology, TechnologyNode};

@@ -25,6 +25,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use camsoc_netlist::cell::CellFunction;
+use camsoc_netlist::compiled::{CompiledNetlist, CLOCK_PIN};
 use camsoc_netlist::graph::{InstanceId, MacroId, NetDriver, NetId, Netlist, PortId};
 use camsoc_netlist::tech::Technology;
 use camsoc_netlist::NetlistError;
@@ -694,6 +695,233 @@ impl<'a> Sta<'a> {
             default_period,
             evaluated,
         }
+    }
+
+    /// Compile the netlist into its SoA snapshot, mapping the only
+    /// failure ([`NetlistError::CombinationalCycle`]) onto the same
+    /// [`StaError`] that [`Sta::levelize`] raises — so callers can swap
+    /// one for the other without changing their error handling.
+    pub(crate) fn compile_netlist(&self) -> Result<CompiledNetlist, StaError> {
+        self.nl.compile().map_err(|e| match e {
+            NetlistError::CombinationalCycle { net } => StaError::CombinationalCycle(net),
+            other => StaError::CombinationalCycle(other.to_string()),
+        })
+    }
+
+    /// [`Sta::late_delay`] reading the compiled per-instance table
+    /// instead of the graph — same cell, same output net, bit-identical
+    /// arithmetic.
+    fn late_delay_compiled(&self, cn: &CompiledNetlist, id: InstanceId, fanout_out: usize) -> f64 {
+        self.tech.cell_delay_ns(cn.cell(id), fanout_out) * self.corner.late
+            + self.wire_delay(cn.output(id), fanout_out) * self.corner.late
+    }
+
+    /// [`Sta::early_delay`] against the compiled per-instance table.
+    fn early_delay_compiled(&self, cn: &CompiledNetlist, id: InstanceId, fanout_out: usize) -> f64 {
+        self.tech.cell_delay_ns(cn.cell(id), fanout_out) * self.corner.early
+            + self.wire_delay(cn.output(id), fanout_out) * self.corner.early
+    }
+
+    /// [`Sta::eval_forward`] against the compiled core: the fanin fold
+    /// walks the CSR row (same pin order, so the strict-`>` first-wins
+    /// max tie-break is unchanged) and the fanout count comes from the
+    /// dense table instead of a precomputed vector.
+    fn eval_forward_compiled(
+        &self,
+        cn: &CompiledNetlist,
+        id: InstanceId,
+        at_max: &mut [f64],
+        at_min: &mut [f64],
+        pred: &mut [Option<(InstanceId, NetId)>],
+    ) -> bool {
+        if cn.function(id).is_tie() {
+            return false; // constants do not launch timing
+        }
+        let out = cn.output(id);
+        let o = out.index();
+        at_max[o] = NEG;
+        at_min[o] = POS;
+        pred[o] = None;
+        let fo = cn.fanout_count(out);
+        let cell_late = self.late_delay_compiled(cn, id, fo);
+        let cell_early = self.early_delay_compiled(cn, id, fo);
+        let mut best_max = NEG;
+        let mut best_net = None;
+        let mut best_min = POS;
+        for &raw in cn.fanin(id) {
+            let i = raw as usize;
+            if at_max[i] > best_max {
+                best_max = at_max[i];
+                best_net = Some(NetId(raw));
+            }
+            best_min = best_min.min(at_min[i]);
+        }
+        if best_max > NEG {
+            let v = best_max + cell_late;
+            if v > at_max[o] {
+                at_max[o] = v;
+                pred[o] = Some((id, best_net.expect("max input")));
+            }
+        }
+        if best_min < POS {
+            at_min[o] = at_min[o].min(best_min + cell_early);
+        }
+        true
+    }
+
+    /// [`Sta::eval_required`] against the compiled CSR fanout row. The
+    /// fold is a pure `min` over finite values, so the row's entry
+    /// order (which a [`CompiledNetlist::patch`] may permute relative
+    /// to a fresh compile) cannot change the result.
+    fn eval_required_compiled(
+        &self,
+        cn: &CompiledNetlist,
+        net: NetId,
+        endpoint_req: &[f64],
+        req_max: &[f64],
+    ) -> f64 {
+        let mut req = endpoint_req[net.index()];
+        for &(reader, pin) in cn.fanout(net) {
+            if pin == CLOCK_PIN {
+                continue; // clock pin
+            }
+            let reader = InstanceId(reader);
+            let f = cn.function(reader);
+            if f.is_sequential() || f.is_tie() {
+                continue; // flop data pins are endpoints, not propagation
+            }
+            let o = cn.output(reader).index();
+            if req_max[o] == POS {
+                continue;
+            }
+            req = req.min(req_max[o] - self.late_delay_compiled(cn, reader, cn.fanout_count(cn.output(reader))));
+        }
+        req
+    }
+
+    /// [`Sta::annotate_with`] against a [`CompiledNetlist`]: identical
+    /// seeding (launch points still come from the graph — they are
+    /// endpoint iterations, not traversal), but the forward and
+    /// backward passes walk the snapshot's flat arrays in its `(level,
+    /// id)` topological order.
+    ///
+    /// Bit-identical to the graph pass even though the order differs
+    /// from [`Sta::levelize`]'s Kahn order: every net is written
+    /// exactly once, after all of its fanins (forward) or readers
+    /// (backward) are final, so any valid topological order produces
+    /// the same values; the per-gate folds themselves are
+    /// order-preserving (fanin pin order) or order-insensitive (`min`).
+    /// [`Annotation::order`] records the compiled order actually used.
+    pub(crate) fn annotate_with_compiled(
+        &self,
+        cn: &CompiledNetlist,
+        flop_clock: HashMap<InstanceId, f64>,
+    ) -> Annotation {
+        let default_period = self
+            .constraints
+            .fastest_clock()
+            .map(|c| c.period_ns)
+            .unwrap_or(POS);
+
+        let n = self.nl.num_nets();
+        let mut at_max = vec![NEG; n];
+        let mut at_min = vec![POS; n];
+        let mut pred: Vec<Option<(InstanceId, NetId)>> = vec![None; n];
+        let mut start_label: Vec<Option<String>> = vec![None; n];
+
+        // Launch points (same loops as `annotate_with`).
+        let io_reference_ns = self.io_reference_ns();
+        let clock_ports = self.clock_port_nets();
+        for (_, port) in self.nl.input_ports() {
+            self.seed_net(
+                port.net,
+                &clock_ports,
+                io_reference_ns,
+                &mut at_max,
+                &mut at_min,
+                &mut pred,
+                &mut start_label,
+            );
+        }
+        for (id, _) in self.nl.flops() {
+            let q = self.nl.instance(id).output;
+            self.seed_net(
+                q,
+                &clock_ports,
+                io_reference_ns,
+                &mut at_max,
+                &mut at_min,
+                &mut pred,
+                &mut start_label,
+            );
+        }
+        for (_, m) in self.nl.macros() {
+            for &out in &m.outputs {
+                self.seed_net(
+                    out,
+                    &clock_ports,
+                    io_reference_ns,
+                    &mut at_max,
+                    &mut at_min,
+                    &mut pred,
+                    &mut start_label,
+                );
+            }
+        }
+
+        // Forward: propagate arrivals through combinational gates.
+        let mut evaluated = 0usize;
+        for &id in cn.topo_order() {
+            if self.eval_forward_compiled(cn, id, &mut at_max, &mut at_min, &mut pred) {
+                evaluated += 1;
+            }
+        }
+
+        // Backward: setup required times against the reversed order.
+        let endpoint_req = self.endpoint_required(&flop_clock, default_period);
+        let mut req_max = vec![POS; n];
+        let mut req_done = vec![false; n];
+        for &id in cn.topo_order().iter().rev() {
+            let out = cn.output(id);
+            req_max[out.index()] = self.eval_required_compiled(cn, out, &endpoint_req, &req_max);
+            req_done[out.index()] = true;
+            evaluated += 1;
+        }
+        for i in 0..n {
+            if !req_done[i] {
+                let net = NetId(i as u32);
+                req_max[i] = self.eval_required_compiled(cn, net, &endpoint_req, &req_max);
+                evaluated += 1;
+            }
+        }
+
+        Annotation {
+            at_max,
+            at_min,
+            req_max,
+            pred,
+            start_label,
+            order: cn.topo_order().to_vec(),
+            flop_clock,
+            default_period,
+            evaluated,
+        }
+    }
+
+    /// Run the full analysis against a precompiled SoA snapshot of the
+    /// same netlist: [`Sta::analyze`] with the forward/backward passes
+    /// walking [`CompiledNetlist`] flat arrays instead of the graph.
+    /// The [`TimingReport`] is bit-identical to [`Sta::analyze`]'s.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::NoClock`] for sequential designs without clocks,
+    /// [`StaError::UnclockedFlop`] for unreachable clock pins. (A
+    /// combinational cycle is caught earlier, by compiling.)
+    pub fn analyze_compiled(&self, cn: &CompiledNetlist) -> Result<TimingReport, StaError> {
+        let flop_clock = self.flop_clock_map()?;
+        let ann = self.annotate_with_compiled(cn, flop_clock);
+        Ok(self.report_from(&ann))
     }
 
     /// Summarize an annotation into a [`TimingReport`]: walk every

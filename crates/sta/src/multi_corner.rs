@@ -4,10 +4,11 @@
 //! slow (worst) corner, hold at the fast (best) corner — and every
 //! sign-off iteration of the flow re-runs both. The corner analyses are
 //! independent by construction: a [`Corner`] only scales delays, so the
-//! levelized evaluation order and the flop→clock resolution (the two
-//! fallible, corner-independent derivations) are computed **once** here
-//! and shared, and each corner's annotate/report pass runs as one
-//! `camsoc-par` work item.
+//! compiled SoA snapshot of the netlist (which carries the levelized
+//! evaluation order) and the flop→clock resolution (the two fallible,
+//! corner-independent derivations) are computed **once** here and
+//! shared, and each corner's annotate/report pass runs as one
+//! `camsoc-par` work item walking the snapshot's flat arrays.
 //!
 //! Determinism: each per-corner pass is a pure function of the shared
 //! inputs and its own corner, and [`camsoc_par::map`] merges results in
@@ -46,8 +47,8 @@ use crate::derate::Corner;
 /// per-corner annotate/report passes over `par` worker threads.
 ///
 /// Reports come back in `corners` order, bit-identical for every thread
-/// count. The levelized order and flop-clock map are derived once and
-/// shared by all corners.
+/// count. The compiled netlist snapshot and flop-clock map are derived
+/// once and shared (read-only) by all corners.
 ///
 /// # Errors
 ///
@@ -59,11 +60,11 @@ pub fn analyze_corners(
     corners: &[Corner],
     par: Parallelism,
 ) -> Result<Vec<TimingReport>, StaError> {
-    let order = base.levelize()?;
+    let compiled = base.compile_netlist()?;
     let flop_clock = base.flop_clock_map()?;
     Ok(camsoc_par::map(par, corners, |corner| {
         let sta = base.at_corner(*corner);
-        let ann = sta.annotate_with(order.clone(), flop_clock.clone());
+        let ann = sta.annotate_with_compiled(&compiled, flop_clock.clone());
         sta.report_from(&ann)
     }))
 }
