@@ -72,6 +72,22 @@ cargo test -q --release --test compiled_netlist -- \
 t6=$(date +%s)
 echo "compiled smoke wall clock: $((t6 - t5)) s"
 
+# Serve-farm smoke: enqueue 3 small tapeout jobs, kill the farm mid-run
+# (stage-budget simulated kill: ledger frozen at `running`, checkpoints
+# on disk), restart it on the same directory, and require all 3 jobs to
+# complete with clean sign-off, >= 1 trace recording resumed == true,
+# and GDSII bit-identical to uninterrupted supervisor runs. The
+# kill-after-every-stage matrix behind it also runs named from the
+# suite so a checkpoint-durability regression is called out in the log.
+echo "== serve: durable farm kill/restart smoke =="
+rm -rf target/ci-serve-smoke
+cargo run -q --release -p camsoc-serve --bin serve_smoke target/ci-serve-smoke
+rm -rf target/ci-serve-smoke
+cargo test -q --release --test serve_farm \
+    kill_after_every_stage_resumes_bit_identical
+t7=$(date +%s)
+echo "serve smoke wall clock: $((t7 - t6)) s"
+
 # Docs smoke: the performance/architecture documentation must stay in
 # sync with the tree. Fails if any relative markdown link in README,
 # docs/ARCHITECTURE.md or docs/PERFORMANCE.md points at a missing file,

@@ -2,8 +2,11 @@
 //! kernels: fault simulation (dft), multi-start placement (layout),
 //! wafer-lot yield ramp (fab), equivalence checking (netlist),
 //! negotiated routing (layout) and multi-corner STA (sta), plus a
-//! full-vs-incremental comparison for the ECO-loop STA engine and a
-//! compiled-netlist (SoA/CSR) vs graph-walking traversal comparison.
+//! full-vs-incremental comparison for the ECO-loop STA engine, a
+//! compiled-netlist (SoA/CSR) vs graph-walking traversal comparison,
+//! and a throughput row for the durable design-service job farm
+//! (`camsoc-serve`): ~100 queued small tapeout jobs drained by 1 vs 4
+//! workers, reported in jobs/hour.
 //!
 //! Emits `BENCH_par.json` in the current directory alongside a human
 //! table on stdout, and re-checks that every parallel run is
@@ -466,6 +469,86 @@ fn compiled_row() -> CompiledRow {
     }
 }
 
+struct ServeRow {
+    workload: String,
+    jobs: usize,
+    workers_1_s: f64,
+    workers_4_s: f64,
+    jobs_per_hour_1: f64,
+    jobs_per_hour_4: f64,
+    speedup: f64,
+    all_signed_off: bool,
+    bit_identical: bool,
+}
+
+/// Throughput of the durable job farm: ~100 queued small tapeout jobs
+/// drained by 1 worker vs 4 workers, in jobs/hour. Every job runs the
+/// full 9-stage flow with a checkpoint write after each stage, so the
+/// row prices durability, scheduling and the farm's thread fan-out
+/// together. One job is re-run through a bare `FlowSupervisor` to
+/// re-check that serving does not change results. On a 1-thread host
+/// the 4-worker row is expected to be ~1x (see the warning above).
+fn serve_row(jobs: usize) -> ServeRow {
+    use camsoc_dft::atpg::AtpgConfig;
+    use camsoc_layout::place::{PlacementConfig as PC, PlacementMode as PM};
+    use camsoc_layout::ImplementOptions;
+    use camsoc_serve::{DesignSpec, Farm, JobRequest};
+
+    let options = camsoc_core::flow::FlowOptions {
+        atpg: AtpgConfig { fault_sample: Some(400), max_random_blocks: 16, ..AtpgConfig::default() },
+        layout: ImplementOptions {
+            placement: PC { mode: PM::Wirelength, iterations: 40_000, ..PC::default() },
+            ..ImplementOptions::default()
+        },
+        ..camsoc_core::flow::FlowOptions::default()
+    };
+    let spec = |i: u64| DesignSpec::IpBlock {
+        name: format!("svc{i}"),
+        target_gates: 260,
+        seed: 1000 + i,
+    };
+
+    let mut elapsed = [0.0f64; 2];
+    let mut all_signed_off = true;
+    let mut bit_identical = true;
+    for (slot, workers) in [(0usize, 1usize), (1, 4)] {
+        let dir = std::env::temp_dir()
+            .join(format!("camsoc-bench-serve-{workers}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut farm = Farm::open(&dir, workers).expect("farm");
+        for i in 0..jobs as u64 {
+            farm.submit(&JobRequest::new(spec(i), options.clone())).expect("submit");
+        }
+        let (t, report) = timer::time_once(|| farm.run_until_idle().expect("drain"));
+        elapsed[slot] = t.as_secs_f64();
+        all_signed_off &= report.outcomes.len() == jobs
+            && report
+                .outcomes
+                .values()
+                .all(|o| matches!(o, camsoc_serve::JobOutcome::Done(r) if r.tapeout_ready()));
+        if let Some(served) = report.outcomes.keys().next().and_then(|id| report.result(*id)) {
+            let direct = camsoc_core::flow::FlowSupervisor::new(options.clone())
+                .run(spec(0).materialize().expect("spec"))
+                .expect("direct run");
+            bit_identical &= served.gds == direct.gds;
+        } else {
+            bit_identical = false;
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    ServeRow {
+        workload: format!("{jobs} queued 260-gate tapeout jobs, quick options, full 9-stage flow"),
+        jobs,
+        workers_1_s: elapsed[0],
+        workers_4_s: elapsed[1],
+        jobs_per_hour_1: jobs as f64 * 3600.0 / elapsed[0],
+        jobs_per_hour_4: jobs as f64 * 3600.0 / elapsed[1],
+        speedup: elapsed[0] / elapsed[1],
+        all_signed_off,
+        bit_identical,
+    }
+}
+
 fn main() {
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("perf_report: camsoc-par serial vs parallel (host_threads = {host_threads})");
@@ -490,6 +573,7 @@ fn main() {
     let fsim_cache = fsim_cache_row();
     let eco_sta = eco_sta_row();
     let compiled = compiled_row();
+    let serve = serve_row(100);
 
     println!(
         "{:<8} {:>12} {:>10} {:>8} {:>10} {:>8}  identical",
@@ -543,6 +627,17 @@ fn main() {
         compiled.cones_walked,
         compiled.compile_ms,
         compiled.bit_identical
+    );
+    println!(
+        "serve    {} jobs: 1 worker {:.1}s ({:.0} jobs/h) vs 4 workers {:.1}s ({:.0} jobs/h, {:.2}x)  signed off: {}  identical: {}",
+        serve.jobs,
+        serve.workers_1_s,
+        serve.jobs_per_hour_1,
+        serve.workers_4_s,
+        serve.jobs_per_hour_4,
+        serve.speedup,
+        serve.all_signed_off,
+        serve.bit_identical
     );
 
     let mut json = String::new();
@@ -637,6 +732,30 @@ fn main() {
         "    \"bit_identical\": {}\n",
         compiled.bit_identical
     ));
+    json.push_str("  },\n");
+    json.push_str("  \"serve\": {\n");
+    json.push_str(&format!("    \"workload\": \"{}\",\n", serve.workload));
+    json.push_str(&format!("    \"host_threads\": {host_threads},\n"));
+    json.push_str(&format!("    \"jobs\": {},\n", serve.jobs));
+    json.push_str(&format!("    \"workers_1_s\": {:.3},\n", serve.workers_1_s));
+    json.push_str(&format!("    \"workers_4_s\": {:.3},\n", serve.workers_4_s));
+    json.push_str(&format!(
+        "    \"jobs_per_hour_1\": {:.1},\n",
+        serve.jobs_per_hour_1
+    ));
+    json.push_str(&format!(
+        "    \"jobs_per_hour_4\": {:.1},\n",
+        serve.jobs_per_hour_4
+    ));
+    json.push_str(&format!("    \"speedup\": {:.3},\n", serve.speedup));
+    json.push_str(&format!(
+        "    \"all_signed_off\": {},\n",
+        serve.all_signed_off
+    ));
+    json.push_str(&format!(
+        "    \"bit_identical\": {}\n",
+        serve.bit_identical
+    ));
     json.push_str("  }\n");
     json.push_str("}\n");
 
@@ -658,6 +777,14 @@ fn main() {
     }
     if !compiled.bit_identical {
         eprintln!("ERROR: compiled-netlist traversal diverged from the graph engine");
+        std::process::exit(1);
+    }
+    if !serve.all_signed_off {
+        eprintln!("ERROR: a farmed job failed to tape out cleanly");
+        std::process::exit(1);
+    }
+    if !serve.bit_identical {
+        eprintln!("ERROR: a farmed job's GDSII diverged from a direct supervisor run");
         std::process::exit(1);
     }
     // serial engine-vs-engine: a pure data-layout comparison, so the

@@ -61,7 +61,7 @@ use crate::resilience::{
 };
 
 /// Flow configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowOptions {
     /// Target technology.
     pub tech: Technology,
@@ -208,6 +208,18 @@ pub enum FlowError {
         /// Full attempt-by-attempt record of the run so far.
         trace: Box<FlowTrace>,
     },
+    /// A failure that carries the partial [`FlowCheckpoint`] — every
+    /// stage completed before the failure survives inside it, so the
+    /// caller resumes from the last good stage instead of redoing the
+    /// whole flow. Produced by [`FlowSupervisor::run`], which owns its
+    /// checkpoint ([`FlowSupervisor::resume`] leaves the caller's
+    /// checkpoint in place and returns the bare cause).
+    Resumable {
+        /// Everything completed before the failure.
+        checkpoint: Box<FlowCheckpoint>,
+        /// Why the run stopped.
+        cause: Box<FlowError>,
+    },
 }
 
 impl std::fmt::Display for FlowError {
@@ -231,6 +243,13 @@ impl std::fmt::Display for FlowError {
             FlowError::Exhausted { stage, attempts, last, .. } => {
                 write!(f, "stage {stage} exhausted {attempts} attempts; last: {last}")
             }
+            FlowError::Resumable { checkpoint, cause } => {
+                write!(
+                    f,
+                    "{cause} ({} stages checkpointed, resumable)",
+                    checkpoint.completed_stages().len()
+                )
+            }
         }
     }
 }
@@ -242,6 +261,7 @@ impl std::error::Error for FlowError {
             FlowError::Sta(e) => Some(e),
             FlowError::Layout(e) => Some(e),
             FlowError::Exhausted { last, .. } => Some(last.as_ref()),
+            FlowError::Resumable { cause, .. } => Some(cause.as_ref()),
             _ => None,
         }
     }
@@ -269,19 +289,42 @@ impl FlowError {
     /// clock, infeasible floorplan) are deterministic — retrying them
     /// re-derives the same error, so the supervisor fails fast instead.
     pub fn is_transient(&self) -> bool {
-        matches!(self, FlowError::StagePanic { .. } | FlowError::Injected { .. })
+        match self {
+            FlowError::StagePanic { .. } | FlowError::Injected { .. } => true,
+            FlowError::Resumable { cause, .. } => cause.is_transient(),
+            _ => false,
+        }
+    }
+
+    /// The underlying failure, unwrapping a [`FlowError::Resumable`]
+    /// shell (identity for every other variant).
+    pub fn cause(&self) -> &FlowError {
+        match self {
+            FlowError::Resumable { cause, .. } => cause,
+            other => other,
+        }
+    }
+
+    /// Split a [`FlowError::Resumable`] into its salvaged checkpoint
+    /// and underlying cause. Other variants come back with no
+    /// checkpoint.
+    pub fn into_parts(self) -> (Option<FlowCheckpoint>, FlowError) {
+        match self {
+            FlowError::Resumable { checkpoint, cause } => (Some(*checkpoint), *cause),
+            other => (None, other),
+        }
     }
 }
 
 /// Output of the timing-fix ECO loop stage.
-#[derive(Debug)]
-struct TimingFixOutcome {
-    netlist: Netlist,
-    signoff_timing: TimingReport,
-    corner_signoff: CornerSignoff,
-    timing_ecos: usize,
-    sta_incremental_evals: usize,
-    sta_full_evals: usize,
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TimingFixOutcome {
+    pub(crate) netlist: Netlist,
+    pub(crate) signoff_timing: TimingReport,
+    pub(crate) corner_signoff: CornerSignoff,
+    pub(crate) timing_ecos: usize,
+    pub(crate) sta_incremental_evals: usize,
+    pub(crate) sta_full_evals: usize,
 }
 
 /// One stage's committed product.
@@ -300,19 +343,19 @@ enum StageOutput {
 }
 
 /// All intermediate products of a run, one slot per completed stage.
-#[derive(Debug, Default)]
-struct FlowState {
-    input: Option<Netlist>,
-    validated: bool,
-    pre_layout_timing: Option<TimingReport>,
-    scanned: Option<Netlist>,
-    scan: Option<ScanReport>,
-    atpg: Option<AtpgResult>,
-    layout: Option<LayoutResult>,
-    fix: Option<TimingFixOutcome>,
-    equivalence: Option<EquivReport>,
-    lvs: Option<LvsReport>,
-    gds: Option<Vec<u8>>,
+#[derive(Debug, Default, Clone, PartialEq)]
+pub(crate) struct FlowState {
+    pub(crate) input: Option<Netlist>,
+    pub(crate) validated: bool,
+    pub(crate) pre_layout_timing: Option<TimingReport>,
+    pub(crate) scanned: Option<Netlist>,
+    pub(crate) scan: Option<ScanReport>,
+    pub(crate) atpg: Option<AtpgResult>,
+    pub(crate) layout: Option<LayoutResult>,
+    pub(crate) fix: Option<TimingFixOutcome>,
+    pub(crate) equivalence: Option<EquivReport>,
+    pub(crate) lvs: Option<LvsReport>,
+    pub(crate) gds: Option<Vec<u8>>,
 }
 
 /// In-memory checkpoint of a (possibly partial) flow run: the products
@@ -324,10 +367,10 @@ struct FlowState {
 /// different options, gates or budget) continues from the last good
 /// stage without redoing earlier work. A **successful** run drains the
 /// checkpoint into its [`FlowResult`]; the checkpoint is then spent.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct FlowCheckpoint {
-    state: FlowState,
-    trace: FlowTrace,
+    pub(crate) state: FlowState,
+    pub(crate) trace: FlowTrace,
 }
 
 impl FlowCheckpoint {
@@ -363,6 +406,27 @@ impl FlowCheckpoint {
     /// The supervision trace accumulated so far (spans resumes).
     pub fn trace(&self) -> &FlowTrace {
         &self.trace
+    }
+
+    /// Mark the trace as a resumed run. [`FlowSupervisor::resume`] does
+    /// this automatically from the completed-stage count; callers that
+    /// step stages one at a time with [`FlowSupervisor::advance`] after
+    /// reloading a checkpoint from disk record the resumption here.
+    pub fn mark_resumed(&mut self) {
+        self.trace.resumed = true;
+    }
+
+    /// Drain a fully-complete checkpoint into its [`FlowResult`] (the
+    /// checkpoint is then spent). This is how per-stage drivers
+    /// ([`FlowSupervisor::advance`] until `None`) collect the product
+    /// that [`FlowSupervisor::resume`] would have returned.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::MissingInput`] naming the first absent stage
+    /// product if the flow has not actually finished.
+    pub fn finish(&mut self) -> Result<FlowResult, FlowError> {
+        self.take_result()
     }
 
     fn commit(&mut self, stage: StageId, output: StageOutput) {
@@ -487,12 +551,19 @@ impl FlowSupervisor {
     ///
     /// # Errors
     ///
-    /// [`FlowError`] once a stage fails beyond recovery. For a
-    /// resumable run, use [`FlowSupervisor::resume`] with your own
-    /// [`FlowCheckpoint`] — `run` discards the checkpoint on failure.
+    /// [`FlowError::Resumable`] once a stage fails beyond recovery: the
+    /// underlying cause wrapped together with the internal
+    /// [`FlowCheckpoint`], so every stage completed before the failure
+    /// is salvaged — hand the checkpoint back to
+    /// [`FlowSupervisor::resume`] (possibly under different gates or
+    /// budget) to continue from the last good stage instead of redoing
+    /// the whole flow.
     pub fn run(&self, netlist: Netlist) -> Result<FlowResult, FlowError> {
         let mut checkpoint = FlowCheckpoint::new(netlist);
-        self.resume(&mut checkpoint)
+        self.resume(&mut checkpoint).map_err(|cause| FlowError::Resumable {
+            checkpoint: Box::new(checkpoint),
+            cause: Box::new(cause),
+        })
     }
 
     /// Drive every stage the checkpoint has not yet completed. Fresh
@@ -511,14 +582,39 @@ impl FlowSupervisor {
     /// for deterministic domain errors (see [`FlowError::is_transient`])
     /// or as [`FlowError::Exhausted`] when the retry budget runs out.
     pub fn resume(&self, checkpoint: &mut FlowCheckpoint) -> Result<FlowResult, FlowError> {
-        checkpoint.trace.resumed = !checkpoint.completed_stages().is_empty();
+        if !checkpoint.completed_stages().is_empty() {
+            checkpoint.trace.resumed = true;
+        }
+        while self.advance(checkpoint)?.is_some() {}
+        checkpoint.take_result()
+    }
+
+    /// Run exactly one stage: the first whose product the checkpoint is
+    /// missing. Returns the stage that ran, or `None` when every stage
+    /// is already complete (drain the result with
+    /// [`FlowCheckpoint::finish`]).
+    ///
+    /// This is the stepping primitive the durable job farm
+    /// (`camsoc-serve`) is built on: it persists the checkpoint to disk
+    /// after every `advance`, so a killed process loses at most the
+    /// stage that was in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError`] once the stage fails beyond recovery; the
+    /// checkpoint keeps everything completed so far.
+    pub fn advance(
+        &self,
+        checkpoint: &mut FlowCheckpoint,
+    ) -> Result<Option<StageId>, FlowError> {
         for stage in StageId::ALL {
             if checkpoint.is_complete(stage) {
                 continue;
             }
             self.run_stage(stage, checkpoint)?;
+            return Ok(Some(stage));
         }
-        checkpoint.take_result()
+        Ok(None)
     }
 
     fn run_stage(
@@ -1172,12 +1268,16 @@ mod tests {
             "top",
         )
         .unwrap();
-        // a deterministic domain error is not retried: it surfaces
-        // directly, not wrapped in Exhausted
-        assert!(matches!(
-            run_flow(nl, &FlowOptions::default()),
-            Err(FlowError::Netlist(_))
-        ));
+        // a deterministic domain error is not retried: the cause
+        // surfaces directly (not wrapped in Exhausted), and `run`
+        // salvages the checkpoint around it
+        let err = run_flow(nl, &FlowOptions::default()).unwrap_err();
+        assert!(matches!(err.cause(), FlowError::Netlist(_)), "got {err}");
+        let (checkpoint, cause) = err.into_parts();
+        assert!(matches!(cause, FlowError::Netlist(_)));
+        // nothing completed before Validate failed, but the input is
+        // still in the checkpoint (nothing to redo, nothing lost)
+        assert_eq!(checkpoint.expect("run carries its checkpoint").completed_stages(), []);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod dsc;
 pub mod eco;
 pub mod flow;
 pub mod ip;
+pub mod persist;
 pub mod project;
 pub mod resilience;
 pub mod signoff;

@@ -211,7 +211,7 @@ impl AttemptOutcome {
 }
 
 /// One recorded stage attempt.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageAttempt {
     /// Stage attempted.
     pub stage: StageId,
@@ -229,7 +229,7 @@ pub struct StageAttempt {
 }
 
 /// The attempt-by-attempt record of a supervised run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FlowTrace {
     /// Every attempt, in execution order (spanning resumes).
     pub attempts: Vec<StageAttempt>,

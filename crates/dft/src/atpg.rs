@@ -104,7 +104,7 @@ fn eval3(f: CellFunction, ins: &[u8]) -> u8 {
 }
 
 /// ATPG configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AtpgConfig {
     /// PRNG seed.
     pub seed: u64,
@@ -176,7 +176,7 @@ pub type Pattern = Vec<bool>;
 ///
 /// Every fault lands in exactly one bucket:
 /// `total_faults == detected + untestable + aborted + not_attempted`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AtpgResult {
     /// Faults in the (possibly sampled) target list.
     pub total_faults: usize,

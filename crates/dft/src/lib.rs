@@ -38,6 +38,7 @@
 //! ```
 
 pub mod atpg;
+pub mod codec;
 pub mod faults;
 pub mod fsim;
 pub mod scan;

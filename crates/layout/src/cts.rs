@@ -13,7 +13,7 @@ use crate::floorplan::Floorplan;
 use crate::place::Placement;
 
 /// A synthesised clock tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClockTree {
     /// Per-flop insertion latency in ns.
     pub latency_ns: HashMap<InstanceId, f64>,

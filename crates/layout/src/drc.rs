@@ -54,7 +54,7 @@ pub enum DrcViolation {
 }
 
 /// DRC report.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DrcReport {
     /// All violations found.
     pub violations: Vec<DrcViolation>,

@@ -27,6 +27,7 @@
 //! The one-call driver is [`implement`], which runs the whole back end
 //! and returns a [`LayoutResult`] with the sign-off artefacts.
 
+pub mod codec;
 pub mod cts;
 pub mod drc;
 pub mod extract;
@@ -42,7 +43,7 @@ use camsoc_netlist::tech::Technology;
 use camsoc_sta::{Constraints, Sta, TimingReport};
 
 /// Options for the full back-end run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImplementOptions {
     /// Placement effort and mode.
     pub placement: place::PlacementConfig,
@@ -87,7 +88,7 @@ impl ImplementOptions {
 }
 
 /// Everything the back end produces.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayoutResult {
     /// The floorplan.
     pub floorplan: floorplan::Floorplan,

@@ -48,7 +48,7 @@ pub enum LvsMismatch {
 }
 
 /// LVS result.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LvsReport {
     /// Instances that matched exactly.
     pub matched: usize,

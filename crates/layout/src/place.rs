@@ -33,7 +33,7 @@ pub enum PlacementMode {
 }
 
 /// Annealer configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlacementConfig {
     /// Objective mode.
     pub mode: PlacementMode,
@@ -88,7 +88,7 @@ impl PlacementConfig {
 }
 
 /// A completed placement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
     /// Per-instance x coordinate (µm).
     pub x: Vec<f64>,

@@ -55,7 +55,7 @@ use crate::place::Placement;
 pub const TRACKS_PER_UM: f64 = 3.6;
 
 /// Router configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RouteConfig {
     /// Grid cells across the core (both axes scale to aspect); `0` =
     /// derive from the design size (≈√instances, so cells-per-gcell and
@@ -109,7 +109,7 @@ impl RouteConfig {
 }
 
 /// Result of global routing.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RouteResult {
     /// Grid dimensions (x, y).
     pub grid: (usize, usize),

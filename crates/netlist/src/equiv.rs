@@ -501,7 +501,7 @@ impl Bdd {
 // ---------------------------------------------------------------------
 
 /// Options for [`check_equivalence`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EquivOptions {
     /// Rounds of 64-lane random vectors in the simulation phase.
     pub random_rounds: usize,

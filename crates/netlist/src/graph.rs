@@ -282,6 +282,21 @@ impl Netlist {
         Ok(id)
     }
 
+    /// Reassemble a netlist from pre-validated parts. Only the codec may
+    /// call this; it has already rebuilt the name indexes and audited the
+    /// driver structure, so no invariant re-checking happens here.
+    pub(crate) fn from_parts(
+        name: String,
+        nets: Vec<Net>,
+        instances: Vec<Instance>,
+        ports: Vec<Port>,
+        macros: Vec<MacroInst>,
+        net_names: HashMap<String, NetId>,
+        instance_names: HashMap<String, InstanceId>,
+    ) -> Self {
+        Netlist { name, nets, instances, ports, macros, net_names, instance_names }
+    }
+
     // ---- accessors ----
 
     /// Number of gate instances.

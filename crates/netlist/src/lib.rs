@@ -55,6 +55,7 @@
 
 pub mod builder;
 pub mod cell;
+pub mod codec;
 pub mod compiled;
 pub mod eco;
 pub mod equiv;
@@ -68,6 +69,7 @@ pub mod verilog;
 
 pub use builder::NetlistBuilder;
 pub use cell::{CellFunction, Drive};
+pub use codec::{Codec, CodecError, Decoder, Encoder};
 pub use compiled::CompiledNetlist;
 pub use error::NetlistError;
 pub use graph::{InstanceId, MacroId, NetId, Netlist, PortDir, PortId};

@@ -1,0 +1,457 @@
+//! The durable job farm.
+//!
+//! A [`Farm`] owns one directory of durable state (request files,
+//! checkpoints, ledger) and drives queued tapeout jobs to completion
+//! with `workers` threads, each running its own
+//! [`FlowSupervisor`] one stage at a time. After every completed stage
+//! the job's [`FlowCheckpoint`] is rewritten atomically, so killing the
+//! process at ANY instant loses at most the stage currently in flight:
+//! [`Farm::open`] on the same directory requeues every job the ledger
+//! still shows as `Queued` or `Running` and resumes each from its last
+//! good checkpoint, producing results bit-identical to an
+//! uninterrupted run (stage products are pure functions of the netlist
+//! and options; no cross-job state exists).
+//!
+//! Scheduling is fair FIFO by submission id. A job with a deadline is
+//! parked — typed [`JobError::DeadlineExceeded`], checkpoint intact,
+//! never silently dropped — once the compute time recorded in its
+//! trace (which survives restarts) exceeds the budget.
+//!
+//! The `stage_budget` knob bounds how many stages the farm as a whole
+//! may execute before workers abandon their jobs *without* touching
+//! the ledger — exactly the on-disk state a `kill -9` leaves behind —
+//! which is how the tests and the CI smoke exercise crash recovery
+//! deterministically in-process.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use camsoc_core::flow::{FlowResult, FlowSupervisor};
+use camsoc_core::{FlowCheckpoint, StageId};
+
+use crate::job::{JobError, JobId, JobRequest, JobState};
+use crate::ledger::{JobLedger, LedgerError};
+use crate::store::CheckpointStore;
+
+/// Farm-level (as opposed to per-job) failures.
+#[derive(Debug)]
+pub enum FarmError {
+    /// Filesystem failure on shared state.
+    Io(io::Error),
+    /// The ledger could not be read or written.
+    Ledger(LedgerError),
+    /// A job id was used in a way its ledger state forbids.
+    BadTransition {
+        /// The job.
+        job: JobId,
+        /// Its current state.
+        state: Option<JobState>,
+        /// What was attempted.
+        action: &'static str,
+    },
+}
+
+impl std::fmt::Display for FarmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FarmError::Io(e) => write!(f, "farm I/O error: {e}"),
+            FarmError::Ledger(e) => write!(f, "farm ledger error: {e}"),
+            FarmError::BadTransition { job, state, action } => {
+                write!(f, "cannot {action} {job} in state {state:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FarmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FarmError::Io(e) => Some(e),
+            FarmError::Ledger(e) => Some(e),
+            FarmError::BadTransition { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for FarmError {
+    fn from(e: io::Error) -> Self {
+        FarmError::Io(e)
+    }
+}
+
+impl From<LedgerError> for FarmError {
+    fn from(e: LedgerError) -> Self {
+        FarmError::Ledger(e)
+    }
+}
+
+/// How one job ended within a single [`Farm::run_until_idle`] call.
+#[derive(Debug)]
+pub enum JobOutcome {
+    /// Taped out; the full flow result, drained from the checkpoint.
+    Done(Box<FlowResult>),
+    /// Failed beyond the supervisor's recovery budget (or on broken
+    /// durable state); ledger says `failed`, checkpoint kept.
+    Failed(JobError),
+    /// Deadline exceeded; ledger says `parked`, checkpoint intact.
+    Parked(JobError),
+    /// The farm's stage budget ran out mid-job: abandoned with the
+    /// ledger still saying `running` — the simulated kill. Reopening
+    /// the directory requeues and resumes it.
+    Interrupted,
+}
+
+/// What one [`Farm::run_until_idle`] call accomplished.
+#[derive(Debug, Default)]
+pub struct FarmReport {
+    /// Per-job outcomes, in id order. Jobs still queued when the stage
+    /// budget ran out do not appear.
+    pub outcomes: BTreeMap<JobId, JobOutcome>,
+    /// Stages executed across all jobs in this call.
+    pub stages_executed: usize,
+}
+
+impl FarmReport {
+    /// True when every reported job taped out.
+    pub fn all_done(&self) -> bool {
+        self.outcomes.values().all(|o| matches!(o, JobOutcome::Done(_)))
+    }
+
+    /// True when the stage budget interrupted at least one job.
+    pub fn interrupted(&self) -> bool {
+        self.outcomes.values().any(|o| matches!(o, JobOutcome::Interrupted))
+    }
+
+    /// The flow result of `job`, if it taped out in this call.
+    pub fn result(&self, job: JobId) -> Option<&FlowResult> {
+        match self.outcomes.get(&job) {
+            Some(JobOutcome::Done(r)) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// The durable design-service job farm. See the module docs.
+#[derive(Debug)]
+pub struct Farm {
+    store: CheckpointStore,
+    ledger: JobLedger,
+    queue: VecDeque<JobId>,
+    next_id: u64,
+    workers: usize,
+    stage_budget: Option<usize>,
+}
+
+/// Ledger file name inside a farm directory.
+const LEDGER_FILE: &str = "ledger.txt";
+
+impl Farm {
+    /// Open (or create) the farm rooted at `dir` with `workers` worker
+    /// threads, recovering durable state: jobs the ledger shows as
+    /// `queued` — or `running`, meaning a previous process died while
+    /// driving them — are requeued in id order and will resume from
+    /// their last checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`FarmError`] if the directory cannot be created or the ledger
+    /// is unreadable/malformed.
+    pub fn open(dir: impl AsRef<Path>, workers: usize) -> Result<Self, FarmError> {
+        let store = CheckpointStore::open(dir.as_ref())?;
+        let ledger = JobLedger::open(store.dir().join(LEDGER_FILE))?;
+        let mut queue: Vec<JobId> = ledger.jobs_in(JobState::Queued);
+        queue.extend(ledger.jobs_in(JobState::Running));
+        queue.sort_unstable();
+        let next_id = ledger.max_id().map_or(0, |id| id.0 + 1);
+        Ok(Farm {
+            store,
+            ledger,
+            queue: queue.into(),
+            next_id,
+            workers: workers.max(1),
+            stage_budget: None,
+        })
+    }
+
+    /// Cap the total number of stages this farm may execute before
+    /// workers abandon their jobs as if the process had been killed
+    /// (checkpoints on disk, ledger frozen at `running`).
+    #[must_use]
+    pub fn with_stage_budget(mut self, stages: usize) -> Self {
+        self.stage_budget = Some(stages);
+        self
+    }
+
+    /// The farm directory.
+    pub fn dir(&self) -> &Path {
+        self.store.dir()
+    }
+
+    /// The ledger (read-only view).
+    pub fn ledger(&self) -> &JobLedger {
+        &self.ledger
+    }
+
+    /// Jobs currently waiting for a worker, FIFO.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submit a tapeout request: persists the request file, records
+    /// `queued` in the ledger, and appends to the FIFO queue.
+    ///
+    /// # Errors
+    ///
+    /// [`FarmError`] if the request or ledger cannot be written; the
+    /// job is not enqueued in that case.
+    pub fn submit(&mut self, request: &JobRequest) -> Result<JobId, FarmError> {
+        let id = JobId(self.next_id);
+        self.store.save_request(id, request)?;
+        self.ledger.record(id, JobState::Queued, "")?;
+        self.next_id += 1;
+        self.queue.push_back(id);
+        Ok(id)
+    }
+
+    /// Put a parked job back in the queue, optionally with a new
+    /// deadline (rewrites its durable request). Its checkpoint — every
+    /// stage completed before the deadline hit — is kept, so released
+    /// jobs continue rather than restart.
+    ///
+    /// # Errors
+    ///
+    /// [`FarmError::BadTransition`] if the job is not parked, or an
+    /// I/O/ledger error persisting the change.
+    pub fn release(
+        &mut self,
+        job: JobId,
+        new_deadline: Option<Duration>,
+    ) -> Result<(), FarmError> {
+        if self.ledger.state(job) != Some(JobState::Parked) {
+            return Err(FarmError::BadTransition {
+                job,
+                state: self.ledger.state(job),
+                action: "release",
+            });
+        }
+        if let Some(deadline) = new_deadline {
+            let mut request = self
+                .store
+                .load_request(job)
+                .map_err(|e| FarmError::Io(io::Error::other(e.to_string())))?;
+            request.deadline = Some(deadline);
+            self.store.save_request(job, &request)?;
+        }
+        self.ledger.record(job, JobState::Queued, "")?;
+        self.queue.push_back(job);
+        Ok(())
+    }
+
+    /// Drain the queue with the configured worker threads, returning
+    /// when every job has reached a terminal outcome for this call
+    /// (done, failed, parked) or the stage budget ran out.
+    ///
+    /// # Errors
+    ///
+    /// [`FarmError`] only for farm-level poisoning (a worker panicked
+    /// while holding a lock); per-job failures are reported in the
+    /// [`FarmReport`], not here.
+    pub fn run_until_idle(&mut self) -> Result<FarmReport, FarmError> {
+        let shared = Shared {
+            store: &self.store,
+            ledger: Mutex::new(&mut self.ledger),
+            queue: Mutex::new(std::mem::take(&mut self.queue)),
+            outcomes: Mutex::new(BTreeMap::new()),
+            stages_left: self
+                .stage_budget
+                .map(|n| AtomicIsize::new(isize::try_from(n).unwrap_or(isize::MAX))),
+            stages_executed: AtomicUsize::new(0),
+        };
+        let spawn = self.workers.min(shared.queue.lock().map(|q| q.len()).unwrap_or(0)).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..spawn {
+                scope.spawn(|| worker(&shared));
+            }
+        });
+        // Jobs still queued when the budget ran out stay queued for the
+        // next call (and are durably `queued` in the ledger already).
+        self.queue = shared.queue.into_inner().map_err(|_| poisoned())?;
+        Ok(FarmReport {
+            outcomes: shared.outcomes.into_inner().map_err(|_| poisoned())?,
+            stages_executed: shared.stages_executed.load(Ordering::Relaxed),
+        })
+    }
+}
+
+fn poisoned() -> FarmError {
+    FarmError::Io(io::Error::other("worker panicked while holding farm state"))
+}
+
+/// State shared by the worker threads of one `run_until_idle` call.
+struct Shared<'a> {
+    store: &'a CheckpointStore,
+    ledger: Mutex<&'a mut JobLedger>,
+    queue: Mutex<VecDeque<JobId>>,
+    outcomes: Mutex<BTreeMap<JobId, JobOutcome>>,
+    stages_left: Option<AtomicIsize>,
+    stages_executed: AtomicUsize,
+}
+
+impl Shared<'_> {
+    /// Take permission to run one stage. `false` = the budget is gone:
+    /// the worker must abandon its job immediately (simulated kill).
+    fn take_stage_token(&self) -> bool {
+        match &self.stages_left {
+            None => true,
+            Some(left) => left.fetch_sub(1, Ordering::AcqRel) > 0,
+        }
+    }
+
+    fn record(&self, job: JobId, state: JobState, detail: &str) -> Result<(), JobError> {
+        let mut ledger = self
+            .ledger
+            .lock()
+            .map_err(|_| JobError::Storage { job, detail: "ledger lock poisoned".into() })?;
+        ledger
+            .record(job, state, detail)
+            .map_err(|e| JobError::Storage { job, detail: e.to_string() })
+    }
+
+    fn finish_job(&self, job: JobId, outcome: JobOutcome) {
+        if let Ok(mut outcomes) = self.outcomes.lock() {
+            outcomes.insert(job, outcome);
+        }
+    }
+}
+
+/// One worker: pop, drive, record, repeat — until the queue is empty
+/// or the stage budget dies.
+fn worker(shared: &Shared<'_>) {
+    loop {
+        let job = match shared.queue.lock() {
+            Ok(mut queue) => match queue.pop_front() {
+                Some(job) => job,
+                None => return,
+            },
+            Err(_) => return,
+        };
+        if let Err(e) = shared.record(job, JobState::Running, "") {
+            shared.finish_job(job, JobOutcome::Failed(e));
+            continue;
+        }
+        match drive(shared, job) {
+            Drive::Done(result) => {
+                // Result is drained; the checkpoint has served its
+                // purpose. Record `done` first so a kill between the
+                // two leaves a consistent "don't requeue" state.
+                let outcome = match shared.record(job, JobState::Done, "") {
+                    Ok(()) => {
+                        let _ = shared.store.remove_checkpoint(job);
+                        JobOutcome::Done(result)
+                    }
+                    Err(e) => JobOutcome::Failed(e),
+                };
+                shared.finish_job(job, outcome);
+            }
+            Drive::Failed(error) => {
+                let detail = error.to_string();
+                let outcome = match shared.record(job, JobState::Failed, &detail) {
+                    Ok(()) => JobOutcome::Failed(error),
+                    Err(e) => JobOutcome::Failed(e),
+                };
+                shared.finish_job(job, outcome);
+            }
+            Drive::Parked(error) => {
+                let detail = error.to_string();
+                let outcome = match shared.record(job, JobState::Parked, &detail) {
+                    Ok(()) => JobOutcome::Parked(error),
+                    Err(e) => JobOutcome::Failed(e),
+                };
+                shared.finish_job(job, outcome);
+            }
+            Drive::Interrupted => {
+                // Simulated kill: NO ledger update — it still says
+                // `running`, exactly what a dead process leaves — and
+                // the last checkpoint is already on disk.
+                shared.finish_job(job, JobOutcome::Interrupted);
+                return;
+            }
+        }
+    }
+}
+
+enum Drive {
+    Done(Box<FlowResult>),
+    Failed(JobError),
+    Parked(JobError),
+    Interrupted,
+}
+
+/// Drive one job from its durable state to a terminal outcome (or an
+/// interruption), checkpointing after every completed stage.
+fn drive(shared: &Shared<'_>, job: JobId) -> Drive {
+    let request = match shared.store.load_request(job) {
+        Ok(r) => r,
+        Err(e) => return Drive::Failed(JobError::Storage { job, detail: e.to_string() }),
+    };
+    let mut checkpoint = match shared.store.load_checkpoint(job) {
+        Ok(Some(mut ckpt)) => {
+            ckpt.mark_resumed();
+            ckpt
+        }
+        Ok(None) => match request.spec.materialize() {
+            Ok(netlist) => FlowCheckpoint::new(netlist),
+            Err(error) => return Drive::Failed(JobError::Spec { job, error }),
+        },
+        Err(e) => return Drive::Failed(JobError::Storage { job, detail: e.to_string() }),
+    };
+    let supervisor = FlowSupervisor::new(request.options.clone());
+    loop {
+        if let Some(budget) = request.deadline {
+            let spent: Duration = checkpoint.trace().attempts.iter().map(|a| a.duration).sum();
+            if spent >= budget {
+                let next_stage = StageId::ALL
+                    .into_iter()
+                    .find(|&s| !checkpoint.is_complete(s))
+                    .unwrap_or(StageId::StreamOut);
+                return Drive::Parked(JobError::DeadlineExceeded {
+                    job,
+                    spent,
+                    budget,
+                    next_stage,
+                });
+            }
+        }
+        // Budget accounting sits between stages — after the previous
+        // stage's atomic checkpoint write — which is the only place a
+        // real kill is observable from the disk's point of view.
+        if !shared.take_stage_token() {
+            return Drive::Interrupted;
+        }
+        match supervisor.advance(&mut checkpoint) {
+            Ok(Some(_stage)) => {
+                shared.stages_executed.fetch_add(1, Ordering::Relaxed);
+                if let Err(e) = shared.store.save_checkpoint(job, &checkpoint) {
+                    return Drive::Failed(JobError::Storage { job, detail: e.to_string() });
+                }
+            }
+            Ok(None) => {
+                return match checkpoint.finish() {
+                    Ok(result) => Drive::Done(Box::new(result)),
+                    Err(error) => Drive::Failed(JobError::Flow { job, error }),
+                };
+            }
+            Err(error) => {
+                // The checkpoint keeps every completed stage even on
+                // failure (that is satellite #1's fix); persist it so a
+                // post-mortem resume can pick up where it stopped.
+                let _ = shared.store.save_checkpoint(job, &checkpoint);
+                return Drive::Failed(JobError::Flow { job, error });
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! The on-disk job ledger.
+//!
+//! A small, human-readable, versioned text file recording the last
+//! known [`JobState`] of every job a farm directory has ever accepted.
+//! Every transition rewrites the whole file atomically
+//! (write-temp-then-rename), so the ledger on disk is always a
+//! complete, parseable snapshot — a killed farm never leaves a
+//! half-written line. On reopen, `Queued` and `Running` entries are
+//! requeued (`Running` means the process died mid-job; the job's
+//! checkpoint holds every stage that completed before the kill).
+//!
+//! Format (tab-separated, one job per line, sorted by id):
+//!
+//! ```text
+//! camsoc-ledger v1
+//! 0<TAB>done<TAB>-
+//! 1<TAB>parked<TAB>deadline exceeded (0.041s spent of 0.010s)
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::job::{JobId, JobState};
+
+/// Header line of a v1 ledger file.
+const LEDGER_HEADER: &str = "camsoc-ledger v1";
+
+/// Errors opening or persisting a ledger.
+#[derive(Debug)]
+pub enum LedgerError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The file exists but is not a well-formed v1 ledger.
+    Malformed(String),
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::Io(e) => write!(f, "ledger I/O error: {e}"),
+            LedgerError::Malformed(m) => write!(f, "malformed ledger: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LedgerError::Io(e) => Some(e),
+            LedgerError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for LedgerError {
+    fn from(e: io::Error) -> Self {
+        LedgerError::Io(e)
+    }
+}
+
+/// One ledger entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// Last recorded state.
+    pub state: JobState,
+    /// Free-text detail (failure cause, park reason); `"-"` when empty.
+    pub detail: String,
+}
+
+/// The on-disk ledger: a map from job id to its last recorded state,
+/// rewritten atomically on every transition.
+#[derive(Debug)]
+pub struct JobLedger {
+    path: PathBuf,
+    entries: BTreeMap<JobId, LedgerEntry>,
+}
+
+impl JobLedger {
+    /// Open the ledger at `path`, parsing it if it exists or starting
+    /// empty if it does not.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::Io`] on filesystem failure, or
+    /// [`LedgerError::Malformed`] if an existing file fails to parse —
+    /// a truncated rename-target can't occur by construction, so a
+    /// malformed ledger means outside interference and is refused
+    /// rather than silently reset.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, LedgerError> {
+        let path = path.into();
+        let entries = match fs::read_to_string(&path) {
+            Ok(text) => Self::parse(&text)?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => BTreeMap::new(),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(JobLedger { path, entries })
+    }
+
+    fn parse(text: &str) -> Result<BTreeMap<JobId, LedgerEntry>, LedgerError> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(LEDGER_HEADER) => {}
+            Some(other) => {
+                return Err(LedgerError::Malformed(format!("bad header {other:?}")));
+            }
+            None => return Err(LedgerError::Malformed("empty file".into())),
+        }
+        let mut entries = BTreeMap::new();
+        for (n, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut cols = line.splitn(3, '\t');
+            let (Some(id), Some(state), Some(detail)) = (cols.next(), cols.next(), cols.next())
+            else {
+                return Err(LedgerError::Malformed(format!("line {}: too few columns", n + 2)));
+            };
+            let id = id
+                .parse::<u64>()
+                .map_err(|_| LedgerError::Malformed(format!("line {}: bad id {id:?}", n + 2)))?;
+            let state = JobState::from_token(state).ok_or_else(|| {
+                LedgerError::Malformed(format!("line {}: bad state {state:?}", n + 2))
+            })?;
+            let detail = if detail == "-" { String::new() } else { detail.to_string() };
+            if entries.insert(JobId(id), LedgerEntry { state, detail }).is_some() {
+                return Err(LedgerError::Malformed(format!("line {}: duplicate id {id}", n + 2)));
+            }
+        }
+        Ok(entries)
+    }
+
+    /// Record `state` for `job` and rewrite the file atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::Io`] if the rewrite fails; the in-memory map is
+    /// NOT updated in that case, so memory and disk never diverge.
+    pub fn record(
+        &mut self,
+        job: JobId,
+        state: JobState,
+        detail: impl Into<String>,
+    ) -> Result<(), LedgerError> {
+        let mut detail = detail.into();
+        // Keep the file line-per-job: the detail column must not carry
+        // separators of its own.
+        detail.retain(|c| c != '\n' && c != '\r' && c != '\t');
+        let prior = self.entries.insert(job, LedgerEntry { state, detail });
+        match self.persist() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                match prior {
+                    Some(p) => {
+                        self.entries.insert(job, p);
+                    }
+                    None => {
+                        self.entries.remove(&job);
+                    }
+                }
+                Err(e.into())
+            }
+        }
+    }
+
+    fn persist(&self) -> Result<(), io::Error> {
+        let mut text = String::with_capacity(64 + self.entries.len() * 32);
+        text.push_str(LEDGER_HEADER);
+        text.push('\n');
+        for (id, entry) in &self.entries {
+            let detail = if entry.detail.is_empty() { "-" } else { entry.detail.as_str() };
+            let _ = writeln!(text, "{}\t{}\t{}", id.0, entry.state.token(), detail);
+        }
+        let tmp = sibling_tmp(&self.path);
+        fs::write(&tmp, text.as_bytes())?;
+        fs::rename(&tmp, &self.path)
+    }
+
+    /// Last recorded state of `job`, if it was ever recorded.
+    pub fn state(&self, job: JobId) -> Option<JobState> {
+        self.entries.get(&job).map(|e| e.state)
+    }
+
+    /// Full entry for `job`.
+    pub fn entry(&self, job: JobId) -> Option<&LedgerEntry> {
+        self.entries.get(&job)
+    }
+
+    /// All entries, sorted by job id.
+    pub fn entries(&self) -> impl Iterator<Item = (JobId, &LedgerEntry)> {
+        self.entries.iter().map(|(id, e)| (*id, e))
+    }
+
+    /// Job ids in `state`, ascending (= FIFO submission order).
+    pub fn jobs_in(&self, state: JobState) -> Vec<JobId> {
+        self.entries.iter().filter(|(_, e)| e.state == state).map(|(id, _)| *id).collect()
+    }
+
+    /// Highest id ever recorded, for id assignment after reopen.
+    pub fn max_id(&self) -> Option<JobId> {
+        self.entries.keys().next_back().copied()
+    }
+
+    /// Number of jobs ever recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no job was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Temp-file sibling used for atomic rewrites (same directory, so the
+/// final `rename` never crosses a filesystem boundary).
+fn sibling_tmp(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("camsoc-ledger-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn transitions_survive_reopen() {
+        let dir = tmp_dir("reopen");
+        let path = dir.join("ledger.txt");
+        let mut ledger = JobLedger::open(&path).unwrap();
+        ledger.record(JobId(0), JobState::Queued, "").unwrap();
+        ledger.record(JobId(1), JobState::Queued, "").unwrap();
+        ledger.record(JobId(0), JobState::Running, "").unwrap();
+        ledger.record(JobId(2), JobState::Parked, "deadline").unwrap();
+        drop(ledger);
+
+        let back = JobLedger::open(&path).unwrap();
+        assert_eq!(back.state(JobId(0)), Some(JobState::Running));
+        assert_eq!(back.state(JobId(1)), Some(JobState::Queued));
+        assert_eq!(back.state(JobId(2)), Some(JobState::Parked));
+        assert_eq!(back.entry(JobId(2)).unwrap().detail, "deadline");
+        assert_eq!(back.max_id(), Some(JobId(2)));
+        assert_eq!(back.jobs_in(JobState::Queued), vec![JobId(1)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn detail_separators_are_stripped() {
+        let dir = tmp_dir("detail");
+        let path = dir.join("ledger.txt");
+        let mut ledger = JobLedger::open(&path).unwrap();
+        ledger.record(JobId(7), JobState::Failed, "line1\nline2\ttabbed").unwrap();
+        let back = JobLedger::open(&path).unwrap();
+        assert_eq!(back.entry(JobId(7)).unwrap().detail, "line1line2tabbed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_files_are_refused() {
+        let dir = tmp_dir("malformed");
+        for (name, text) in [
+            ("h.txt", "camsoc-ledger v9\n"),
+            ("cols.txt", "camsoc-ledger v1\n3\tdone\n"),
+            ("state.txt", "camsoc-ledger v1\n3\tbogus\t-\n"),
+            ("id.txt", "camsoc-ledger v1\nx\tdone\t-\n"),
+            ("dup.txt", "camsoc-ledger v1\n3\tdone\t-\n3\tqueued\t-\n"),
+        ] {
+            let path = dir.join(name);
+            fs::write(&path, text).unwrap();
+            assert!(
+                matches!(JobLedger::open(&path), Err(LedgerError::Malformed(_))),
+                "{name} should be refused"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_starts_empty() {
+        let dir = tmp_dir("fresh");
+        let ledger = JobLedger::open(dir.join("ledger.txt")).unwrap();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.max_id(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,35 @@
+//! # camsoc-serve
+//!
+//! The durable design-service job farm. The paper's flow was sold as a
+//! *service* — customers hand over IP lists and constraints, the
+//! service returns GDSII — and this crate models the serving layer on
+//! top of [`camsoc_core`]'s supervised Netlist→GDSII flow:
+//!
+//! * [`job`] — tapeout requests ([`JobRequest`]: a deterministic
+//!   [`DesignSpec`] plus pinned `FlowOptions` and an optional compute
+//!   deadline), job states and typed job errors.
+//! * [`ledger`] — the on-disk [`JobLedger`]: a versioned, atomically
+//!   rewritten text file recording every job's last known state, so a
+//!   restarted farm knows exactly what to requeue.
+//! * [`store`] — per-job durable artifacts: request files and
+//!   [`camsoc_core::FlowCheckpoint`]s, all written
+//!   write-temp-then-rename so no kill can tear them.
+//! * [`farm`] — the [`Farm`]: FIFO queue, N worker threads each
+//!   stepping a `FlowSupervisor` one stage at a time with a checkpoint
+//!   write after every stage, deadline parking, and crash recovery
+//!   (reopen → requeue `queued`/`running` → resume from last good
+//!   stage, bit-identical to an uninterrupted run).
+//!
+//! Everything is dependency-free: durability uses the same hand-rolled
+//! binary codec as the rest of the workspace
+//! ([`camsoc_netlist::codec`]), so the crate builds fully offline.
+
+pub mod farm;
+pub mod job;
+pub mod ledger;
+pub mod store;
+
+pub use farm::{Farm, FarmError, FarmReport, JobOutcome};
+pub use job::{DesignSpec, JobError, JobId, JobRequest, JobState};
+pub use ledger::{JobLedger, LedgerError};
+pub use store::CheckpointStore;

@@ -1,0 +1,190 @@
+//! Per-job durable artifacts: request files and flow checkpoints.
+//!
+//! Each farm directory holds, per job, a `job-NNNNNN.req` (the
+//! [`JobRequest`] under its own magic/version header) and — once the
+//! first stage completes — a `job-NNNNNN.ckpt` ([`FlowCheckpoint`] via
+//! [`camsoc_core::persist`]). Both are written atomically
+//! (write-temp-then-rename), so a kill at any instant leaves either the
+//! previous good file or the new good file, never a torn one.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use camsoc_core::persist::PersistError;
+use camsoc_core::FlowCheckpoint;
+use camsoc_netlist::codec::{Codec, CodecError, Decoder, Encoder};
+
+use crate::job::{JobId, JobRequest};
+
+/// Magic prefix of a request file: `"CREQ"` little-endian.
+pub const REQUEST_MAGIC: u32 = u32::from_le_bytes(*b"CREQ");
+/// Current request-file format version.
+pub const REQUEST_VERSION: u32 = 1;
+
+/// Durable per-job storage rooted at a farm directory.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) the store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir })
+    }
+
+    /// The farm directory this store writes under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of `job`'s request file.
+    pub fn request_path(&self, job: JobId) -> PathBuf {
+        self.dir.join(format!("{job}.req"))
+    }
+
+    /// Path of `job`'s checkpoint file.
+    pub fn checkpoint_path(&self, job: JobId) -> PathBuf {
+        self.dir.join(format!("{job}.ckpt"))
+    }
+
+    /// Persist `job`'s request atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on filesystem failure.
+    pub fn save_request(&self, job: JobId, request: &JobRequest) -> io::Result<()> {
+        let mut e = Encoder::new();
+        e.put_u32(REQUEST_MAGIC);
+        e.put_u32(REQUEST_VERSION);
+        request.encode(&mut e);
+        let path = self.request_path(job);
+        let tmp = sibling_tmp(&path);
+        fs::write(&tmp, e.into_bytes())?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Load `job`'s request back from disk.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`] on I/O failure or if the file is not a valid
+    /// v1 request.
+    pub fn load_request(&self, job: JobId) -> Result<JobRequest, PersistError> {
+        let bytes = fs::read(self.request_path(job))?;
+        let mut d = Decoder::new(&bytes);
+        let magic = d.get_u32()?;
+        if magic != REQUEST_MAGIC {
+            return Err(CodecError::Corrupt(format!("bad request magic {magic:#010x}")).into());
+        }
+        let version = d.get_u32()?;
+        if version != REQUEST_VERSION {
+            return Err(CodecError::Version { found: version, supported: REQUEST_VERSION }.into());
+        }
+        let request = JobRequest::decode(&mut d)?;
+        d.expect_end()?;
+        Ok(request)
+    }
+
+    /// Persist `job`'s checkpoint atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on filesystem failure.
+    pub fn save_checkpoint(&self, job: JobId, checkpoint: &FlowCheckpoint) -> io::Result<()> {
+        checkpoint.save_atomic(&self.checkpoint_path(job))
+    }
+
+    /// Load `job`'s checkpoint if one was ever written.
+    ///
+    /// `Ok(None)` means no checkpoint exists yet (the job never
+    /// finished a stage) — a fresh start, not an error.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`] on I/O failure or a corrupt/incompatible file.
+    pub fn load_checkpoint(&self, job: JobId) -> Result<Option<FlowCheckpoint>, PersistError> {
+        match FlowCheckpoint::load(&self.checkpoint_path(job)) {
+            Ok(ckpt) => Ok(Some(ckpt)),
+            Err(PersistError::Io(e)) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Remove `job`'s checkpoint (after its result is drained).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on filesystem failure other than the file already
+    /// being gone.
+    pub fn remove_checkpoint(&self, job: JobId) -> io::Result<()> {
+        match fs::remove_file(self.checkpoint_path(job)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+fn sibling_tmp(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::DesignSpec;
+    use camsoc_core::flow::FlowOptions;
+
+    fn tmp_store(tag: &str) -> CheckpointStore {
+        let dir = std::env::temp_dir().join(format!("camsoc-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        CheckpointStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip_through_disk() {
+        let store = tmp_store("req");
+        let req = JobRequest::new(
+            DesignSpec::IpBlock { name: "b".into(), target_gates: 250, seed: 11 },
+            FlowOptions::default(),
+        );
+        store.save_request(JobId(4), &req).unwrap();
+        assert_eq!(store.load_request(JobId(4)).unwrap(), req);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none_but_corrupt_is_error() {
+        let store = tmp_store("ckpt");
+        assert!(store.load_checkpoint(JobId(0)).unwrap().is_none());
+        fs::write(store.checkpoint_path(JobId(0)), b"garbage").unwrap();
+        assert!(store.load_checkpoint(JobId(0)).is_err());
+        store.remove_checkpoint(JobId(0)).unwrap();
+        store.remove_checkpoint(JobId(0)).unwrap();
+        assert!(store.load_checkpoint(JobId(0)).unwrap().is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn request_header_is_enforced() {
+        let store = tmp_store("hdr");
+        let req = JobRequest::new(DesignSpec::Dsc { scale: 0.25 }, FlowOptions::default());
+        store.save_request(JobId(1), &req).unwrap();
+        let path = store.request_path(JobId(1));
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load_request(JobId(1)).is_err());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

@@ -1,0 +1,193 @@
+//! [`Codec`] impls for STA products, so timing signoff survives a
+//! checkpointed flow restart bit-identically.
+//!
+//! Every `f64` travels as its raw bit pattern — WNS/TNS values that come
+//! back from disk compare equal under `to_bits`, which is the identity
+//! the durability tests assert. `corner_name` is `&'static str` in
+//! memory; on decode it is mapped back onto the four corner names the
+//! [`crate::derate::Corner`] constructors produce, and anything else is
+//! [`CodecError::Corrupt`].
+
+use camsoc_netlist::codec::{Codec, CodecError, Decoder, Encoder};
+
+use crate::analysis::{CheckSummary, TimingReport};
+use crate::multi_corner::CornerSignoff;
+use crate::paths::{PathStep, TimingPath};
+
+/// Map a decoded corner-name string back to the `&'static str` the
+/// corner constructors use.
+fn corner_name_from(s: &str) -> Result<&'static str, CodecError> {
+    match s {
+        "typical" => Ok("typical"),
+        "worst" => Ok("worst"),
+        "best" => Ok("best"),
+        "ocv" => Ok("ocv"),
+        other => Err(CodecError::Corrupt(format!("unknown corner name `{other}`"))),
+    }
+}
+
+impl Codec for PathStep {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_str(&self.instance);
+        e.put_str(&self.cell);
+        e.put_str(&self.net);
+        e.put_f64(self.incr_ns);
+        e.put_f64(self.at_ns);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(PathStep {
+            instance: d.get_str()?,
+            cell: d.get_str()?,
+            net: d.get_str()?,
+            incr_ns: d.get_f64()?,
+            at_ns: d.get_f64()?,
+        })
+    }
+}
+
+impl Codec for TimingPath {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_str(&self.endpoint);
+        e.put_str(&self.startpoint);
+        e.put_f64(self.arrival_ns);
+        e.put_f64(self.required_ns);
+        e.put_f64(self.slack_ns);
+        self.steps.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(TimingPath {
+            endpoint: d.get_str()?,
+            startpoint: d.get_str()?,
+            arrival_ns: d.get_f64()?,
+            required_ns: d.get_f64()?,
+            slack_ns: d.get_f64()?,
+            steps: Vec::<PathStep>::decode(d)?,
+        })
+    }
+}
+
+impl Codec for CheckSummary {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_f64(self.wns_ns);
+        e.put_f64(self.tns_ns);
+        e.put_usize(self.violations);
+        e.put_usize(self.endpoints);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(CheckSummary {
+            wns_ns: d.get_f64()?,
+            tns_ns: d.get_f64()?,
+            violations: d.get_usize()?,
+            endpoints: d.get_usize()?,
+        })
+    }
+}
+
+impl Codec for TimingReport {
+    fn encode(&self, e: &mut Encoder) {
+        self.setup.encode(e);
+        self.hold.encode(e);
+        self.hold_violations.encode(e);
+        self.critical_path.encode(e);
+        e.put_f64(self.fmax_mhz);
+        e.put_str(self.corner_name);
+        e.put_usize(self.critical_levels);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(TimingReport {
+            setup: CheckSummary::decode(d)?,
+            hold: CheckSummary::decode(d)?,
+            hold_violations: Vec::<(String, f64)>::decode(d)?,
+            critical_path: Option::<TimingPath>::decode(d)?,
+            fmax_mhz: d.get_f64()?,
+            corner_name: corner_name_from(&d.get_str()?)?,
+            critical_levels: d.get_usize()?,
+        })
+    }
+}
+
+impl Codec for CornerSignoff {
+    fn encode(&self, e: &mut Encoder) {
+        self.slow.encode(e);
+        self.fast.encode(e);
+        e.put_usize(self.threads_used);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(CornerSignoff {
+            slow: TimingReport::decode(d)?,
+            fast: TimingReport::decode(d)?,
+            threads_used: d.get_usize()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(v: &T) {
+        let mut e = Encoder::new();
+        v.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let back = T::decode(&mut d).expect("decode");
+        d.expect_end().expect("fully consumed");
+        assert_eq!(&back, v);
+    }
+
+    fn report(corner: &'static str) -> TimingReport {
+        TimingReport {
+            setup: CheckSummary { wns_ns: -0.0, tns_ns: f64::NEG_INFINITY, violations: 3, endpoints: 91 },
+            hold: CheckSummary { wns_ns: 0.017, tns_ns: 0.0, violations: 0, endpoints: 91 },
+            hold_violations: vec![("u_ff/π".into(), -0.003)],
+            critical_path: Some(TimingPath {
+                endpoint: "dout[3]".into(),
+                startpoint: "u_in_reg".into(),
+                arrival_ns: 9.25,
+                required_ns: 10.0,
+                slack_ns: 0.75,
+                steps: vec![PathStep {
+                    instance: "u0".into(),
+                    cell: "ND2X1".into(),
+                    net: "n42".into(),
+                    incr_ns: 0.12,
+                    at_ns: 0.5,
+                }],
+            }),
+            fmax_mhz: 108.1,
+            corner_name: corner,
+            critical_levels: 14,
+        }
+    }
+
+    #[test]
+    fn timing_reports_round_trip_per_corner() {
+        for corner in ["typical", "worst", "best", "ocv"] {
+            round_trip(&report(corner));
+        }
+        round_trip(&CornerSignoff { slow: report("worst"), fast: report("best"), threads_used: 4 });
+    }
+
+    #[test]
+    fn unknown_corner_name_is_corrupt() {
+        let mut e = Encoder::new();
+        let mut r = report("typical");
+        r.corner_name = "vendor_corner";
+        r.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(TimingReport::decode(&mut d), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn nan_slack_survives_bit_exactly() {
+        let mut r = report("ocv");
+        r.hold_violations[0].1 = f64::NAN;
+        let mut e = Encoder::new();
+        r.encode(&mut e);
+        let bytes = e.into_bytes();
+        let back = TimingReport::decode(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(back.hold_violations[0].1.to_bits(), r.hold_violations[0].1.to_bits());
+        assert_eq!(back.setup.wns_ns.to_bits(), (-0.0f64).to_bits());
+    }
+}

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod analysis;
+pub mod codec;
 pub mod constraints;
 pub mod derate;
 pub mod incremental;

@@ -22,6 +22,7 @@
 //! | [`pinassign`] | package pin assignment & substrate-layer estimation |
 //! | [`fab`] | yield, die cost, reliability, failure analysis |
 //! | [`flow`] | the integration/verification/sign-off flow (core) |
+//! | [`serve`] | durable design-service job farm over the flow |
 //! | [`par`] | deterministic parallel execution layer |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
@@ -39,3 +40,4 @@ pub use camsoc_sim as sim;
 pub use camsoc_sta as sta;
 
 pub use camsoc_core as flow;
+pub use camsoc_serve as serve;

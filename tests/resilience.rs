@@ -107,6 +107,15 @@ fn persistent_degradation_exhausts_into_typed_error() {
             .with_injector(injector)
             .run(small_block(5))
             .expect_err("persistent degradation must not succeed");
+        // `run` wraps every failure with its salvaged checkpoint; the
+        // stages before the broken one are all in it
+        let (salvaged, err) = err.into_parts();
+        let salvaged = salvaged.expect("run failure carries its checkpoint");
+        assert_eq!(
+            salvaged.completed_stages(),
+            StageId::ALL[..stage.index()].to_vec(),
+            "{stage}: checkpoint must hold exactly the stages before the failure"
+        );
         let FlowError::Exhausted { stage: failed, attempts, last, trace } = err else {
             panic!("expected Exhausted on {stage}, got another error");
         };
@@ -210,6 +219,45 @@ fn checkpoint_resume_continues_from_last_good_stage() {
         "the resumed trace keeps the earlier failures"
     );
     assert!(result.trace.render().contains("resumed"));
+}
+
+/// Regression: `FlowSupervisor::run` used to build its checkpoint
+/// internally and drop it on failure, so a failed `run` lost every
+/// completed stage product and the caller had to redo the whole flow.
+/// It now comes back inside [`FlowError::Resumable`]; resuming it
+/// finishes the flow bit-identically without re-executing the stages
+/// that had already succeeded.
+#[test]
+fn failed_run_resumes_without_redoing_completed_stages() {
+    let options = FlowOptions::default();
+    let baseline = run_flow(small_block(21), &options).unwrap();
+
+    let err = FlowSupervisor::new(options.clone())
+        .with_injector(
+            FaultInjector::new(4)
+                .with_persistent_fault(StageId::Lvs, FaultKind::Degrade, 8),
+        )
+        .run(small_block(21))
+        .expect_err("lvs is persistently broken");
+    let (checkpoint, cause) = err.into_parts();
+    let mut checkpoint = checkpoint.expect("run failure must salvage its checkpoint");
+    assert!(matches!(cause, FlowError::Exhausted { stage: StageId::Lvs, .. }));
+    assert!(checkpoint.is_complete(StageId::TimingFix));
+    assert!(!checkpoint.is_complete(StageId::Lvs));
+
+    let result = FlowSupervisor::new(options)
+        .resume(&mut checkpoint)
+        .expect("salvaged checkpoint resumes to completion");
+    assert!(result.trace.resumed);
+    assert_eq!(fingerprint(&result), fingerprint(&baseline));
+    // the seven stages before LVS ran exactly once, in the failed run
+    for stage in &StageId::ALL[..StageId::Lvs.index()] {
+        assert_eq!(
+            result.trace.attempts_for(*stage).len(),
+            1,
+            "{stage} was re-executed after resume"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,194 @@
+//! The durable job farm under fire: kills after every stage, worker
+//! count sweeps, deadline parking, and ledger-driven crash recovery —
+//! every path asserting results bit-identical to an uninterrupted
+//! serial run (flow products are pure functions of design and
+//! options; durability must not change a single bit).
+
+use std::time::Duration;
+
+use camsoc::dft::atpg::AtpgConfig;
+use camsoc::flow::flow::{FlowOptions, FlowResult, FlowSupervisor};
+use camsoc::flow::StageId;
+use camsoc::layout::place::{PlacementConfig, PlacementMode};
+use camsoc::layout::ImplementOptions;
+use camsoc::serve::{DesignSpec, Farm, JobOutcome, JobRequest, JobState};
+
+fn quick_options() -> FlowOptions {
+    FlowOptions {
+        atpg: AtpgConfig { fault_sample: Some(400), max_random_blocks: 16, ..AtpgConfig::default() },
+        layout: ImplementOptions {
+            placement: PlacementConfig {
+                mode: PlacementMode::Wirelength,
+                iterations: 40_000,
+                ..PlacementConfig::default()
+            },
+            ..ImplementOptions::default()
+        },
+        ..FlowOptions::default()
+    }
+}
+
+fn spec(seed: u64) -> DesignSpec {
+    DesignSpec::IpBlock { name: format!("farm{seed}"), target_gates: 260, seed }
+}
+
+fn request(seed: u64) -> JobRequest {
+    JobRequest::new(spec(seed), quick_options())
+}
+
+/// Every externally observable figure of a flow run, timing bit-exact.
+fn fingerprint(r: &FlowResult) -> (usize, usize, u64, u64, u64, usize, Vec<u8>) {
+    (
+        r.scan.scan_flops,
+        r.atpg.detected,
+        r.signoff_timing.setup.wns_ns.to_bits(),
+        r.signoff_timing.setup.tns_ns.to_bits(),
+        r.signoff_timing.hold.wns_ns.to_bits(),
+        r.timing_ecos,
+        r.gds.clone(),
+    )
+}
+
+fn reference(seed: u64) -> FlowResult {
+    FlowSupervisor::new(quick_options()).run(spec(seed).materialize().unwrap()).unwrap()
+}
+
+fn farm_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("camsoc-farm-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The tentpole guarantee: kill the farm after EVERY stage's
+/// checkpoint write (budget = k grants exactly k stages), restart from
+/// disk alone, and the finished job must match an uninterrupted run
+/// bit for bit — with the trace recording the resume.
+#[test]
+fn kill_after_every_stage_resumes_bit_identical() {
+    let seed = 31;
+    let expected = fingerprint(&reference(seed));
+    for killed_after in 1..=StageId::ALL.len() {
+        let dir = farm_dir(&format!("kill{killed_after}"));
+
+        let mut farm = Farm::open(&dir, 1).unwrap().with_stage_budget(killed_after);
+        let id = farm.submit(&request(seed)).unwrap();
+        let first = farm.run_until_idle().unwrap();
+        assert!(
+            matches!(first.outcomes.get(&id), Some(JobOutcome::Interrupted)),
+            "budget {killed_after} did not interrupt"
+        );
+        assert_eq!(
+            farm.ledger().state(id),
+            Some(JobState::Running),
+            "simulated kill must freeze the ledger at running"
+        );
+        drop(farm); // the killed process
+
+        let mut farm = Farm::open(&dir, 1).unwrap();
+        assert_eq!(farm.queued(), 1, "running job not requeued after restart");
+        let second = farm.run_until_idle().unwrap();
+        let result = second.result(id).unwrap_or_else(|| {
+            panic!("job not done after restart (killed after stage {killed_after})")
+        });
+        assert!(result.trace.resumed, "resume not recorded (killed after {killed_after})");
+        assert_eq!(
+            fingerprint(result),
+            expected,
+            "result diverged when killed after stage {killed_after}"
+        );
+        assert_eq!(farm.ledger().state(id), Some(JobState::Done));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Worker-count sweep: the same four jobs through 1 and 2 workers must
+/// produce identical results job for job (no cross-job state exists).
+#[test]
+fn results_are_worker_count_invariant() {
+    let seeds = [41u64, 42, 43, 44];
+    let mut by_workers = Vec::new();
+    for workers in [1usize, 2] {
+        let dir = farm_dir(&format!("det{workers}"));
+        let mut farm = Farm::open(&dir, workers).unwrap();
+        let ids: Vec<_> = seeds.iter().map(|&s| farm.submit(&request(s)).unwrap()).collect();
+        let report = farm.run_until_idle().unwrap();
+        assert!(report.all_done(), "not all jobs finished with {workers} workers");
+        let prints: Vec<_> =
+            ids.iter().map(|id| fingerprint(report.result(*id).unwrap())).collect();
+        by_workers.push(prints);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(by_workers[0], by_workers[1], "worker count changed a job's result");
+}
+
+/// A deadline is a typed park, not a silent drop: the ledger says
+/// `parked`, the checkpoint keeps the completed stages, and releasing
+/// with a fresh budget finishes the job bit-identical to a straight
+/// run.
+#[test]
+fn deadline_parks_and_release_resumes() {
+    let seed = 51;
+    let dir = farm_dir("deadline");
+    let mut farm = Farm::open(&dir, 1).unwrap();
+    // 1ns compute budget: the first stage runs (spent starts at 0),
+    // then the accumulated trace time trips the deadline.
+    let id = farm.submit(&request(seed).with_deadline(Duration::from_nanos(1))).unwrap();
+    let report = farm.run_until_idle().unwrap();
+    match report.outcomes.get(&id) {
+        Some(JobOutcome::Parked(e)) => {
+            let msg = e.to_string();
+            assert!(msg.contains("deadline exceeded"), "untyped park message: {msg}");
+        }
+        other => panic!("expected a parked job, got {other:?}"),
+    }
+    assert_eq!(farm.ledger().state(id), Some(JobState::Parked));
+
+    // Survives a restart: still parked, not requeued.
+    drop(farm);
+    let mut farm = Farm::open(&dir, 1).unwrap();
+    assert_eq!(farm.queued(), 0, "parked jobs must not be requeued implicitly");
+    assert_eq!(farm.ledger().state(id), Some(JobState::Parked));
+
+    farm.release(id, Some(Duration::from_secs(3600))).unwrap();
+    let report = farm.run_until_idle().unwrap();
+    let result = report.result(id).expect("released job finishes");
+    assert!(result.trace.resumed, "released job must resume, not restart");
+    assert_eq!(fingerprint(result), fingerprint(&reference(seed)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Releasing a job that is not parked is a typed farm error.
+#[test]
+fn release_of_unparked_job_is_refused() {
+    let dir = farm_dir("badrelease");
+    let mut farm = Farm::open(&dir, 1).unwrap();
+    let id = farm.submit(&request(61)).unwrap();
+    assert!(farm.release(id, None).is_err(), "released a queued job");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Queued-but-never-started jobs also survive a kill: the ledger alone
+/// carries them into the next process.
+#[test]
+fn queued_jobs_survive_restart_in_fifo_order() {
+    let dir = farm_dir("fifo");
+    let mut farm = Farm::open(&dir, 1).unwrap().with_stage_budget(0);
+    let a = farm.submit(&request(71)).unwrap();
+    let b = farm.submit(&request(72)).unwrap();
+    let report = farm.run_until_idle().unwrap();
+    // budget 0: the first popped job is abandoned before any stage
+    assert!(report.interrupted());
+    drop(farm);
+
+    let mut farm = Farm::open(&dir, 1).unwrap();
+    assert_eq!(farm.queued(), 2, "both jobs must come back");
+    let report = farm.run_until_idle().unwrap();
+    assert!(report.all_done());
+    for id in [a, b] {
+        assert_eq!(farm.ledger().state(id), Some(JobState::Done));
+    }
+    // ids keep monotonically increasing across restarts
+    let c = farm.submit(&request(73)).unwrap();
+    assert!(c > b, "job ids must not be reused after reopen");
+    let _ = std::fs::remove_dir_all(&dir);
+}
