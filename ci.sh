@@ -88,6 +88,27 @@ cargo test -q --release --test serve_farm \
 t7=$(date +%s)
 echo "serve smoke wall clock: $((t7 - t6)) s"
 
+# Serve-farm contention smoke: TWO worker processes on ONE directory.
+# Process A is SIGKILLed mid-stage; process B must reclaim A's jobs the
+# moment their leases go provably stale (owner lock released by the OS)
+# and finish everything with GDSII bit-identical to uninterrupted
+# reference runs. A second scenario drives an always-panicking poison
+# job to the `quarantined` terminal state after deterministic retries
+# while healthy jobs drain normally. The in-process two-farm /
+# stale-vs-live-lease / preemption matrix also runs named from the
+# suite so a lease-protocol regression is called out in the log.
+echo "== serve: two-process contention + quarantine smoke =="
+rm -rf target/ci-serve-contention
+cargo run -q --release -p camsoc-serve --bin serve_contention target/ci-serve-contention
+rm -rf target/ci-serve-contention
+cargo test -q --release --test serve_farm -- \
+    concurrent_farms_share_one_directory \
+    stale_leases_reclaim_but_live_leases_do_not \
+    critical_jobs_preempt_running_low_priority_work \
+    poison_jobs_quarantine_without_stalling_the_queue
+t7b=$(date +%s)
+echo "serve contention smoke wall clock: $((t7b - t7)) s"
+
 # Docs smoke: the performance/architecture documentation must stay in
 # sync with the tree. Fails if any relative markdown link in README,
 # docs/ARCHITECTURE.md or docs/PERFORMANCE.md points at a missing file,

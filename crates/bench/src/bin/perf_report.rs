@@ -477,6 +477,9 @@ struct ServeRow {
     jobs_per_hour_1: f64,
     jobs_per_hour_4: f64,
     speedup: f64,
+    preemptions: usize,
+    retries: usize,
+    quarantines: usize,
     all_signed_off: bool,
     bit_identical: bool,
 }
@@ -511,6 +514,7 @@ fn serve_row(jobs: usize) -> ServeRow {
     let mut elapsed = [0.0f64; 2];
     let mut all_signed_off = true;
     let mut bit_identical = true;
+    let (mut preemptions, mut retries, mut quarantines) = (0usize, 0usize, 0usize);
     for (slot, workers) in [(0usize, 1usize), (1, 4)] {
         let dir = std::env::temp_dir()
             .join(format!("camsoc-bench-serve-{workers}-{}", std::process::id()));
@@ -521,6 +525,9 @@ fn serve_row(jobs: usize) -> ServeRow {
         }
         let (t, report) = timer::time_once(|| farm.run_until_idle().expect("drain"));
         elapsed[slot] = t.as_secs_f64();
+        preemptions += report.preemptions;
+        retries += report.retries;
+        quarantines += report.quarantines;
         all_signed_off &= report.outcomes.len() == jobs
             && report
                 .outcomes
@@ -544,6 +551,9 @@ fn serve_row(jobs: usize) -> ServeRow {
         jobs_per_hour_1: jobs as f64 * 3600.0 / elapsed[0],
         jobs_per_hour_4: jobs as f64 * 3600.0 / elapsed[1],
         speedup: elapsed[0] / elapsed[1],
+        preemptions,
+        retries,
+        quarantines,
         all_signed_off,
         bit_identical,
     }
@@ -629,13 +639,16 @@ fn main() {
         compiled.bit_identical
     );
     println!(
-        "serve    {} jobs: 1 worker {:.1}s ({:.0} jobs/h) vs 4 workers {:.1}s ({:.0} jobs/h, {:.2}x)  signed off: {}  identical: {}",
+        "serve    {} jobs: 1 worker {:.1}s ({:.0} jobs/h) vs 4 workers {:.1}s ({:.0} jobs/h, {:.2}x)  preempt/retry/quarantine: {}/{}/{}  signed off: {}  identical: {}",
         serve.jobs,
         serve.workers_1_s,
         serve.jobs_per_hour_1,
         serve.workers_4_s,
         serve.jobs_per_hour_4,
         serve.speedup,
+        serve.preemptions,
+        serve.retries,
+        serve.quarantines,
         serve.all_signed_off,
         serve.bit_identical
     );
@@ -748,6 +761,9 @@ fn main() {
         serve.jobs_per_hour_4
     ));
     json.push_str(&format!("    \"speedup\": {:.3},\n", serve.speedup));
+    json.push_str(&format!("    \"preemptions\": {},\n", serve.preemptions));
+    json.push_str(&format!("    \"retries\": {},\n", serve.retries));
+    json.push_str(&format!("    \"quarantines\": {},\n", serve.quarantines));
     json.push_str(&format!(
         "    \"all_signed_off\": {},\n",
         serve.all_signed_off
@@ -785,6 +801,10 @@ fn main() {
     }
     if !serve.bit_identical {
         eprintln!("ERROR: a farmed job's GDSII diverged from a direct supervisor run");
+        std::process::exit(1);
+    }
+    if serve.retries != 0 || serve.quarantines != 0 {
+        eprintln!("ERROR: the healthy serve workload retried or quarantined a job");
         std::process::exit(1);
     }
     // serial engine-vs-engine: a pure data-layout comparison, so the

@@ -46,4 +46,7 @@ pub use flow::{
     run_flow, run_flow_unsupervised, FlowCheckpoint, FlowError, FlowOptions, FlowResult,
     FlowSupervisor,
 };
-pub use resilience::{FaultInjector, FlowTrace, QualityGates, RetryPolicy, StageId};
+pub use resilience::{
+    FailureDisposition, FaultInjector, FlowTrace, QualityGates, QuarantinePolicy, RetryPolicy,
+    StageId,
+};

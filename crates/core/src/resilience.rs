@@ -112,6 +112,66 @@ impl RetryPolicy {
     }
 }
 
+/// Job-level failure containment, one layer above [`RetryPolicy`].
+///
+/// `RetryPolicy` bounds attempts *within* one stage of one run; a
+/// quarantine policy bounds whole-job failures across runs — a job
+/// whose driver keeps panicking or failing transiently is retried a
+/// few times with deterministic capped backoff and then *quarantined*:
+/// parked terminally with its evidence kept, so one poison request can
+/// never wedge a queue or monopolize a worker. Backoff is counted in
+/// scheduling opportunities ("slots"), never wall-clock time, so the
+/// whole path is deterministic and testable.
+#[derive(Debug, Clone, Copy)]
+pub struct QuarantinePolicy {
+    /// Transient failures (panics included) a job may accumulate
+    /// before it is quarantined. At least 1.
+    pub max_transient_failures: u32,
+    /// Cap on the exponential backoff, in scheduling slots.
+    pub max_backoff_slots: u64,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        QuarantinePolicy { max_transient_failures: 3, max_backoff_slots: 8 }
+    }
+}
+
+impl QuarantinePolicy {
+    /// Decide what happens to a job after a failure. `failures` is the
+    /// job's cumulative transient-failure count *including* the one
+    /// just booked; `transient` is whether the error class is worth
+    /// retrying at all (panics and injected faults are; deterministic
+    /// spec rejections are not).
+    pub fn disposition(&self, failures: u32, transient: bool) -> FailureDisposition {
+        if !transient {
+            return FailureDisposition::Fail;
+        }
+        if failures >= self.max_transient_failures.max(1) {
+            return FailureDisposition::Quarantine;
+        }
+        // 1, 2, 4, ... capped: deterministic in the attempt count.
+        let exp = 1u64.checked_shl(failures.saturating_sub(1)).unwrap_or(u64::MAX);
+        FailureDisposition::Retry { backoff_slots: exp.min(self.max_backoff_slots.max(1)) }
+    }
+}
+
+/// Verdict of [`QuarantinePolicy::disposition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureDisposition {
+    /// Requeue the job, eligible again after `backoff_slots`
+    /// scheduling opportunities have passed.
+    Retry {
+        /// Deterministic backoff, in scheduling slots.
+        backoff_slots: u64,
+    },
+    /// The retry budget is spent: quarantine the job terminally,
+    /// keeping its request/checkpoint as evidence.
+    Quarantine,
+    /// The failure is deterministic: fail outright, no retry.
+    Fail,
+}
+
 /// Per-stage acceptance thresholds checked after each attempt.
 ///
 /// The defaults mirror the repo's historical sign-off policy, so a run
@@ -411,6 +471,24 @@ impl FaultInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quarantine_policy_is_deterministic_and_capped() {
+        let p = QuarantinePolicy::default();
+        // Deterministic failures never retry.
+        assert_eq!(p.disposition(1, false), FailureDisposition::Fail);
+        // Transient failures back off exponentially ...
+        assert_eq!(p.disposition(1, true), FailureDisposition::Retry { backoff_slots: 1 });
+        assert_eq!(p.disposition(2, true), FailureDisposition::Retry { backoff_slots: 2 });
+        // ... and quarantine at the budget.
+        assert_eq!(p.disposition(3, true), FailureDisposition::Quarantine);
+        // The backoff cap binds for generous budgets.
+        let generous = QuarantinePolicy { max_transient_failures: 20, max_backoff_slots: 8 };
+        assert_eq!(generous.disposition(10, true), FailureDisposition::Retry { backoff_slots: 8 });
+        // A zero budget still quarantines (treated as 1), never loops.
+        let zero = QuarantinePolicy { max_transient_failures: 0, max_backoff_slots: 0 };
+        assert_eq!(zero.disposition(1, true), FailureDisposition::Quarantine);
+    }
 
     #[test]
     fn stage_order_and_names_are_stable() {

@@ -1,21 +1,41 @@
-//! The on-disk job ledger.
+//! The on-disk job ledger: the single source of truth for scheduling.
 //!
 //! A small, human-readable, versioned text file recording the last
-//! known [`JobState`] of every job a farm directory has ever accepted.
+//! known [`JobState`] of every job a farm directory has ever accepted —
+//! plus, since v2, the job's lease (owner id + monotonically renewed
+//! heartbeat stamp), scheduling priority, and transient-failure count.
 //! Every transition rewrites the whole file atomically
 //! (write-temp-then-rename), so the ledger on disk is always a
-//! complete, parseable snapshot — a killed farm never leaves a
-//! half-written line. On reopen, `Queued` and `Running` entries are
-//! requeued (`Running` means the process died mid-job; the job's
-//! checkpoint holds every stage that completed before the kill).
+//! complete snapshot.
 //!
-//! Format (tab-separated, one job per line, sorted by id):
+//! Because two farms (threads or processes) may share one directory,
+//! every read-modify-write goes through [`JobLedger::update`]: acquire
+//! the sibling advisory file lock, reload the file, run the caller's
+//! transaction on the fresh snapshot, rewrite atomically, release. The
+//! in-memory map is only a mirror of the last transaction's view.
+//!
+//! v2 format (tab-separated, one job per line, sorted by id; `-`
+//! encodes an empty owner/detail column):
 //!
 //! ```text
-//! camsoc-ledger v1
-//! 0<TAB>done<TAB>-
-//! 1<TAB>parked<TAB>deadline exceeded (0.041s spent of 0.010s)
+//! camsoc-ledger v2
+//! 0<TAB>done<TAB>normal<TAB>-<TAB>14<TAB>0<TAB>-
+//! 1<TAB>running<TAB>critical<TAB>farm-4211-0<TAB>3<TAB>1<TAB>-
 //! ```
+//!
+//! v1 files (`id<TAB>state<TAB>detail`) still decode: priority defaults
+//! to `normal`, the lease columns to "never owned", attempts to 0. The
+//! first v2 transition rewrites the whole file as v2.
+//!
+//! **Torn-tail recovery.** The atomic rewrite protects the rename
+//! target, but a crash inside a *non-atomic* writer (or a torn copy of
+//! the directory) can leave a truncated final line. Because each
+//! snapshot is whole-file, losing the final line only makes that one
+//! job *absent from the snapshot* — it cannot revert to an older state
+//! — so an unparseable or duplicate FINAL line is dropped and reported
+//! via [`JobLedger::recovered_tail`] instead of refusing the file.
+//! Damage anywhere earlier (mid-file garbage, a bad header) still means
+//! outside interference and is refused as [`LedgerError::Malformed`].
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -23,17 +43,21 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::job::{JobId, JobState};
+use crate::job::{JobId, JobState, Priority};
+use crate::lock::FileLock;
 
-/// Header line of a v1 ledger file.
-const LEDGER_HEADER: &str = "camsoc-ledger v1";
+/// Header line of a v2 ledger file (current write format).
+const LEDGER_HEADER_V2: &str = "camsoc-ledger v2";
+/// Header line of a v1 ledger file (still decodable).
+const LEDGER_HEADER_V1: &str = "camsoc-ledger v1";
 
 /// Errors opening or persisting a ledger.
 #[derive(Debug)]
 pub enum LedgerError {
     /// Filesystem failure.
     Io(io::Error),
-    /// The file exists but is not a well-formed v1 ledger.
+    /// The file exists but is not a well-formed ledger (damage beyond
+    /// the recoverable torn-final-line case).
     Malformed(String),
 }
 
@@ -61,21 +85,94 @@ impl From<io::Error> for LedgerError {
     }
 }
 
-/// One ledger entry.
+/// One ledger entry: state plus lease and scheduling metadata.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LedgerEntry {
     /// Last recorded state.
     pub state: JobState,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Owner id of the current lease (empty = unowned). Meaningful
+    /// while `state` is `running`; a running entry whose owner's
+    /// liveness lock is acquirable is *provably stale* and may be
+    /// reclaimed.
+    pub owner: String,
+    /// Heartbeat stamp: bumped on claim and at every stage boundary the
+    /// owner completes. Monotonic per job; diagnostic only (staleness
+    /// is proven by the owner lock, never by comparing stamps).
+    pub beat: u64,
+    /// Transient failures booked so far (drives retry backoff and the
+    /// quarantine threshold).
+    pub attempts: u32,
     /// Free-text detail (failure cause, park reason); `"-"` when empty.
     pub detail: String,
 }
 
-/// The on-disk ledger: a map from job id to its last recorded state,
-/// rewritten atomically on every transition.
+impl LedgerEntry {
+    /// A fresh, unowned entry in `state` at `priority`.
+    pub fn new(state: JobState, priority: Priority) -> Self {
+        LedgerEntry {
+            state,
+            priority,
+            owner: String::new(),
+            beat: 0,
+            attempts: 0,
+            detail: String::new(),
+        }
+    }
+}
+
+/// Result of parsing one file image.
+struct Parsed {
+    entries: BTreeMap<JobId, LedgerEntry>,
+    recovered_tail: Option<String>,
+}
+
+/// A locked read-modify-write transaction on the ledger. Obtained via
+/// [`JobLedger::update`]; every mutation marks the transaction dirty so
+/// the file is rewritten exactly when something changed.
+#[derive(Debug)]
+pub struct LedgerTxn<'a> {
+    entries: &'a mut BTreeMap<JobId, LedgerEntry>,
+    dirty: &'a mut bool,
+}
+
+impl LedgerTxn<'_> {
+    /// Entry for `job` in the locked snapshot.
+    pub fn get(&self, job: JobId) -> Option<&LedgerEntry> {
+        self.entries.get(&job)
+    }
+
+    /// All entries in the locked snapshot, ascending by id.
+    pub fn iter(&self) -> impl Iterator<Item = (JobId, &LedgerEntry)> {
+        self.entries.iter().map(|(id, e)| (*id, e))
+    }
+
+    /// Highest id in the locked snapshot (id assignment must happen
+    /// inside a transaction, or two farms could mint the same id).
+    pub fn max_id(&self) -> Option<JobId> {
+        self.entries.keys().next_back().copied()
+    }
+
+    /// Insert or replace the entry for `job`. Separator characters in
+    /// the owner and detail columns are stripped to keep the file
+    /// line-per-job.
+    pub fn set(&mut self, job: JobId, mut entry: LedgerEntry) {
+        entry.detail.retain(|c| c != '\n' && c != '\r' && c != '\t');
+        entry.owner.retain(|c| c != '\n' && c != '\r' && c != '\t');
+        *self.dirty = true;
+        self.entries.insert(job, entry);
+    }
+}
+
+/// The on-disk ledger: a map from job id to its last recorded entry,
+/// reloaded under lock at every transaction and rewritten atomically.
 #[derive(Debug)]
 pub struct JobLedger {
     path: PathBuf,
+    lock_path: PathBuf,
     entries: BTreeMap<JobId, LedgerEntry>,
+    recovered_tail: Option<String>,
 }
 
 impl JobLedger {
@@ -85,95 +182,190 @@ impl JobLedger {
     /// # Errors
     ///
     /// [`LedgerError::Io`] on filesystem failure, or
-    /// [`LedgerError::Malformed`] if an existing file fails to parse —
-    /// a truncated rename-target can't occur by construction, so a
-    /// malformed ledger means outside interference and is refused
-    /// rather than silently reset.
+    /// [`LedgerError::Malformed`] if an existing file has damage beyond
+    /// a torn final line (which is dropped and reported via
+    /// [`JobLedger::recovered_tail`] instead).
     pub fn open(path: impl Into<PathBuf>) -> Result<Self, LedgerError> {
         let path = path.into();
-        let entries = match fs::read_to_string(&path) {
-            Ok(text) => Self::parse(&text)?,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => BTreeMap::new(),
-            Err(e) => return Err(e.into()),
-        };
-        Ok(JobLedger { path, entries })
+        let lock_path = sibling_with_suffix(&path, ".lock");
+        let parsed = Self::load(&path)?;
+        Ok(JobLedger {
+            path,
+            lock_path,
+            entries: parsed.entries,
+            recovered_tail: parsed.recovered_tail,
+        })
     }
 
-    fn parse(text: &str) -> Result<BTreeMap<JobId, LedgerEntry>, LedgerError> {
+    fn load(path: &Path) -> Result<Parsed, LedgerError> {
+        match fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                Ok(Parsed { entries: BTreeMap::new(), recovered_tail: None })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn parse(text: &str) -> Result<Parsed, LedgerError> {
         let mut lines = text.lines();
-        match lines.next() {
-            Some(LEDGER_HEADER) => {}
+        let v2 = match lines.next() {
+            Some(LEDGER_HEADER_V2) => true,
+            Some(LEDGER_HEADER_V1) => false,
             Some(other) => {
                 return Err(LedgerError::Malformed(format!("bad header {other:?}")));
             }
             None => return Err(LedgerError::Malformed("empty file".into())),
-        }
+        };
+        let data: Vec<(usize, &str)> =
+            lines.enumerate().filter(|(_, line)| !line.is_empty()).collect();
+        let last = data.len().checked_sub(1);
         let mut entries = BTreeMap::new();
-        for (n, line) in lines.enumerate() {
-            if line.is_empty() {
-                continue;
-            }
-            let mut cols = line.splitn(3, '\t');
-            let (Some(id), Some(state), Some(detail)) = (cols.next(), cols.next(), cols.next())
-            else {
-                return Err(LedgerError::Malformed(format!("line {}: too few columns", n + 2)));
+        let mut recovered_tail = None;
+        for (pos, (n, line)) in data.iter().enumerate() {
+            let lineno = n + 2; // 1-based, counting the header
+            let fail = match Self::parse_line(line, v2) {
+                Ok((id, entry)) => {
+                    if entries.insert(id, entry).is_some() {
+                        entries.remove(&id); // don't keep EITHER copy of an ambiguous pair
+                        Some(format!("duplicate id {}", id.0))
+                    } else {
+                        None
+                    }
+                }
+                Err(why) => Some(why),
             };
-            let id = id
-                .parse::<u64>()
-                .map_err(|_| LedgerError::Malformed(format!("line {}: bad id {id:?}", n + 2)))?;
-            let state = JobState::from_token(state).ok_or_else(|| {
-                LedgerError::Malformed(format!("line {}: bad state {state:?}", n + 2))
-            })?;
-            let detail = if detail == "-" { String::new() } else { detail.to_string() };
-            if entries.insert(JobId(id), LedgerEntry { state, detail }).is_some() {
-                return Err(LedgerError::Malformed(format!("line {}: duplicate id {id}", n + 2)));
+            if let Some(why) = fail {
+                if Some(pos) == last {
+                    // Torn tail: each snapshot is whole-file, so the
+                    // lost line means this job is absent (never
+                    // claimable), not reverted — safe to drop.
+                    recovered_tail = Some(format!("dropped torn final line {lineno}: {why}"));
+                } else {
+                    return Err(LedgerError::Malformed(format!("line {lineno}: {why}")));
+                }
             }
         }
-        Ok(entries)
+        Ok(Parsed { entries, recovered_tail })
     }
 
-    /// Record `state` for `job` and rewrite the file atomically.
+    fn parse_line(line: &str, v2: bool) -> Result<(JobId, LedgerEntry), String> {
+        let cols: Vec<&str> = line.split('\t').collect();
+        let want = if v2 { 7 } else { 3 };
+        if cols.len() != want {
+            return Err(format!("{} columns, expected {want}", cols.len()));
+        }
+        let id = cols[0].parse::<u64>().map_err(|_| format!("bad id {:?}", cols[0]))?;
+        let state =
+            JobState::from_token(cols[1]).ok_or_else(|| format!("bad state {:?}", cols[1]))?;
+        let uncol = |s: &str| if s == "-" { String::new() } else { s.to_string() };
+        let entry = if v2 {
+            let priority = Priority::from_token(cols[2])
+                .ok_or_else(|| format!("bad priority {:?}", cols[2]))?;
+            let beat = cols[4].parse::<u64>().map_err(|_| format!("bad beat {:?}", cols[4]))?;
+            let attempts =
+                cols[5].parse::<u32>().map_err(|_| format!("bad attempts {:?}", cols[5]))?;
+            LedgerEntry { state, priority, owner: uncol(cols[3]), beat, attempts, detail: uncol(cols[6]) }
+        } else {
+            LedgerEntry { detail: uncol(cols[2]), ..LedgerEntry::new(state, Priority::Normal) }
+        };
+        Ok((JobId(id), entry))
+    }
+
+    /// Run a locked read-modify-write transaction: acquire the sibling
+    /// file lock, reload the file (so the closure sees every other
+    /// farm's committed transitions), apply the closure, and — if it
+    /// mutated anything — rewrite the file atomically before releasing
+    /// the lock. The in-memory mirror is refreshed either way.
     ///
     /// # Errors
     ///
-    /// [`LedgerError::Io`] if the rewrite fails; the in-memory map is
-    /// NOT updated in that case, so memory and disk never diverge.
+    /// [`LedgerError`] if the lock, reload, or rewrite fails. A failed
+    /// rewrite may leave the mirror ahead of disk; the next transaction
+    /// reloads and heals.
+    pub fn update<R>(
+        &mut self,
+        f: impl FnOnce(&mut LedgerTxn<'_>) -> R,
+    ) -> Result<R, LedgerError> {
+        let _lock = FileLock::acquire(&self.lock_path)?;
+        let parsed = Self::load(&self.path)?;
+        self.entries = parsed.entries;
+        if parsed.recovered_tail.is_some() {
+            self.recovered_tail = parsed.recovered_tail;
+        }
+        let mut dirty = false;
+        let r = f(&mut LedgerTxn { entries: &mut self.entries, dirty: &mut dirty });
+        if dirty {
+            self.persist()?;
+        }
+        Ok(r)
+    }
+
+    /// Reload the mirror from disk without taking the lock (a read-only
+    /// peek at the latest committed snapshot).
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError`] if the file cannot be read or parsed.
+    pub fn refresh(&mut self) -> Result<(), LedgerError> {
+        let parsed = Self::load(&self.path)?;
+        self.entries = parsed.entries;
+        if parsed.recovered_tail.is_some() {
+            self.recovered_tail = parsed.recovered_tail;
+        }
+        Ok(())
+    }
+
+    /// Record `state` for `job` as a single locked transaction,
+    /// preserving the entry's lease/priority/attempt metadata (or
+    /// creating a fresh `Normal` entry if the job is new).
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError`] if the transaction fails.
     pub fn record(
         &mut self,
         job: JobId,
         state: JobState,
         detail: impl Into<String>,
     ) -> Result<(), LedgerError> {
-        let mut detail = detail.into();
-        // Keep the file line-per-job: the detail column must not carry
-        // separators of its own.
-        detail.retain(|c| c != '\n' && c != '\r' && c != '\t');
-        let prior = self.entries.insert(job, LedgerEntry { state, detail });
-        match self.persist() {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                match prior {
-                    Some(p) => {
-                        self.entries.insert(job, p);
-                    }
-                    None => {
-                        self.entries.remove(&job);
-                    }
-                }
-                Err(e.into())
-            }
-        }
+        let detail = detail.into();
+        self.update(|t| {
+            let mut entry = t
+                .get(job)
+                .cloned()
+                .unwrap_or_else(|| LedgerEntry::new(state, Priority::Normal));
+            entry.state = state;
+            entry.detail = detail;
+            t.set(job, entry);
+        })
     }
 
     fn persist(&self) -> Result<(), io::Error> {
-        let mut text = String::with_capacity(64 + self.entries.len() * 32);
-        text.push_str(LEDGER_HEADER);
+        let mut text = String::with_capacity(64 + self.entries.len() * 48);
+        text.push_str(LEDGER_HEADER_V2);
         text.push('\n');
         for (id, entry) in &self.entries {
-            let detail = if entry.detail.is_empty() { "-" } else { entry.detail.as_str() };
-            let _ = writeln!(text, "{}\t{}\t{}", id.0, entry.state.token(), detail);
+            fn col(s: &str) -> &str {
+                if s.is_empty() {
+                    "-"
+                } else {
+                    s
+                }
+            }
+            let _ = writeln!(
+                text,
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                id.0,
+                entry.state.token(),
+                entry.priority.token(),
+                col(&entry.owner),
+                entry.beat,
+                entry.attempts,
+                col(&entry.detail),
+            );
         }
-        let tmp = sibling_tmp(&self.path);
+        let tmp = sibling_with_suffix(&self.path, ".tmp");
         fs::write(&tmp, text.as_bytes())?;
         fs::rename(&tmp, &self.path)
     }
@@ -212,13 +404,19 @@ impl JobLedger {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// The note left by torn-final-line recovery, if the last (re)load
+    /// had to drop a tail line.
+    pub fn recovered_tail(&self) -> Option<&str> {
+        self.recovered_tail.as_deref()
+    }
 }
 
-/// Temp-file sibling used for atomic rewrites (same directory, so the
-/// final `rename` never crosses a filesystem boundary).
-fn sibling_tmp(path: &Path) -> PathBuf {
+/// Temp/lock-file sibling (same directory, so an atomic `rename` never
+/// crosses a filesystem boundary and the lock lives next to the data).
+fn sibling_with_suffix(path: &Path, suffix: &str) -> PathBuf {
     let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
-    name.push(".tmp");
+    name.push(suffix);
     path.with_file_name(name)
 }
 
@@ -266,14 +464,131 @@ mod tests {
     }
 
     #[test]
+    fn locked_transactions_carry_lease_metadata() {
+        let dir = tmp_dir("lease");
+        let path = dir.join("ledger.txt");
+        let mut ledger = JobLedger::open(&path).unwrap();
+        ledger
+            .update(|t| {
+                let mut e = LedgerEntry::new(JobState::Running, Priority::Critical);
+                e.owner = "farm-1-0".into();
+                e.beat = 3;
+                e.attempts = 2;
+                t.set(JobId(4), e);
+            })
+            .unwrap();
+        // Another handle on the same file sees the committed lease.
+        let other = JobLedger::open(&path).unwrap();
+        let e = other.entry(JobId(4)).unwrap();
+        assert_eq!(
+            (e.state, e.priority, e.owner.as_str(), e.beat, e.attempts),
+            (JobState::Running, Priority::Critical, "farm-1-0", 3, 2)
+        );
+        // record() must preserve the metadata it does not touch.
+        let mut other = other;
+        other.record(JobId(4), JobState::Done, "").unwrap();
+        let back = JobLedger::open(&path).unwrap();
+        let e = back.entry(JobId(4)).unwrap();
+        assert_eq!((e.state, e.priority, e.attempts), (JobState::Done, Priority::Critical, 2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn update_reloads_other_writers_transitions() {
+        let dir = tmp_dir("reload");
+        let path = dir.join("ledger.txt");
+        let mut a = JobLedger::open(&path).unwrap();
+        let mut b = JobLedger::open(&path).unwrap();
+        a.record(JobId(0), JobState::Queued, "").unwrap();
+        // b's mirror predates a's write; its next transaction must see it.
+        b.update(|t| {
+            assert_eq!(t.get(JobId(0)).map(|e| e.state), Some(JobState::Queued));
+            assert_eq!(t.max_id(), Some(JobId(0)));
+        })
+        .unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_ledgers_decode_with_defaults_and_upgrade() {
+        let dir = tmp_dir("v1");
+        let path = dir.join("ledger.txt");
+        fs::write(&path, "camsoc-ledger v1\n0\tdone\t-\n1\tparked\tdeadline\n2\tqueued\t-\n")
+            .unwrap();
+        let mut ledger = JobLedger::open(&path).unwrap();
+        assert!(ledger.recovered_tail().is_none());
+        assert_eq!(ledger.len(), 3);
+        let e = ledger.entry(JobId(1)).unwrap();
+        assert_eq!(
+            (e.state, e.priority, e.owner.as_str(), e.beat, e.attempts, e.detail.as_str()),
+            (JobState::Parked, Priority::Normal, "", 0, 0, "deadline")
+        );
+        // First transition rewrites the file as v2.
+        ledger.record(JobId(2), JobState::Running, "").unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("camsoc-ledger v2\n"), "upgraded header: {text:?}");
+        let back = JobLedger::open(&path).unwrap();
+        assert_eq!(back.state(JobId(2)), Some(JobState::Running));
+        assert_eq!(back.entry(JobId(1)).unwrap().detail, "deadline");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_lines_recover_to_last_good_prefix() {
+        let dir = tmp_dir("torn");
+        let good = "camsoc-ledger v2\n\
+                    0\tdone\tnormal\t-\t2\t0\t-\n\
+                    1\trunning\tcritical\tfarm-9-0\t5\t1\t-\n";
+        // Truncate at EVERY byte boundary past the header: each image
+        // must either parse fully or recover to a good prefix — never
+        // refuse, never invent an entry.
+        let header_len = "camsoc-ledger v2\n".len();
+        for cut in header_len..good.len() {
+            let path = dir.join("cut.txt");
+            fs::write(&path, &good[..cut]).unwrap();
+            let ledger = JobLedger::open(&path).unwrap_or_else(|e| {
+                panic!("cut at byte {cut} refused: {e}");
+            });
+            assert!(ledger.len() <= 2, "cut at {cut} invented entries");
+            if let Some(e) = ledger.entry(JobId(0)) {
+                assert_eq!(e.state, JobState::Done);
+            }
+        }
+        // A duplicate id on the final line is the same torn-rewrite
+        // shape: drop the tail, keep neither ambiguous copy... of the
+        // *duplicate* pair the earlier line is also suspect, so the id
+        // disappears from the snapshot entirely.
+        let path = dir.join("dup-tail.txt");
+        fs::write(
+            &path,
+            "camsoc-ledger v2\n\
+             0\tdone\tnormal\t-\t2\t0\t-\n\
+             1\tqueued\tnormal\t-\t0\t0\t-\n\
+             1\trunning\tnormal\tfarm-9-0\t1\t0\t-\n",
+        )
+        .unwrap();
+        let ledger = JobLedger::open(&path).unwrap();
+        assert!(ledger.recovered_tail().unwrap().contains("duplicate id 1"));
+        assert_eq!(ledger.state(JobId(0)), Some(JobState::Done));
+        assert_eq!(ledger.state(JobId(1)), None, "ambiguous pair must not survive");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn malformed_files_are_refused() {
         let dir = tmp_dir("malformed");
+        // Damage anywhere BEFORE the final line is not a torn tail and
+        // must still be refused (each bad line is followed by a good
+        // one, so recovery does not apply).
+        let tail = "9\tdone\tnormal\t-\t0\t0\t-\n";
         for (name, text) in [
-            ("h.txt", "camsoc-ledger v9\n"),
-            ("cols.txt", "camsoc-ledger v1\n3\tdone\n"),
-            ("state.txt", "camsoc-ledger v1\n3\tbogus\t-\n"),
-            ("id.txt", "camsoc-ledger v1\nx\tdone\t-\n"),
-            ("dup.txt", "camsoc-ledger v1\n3\tdone\t-\n3\tqueued\t-\n"),
+            ("h.txt", "camsoc-ledger v9\n".to_string()),
+            ("cols.txt", format!("camsoc-ledger v2\n3\tdone\n{tail}")),
+            ("state.txt", format!("camsoc-ledger v2\n3\tbogus\tnormal\t-\t0\t0\t-\n{tail}")),
+            ("prio.txt", format!("camsoc-ledger v2\n3\tdone\turgent\t-\t0\t0\t-\n{tail}")),
+            ("id.txt", format!("camsoc-ledger v2\nx\tdone\tnormal\t-\t0\t0\t-\n{tail}")),
+            ("dup.txt", format!("camsoc-ledger v2\n3\tdone\tnormal\t-\t0\t0\t-\n3\tqueued\tnormal\t-\t0\t0\t-\n{tail}")),
+            ("v1cols.txt", format!("camsoc-ledger v1\n3\tdone\n{tail}")),
         ] {
             let path = dir.join(name);
             fs::write(&path, text).unwrap();

@@ -1,0 +1,188 @@
+//! Dependency-free OS advisory file locks for shared farm directories.
+//!
+//! Two farms (threads or whole processes) may point at one directory.
+//! Everything durable in that directory is already torn-proof
+//! (write-temp-then-rename), but *read-modify-write* sequences on the
+//! ledger need mutual exclusion, and stale-lease reclamation needs a
+//! way to prove another farm is dead. Both come from the same
+//! primitive, `std::fs::File::lock` (flock-style advisory locking,
+//! released by the OS when the holding process dies — even `kill -9`):
+//!
+//! * [`FileLock`] — a short-lived exclusive lock guarding one ledger
+//!   transaction (acquire → reload → mutate → atomic rewrite → drop).
+//! * [`OwnerLease`] — a lock on `owners/<owner>.lock` held for a
+//!   farm's entire lifetime. A job lease naming `owner` is **provably
+//!   stale** exactly when that owner's lock can be acquired by someone
+//!   else: the OS guarantees it only releases the lock when every
+//!   handle is gone, i.e. the owning farm (process or in-process
+//!   `Farm` value) no longer exists. No heartbeat timeout guessing, no
+//!   wall-clock comparisons across machines.
+//!
+//! Advisory locks bind to the open file description, not the process,
+//! so two `Farm`s inside one process exclude each other exactly like
+//! two processes do — which is what lets the test suite exercise the
+//! multi-process protocol deterministically in-process.
+
+use std::fs::{self, File, OpenOptions, TryLockError};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// An exclusive advisory lock on a file, held until drop.
+///
+/// Acquiring blocks until the current holder releases (by dropping its
+/// `FileLock` or by dying). The lock file itself is never deleted —
+/// deleting a lock file while another process holds its lock would let
+/// a third process lock a *new* file of the same name and break mutual
+/// exclusion.
+#[derive(Debug)]
+pub struct FileLock {
+    file: File,
+}
+
+impl FileLock {
+    /// Block until the exclusive lock on `path` is acquired (creating
+    /// the file if needed).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the file cannot be created/opened or the lock
+    /// operation itself fails (not for contention — contention blocks).
+    pub fn acquire(path: &Path) -> io::Result<FileLock> {
+        let file = OpenOptions::new().create(true).truncate(false).write(true).open(path)?;
+        file.lock()?;
+        Ok(FileLock { file })
+    }
+
+    /// Try to acquire the exclusive lock on `path` without blocking.
+    /// `Ok(None)` means someone else holds it.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the file cannot be created/opened or the lock
+    /// operation fails for a reason other than contention.
+    pub fn try_acquire(path: &Path) -> io::Result<Option<FileLock>> {
+        let file = OpenOptions::new().create(true).truncate(false).write(true).open(path)?;
+        match file.try_lock() {
+            Ok(()) => Ok(Some(FileLock { file })),
+            Err(TryLockError::WouldBlock) => Ok(None),
+            Err(TryLockError::Error(e)) => Err(e),
+        }
+    }
+}
+
+impl Drop for FileLock {
+    fn drop(&mut self) {
+        // Best effort: closing the file releases the lock anyway.
+        let _ = self.file.unlock();
+    }
+}
+
+/// Name of the per-directory subdirectory holding owner lock files.
+const OWNERS_DIR: &str = "owners";
+
+/// The directory of owner lock files under a farm directory.
+pub fn owners_dir(farm_dir: &Path) -> PathBuf {
+    farm_dir.join(OWNERS_DIR)
+}
+
+fn owner_lock_path(farm_dir: &Path, owner: &str) -> PathBuf {
+    owners_dir(farm_dir).join(format!("{owner}.lock"))
+}
+
+/// A farm's liveness token: an exclusive lock on
+/// `<dir>/owners/<owner>.lock`, held from [`OwnerLease::acquire`] until
+/// the lease is dropped (or its process dies). While held, every job
+/// lease naming this owner is *live*; once released, every such lease
+/// is *provably stale* and may be reclaimed.
+#[derive(Debug)]
+pub struct OwnerLease {
+    _lock: FileLock,
+    owner: String,
+}
+
+impl OwnerLease {
+    /// Acquire the liveness lock for `owner` under `farm_dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the owners directory cannot be created, or
+    /// [`io::ErrorKind::AlreadyExists`] if another live farm already
+    /// holds this exact owner id (ids are generated unique, so this
+    /// indicates a caller bug).
+    pub fn acquire(farm_dir: &Path, owner: &str) -> io::Result<OwnerLease> {
+        fs::create_dir_all(owners_dir(farm_dir))?;
+        match FileLock::try_acquire(&owner_lock_path(farm_dir, owner))? {
+            Some(lock) => Ok(OwnerLease { _lock: lock, owner: owner.to_string() }),
+            None => Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("owner id {owner:?} is already live in this farm directory"),
+            )),
+        }
+    }
+
+    /// The owner id this lease vouches for.
+    pub fn owner(&self) -> &str {
+        &self.owner
+    }
+}
+
+/// Whether a job lease held by `owner` is provably stale: true when no
+/// live farm holds the owner's lock (the probe lock is acquired and
+/// immediately released), or when the owner never registered a lock
+/// file at all (an empty owner column counts as stale too). A probe
+/// that cannot even open the lock file conservatively reports *live* —
+/// reclaiming on I/O doubt could run a job twice.
+pub fn owner_is_stale(farm_dir: &Path, owner: &str) -> bool {
+    if owner.is_empty() {
+        return true;
+    }
+    let path = owner_lock_path(farm_dir, owner);
+    if !path.exists() {
+        return true;
+    }
+    matches!(FileLock::try_acquire(&path), Ok(Some(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("camsoc-lock-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn exclusive_lock_excludes_within_one_process() {
+        let dir = tmp_dir("excl");
+        let path = dir.join("l.lock");
+        let held = FileLock::acquire(&path).unwrap();
+        // A second handle (its own open file description) must be
+        // refused while the first is held ...
+        assert!(FileLock::try_acquire(&path).unwrap().is_none());
+        drop(held);
+        // ... and succeed once it is released.
+        assert!(FileLock::try_acquire(&path).unwrap().is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn owner_staleness_follows_lease_lifetime() {
+        let dir = tmp_dir("lease");
+        assert!(owner_is_stale(&dir, ""), "empty owner must read as stale");
+        assert!(owner_is_stale(&dir, "ghost"), "unregistered owner must read as stale");
+        let lease = OwnerLease::acquire(&dir, "farm-a").unwrap();
+        assert_eq!(lease.owner(), "farm-a");
+        assert!(!owner_is_stale(&dir, "farm-a"), "held lease must read as live");
+        // the same owner id cannot be claimed twice while live
+        assert!(OwnerLease::acquire(&dir, "farm-a").is_err());
+        drop(lease);
+        assert!(owner_is_stale(&dir, "farm-a"), "dropped lease must read as stale");
+        // ... and the id can be re-acquired afterwards
+        let again = OwnerLease::acquire(&dir, "farm-a").unwrap();
+        drop(again);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

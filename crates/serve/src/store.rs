@@ -15,12 +15,16 @@ use camsoc_core::persist::PersistError;
 use camsoc_core::FlowCheckpoint;
 use camsoc_netlist::codec::{Codec, CodecError, Decoder, Encoder};
 
-use crate::job::{JobId, JobRequest};
+use crate::job::{DesignSpec, JobId, JobRequest, Priority};
+use camsoc_core::flow::FlowOptions;
+use std::time::Duration;
 
 /// Magic prefix of a request file: `"CREQ"` little-endian.
 pub const REQUEST_MAGIC: u32 = u32::from_le_bytes(*b"CREQ");
-/// Current request-file format version.
-pub const REQUEST_VERSION: u32 = 1;
+/// Current request-file format version. v2 appends the priority byte;
+/// v1 files (written before priorities existed) still decode, with
+/// [`Priority::Normal`] implied.
+pub const REQUEST_VERSION: u32 = 2;
 
 /// Durable per-job storage rooted at a farm directory.
 #[derive(Debug, Clone)]
@@ -55,6 +59,12 @@ impl CheckpointStore {
         self.dir.join(format!("{job}.ckpt"))
     }
 
+    /// Path of `job`'s exported GDSII stream (written only when the
+    /// farm has GDS export enabled).
+    pub fn gds_path(&self, job: JobId) -> PathBuf {
+        self.dir.join(format!("{job}.gds"))
+    }
+
     /// Persist `job`'s request atomically.
     ///
     /// # Errors
@@ -71,12 +81,13 @@ impl CheckpointStore {
         fs::rename(&tmp, &path)
     }
 
-    /// Load `job`'s request back from disk.
+    /// Load `job`'s request back from disk. Accepts the current v2
+    /// format and legacy v1 files (decoded with `Priority::Normal`).
     ///
     /// # Errors
     ///
     /// [`PersistError`] on I/O failure or if the file is not a valid
-    /// v1 request.
+    /// v1/v2 request.
     pub fn load_request(&self, job: JobId) -> Result<JobRequest, PersistError> {
         let bytes = fs::read(self.request_path(job))?;
         let mut d = Decoder::new(&bytes);
@@ -85,12 +96,30 @@ impl CheckpointStore {
             return Err(CodecError::Corrupt(format!("bad request magic {magic:#010x}")).into());
         }
         let version = d.get_u32()?;
-        if version != REQUEST_VERSION {
-            return Err(CodecError::Version { found: version, supported: REQUEST_VERSION }.into());
-        }
-        let request = JobRequest::decode(&mut d)?;
+        let request = match version {
+            1 => JobRequest {
+                spec: DesignSpec::decode(&mut d)?,
+                options: FlowOptions::decode(&mut d)?,
+                deadline: Option::<Duration>::decode(&mut d)?,
+                priority: Priority::Normal,
+            },
+            2 => JobRequest::decode(&mut d)?,
+            found => {
+                return Err(CodecError::Version { found, supported: REQUEST_VERSION }.into());
+            }
+        };
         d.expect_end()?;
         Ok(request)
+    }
+
+    /// Remove `job`'s request file (retention pruning).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on filesystem failure other than the file already
+    /// being gone.
+    pub fn remove_request(&self, job: JobId) -> io::Result<()> {
+        remove_if_present(&self.request_path(job))
     }
 
     /// Persist `job`'s checkpoint atomically.
@@ -125,11 +154,37 @@ impl CheckpointStore {
     /// [`io::Error`] on filesystem failure other than the file already
     /// being gone.
     pub fn remove_checkpoint(&self, job: JobId) -> io::Result<()> {
-        match fs::remove_file(self.checkpoint_path(job)) {
-            Ok(()) => Ok(()),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(e),
-        }
+        remove_if_present(&self.checkpoint_path(job))
+    }
+
+    /// Persist `job`'s GDSII stream atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on filesystem failure.
+    pub fn save_gds(&self, job: JobId, gds: &[u8]) -> io::Result<()> {
+        let path = self.gds_path(job);
+        let tmp = sibling_tmp(&path);
+        fs::write(&tmp, gds)?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Remove `job`'s exported GDSII (retention pruning).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on filesystem failure other than the file already
+    /// being gone.
+    pub fn remove_gds(&self, job: JobId) -> io::Result<()> {
+        remove_if_present(&self.gds_path(job))
+    }
+}
+
+fn remove_if_present(path: &Path) -> io::Result<()> {
+    match fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
     }
 }
 
@@ -172,6 +227,45 @@ mod tests {
         store.remove_checkpoint(JobId(0)).unwrap();
         store.remove_checkpoint(JobId(0)).unwrap();
         assert!(store.load_checkpoint(JobId(0)).unwrap().is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn v1_requests_decode_with_normal_priority() {
+        let store = tmp_store("v1req");
+        // Hand-build a v1 file: magic, version 1, then the v1 field
+        // order (spec, options, deadline — no priority byte).
+        let spec = DesignSpec::IpBlock { name: "old".into(), target_gates: 300, seed: 9 };
+        let options = FlowOptions::default();
+        let deadline = Some(Duration::from_millis(250));
+        let mut e = Encoder::new();
+        e.put_u32(REQUEST_MAGIC);
+        e.put_u32(1);
+        spec.encode(&mut e);
+        options.encode(&mut e);
+        deadline.encode(&mut e);
+        fs::write(store.request_path(JobId(3)), e.into_bytes()).unwrap();
+        let back = store.load_request(JobId(3)).unwrap();
+        assert_eq!(back.spec, spec);
+        assert_eq!(back.deadline, deadline);
+        assert_eq!(back.priority, Priority::Normal);
+        // Unknown future versions are still refused.
+        let mut e = Encoder::new();
+        e.put_u32(REQUEST_MAGIC);
+        e.put_u32(99);
+        fs::write(store.request_path(JobId(4)), e.into_bytes()).unwrap();
+        assert!(store.load_request(JobId(4)).is_err());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn gds_artifacts_save_and_prune() {
+        let store = tmp_store("gds");
+        store.save_gds(JobId(2), b"GDSII-bytes").unwrap();
+        assert_eq!(fs::read(store.gds_path(JobId(2))).unwrap(), b"GDSII-bytes");
+        store.remove_gds(JobId(2)).unwrap();
+        store.remove_gds(JobId(2)).unwrap(); // idempotent
+        assert!(!store.gds_path(JobId(2)).exists());
         let _ = fs::remove_dir_all(store.dir());
     }
 

@@ -11,7 +11,9 @@ use camsoc::flow::flow::{FlowOptions, FlowResult, FlowSupervisor};
 use camsoc::flow::StageId;
 use camsoc::layout::place::{PlacementConfig, PlacementMode};
 use camsoc::layout::ImplementOptions;
-use camsoc::serve::{DesignSpec, Farm, JobOutcome, JobRequest, JobState};
+use camsoc::serve::{
+    DesignSpec, Farm, JobOutcome, JobRequest, JobState, Priority, RetentionPolicy,
+};
 
 fn quick_options() -> FlowOptions {
     FlowOptions {
@@ -190,5 +192,236 @@ fn queued_jobs_survive_restart_in_fifo_order() {
     // ids keep monotonically increasing across restarts
     let c = farm.submit(&request(73)).unwrap();
     assert!(c > b, "job ids must not be reused after reopen");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two farms on ONE directory, running at the same time: the locked
+/// ledger transactions must hand each job to exactly one of them, and
+/// every result must stay bit-identical.
+#[test]
+fn concurrent_farms_share_one_directory() {
+    let dir = farm_dir("shared");
+    let seeds = [41u64, 42, 43, 44];
+    let mut submitter = Farm::open(&dir, 1).unwrap();
+    let ids: Vec<_> = seeds.iter().map(|&s| submitter.submit(&request(s)).unwrap()).collect();
+    drop(submitter);
+
+    let farm_a = Farm::open(&dir, 1).unwrap();
+    let farm_b = Farm::open(&dir, 1).unwrap();
+    let (ra, rb) = std::thread::scope(|scope| {
+        let ta = scope.spawn(move || {
+            let mut farm = farm_a;
+            farm.run_until_idle().unwrap()
+        });
+        let tb = scope.spawn(move || {
+            let mut farm = farm_b;
+            farm.run_until_idle().unwrap()
+        });
+        (ta.join().unwrap(), tb.join().unwrap())
+    });
+    for id in &ids {
+        let a = ra.outcomes.contains_key(id);
+        let b = rb.outcomes.contains_key(id);
+        assert!(a ^ b, "{id} must be driven by exactly one farm (a={a}, b={b})");
+    }
+    for (&id, &seed) in ids.iter().zip(&seeds) {
+        let result = ra.result(id).or_else(|| rb.result(id)).expect("every job finishes");
+        assert_eq!(fingerprint(result), fingerprint(&reference(seed)), "seed {seed} diverged");
+    }
+    let check = Farm::open(&dir, 1).unwrap();
+    for id in ids {
+        assert_eq!(check.ledger().state(id), Some(JobState::Done));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The reclamation race, settled by proof: a live lease is untouchable
+/// even by a farm that opens later; the INSTANT the owner dies the
+/// lease is stale and the survivor takes over — bit-identically.
+#[test]
+fn stale_leases_reclaim_but_live_leases_do_not() {
+    let dir = farm_dir("lease");
+    let seed = 83;
+    let mut alive = Farm::open(&dir, 1).unwrap().with_stage_budget(3);
+    let id = alive.submit(&request(seed)).unwrap();
+    let first = alive.run_until_idle().unwrap();
+    assert!(first.interrupted());
+    assert_eq!(alive.ledger().state(id), Some(JobState::Running));
+
+    // A second farm opens while the first is still alive: the lease is
+    // live, so nothing may be reclaimed — not at open, not at claim.
+    let mut survivor = Farm::open(&dir, 1).unwrap();
+    assert_eq!(survivor.reclaimed(), 0, "open must not reclaim a live lease");
+    let idle = survivor.run_until_idle().unwrap();
+    assert!(idle.outcomes.is_empty(), "claimed a live-leased job");
+    assert_eq!(idle.reclaimed, 0);
+    drop(alive); // the owner dies; its lease is now PROVABLY stale
+
+    let second = survivor.run_until_idle().unwrap();
+    assert_eq!(second.reclaimed, 1, "stale lease not reclaimed at claim time");
+    let result = second.result(id).expect("survivor finishes the dead farm's job");
+    assert!(result.trace.resumed, "survivor must resume from the checkpoint");
+    assert_eq!(fingerprint(result), fingerprint(&reference(seed)));
+    assert_eq!(survivor.reclaimed(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A deadline-critical arrival preempts the low-priority job running on
+/// the only worker — at a stage boundary, onto its checkpoint — and the
+/// preempted job still completes bit-identically afterwards.
+#[test]
+fn critical_jobs_preempt_running_low_priority_work() {
+    let dir = farm_dir("preempt");
+    let (low_seed, crit_seed) = (91u64, 92);
+    let mut farm = Farm::open(&dir, 1).unwrap();
+    let low = farm.submit(&request(low_seed).with_priority(Priority::Low)).unwrap();
+
+    // A second farm handle submits the critical job mid-run, as soon as
+    // the low job's first checkpoint proves it is being driven.
+    let mut other = Farm::open(&dir, 1).unwrap();
+    let ckpt = dir.join(format!("{low}.ckpt"));
+    let report = std::thread::scope(|scope| {
+        let runner = scope.spawn(move || {
+            let mut farm = farm;
+            farm.run_until_idle().unwrap()
+        });
+        while !ckpt.exists() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let crit = other.submit(&request(crit_seed).with_priority(Priority::Critical)).unwrap();
+        (runner.join().unwrap(), crit)
+    });
+    let (report, crit) = report;
+    assert!(report.preemptions >= 1, "critical arrival must preempt the running low job");
+    let low_result = report.result(low).expect("preempted job completes");
+    assert!(low_result.trace.resumed, "preempted job must resume from its checkpoint");
+    assert_eq!(fingerprint(low_result), fingerprint(&reference(low_seed)));
+    let crit_result = report.result(crit).expect("critical job completes");
+    assert_eq!(fingerprint(crit_result), fingerprint(&reference(crit_seed)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A poison job — one that panics the moment it is materialized — must
+/// be retried deterministically, quarantined at the policy budget, and
+/// must never stall the other jobs or poison the farm's shared state.
+#[test]
+fn poison_jobs_quarantine_without_stalling_the_queue() {
+    let dir = farm_dir("poison");
+    let mut farm = Farm::open(&dir, 2).unwrap();
+    let poison = farm
+        .submit(&JobRequest::new(
+            DesignSpec::Poison { message: "pathological request".into() },
+            quick_options(),
+        ))
+        .unwrap();
+    let good_a = farm.submit(&request(51)).unwrap();
+    let good_b = farm.submit(&request(52)).unwrap();
+    let report = farm.run_until_idle().unwrap();
+
+    assert!(
+        matches!(report.outcomes.get(&poison), Some(JobOutcome::Quarantined(_))),
+        "poison job must end quarantined, got {:?}",
+        report.outcomes.get(&poison)
+    );
+    assert_eq!(farm.ledger().state(poison), Some(JobState::Quarantined));
+    let entry = farm.ledger().entry(poison).unwrap();
+    assert_eq!(entry.attempts, 3, "default policy books exactly 3 transient failures");
+    assert_eq!(report.retries, 2, "two retries precede the third, quarantining failure");
+    assert_eq!(report.quarantines, 1);
+    for (id, seed) in [(good_a, 51), (good_b, 52)] {
+        let result = report.result(id).expect("healthy jobs drain normally");
+        assert_eq!(fingerprint(result), fingerprint(&reference(seed)));
+    }
+    // The farm is not poisoned: it keeps accepting and finishing work.
+    let after = farm.submit(&request(53)).unwrap();
+    let report = farm.run_until_idle().unwrap();
+    assert!(report.result(after).is_some(), "farm must stay usable after a quarantine");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A transiently flaky job (panics twice, then works) retries through
+/// deterministic backoff and produces the exact same bits as a healthy
+/// submission of the same design.
+#[test]
+fn flaky_jobs_retry_then_succeed_bit_identical() {
+    let dir = farm_dir("flaky");
+    let seed = 57;
+    let mut farm = Farm::open(&dir, 1).unwrap();
+    let id = farm
+        .submit(&JobRequest::new(
+            DesignSpec::Flaky {
+                name: format!("farm{seed}"),
+                target_gates: 260,
+                seed,
+                failures: 2,
+            },
+            quick_options(),
+        ))
+        .unwrap();
+    let report = farm.run_until_idle().unwrap();
+    assert_eq!(report.retries, 2, "both injected failures must be retried");
+    assert_eq!(report.quarantines, 0);
+    let result = report.result(id).expect("flaky job heals within the retry budget");
+    assert_eq!(fingerprint(result), fingerprint(&reference(seed)));
+    assert_eq!(farm.ledger().entry(id).unwrap().attempts, 2);
+    assert_eq!(farm.ledger().state(id), Some(JobState::Done));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Retention prunes old done-job artifacts (keep-last-K) but never
+/// touches quarantined evidence or the ledger's history.
+#[test]
+fn retention_prunes_done_artifacts_but_keeps_quarantine_evidence() {
+    let dir = farm_dir("retain");
+    let mut farm = Farm::open(&dir, 1)
+        .unwrap()
+        .with_retention(RetentionPolicy { keep_done: Some(1), keep_failed: None })
+        .with_gds_export(true);
+    let poison = farm
+        .submit(&JobRequest::new(DesignSpec::Poison { message: "evidence".into() }, quick_options()))
+        .unwrap();
+    let ids: Vec<_> = [61u64, 62, 63].iter().map(|&s| farm.submit(&request(s)).unwrap()).collect();
+    let report = farm.run_until_idle().unwrap();
+    assert!(report.pruned >= 2, "two of three done jobs fall outside keep_done=1");
+
+    let done: Vec<_> = farm.ledger().jobs_in(JobState::Done);
+    assert_eq!(done.len(), 3, "pruning must not erase ledger history");
+    let keep = *done.last().unwrap();
+    for &id in &ids {
+        let has_gds = dir.join(format!("{id}.gds")).exists();
+        let has_req = dir.join(format!("{id}.req")).exists();
+        if id == keep {
+            assert!(has_gds && has_req, "newest done job must keep its artifacts");
+        } else {
+            assert!(!has_gds && !has_req, "{id} should have been pruned");
+        }
+    }
+    assert!(dir.join(format!("{poison}.req")).exists(), "quarantined evidence must survive");
+    assert_eq!(farm.ledger().state(poison), Some(JobState::Quarantined));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn final ledger line — the signature of a crash inside a
+/// non-atomic rewrite — recovers to the last good prefix on open
+/// instead of refusing the whole directory.
+#[test]
+fn torn_ledger_tail_recovers_on_open() {
+    use std::io::Write as _;
+    let dir = farm_dir("torn");
+    let mut farm = Farm::open(&dir, 1).unwrap();
+    let id = farm.submit(&request(77)).unwrap();
+    let report = farm.run_until_idle().unwrap();
+    assert!(report.all_done());
+    drop(farm);
+
+    let ledger_path = dir.join("ledger.txt");
+    let mut f = std::fs::OpenOptions::new().append(true).open(&ledger_path).unwrap();
+    f.write_all(b"999\trunning\tnor").unwrap(); // torn mid-column, no newline
+    drop(f);
+
+    let farm = Farm::open(&dir, 1).unwrap();
+    assert!(farm.ledger().recovered_tail().is_some(), "recovery must be reported");
+    assert_eq!(farm.ledger().state(id), Some(JobState::Done), "good prefix must survive");
+    assert_eq!(farm.ledger().len(), 1, "the torn line must not invent a job");
     let _ = std::fs::remove_dir_all(&dir);
 }
