@@ -109,6 +109,24 @@ cargo test -q --release --test serve_farm -- \
 t7b=$(date +%s)
 echo "serve contention smoke wall clock: $((t7b - t7)) s"
 
+# Hierarchical-hardening smoke: harden a small tile library in parallel
+# through the full flow, integrate the abstracts at top level, and
+# re-run against the warm abstract cache — the warm pass must re-harden
+# nothing and produce a bit-identical integration (GDSII included), and
+# the hierarchical implementation must agree with the flat one on the
+# sign-off outcome with worst slack inside the abstract's pessimism
+# bound. Reduced-scale tiles keep this bounded; the million-gate
+# comparison lives in perf_report. Already in the suite above; named
+# here so a hierarchy regression is called out in the CI log.
+echo "== hier: bottom-up hardening + warm-cache smoke =="
+cargo test -q --release --test hier_hardening -- \
+    hier_and_flat_agree_on_signoff \
+    warm_cache_rehardens_nothing_and_changes_nothing
+cargo test -q --release --test par_determinism \
+    macro_hardening_is_thread_count_invariant
+t7c=$(date +%s)
+echo "hier smoke wall clock: $((t7c - t7b)) s"
+
 # Docs smoke: the performance/architecture documentation must stay in
 # sync with the tree. Fails if any relative markdown link in README,
 # docs/ARCHITECTURE.md or docs/PERFORMANCE.md points at a missing file,

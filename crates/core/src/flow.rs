@@ -43,7 +43,10 @@ use camsoc_dft::atpg::{Atpg, AtpgConfig, AtpgResult};
 use camsoc_dft::fsim::FsimMode;
 use camsoc_dft::scan::{insert_scan, ScanConfig, ScanReport};
 use camsoc_layout::lvs::{compare as lvs_compare, LvsReport};
-use camsoc_layout::{gdsii, implement, ImplementOptions, LayoutError, LayoutResult};
+use camsoc_layout::{
+    gdsii, implement_with, HardMacros, ImplementOptions, LayoutError, LayoutResult,
+};
+use camsoc_netlist::compiled::compiles_on_this_thread;
 use camsoc_netlist::eco::EcoSession;
 use camsoc_netlist::equiv::{check_equivalence, EquivOptions, EquivReport, EquivVerdict};
 use camsoc_netlist::graph::Netlist;
@@ -112,6 +115,41 @@ impl Default for FlowOptions {
     }
 }
 
+/// Per-stage audit of [`Netlist::compile`] calls observed while the
+/// flow ran, proving no kernel silently re-derives a
+/// [`camsoc_netlist::CompiledNetlist`] that a sibling already built.
+///
+/// The counter behind it ([`compiles_on_this_thread`]) is thread-local;
+/// every stage kernel derives its compiled view on the stage-driving
+/// thread (the parallel stages compile once *before* fanning work out),
+/// so the deltas captured around each stage are exact. A clean flow
+/// compiles exactly four times: once for ATPG's combinational circuit,
+/// once for the sign-off STA baseline shared by every corner, and twice
+/// for equivalence (one per side).
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct CompileStats {
+    /// `(stage, compile calls while that stage ran)` in execution
+    /// order, one entry per committed stage (retries included in the
+    /// committed stage's figure).
+    pub per_stage: Vec<(StageId, usize)>,
+}
+
+impl CompileStats {
+    /// Total `Netlist::compile` calls across the whole flow.
+    pub fn total(&self) -> usize {
+        self.per_stage.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Compile calls observed while `stage` ran (0 if it never ran).
+    pub fn for_stage(&self, stage: StageId) -> usize {
+        self.per_stage.iter().filter(|(s, _)| *s == stage).map(|(_, n)| n).sum()
+    }
+
+    fn record(&mut self, stage: StageId, compiles: usize) {
+        self.per_stage.push((stage, compiles));
+    }
+}
+
 /// Everything the flow produces.
 #[derive(Debug)]
 pub struct FlowResult {
@@ -146,6 +184,8 @@ pub struct FlowResult {
     /// Attempt-by-attempt supervision record (one successful attempt
     /// per stage on a clean run).
     pub trace: FlowTrace,
+    /// Per-stage [`Netlist::compile`] audit (see [`CompileStats`]).
+    pub compile_stats: CompileStats,
 }
 
 impl FlowResult {
@@ -367,10 +407,21 @@ pub(crate) struct FlowState {
 /// different options, gates or budget) continues from the last good
 /// stage without redoing earlier work. A **successful** run drains the
 /// checkpoint into its [`FlowResult`]; the checkpoint is then spent.
-#[derive(Debug, Default, Clone, PartialEq)]
+#[derive(Debug, Default, Clone)]
 pub struct FlowCheckpoint {
     pub(crate) state: FlowState,
     pub(crate) trace: FlowTrace,
+    /// Transient per-process audit; deliberately outside the persisted
+    /// image and the equality contract — a checkpoint reloaded from
+    /// disk compares equal to the one that wrote it even though the
+    /// writing process observed the compiles.
+    pub(crate) compile_stats: CompileStats,
+}
+
+impl PartialEq for FlowCheckpoint {
+    fn eq(&self, other: &Self) -> bool {
+        self.state == other.state && self.trace == other.trace
+    }
 }
 
 impl FlowCheckpoint {
@@ -379,6 +430,7 @@ impl FlowCheckpoint {
         FlowCheckpoint {
             state: FlowState { input: Some(netlist), ..FlowState::default() },
             trace: FlowTrace::default(),
+            compile_stats: CompileStats::default(),
         }
     }
 
@@ -478,6 +530,7 @@ impl FlowCheckpoint {
             gds: take(&mut s.gds, StageId::StreamOut, "gds stream")?,
             netlist: fix.netlist,
             trace: std::mem::take(&mut self.trace),
+            compile_stats: std::mem::take(&mut self.compile_stats),
         };
         // fully spend the checkpoint: retaining the input would let a
         // second resume silently re-run the flow from scratch
@@ -514,6 +567,7 @@ pub struct FlowSupervisor {
     policy: RetryPolicy,
     gates: QualityGates,
     injector: FaultInjector,
+    hier: Option<HardMacros>,
 }
 
 impl FlowSupervisor {
@@ -525,7 +579,23 @@ impl FlowSupervisor {
             policy: RetryPolicy::default(),
             gates: QualityGates::default(),
             injector: FaultInjector::none(),
+            hier: None,
         }
+    }
+
+    /// Run hierarchically: the input netlist's macro instances named in
+    /// `hard` are treated as pre-hardened opaque blocks — the
+    /// floorplanner places each as a fixed obstacle of its exact
+    /// hardened outline, routing avoids the footprint, and every STA in
+    /// the flow (pre-layout, layout sign-off, the ECO loop's
+    /// incremental engine, the two-corner sign-off) times through the
+    /// abstract's boundary arcs instead of the generic memory model.
+    /// Macros without an entry keep the generic treatment, so mixed
+    /// designs work. Build a [`HardMacros`] from hardened abstracts
+    /// with [`crate::hier::hard_macros`].
+    pub fn with_hier(mut self, hard: HardMacros) -> Self {
+        self.hier = Some(hard);
+        self
     }
 
     /// Replace the retry/escalation budget.
@@ -625,6 +695,10 @@ impl FlowSupervisor {
         let max_attempts = self.policy.max_attempts.max(1);
         let mut effort = 0u32;
         let mut last: Option<FlowError> = None;
+        // every kernel compiles on the stage-driving thread (parallel
+        // stages compile once before fanning out), so this delta is the
+        // stage's exact CompiledNetlist derivation count
+        let compiles_before = compiles_on_this_thread();
         for attempt in 0..max_attempts {
             let escalations = escalation_notes(stage, effort);
             let started = Instant::now();
@@ -645,6 +719,9 @@ impl FlowSupervisor {
                     Ok(()) => {
                         record(AttemptOutcome::Success);
                         checkpoint.commit(stage, output);
+                        checkpoint
+                            .compile_stats
+                            .record(stage, compiles_on_this_thread() - compiles_before);
                         return Ok(());
                     }
                     Err(reason) => {
@@ -707,7 +784,7 @@ impl FlowSupervisor {
             if let Some(p) = &panic_payload {
                 panic!("{p}");
             }
-            execute_stage(stage, state, &self.options, effort)
+            execute_stage(stage, state, &self.options, effort, self.hier.as_ref())
         }));
         match unwound {
             Ok(Ok(mut output)) => {
@@ -895,6 +972,14 @@ fn layout_config(options: &FlowOptions, effort: u32) -> ImplementOptions {
     layout.escalated(effort)
 }
 
+/// Arm an [`Sta`] with the hierarchical boundary models, when any.
+fn sta_with_hier<'a>(sta: Sta<'a>, hier: Option<&HardMacros>) -> Sta<'a> {
+    match hier {
+        Some(h) if !h.timing.is_empty() => sta.with_macro_timing(h.timing.clone()),
+        _ => sta,
+    }
+}
+
 fn equiv_config(options: &FlowOptions, effort: u32) -> EquivOptions {
     EquivOptions { parallelism: options.parallelism, ..options.equiv.clone() }
         .escalated(effort)
@@ -908,6 +993,7 @@ fn execute_stage(
     state: &FlowState,
     options: &FlowOptions,
     effort: u32,
+    hier: Option<&HardMacros>,
 ) -> Result<StageOutput, FlowError> {
     let constraints =
         Constraints::single_clock(&options.clock_port, options.clock_period_ns);
@@ -918,7 +1004,8 @@ fn execute_stage(
         }
         StageId::PreSta => {
             let nl = require(&state.input, stage, "input netlist")?;
-            let report = Sta::new(nl, &options.tech, constraints).analyze()?;
+            let report =
+                sta_with_hier(Sta::new(nl, &options.tech, constraints), hier).analyze()?;
             Ok(StageOutput::PreSta(report))
         }
         StageId::Scan => {
@@ -933,18 +1020,19 @@ fn execute_stage(
         }
         StageId::Layout => {
             let scanned = require(&state.scanned, stage, "scanned netlist")?;
-            let result = implement(
+            let result = implement_with(
                 scanned,
                 &options.tech,
                 &constraints,
                 &layout_config(options, effort),
+                hier,
             )?;
             Ok(StageOutput::Layout(result))
         }
         StageId::TimingFix => {
             let scanned = require(&state.scanned, stage, "scanned netlist")?;
             let layout = require(&state.layout, stage, "layout result")?;
-            let outcome = stage_timing_fix(scanned, layout, options, effort)?;
+            let outcome = stage_timing_fix(scanned, layout, options, effort, hier)?;
             Ok(StageOutput::TimingFix(outcome))
         }
         StageId::Equiv => {
@@ -978,6 +1066,7 @@ fn stage_timing_fix(
     layout: &LayoutResult,
     options: &FlowOptions,
     effort: u32,
+    hier: Option<&HardMacros>,
 ) -> Result<TimingFixOutcome, FlowError> {
     let constraints =
         Constraints::single_clock(&options.clock_port, options.clock_period_ns);
@@ -997,10 +1086,13 @@ fn stage_timing_fix(
     {
         None
     } else {
-        let (inc, _) = Sta::new(eco.netlist(), &options.tech, constraints.clone())
-            .with_wire_delays(wires.clone())
-            .with_clock_latency(layout.clock_tree.latency_ns.clone())
-            .into_incremental()?;
+        let (inc, _) = sta_with_hier(
+            Sta::new(eco.netlist(), &options.tech, constraints.clone())
+                .with_wire_delays(wires.clone())
+                .with_clock_latency(layout.clock_tree.latency_ns.clone()),
+            hier,
+        )
+        .into_incremental()?;
         Some(inc.with_max_cone_fraction(options.sta_cone_fraction))
     };
     let rerun_sta = |eco: &mut EcoSession,
@@ -1018,10 +1110,13 @@ fn stage_timing_fix(
                 // baseline (clean pre-ECO timing) — baseline now; the
                 // fresh annotation already reflects the edits in
                 // `delta`, and re-timing their cones is idempotent
-                let (inc, _) = Sta::new(eco.netlist(), &options.tech, constraints.clone())
-                    .with_wire_delays(wires.clone())
-                    .with_clock_latency(layout.clock_tree.latency_ns.clone())
-                    .into_incremental()?;
+                let (inc, _) = sta_with_hier(
+                    Sta::new(eco.netlist(), &options.tech, constraints.clone())
+                        .with_wire_delays(wires.clone())
+                        .with_clock_latency(layout.clock_tree.latency_ns.clone()),
+                    hier,
+                )
+                .into_incremental()?;
                 engine.insert(inc.with_max_cone_fraction(options.sta_cone_fraction))
             }
         };
@@ -1089,9 +1184,12 @@ fn stage_timing_fix(
     // are slowest, hold where they are fastest, both corners analyzed
     // concurrently over the flow's parallelism setting.
     wires.resize(eco.netlist().num_nets(), 0.01);
-    let base = Sta::new(eco.netlist(), &options.tech, constraints.clone())
-        .with_wire_delays(wires.clone())
-        .with_clock_latency(layout.clock_tree.latency_ns.clone());
+    let base = sta_with_hier(
+        Sta::new(eco.netlist(), &options.tech, constraints.clone())
+            .with_wire_delays(wires.clone())
+            .with_clock_latency(layout.clock_tree.latency_ns.clone()),
+        hier,
+    );
     let corner_signoff = multi_corner::signoff(
         &base,
         Corner::worst(),
@@ -1170,8 +1268,10 @@ pub fn run_flow_unsupervised(
 ) -> Result<FlowResult, FlowError> {
     let mut checkpoint = FlowCheckpoint::new(netlist);
     for stage in StageId::ALL {
-        let output = execute_stage(stage, &checkpoint.state, options, 0)?;
+        let before = compiles_on_this_thread();
+        let output = execute_stage(stage, &checkpoint.state, options, 0, None)?;
         checkpoint.commit(stage, output);
+        checkpoint.compile_stats.record(stage, compiles_on_this_thread() - before);
     }
     checkpoint.take_result()
 }

@@ -20,6 +20,10 @@
 //!   place/CTS/route/extract, timing-fix ECO loop, formal equivalence,
 //!   DRC/LVS, GDSII — staged and supervised (retry, escalation,
 //!   checkpoint/resume) by [`flow::FlowSupervisor`].
+//! * [`hier`] — hierarchical bottom-up hardening: macros hardened in
+//!   parallel through the full flow, abstracted to pin-level boundary
+//!   models + outlines (cache-keyed by content hash), then integrated
+//!   at top level as opaque placed blocks.
 //! * [`resilience`] — the supervision primitives: stage identities,
 //!   retry/escalation policy, quality gates, attempt traces and the
 //!   deterministic fault injector.
@@ -34,6 +38,7 @@ pub mod catalog;
 pub mod dsc;
 pub mod eco;
 pub mod flow;
+pub mod hier;
 pub mod ip;
 pub mod persist;
 pub mod project;
@@ -43,8 +48,11 @@ pub mod verify;
 
 pub use dsc::{build_dsc, DscDesign};
 pub use flow::{
-    run_flow, run_flow_unsupervised, FlowCheckpoint, FlowError, FlowOptions, FlowResult,
-    FlowSupervisor,
+    run_flow, run_flow_unsupervised, CompileStats, FlowCheckpoint, FlowError, FlowOptions,
+    FlowResult, FlowSupervisor,
+};
+pub use hier::{
+    harden_macros, hard_macros, AbstractCache, HardenReport, MacroAbstract, TiledParams,
 };
 pub use resilience::{
     FailureDisposition, FaultInjector, FlowTrace, QualityGates, QuarantinePolicy, RetryPolicy,

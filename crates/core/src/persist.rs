@@ -42,8 +42,10 @@ use crate::resilience::{AttemptOutcome, FlowTrace, StageAttempt, StageId};
 /// First four bytes of every checkpoint file: `"CKPT"` little-endian.
 pub const CHECKPOINT_MAGIC: u32 = u32::from_le_bytes(*b"CKPT");
 
-/// Newest checkpoint format this build reads and writes.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Newest checkpoint format this build reads and writes. Version 2
+/// added [`RouteConfig::capacity_scale`](camsoc_layout::route::RouteConfig)
+/// to the embedded flow options.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// A checkpoint load failure: the file was unreadable or its bytes
 /// don't decode.
@@ -259,7 +261,12 @@ impl Codec for FlowCheckpoint {
         self.trace.encode(e);
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
-        Ok(FlowCheckpoint { state: FlowState::decode(d)?, trace: FlowTrace::decode(d)? })
+        Ok(FlowCheckpoint {
+            state: FlowState::decode(d)?,
+            trace: FlowTrace::decode(d)?,
+            // per-process audit, deliberately not persisted
+            compile_stats: Default::default(),
+        })
     }
 }
 

@@ -138,6 +138,7 @@ impl Codec for RouteConfig {
     fn encode(&self, e: &mut Encoder) {
         e.put_usize(self.gcells);
         e.put_u32(self.edge_capacity);
+        e.put_f64(self.capacity_scale);
         e.put_usize(self.rounds);
         e.put_f64(self.congestion_penalty);
         e.put_usize(self.max_fanout_routed);
@@ -147,6 +148,7 @@ impl Codec for RouteConfig {
         Ok(RouteConfig {
             gcells: d.get_usize()?,
             edge_capacity: d.get_u32()?,
+            capacity_scale: d.get_f64()?,
             rounds: d.get_usize()?,
             congestion_penalty: d.get_f64()?,
             max_fanout_routed: d.get_usize()?,

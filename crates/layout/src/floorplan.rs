@@ -5,6 +5,8 @@
 //! filled with standard-cell rows at a target utilisation, an IO ring
 //! around everything.
 
+use std::collections::HashMap;
+
 use camsoc_netlist::graph::{MacroId, Netlist};
 use camsoc_netlist::stats;
 use camsoc_netlist::tech::Technology;
@@ -75,16 +77,42 @@ impl Floorplan {
     ///
     /// Returns a message if the design has no area (empty netlist).
     pub fn generate(nl: &Netlist, tech: &Technology) -> Result<Floorplan, String> {
+        Floorplan::generate_with(nl, tech, &HashMap::new())
+    }
+
+    /// [`Floorplan::generate`] with hardened-macro outline overrides:
+    /// a macro whose instance name has an entry is placed with that
+    /// exact `(width, height)` in µm — the outline its own hardening
+    /// flow produced — instead of the SRAM area model. Macros without
+    /// an entry keep the generic sizing, so mixed designs (hardened
+    /// blocks + real memories) floorplan correctly.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Floorplan::generate`].
+    pub fn generate_with(
+        nl: &Netlist,
+        tech: &Technology,
+        outlines_um: &HashMap<String, (f64, f64)>,
+    ) -> Result<Floorplan, String> {
         let area = stats::area_report(nl, tech);
-        if area.core_mm2 <= 0.0 {
+        let has_outline_area = nl
+            .macros()
+            .any(|(_, m)| outlines_um.contains_key(&m.name));
+        if area.core_mm2 <= 0.0 && !has_outline_area {
             return Err("design has zero core area".to_string());
         }
         let row_height = ROW_HEIGHT_FACTOR * tech.node.feature_um() * 4.0;
         let site = tech.node.feature_um() * 4.0;
 
         // Macro strip along the top: compute total macro footprint.
-        let macro_area_um2: f64 =
-            nl.macros().map(|(_, m)| tech.sram_area_um2(m.words, m.bits)).sum();
+        let macro_area_um2: f64 = nl
+            .macros()
+            .map(|(_, m)| match outlines_um.get(&m.name) {
+                Some(&(w, h)) => w * h,
+                None => tech.sram_area_um2(m.words, m.bits),
+            })
+            .sum();
         let cell_area_um2 = area.stdcell_mm2 * 1e6 / stats::CORE_UTILISATION;
 
         // Square-ish core: width from total area.
@@ -124,10 +152,15 @@ impl Floorplan {
         let mut cursor_y = strip_y;
         let mut lane_h: f64 = 0.0;
         for (id, m) in nl.macros() {
-            let a = tech.sram_area_um2(m.words, m.bits);
-            // aspect ~2:1 wide
-            let h = (a / 2.0).sqrt();
-            let w = 2.0 * h;
+            let (w, h) = match outlines_um.get(&m.name) {
+                Some(&(w, h)) => (w, h),
+                None => {
+                    // aspect ~2:1 wide
+                    let a = tech.sram_area_um2(m.words, m.bits);
+                    let h = (a / 2.0).sqrt();
+                    (2.0 * h, h)
+                }
+            };
             if cursor_x + w > core_w && cursor_x > 0.0 {
                 cursor_x = 0.0;
                 cursor_y += lane_h * 1.05;

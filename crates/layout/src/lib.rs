@@ -38,9 +38,24 @@ pub mod place;
 pub mod route;
 pub mod si;
 
+use std::collections::HashMap;
+
 use camsoc_netlist::graph::Netlist;
 use camsoc_netlist::tech::Technology;
-use camsoc_sta::{Constraints, Sta, TimingReport};
+use camsoc_sta::{Constraints, MacroTiming, Sta, TimingReport};
+
+/// Physical + timing view of pre-hardened macros, consumed by
+/// [`implement_with`]: exact outlines for the floorplanner (macros
+/// become fixed obstacles of their hardened size) and boundary timing
+/// models for the sign-off STA. Keyed by macro instance name; macros
+/// without entries keep the generic SRAM treatment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HardMacros {
+    /// Hardened outline `(width, height)` in µm per macro instance.
+    pub outlines_um: HashMap<String, (f64, f64)>,
+    /// Boundary timing model per macro instance.
+    pub timing: HashMap<String, MacroTiming>,
+}
 
 /// Options for the full back-end run.
 #[derive(Debug, Clone, PartialEq)]
@@ -158,7 +173,30 @@ pub fn implement(
     constraints: &Constraints,
     options: &ImplementOptions,
 ) -> Result<LayoutResult, LayoutError> {
-    let floorplan = floorplan::Floorplan::generate(nl, tech)
+    implement_with(nl, tech, constraints, options, None)
+}
+
+/// [`implement`] with pre-hardened macro knowledge: the floorplanner
+/// places each hardened macro as a fixed obstacle of its exact
+/// hardened outline (placement legalizes around it, routing avoids its
+/// footprint via the shared floorplan), and the sign-off STA times
+/// through the abstracts' boundary arcs instead of the generic memory
+/// model. `None` (or an empty [`HardMacros`]) is exactly
+/// [`implement`].
+///
+/// # Errors
+///
+/// Same as [`implement`].
+pub fn implement_with(
+    nl: &Netlist,
+    tech: &Technology,
+    constraints: &Constraints,
+    options: &ImplementOptions,
+    hard: Option<&HardMacros>,
+) -> Result<LayoutResult, LayoutError> {
+    let empty = HashMap::new();
+    let outlines = hard.map_or(&empty, |h| &h.outlines_um);
+    let floorplan = floorplan::Floorplan::generate_with(nl, tech, outlines)
         .map_err(LayoutError::Floorplan)?;
     let placement = place::place(nl, tech, &floorplan, constraints, &options.placement);
     let clock_tree = cts::synthesize(nl, tech, &floorplan, &placement, &options.clock_port);
@@ -173,10 +211,13 @@ pub fn implement(
     }
     let wire_delays_ns = extract::wire_delays(nl, tech, &routing);
     let drc = drc::check(nl, &floorplan, &placement, &routing);
-    let timing = Sta::new(nl, tech, constraints.clone())
+    let mut sta = Sta::new(nl, tech, constraints.clone())
         .with_wire_delays(wire_delays_ns.clone())
-        .with_clock_latency(clock_tree.latency_ns.clone())
-        .analyze()?;
+        .with_clock_latency(clock_tree.latency_ns.clone());
+    if let Some(h) = hard {
+        sta = sta.with_macro_timing(h.timing.clone());
+    }
+    let timing = sta.analyze()?;
     Ok(LayoutResult {
         floorplan,
         placement,

@@ -64,6 +64,14 @@ pub struct RouteConfig {
     /// Routing capacity per gcell edge (tracks); `0` = derive from the
     /// gcell size via [`TRACKS_PER_UM`].
     pub edge_capacity: u32,
+    /// Multiplier on the **derived** edge capacity (ignored when
+    /// `edge_capacity` is explicit): models a richer routing stack —
+    /// the paper's SoC routed over six metal layers — without touching
+    /// the per-layer track model. Capacity-starved designs otherwise
+    /// spend every negotiation round ripping up and flood-searching
+    /// thousands of nets; at 1.0 (the default) behaviour is
+    /// bit-identical to before the knob existed.
+    pub capacity_scale: f64,
     /// Rip-up/reroute rounds.
     pub rounds: usize,
     /// Congestion penalty multiplier for the reroute cost function.
@@ -83,6 +91,7 @@ impl Default for RouteConfig {
         RouteConfig {
             gcells: 0, // auto from design size
             edge_capacity: 0, // auto from gcell size
+            capacity_scale: 1.0,
             rounds: 8,
             congestion_penalty: 8.0,
             max_fanout_routed: 120,
@@ -499,7 +508,10 @@ pub fn route(
     let capacity = if config.edge_capacity > 0 {
         config.edge_capacity
     } else {
-        ((gx.min(gy) * TRACKS_PER_UM) as u32).max(4)
+        // scale applied before truncation: at exactly 1.0 the product
+        // is the identity, so the default capacity is bit-identical to
+        // the pre-`capacity_scale` derivation
+        ((gx.min(gy) * TRACKS_PER_UM * config.capacity_scale) as u32).max(4)
     };
     let mut grid = Grid::new(nx, ny);
 

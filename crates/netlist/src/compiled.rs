@@ -48,6 +48,8 @@
 //! assert_eq!(cn.topo_order().len(), 1); // one combinational gate
 //! ```
 
+use std::cell::Cell as CounterCell;
+
 use crate::cell::{Cell, CellFunction, Drive};
 use crate::eco::{ConnectivityEdit, EditDelta};
 use crate::error::NetlistError;
@@ -90,6 +92,16 @@ struct NameTable {
 }
 
 impl NameTable {
+    /// Pre-size the arena and span tables exactly (see the counting
+    /// sweep in [`CompiledNetlist::build`]).
+    fn with_capacity(bytes: usize, instances: usize, nets: usize) -> NameTable {
+        NameTable {
+            bytes: String::with_capacity(bytes),
+            inst_spans: Vec::with_capacity(instances),
+            net_spans: Vec::with_capacity(nets),
+        }
+    }
+
     fn intern(&mut self, s: &str) -> (u32, u32) {
         let start = self.bytes.len() as u32;
         self.bytes.push_str(s);
@@ -249,8 +261,41 @@ impl Netlist {
     /// [`NetlistError::CombinationalCycle`] if combinational gates form
     /// a loop (same error [`Netlist::combinational_topo_order`] raises).
     pub fn compile(&self) -> Result<CompiledNetlist, NetlistError> {
+        COMPILES.with(|c| c.set(c.get() + 1));
         CompiledNetlist::build(self)
     }
+}
+
+thread_local! {
+    /// Per-thread count of [`Netlist::compile`] calls, for the flow's
+    /// compile-once-per-stage audit. Thread-local (not a process-wide
+    /// atomic) so parallel test threads cannot see each other's
+    /// compiles; every flow stage invokes `compile()` on the thread
+    /// driving the stage, so the caller's delta is the stage's count.
+    static COMPILES: CounterCell<usize> = const { CounterCell::new(0) };
+}
+
+/// Number of [`Netlist::compile`] calls made **on the current thread**
+/// since it started. Take a reading before and after a region to count
+/// the snapshots it derived:
+///
+/// ```
+/// use camsoc_netlist::builder::NetlistBuilder;
+/// use camsoc_netlist::cell::CellFunction;
+/// use camsoc_netlist::compiled::compiles_on_this_thread;
+///
+/// let mut b = NetlistBuilder::new("d");
+/// let a = b.input("a");
+/// let y = b.gate_auto(CellFunction::Inv, &[a]);
+/// b.output("y", y);
+/// let nl = b.finish();
+///
+/// let before = compiles_on_this_thread();
+/// let _cn = nl.compile().unwrap();
+/// assert_eq!(compiles_on_this_thread() - before, 1);
+/// ```
+pub fn compiles_on_this_thread() -> usize {
+    COMPILES.with(CounterCell::get)
 }
 
 /// Counting sort of the combinational instances by `(level, id)` —
@@ -287,12 +332,25 @@ impl CompiledNetlist {
         let n_inst = nl.num_instances();
         let n_nets = nl.num_nets();
 
+        // Counting sweep: exact CSR fanin length and name-arena bytes up
+        // front, so no array reallocates (and re-copies a
+        // million-instance table) mid-build.
+        let mut fanin_total = 0usize;
+        let mut name_bytes = 0usize;
+        for (_, inst) in nl.instances() {
+            fanin_total += inst.inputs.len();
+            name_bytes += inst.name.len();
+        }
+        for (_, net) in nl.nets() {
+            name_bytes += net.name.len();
+        }
+
         let mut cell = Vec::with_capacity(n_inst);
         let mut output = Vec::with_capacity(n_inst);
         let mut clock = Vec::with_capacity(n_inst);
         let mut fanin_start = Vec::with_capacity(n_inst + 1);
-        let mut fanin = Vec::new();
-        let mut names = NameTable::default();
+        let mut fanin = Vec::with_capacity(fanin_total);
+        let mut names = NameTable::with_capacity(name_bytes, n_inst, n_nets);
         for (_, inst) in nl.instances() {
             cell.push(inst.cell);
             output.push(inst.output.0);

@@ -199,16 +199,39 @@ impl<'a> CombModel<'a> {
     /// bitmap and the precomputed net→source table — no hashing in the
     /// loop. Bit-identical to [`CombModel::cone_support_graph`].
     pub fn cone_support(&self, sink_net: NetId) -> Vec<usize> {
+        self.cone_support_scratch(sink_net, &mut ConeScratch::default())
+    }
+
+    /// [`CombModel::cone_support`] with a caller-owned [`ConeScratch`]:
+    /// repeated walks (one per sink in the exact-cone phase) reuse one
+    /// epoch-stamped visited array instead of zeroing a fresh
+    /// `num_nets`-sized bitmap per sink, so the per-sink cost is O(cone)
+    /// rather than O(nets). Same result as [`CombModel::cone_support`].
+    pub fn cone_support_scratch(
+        &self,
+        sink_net: NetId,
+        scratch: &mut ConeScratch,
+    ) -> Vec<usize> {
         let cn = &self.compiled;
+        if scratch.stamp.len() < cn.num_nets() {
+            scratch.stamp.resize(cn.num_nets(), 0);
+        }
+        scratch.epoch = match scratch.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                scratch.stamp.fill(0);
+                1
+            }
+        };
+        let epoch = scratch.epoch;
         let mut support = Vec::new();
-        let mut seen = vec![false; cn.num_nets()];
         let mut stack = vec![sink_net];
         while let Some(net) = stack.pop() {
             let i = net.index();
-            if seen[i] {
+            if scratch.stamp[i] == epoch {
                 continue;
             }
-            seen[i] = true;
+            scratch.stamp[i] = epoch;
             let si = self.source_of_net[i];
             if si != u32::MAX {
                 support.push(si as usize);
@@ -270,6 +293,38 @@ impl<'a> CombModel<'a> {
             EquivEngine::Compiled => self.cone_support(sink_net),
             EquivEngine::Graph => self.cone_support_graph(sink_net),
         }
+    }
+
+    /// [`CombModel::cone_support_with`] routed through a caller-owned
+    /// [`ConeScratch`] on the compiled engine. The graph engine is the
+    /// per-call-allocating reference and ignores the scratch.
+    pub fn cone_support_with_scratch(
+        &self,
+        engine: EquivEngine,
+        sink_net: NetId,
+        scratch: &mut ConeScratch,
+    ) -> Vec<usize> {
+        match engine {
+            EquivEngine::Compiled => self.cone_support_scratch(sink_net, scratch),
+            EquivEngine::Graph => self.cone_support_graph(sink_net),
+        }
+    }
+}
+
+/// Reusable visited-stamp buffer for
+/// [`CombModel::cone_support_scratch`]. One instance per worker thread
+/// amortises the `num_nets`-sized allocation across every sink that
+/// thread proves; the epoch counter makes clearing O(1) per walk.
+#[derive(Debug, Default)]
+pub struct ConeScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl ConeScratch {
+    /// Fresh scratch; buffers grow to the model's net count on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -686,11 +741,27 @@ pub fn check_equivalence(
         Unproven,
         Mismatch,
     }
+    // Source index → net, precomputed once per model: the per-cone BDD
+    // build maps its ≤ max_support variables straight through this table
+    // instead of re-scanning the full source map for every sink.
+    let src_nets_a: Vec<NetId> = ma.sources.values().copied().collect();
+    let src_nets_b: Vec<NetId> = mb.sources.values().copied().collect();
     let outcomes = camsoc_par::map(options.parallelism, &sink_keys, |key| {
+        // one visited-stamp buffer per worker thread: support walks cost
+        // O(cone), not O(nets), per sink
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<ConeScratch> =
+                std::cell::RefCell::new(ConeScratch::new());
+        }
         let net_a = ma.sinks[key];
         let net_b = mb.sinks[key];
-        let sup_a = ma.cone_support_with(options.engine, net_a);
-        let sup_b = mb.cone_support_with(options.engine, net_b);
+        let (sup_a, sup_b) = SCRATCH.with(|s| {
+            let scratch = &mut *s.borrow_mut();
+            (
+                ma.cone_support_with_scratch(options.engine, net_a, scratch),
+                mb.cone_support_with_scratch(options.engine, net_b, scratch),
+            )
+        });
         // union support under same variable indices (source order shared)
         let union: Vec<usize> = {
             let mut s: Vec<usize> = sup_a.iter().chain(sup_b.iter()).copied().collect();
@@ -705,8 +776,8 @@ pub fn check_equivalence(
             union.iter().enumerate().map(|(v, &s)| (s, v as u32)).collect();
         let mut mgr = Bdd::new(options.bdd_node_limit);
         match (
-            build_cone_bdd(&ma, net_a, &var_of_source, &mut mgr),
-            build_cone_bdd(&mb, net_b, &var_of_source, &mut mgr),
+            build_cone_bdd(&ma, &src_nets_a, net_a, &var_of_source, &mut mgr),
+            build_cone_bdd(&mb, &src_nets_b, net_b, &var_of_source, &mut mgr),
         ) {
             (Ok(fa), Ok(fb)) => {
                 if fa != fb {
@@ -747,17 +818,15 @@ pub fn check_equivalence(
 /// source-variable mapping.
 fn build_cone_bdd(
     model: &CombModel<'_>,
+    src_nets: &[NetId],
     net: NetId,
     var_of_source: &HashMap<usize, u32>,
     mgr: &mut Bdd,
 ) -> Result<BddRef, BddOverflow> {
-    // source net → variable index
-    let source_var: HashMap<NetId, u32> = model
-        .sources
-        .values()
-        .enumerate()
-        .filter_map(|(i, &n)| var_of_source.get(&i).map(|&v| (n, v)))
-        .collect();
+    // source net → variable index, straight through the precomputed
+    // index→net table: O(support), not O(sources), per cone
+    let source_var: HashMap<NetId, u32> =
+        var_of_source.iter().map(|(&s, &v)| (src_nets[s], v)).collect();
     let mut memo: HashMap<NetId, BddRef> = HashMap::new();
     build_rec(model, net, &source_var, mgr, &mut memo)
 }

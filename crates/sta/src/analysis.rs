@@ -32,6 +32,7 @@ use camsoc_netlist::NetlistError;
 
 use crate::constraints::{ClockDef, Constraints};
 use crate::derate::Corner;
+use crate::macro_model::MacroTiming;
 use crate::paths::{PathStep, TimingPath};
 
 /// Estimated routed length per fanout load (mm) when no extracted wire
@@ -201,6 +202,9 @@ pub struct Sta<'a> {
     pub(crate) wire_delays_ns: Option<Vec<f64>>,
     /// Per-flop clock network latency (ns) from CTS, by instance id.
     pub(crate) clock_latency_ns: HashMap<InstanceId, f64>,
+    /// Hardened-macro boundary models by macro instance name; macros
+    /// without an entry use the generic memory arcs.
+    pub(crate) macro_timing: HashMap<String, MacroTiming>,
 }
 
 impl<'a> Sta<'a> {
@@ -213,6 +217,7 @@ impl<'a> Sta<'a> {
             corner: Corner::typical(),
             wire_delays_ns: None,
             clock_latency_ns: HashMap::new(),
+            macro_timing: HashMap::new(),
         }
     }
 
@@ -233,6 +238,7 @@ impl<'a> Sta<'a> {
             corner,
             wire_delays_ns: self.wire_delays_ns.clone(),
             clock_latency_ns: self.clock_latency_ns.clone(),
+            macro_timing: self.macro_timing.clone(),
         }
     }
 
@@ -250,6 +256,14 @@ impl<'a> Sta<'a> {
     /// Use per-flop clock latencies from clock-tree synthesis.
     pub fn with_clock_latency(mut self, latency_ns: HashMap<InstanceId, f64>) -> Self {
         self.clock_latency_ns = latency_ns;
+        self
+    }
+
+    /// Time macro boundaries through hardened-abstract models, keyed by
+    /// macro instance name. Macros without an entry keep the generic
+    /// memory arcs, so legacy SRAM-macro designs are bit-unchanged.
+    pub fn with_macro_timing(mut self, timing: HashMap<String, MacroTiming>) -> Self {
+        self.macro_timing = timing;
         self
     }
 
@@ -405,11 +419,23 @@ impl<'a> Sta<'a> {
                 at_min[i] = lat + self.tech.clk_to_q_ns * self.corner.early;
                 start_label[i] = Some(format!("flop {}/CK", inst.name));
             }
-            Some(NetDriver::Macro(m, _)) => {
-                // memories launch later than flops: 2× clk-to-Q access
+            Some(NetDriver::Macro(m, pin)) => {
                 let name = &self.nl.macro_inst(m).name;
-                at_max[i] = io_reference_ns + 2.0 * self.tech.clk_to_q_ns * self.corner.late;
-                at_min[i] = io_reference_ns + 2.0 * self.tech.clk_to_q_ns * self.corner.early;
+                if let Some((late, early)) = self
+                    .macro_timing
+                    .get(name)
+                    .and_then(|t| t.output_arrival_ns(pin, self.corner))
+                {
+                    // hardened macro: the abstract's per-pin window
+                    at_max[i] = io_reference_ns + late;
+                    at_min[i] = io_reference_ns + early;
+                } else {
+                    // memories launch later than flops: 2× clk-to-Q access
+                    at_max[i] =
+                        io_reference_ns + 2.0 * self.tech.clk_to_q_ns * self.corner.late;
+                    at_min[i] =
+                        io_reference_ns + 2.0 * self.tech.clk_to_q_ns * self.corner.early;
+                }
                 start_label[i] = Some(format!("macro {name}/CK"));
             }
             None => {}
@@ -469,8 +495,12 @@ impl<'a> Sta<'a> {
     pub(crate) fn static_endpoint_required(&self, default_period: f64) -> Vec<f64> {
         let mut req = vec![POS; self.nl.num_nets()];
         for (_, m) in self.nl.macros() {
-            let required = default_period - 2.0 * self.tech.setup_ns;
-            for &net in &m.inputs {
+            let timing = self.macro_timing.get(&m.name);
+            for (pin, &net) in m.inputs.iter().enumerate() {
+                let required = match self.macro_input_required(timing, pin, default_period) {
+                    Some(r) => r,
+                    None => continue, // unconstrained abstract pin
+                };
                 let i = net.index();
                 req[i] = req[i].min(required);
             }
@@ -481,6 +511,26 @@ impl<'a> Sta<'a> {
             req[i] = req[i].min(required);
         }
         req
+    }
+
+    /// Setup deadline of macro input `pin`: the hardened abstract's
+    /// derated per-pin deadline when a model covers the pin (`None` =
+    /// unconstrained, no check), else the generic memory requirement.
+    /// Shared by [`Sta::static_endpoint_required`] and
+    /// [`Sta::report_from`] so the backward pass and the endpoint
+    /// checks can never disagree.
+    pub(crate) fn macro_input_required(
+        &self,
+        timing: Option<&MacroTiming>,
+        pin: usize,
+        default_period: f64,
+    ) -> Option<f64> {
+        match timing {
+            Some(t) if pin < t.num_inputs() => {
+                t.input_required_ns(pin, default_period, self.corner)
+            }
+            _ => Some(default_period - 2.0 * self.tech.setup_ns),
+        }
     }
 
     /// Setup required time imposed directly at each net by the
@@ -976,10 +1026,15 @@ impl<'a> Sta<'a> {
                 check_setup(net, required, EndpointKey::Flop(id, pin));
             }
         }
-        // Macro input pins (memories need extra setup).
+        // Macro input pins (memories need extra setup; hardened macros
+        // impose their abstract's per-pin deadlines).
         for (mid, m) in self.nl.macros() {
+            let timing = self.macro_timing.get(&m.name);
             for (pin, &net) in m.inputs.iter().enumerate() {
-                let required = default_period - 2.0 * self.tech.setup_ns;
+                let Some(required) = self.macro_input_required(timing, pin, default_period)
+                else {
+                    continue;
+                };
                 check_setup(net, required, EndpointKey::MacroPin(mid, pin));
             }
         }
@@ -1008,6 +1063,34 @@ impl<'a> Sta<'a> {
                     continue;
                 }
                 let slack = at - (lat + self.tech.hold_ns);
+                hold.endpoints += 1;
+                if slack < hold.wns_ns {
+                    hold.wns_ns = slack;
+                }
+                if slack < 0.0 {
+                    hold.violations += 1;
+                    hold.tns_ns += slack;
+                    hold_violations.push((self.nl.net(net).name.clone(), slack));
+                }
+            }
+        }
+        // Hardened-macro input pins: the abstract's boundary register
+        // imposes a hold floor. Only macros carrying a model are
+        // checked — generic SRAM macros keep their historical
+        // (setup-only) treatment bit-for-bit.
+        for (_, m) in self.nl.macros() {
+            let Some(timing) = self.macro_timing.get(&m.name) else {
+                continue;
+            };
+            for (pin, &net) in m.inputs.iter().enumerate() {
+                let Some(floor) = timing.input_hold_floor_ns(pin) else {
+                    continue;
+                };
+                let at = at_min[net.index()];
+                if at == POS {
+                    continue;
+                }
+                let slack = at - floor;
                 hold.endpoints += 1;
                 if slack < hold.wns_ns {
                     hold.wns_ns = slack;

@@ -57,6 +57,7 @@ use camsoc_netlist::tech::Technology;
 use crate::analysis::{Annotation, Sta, StaError, TimingReport, NEG, POS};
 use crate::constraints::Constraints;
 use crate::derate::Corner;
+use crate::macro_model::MacroTiming;
 
 /// Cost accounting for one [`IncrementalSta::update`] call.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -146,6 +147,7 @@ pub struct IncrementalSta {
     corner: Corner,
     clock_latency_ns: HashMap<InstanceId, f64>,
     wire_delays_ns: Option<Vec<f64>>,
+    macro_timing: HashMap<String, MacroTiming>,
     max_cone_fraction: f64,
     ann: Annotation,
     /// Live fanout structures, patched from the connectivity journal.
@@ -208,6 +210,7 @@ impl<'a> Sta<'a> {
             corner: self.corner,
             clock_latency_ns: self.clock_latency_ns.clone(),
             wire_delays_ns: self.wire_delays_ns.clone(),
+            macro_timing: self.macro_timing.clone(),
             max_cone_fraction: 0.75,
             fanout_counts: self.nl.fanout_counts(),
             fanout_map: self.nl.fanout_map(),
@@ -325,12 +328,14 @@ impl IncrementalSta {
             corner: self.corner,
             wire_delays_ns: self.wire_delays_ns.take(),
             clock_latency_ns: std::mem::take(&mut self.clock_latency_ns),
+            macro_timing: std::mem::take(&mut self.macro_timing),
         };
         let result = self.update_inner(&sta, delta);
-        let Sta { constraints, wire_delays_ns, clock_latency_ns, .. } = sta;
+        let Sta { constraints, wire_delays_ns, clock_latency_ns, macro_timing, .. } = sta;
         self.constraints = constraints;
         self.wire_delays_ns = wire_delays_ns;
         self.clock_latency_ns = clock_latency_ns;
+        self.macro_timing = macro_timing;
         result
     }
 

@@ -42,6 +42,7 @@ pub mod codec;
 pub mod constraints;
 pub mod derate;
 pub mod incremental;
+pub mod macro_model;
 pub mod multi_corner;
 pub mod paths;
 
@@ -49,5 +50,6 @@ pub use analysis::{Annotation, Sta, StaError, TimingReport};
 pub use incremental::{IncrementalSta, UpdateStats};
 pub use constraints::Constraints;
 pub use derate::Corner;
+pub use macro_model::MacroTiming;
 pub use multi_corner::{analyze_corners, CornerSignoff};
 pub use paths::{PathStep, TimingPath};

@@ -1,0 +1,169 @@
+//! Pin-level boundary timing model of a hardened macro.
+//!
+//! Hierarchical hardening (see `camsoc-core`'s `hier` module) runs the
+//! full flow on a macro's own netlist and collapses the result into a
+//! [`MacroTiming`]: per-output-pin clock-relative arrival windows and
+//! per-input-pin setup margins / hold floors, all stored at the
+//! **typical** corner and derated at use. Top-level analysis then times
+//! through the macro boundary without ever seeing its gates — the
+//! [`Sta`](crate::Sta) seeding and endpoint checks consult the model
+//! wherever a macro instance name carries one
+//! ([`Sta::with_macro_timing`](crate::Sta::with_macro_timing)).
+//!
+//! The model is deliberately pessimistic by a stated `pessimism_ns`
+//! pad: output arrivals are pushed later (setup) / earlier (hold) and
+//! input deadlines pulled in, so a top-level sign-off through abstracts
+//! can miss real violations only inside that stated bound. Pins whose
+//! internal net reaches no constrained endpoint (clock pins, unused
+//! controls) carry [`f64::NEG_INFINITY`] margins and receive no checks,
+//! exactly like an unconstrained path in a sign-off constraint file.
+
+use camsoc_netlist::graph::Netlist;
+use camsoc_netlist::tech::Technology;
+
+use crate::analysis::Annotation;
+use crate::derate::Corner;
+
+/// Boundary timing arcs of one hardened macro, pin-indexed in the
+/// macro netlist's port order (inputs by [`Netlist::input_ports`],
+/// outputs by [`Netlist::output_ports`]). All values are typical-corner
+/// nanoseconds; consumers derate with the active [`Corner`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroTiming {
+    /// Latest clock-relative arrival at each output pin.
+    pub output_arrival_max_ns: Vec<f64>,
+    /// Earliest clock-relative arrival at each output pin.
+    pub output_arrival_min_ns: Vec<f64>,
+    /// Portion of the clock period consumed downstream of each input
+    /// pin (internal path delay + capture setup); `-inf` marks an
+    /// unconstrained pin (no setup check).
+    pub input_margin_ns: Vec<f64>,
+    /// Hold floor for each input pin: earliest arrival the boundary
+    /// register tolerates; `-inf` marks a pin with no hold check.
+    pub input_hold_ns: Vec<f64>,
+    /// Stated pessimism pad applied at use (output arrivals pushed
+    /// out, input deadlines pulled in by this much).
+    pub pessimism_ns: f64,
+}
+
+impl MacroTiming {
+    /// Collapse a hardened macro's typical-corner annotation into its
+    /// boundary model. `ann` must come from an analysis of `nl` itself
+    /// (the macro's flat netlist, not the enclosing design).
+    pub fn extract(
+        nl: &Netlist,
+        ann: &Annotation,
+        tech: &Technology,
+        pessimism_ns: f64,
+    ) -> MacroTiming {
+        let period = ann.default_period;
+        let mut input_margin_ns = Vec::new();
+        let mut input_hold_ns = Vec::new();
+        for (_, p) in nl.input_ports() {
+            match ann.required_max(p.net) {
+                // the internal deadline at the pin, re-expressed as the
+                // slice of the period the macro consumes after it
+                Some(req) => {
+                    input_margin_ns.push(period - req);
+                    // boundary pins are registered on entry, so the
+                    // first capture imposes the library hold floor
+                    input_hold_ns.push(tech.hold_ns);
+                }
+                None => {
+                    input_margin_ns.push(f64::NEG_INFINITY);
+                    input_hold_ns.push(f64::NEG_INFINITY);
+                }
+            }
+        }
+        let mut output_arrival_max_ns = Vec::new();
+        let mut output_arrival_min_ns = Vec::new();
+        for (_, p) in nl.output_ports() {
+            output_arrival_max_ns
+                .push(ann.arrival_max(p.net).unwrap_or(2.0 * tech.clk_to_q_ns));
+            output_arrival_min_ns.push(ann.arrival_min(p.net).unwrap_or(tech.clk_to_q_ns));
+        }
+        MacroTiming {
+            output_arrival_max_ns,
+            output_arrival_min_ns,
+            input_margin_ns,
+            input_hold_ns,
+            pessimism_ns,
+        }
+    }
+
+    /// Derated `(latest, earliest)` clock-relative arrival at output
+    /// `pin`, pessimism applied. `None` when the pin index is outside
+    /// the model (the caller falls back to the generic memory arc).
+    pub fn output_arrival_ns(&self, pin: usize, corner: Corner) -> Option<(f64, f64)> {
+        let max = *self.output_arrival_max_ns.get(pin)?;
+        let min = *self.output_arrival_min_ns.get(pin)?;
+        Some((
+            max * corner.late + self.pessimism_ns,
+            min * corner.early - self.pessimism_ns,
+        ))
+    }
+
+    /// Derated setup deadline at input `pin` against `default_period`,
+    /// pessimism applied. `None` for unconstrained pins (no check) and
+    /// out-of-range indexes.
+    pub fn input_required_ns(&self, pin: usize, default_period: f64, corner: Corner) -> Option<f64> {
+        let margin = *self.input_margin_ns.get(pin)?;
+        margin
+            .is_finite()
+            .then_some(default_period - margin * corner.late - self.pessimism_ns)
+    }
+
+    /// Hold floor at input `pin` (earliest tolerated arrival). `None`
+    /// for pins with no hold check and out-of-range indexes. Not
+    /// derated: it mirrors the flat flop-hold check, whose library
+    /// `hold_ns` is corner-independent.
+    pub fn input_hold_floor_ns(&self, pin: usize) -> Option<f64> {
+        let floor = *self.input_hold_ns.get(pin)?;
+        floor.is_finite().then_some(floor)
+    }
+
+    /// Number of output pins the model covers.
+    pub fn num_outputs(&self) -> usize {
+        self.output_arrival_max_ns.len()
+    }
+
+    /// Number of input pins the model covers.
+    pub fn num_inputs(&self) -> usize {
+        self.input_margin_ns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MacroTiming {
+        MacroTiming {
+            output_arrival_max_ns: vec![0.5],
+            output_arrival_min_ns: vec![0.2],
+            input_margin_ns: vec![1.0, f64::NEG_INFINITY],
+            input_hold_ns: vec![0.04, f64::NEG_INFINITY],
+            pessimism_ns: 0.05,
+        }
+    }
+
+    #[test]
+    fn derates_and_pads_pessimistically() {
+        let m = model();
+        let worst = Corner::worst();
+        let (late, early) = m.output_arrival_ns(0, worst).unwrap();
+        assert!((late - (0.5 * 1.30 + 0.05)).abs() < 1e-12);
+        assert!((early - (0.2 * 1.0 - 0.05)).abs() < 1e-12);
+        let req = m.input_required_ns(0, 7.5, worst).unwrap();
+        assert!((req - (7.5 - 1.0 * 1.30 - 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unconstrained_and_out_of_range_pins_have_no_checks() {
+        let m = model();
+        assert_eq!(m.input_required_ns(1, 7.5, Corner::typical()), None);
+        assert_eq!(m.input_hold_floor_ns(1), None);
+        assert_eq!(m.input_required_ns(9, 7.5, Corner::typical()), None);
+        assert_eq!(m.output_arrival_ns(9, Corner::typical()), None);
+    }
+}

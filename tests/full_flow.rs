@@ -50,6 +50,21 @@ fn dsc_controller_reaches_signoff() {
         result.lvs.clean(),
         result.equivalence.verdict);
 
+    // compile audit: the flow derives a CompiledNetlist exactly four
+    // times — ATPG's fault universe, the sign-off STA baseline, and
+    // the two equivalence models. Any growth here means a kernel
+    // started silently re-deriving the compiled view per call.
+    use camsoc::flow::StageId;
+    assert_eq!(
+        result.compile_stats.total(),
+        4,
+        "per-stage compiles: {:?}",
+        result.compile_stats.per_stage
+    );
+    assert_eq!(result.compile_stats.for_stage(StageId::Atpg), 1);
+    assert_eq!(result.compile_stats.for_stage(StageId::TimingFix), 1);
+    assert_eq!(result.compile_stats.for_stage(StageId::Equiv), 2);
+
     // the GDSII stream parses and contains all cells
     let records = camsoc::layout::gdsii::verify(&result.gds).expect("gds well-formed");
     assert!(records.values().sum::<usize>() > stats_after.instances);

@@ -1,0 +1,168 @@
+//! Integration: hierarchical bottom-up hardening end to end.
+//!
+//! The same tiled design is implemented twice — flat (every tile's
+//! gates in one netlist) and hierarchically (tiles hardened on their
+//! own, integrated as opaque abstracts) — and the two must agree on
+//! the sign-off outcome, with worst slack within the abstract's stated
+//! pessimism bound. On top of that: a warm abstract cache must make
+//! re-integration free (zero re-hardens) without changing a single
+//! bit of the result, and the abstract serialization must refuse every
+//! truncation and header damage, like the flow checkpoint codec.
+
+use camsoc::dft::atpg::AtpgConfig;
+use camsoc::flow::flow::{FlowOptions, FlowSupervisor};
+use camsoc::flow::hier::{
+    build_tiled_flat, fold_signoff, harden_one, harden_tiled, tile_kinds, AbstractCache,
+    MacroAbstract, TiledParams,
+};
+use camsoc::layout::place::{PlacementConfig, PlacementMode};
+use camsoc::layout::ImplementOptions;
+use camsoc::par::Parallelism;
+
+const PESSIMISM_NS: f64 = 0.05;
+
+/// Slack agreement bound: the abstract's declared pessimism plus the
+/// layout-context noise of hardening a tile alone instead of inside
+/// the flat die (different placement → different wire delays).
+const CONTEXT_EPS_NS: f64 = 0.75;
+
+fn quick_options() -> FlowOptions {
+    FlowOptions {
+        atpg: AtpgConfig {
+            fault_sample: Some(400),
+            max_random_blocks: 16,
+            ..AtpgConfig::default()
+        },
+        layout: ImplementOptions {
+            placement: PlacementConfig {
+                mode: PlacementMode::Wirelength,
+                iterations: 40_000,
+                ..PlacementConfig::default()
+            },
+            ..ImplementOptions::default()
+        },
+        ..FlowOptions::default()
+    }
+}
+
+fn small(seed: u64) -> TiledParams {
+    TiledParams { tiles: 3, kinds: 2, tile_gates: 220, data_width: 6, seed }
+}
+
+#[test]
+fn hier_and_flat_agree_on_signoff() {
+    let options = quick_options();
+    for seed in [1u64, 6] {
+        let p = small(seed);
+
+        let flat = build_tiled_flat(&p).expect("flat generator");
+        let flat_result =
+            FlowSupervisor::new(options.clone()).run(flat).expect("flat flow");
+
+        let h = harden_tiled(&p, &options, PESSIMISM_NS, None, Parallelism::Serial)
+            .expect("harden");
+        assert_eq!(h.report.requested, p.kinds);
+        assert_eq!(h.report.unique, p.kinds);
+        assert_eq!(h.report.hardened, p.kinds);
+        let hier_result = FlowSupervisor::new(options.clone())
+            .with_hier(h.hard.clone())
+            .run(h.top.clone())
+            .expect("hier flow");
+
+        let used: Vec<&MacroAbstract> =
+            h.binding.iter().map(|(_, hash)| &h.abstracts[hash]).collect();
+        let (setup, hold, signed_off) = fold_signoff(
+            hier_result.signoff_timing.setup.wns_ns,
+            hier_result.signoff_timing.hold.wns_ns,
+            hier_result.tapeout_ready(),
+            &used,
+        );
+
+        // the correctness gate: same sign-off outcome either way
+        assert!(flat_result.tapeout_ready(), "seed {seed}: flat failed sign-off");
+        assert!(signed_off, "seed {seed}: hierarchy failed sign-off");
+
+        // and worst slack agrees within the declared pessimism bound
+        let bound = PESSIMISM_NS + CONTEXT_EPS_NS;
+        let flat_setup = flat_result.signoff_timing.setup.wns_ns;
+        let flat_hold = flat_result.signoff_timing.hold.wns_ns;
+        assert!(
+            (setup - flat_setup).abs() <= bound,
+            "seed {seed}: setup WNS diverged: flat {flat_setup} hier {setup}"
+        );
+        assert!(
+            (hold - flat_hold).abs() <= bound,
+            "seed {seed}: hold WNS diverged: flat {flat_hold} hier {hold}"
+        );
+    }
+}
+
+#[test]
+fn warm_cache_rehardens_nothing_and_changes_nothing() {
+    let options = quick_options();
+    let p = small(3);
+    let dir = std::env::temp_dir().join(format!("camsoc-hier-warm-{}", std::process::id()));
+    let cache = AbstractCache::open(&dir).expect("cache dir");
+
+    let cold = harden_tiled(&p, &options, PESSIMISM_NS, Some(&cache), Parallelism::Threads(2))
+        .expect("cold harden");
+    assert_eq!(cold.report.unique, p.kinds);
+    assert_eq!(cold.report.cache_hits, 0);
+    assert_eq!(cold.report.hardened, p.kinds, "cold run must harden every unique kind");
+
+    let warm = harden_tiled(&p, &options, PESSIMISM_NS, Some(&cache), Parallelism::Threads(2))
+        .expect("warm harden");
+    assert_eq!(warm.report.hardened, 0, "warm run re-hardened a cached macro");
+    assert_eq!(warm.report.cache_hits, p.kinds);
+    assert_eq!(warm.abstracts, cold.abstracts, "cache round-trip changed an abstract");
+    assert_eq!(warm.binding, cold.binding);
+    assert_eq!(warm.hard, cold.hard);
+
+    // bit identity through integration: the warm hierarchy's flow
+    // result equals the cold one's, GDSII included
+    let gds_cold = FlowSupervisor::new(options.clone())
+        .with_hier(cold.hard.clone())
+        .run(cold.top.clone())
+        .expect("cold flow")
+        .gds;
+    let gds_warm = FlowSupervisor::new(options)
+        .with_hier(warm.hard.clone())
+        .run(warm.top.clone())
+        .expect("warm flow")
+        .gds;
+    assert!(!gds_cold.is_empty());
+    assert_eq!(gds_cold, gds_warm, "warm-cache integration diverged from cold");
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn hardened_abstract_codec_refuses_every_truncation() {
+    let options = quick_options();
+    let p = TiledParams { tiles: 1, kinds: 1, tile_gates: 150, data_width: 4, seed: 5 };
+    let kind = tile_kinds(&p).expect("kinds").remove(0);
+    let abs = harden_one(&kind, &options, PESSIMISM_NS).expect("harden");
+    assert!(abs.signed_off, "tile failed its own sign-off");
+    assert_eq!(abs.inputs.len(), 2 + p.data_width + 4, "clk, rstn, din, ctl");
+    assert_eq!(abs.outputs.len(), p.data_width);
+
+    let bytes = abs.to_bytes();
+    assert_eq!(MacroAbstract::from_bytes(&bytes).expect("round trip"), abs);
+    for len in 0..bytes.len() {
+        assert!(
+            MacroAbstract::from_bytes(&bytes[..len]).is_err(),
+            "prefix of {len}/{} bytes decoded successfully",
+            bytes.len()
+        );
+    }
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xff;
+    assert!(MacroAbstract::from_bytes(&bad_magic).is_err(), "bad magic accepted");
+    let mut bad_version = bytes.clone();
+    bad_version[4] = bad_version[4].wrapping_add(1);
+    assert!(MacroAbstract::from_bytes(&bad_version).is_err(), "unknown version accepted");
+    let mut trailing = bytes.clone();
+    trailing.push(0);
+    assert!(MacroAbstract::from_bytes(&trailing).is_err(), "trailing bytes accepted");
+}

@@ -222,6 +222,48 @@ fn routing_is_thread_count_invariant() {
 }
 
 #[test]
+fn macro_hardening_is_thread_count_invariant() {
+    // bottom-up hardening fans whole flow runs over workers; the
+    // abstracts (boundary arcs, outlines, hashes, sign-off figures)
+    // must be bit-identical at any thread count
+    use camsoc::dft::atpg::AtpgConfig;
+    use camsoc::flow::flow::FlowOptions;
+    use camsoc::flow::hier::{harden_macros, tile_kinds, TiledParams};
+    use camsoc::layout::ImplementOptions;
+    let options = FlowOptions {
+        atpg: AtpgConfig {
+            fault_sample: Some(400),
+            max_random_blocks: 16,
+            ..AtpgConfig::default()
+        },
+        layout: ImplementOptions {
+            placement: PlacementConfig {
+                mode: PlacementMode::Wirelength,
+                iterations: 40_000,
+                ..PlacementConfig::default()
+            },
+            ..ImplementOptions::default()
+        },
+        ..FlowOptions::default()
+    };
+    for seed in [1u64, 9] {
+        let p = TiledParams { tiles: 3, kinds: 3, tile_gates: 150, data_width: 4, seed };
+        let kinds = tile_kinds(&p).expect("kinds");
+        let (serial, serial_report) =
+            harden_macros(&kinds, &options, 0.05, None, Parallelism::Serial)
+                .expect("serial harden");
+        assert_eq!(serial_report.hardened, p.kinds, "seed {seed}");
+        for t in THREADS {
+            let (par, report) =
+                harden_macros(&kinds, &options, 0.05, None, Parallelism::Threads(t))
+                    .expect("par harden");
+            assert_eq!(report, serial_report, "seed {seed} t{t}");
+            assert_eq!(par, serial, "seed {seed} t{t}: abstracts diverged");
+        }
+    }
+}
+
+#[test]
 fn multi_corner_sta_is_thread_count_invariant() {
     let tech = Technology::default();
     let corners =
